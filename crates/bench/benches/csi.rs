@@ -1,0 +1,45 @@
+//! C6 (§3.1): common subexpression induction — schedule cost vs naive
+//! serialization vs the theoretical lower bound, over thread count and
+//! shared fraction. Criterion measures the CSI search wall time ("the CSI
+//! algorithm is not simple"); the cost series is printed for
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msc_bench::workloads::csi_threads;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csi");
+    group.sample_size(20);
+
+    for threads in [2usize, 4, 8, 16] {
+        let input = csi_threads(threads, 8, 2);
+        let s = msc_csi::induce(&input).unwrap();
+        println!(
+            "[C6] {threads} threads (8 shared / 2 private): naive {} → CSI {} (lower bound {}), {:.0}% saved",
+            s.naive_cost,
+            s.cost,
+            s.lower_bound,
+            (1.0 - s.cost as f64 / s.naive_cost as f64) * 100.0
+        );
+        group.bench_with_input(BenchmarkId::new("induce_threads", threads), &threads, |b, _| {
+            b.iter(|| black_box(msc_csi::induce(black_box(&input)).unwrap().cost))
+        });
+    }
+
+    for shared in [0usize, 4, 8, 16] {
+        let input = csi_threads(4, shared, 4);
+        let s = msc_csi::induce(&input).unwrap();
+        println!(
+            "[C6] 4 threads, shared={shared}, private=4: naive {} → CSI {} (lb {})",
+            s.naive_cost, s.cost, s.lower_bound
+        );
+        group.bench_with_input(BenchmarkId::new("induce_shared", shared), &shared, |b, _| {
+            b.iter(|| black_box(msc_csi::induce(black_box(&input)).unwrap().cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

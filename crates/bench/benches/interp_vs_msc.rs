@@ -1,0 +1,60 @@
+//! C1 (§1.1): execution of MIMD control parallelism on SIMD hardware —
+//! meta-state conversion vs the classical interpreter.
+//!
+//! Criterion measures the simulator wall time of each mode; the *model*
+//! metrics (simulated cycles, per-PE memory) are printed once per size so
+//! the bench output regenerates the C1 series in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metastate::{ConvertMode, Pipeline};
+use msc_bench::workloads::branchy_source;
+use msc_ir::CostModel;
+use msc_mimd::InterpProgram;
+use msc_simd::{MachineConfig, SimdMachine};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_vs_msc");
+    group.sample_size(20);
+    let n_pe = 16;
+
+    for paths in [2usize, 3, 4, 5] {
+        let src = branchy_source(paths);
+
+        // Report the model-level series once.
+        let msc = msc_bench::measure_msc(&src, n_pe, ConvertMode::Base);
+        let it = msc_bench::measure_interp(&src, n_pe);
+        println!(
+            "[C1] paths={paths}: MSC {} cycles / {} per-PE words; interp {} cycles / {} per-PE words; speedup {:.2}x",
+            msc.cycles,
+            msc.per_pe_program_words,
+            it.cycles,
+            it.per_pe_program_words,
+            it.cycles as f64 / msc.cycles as f64
+        );
+
+        let built = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
+        let cfg = MachineConfig::spmd(n_pe);
+        group.bench_with_input(BenchmarkId::new("msc_base", paths), &paths, |b, _| {
+            b.iter(|| {
+                let mut m = SimdMachine::new(&built.simd, &cfg);
+                m.run(black_box(&built.simd), &cfg).unwrap();
+                black_box(m.metrics.cycles)
+            })
+        });
+
+        let p = msc_lang::compile(&src).unwrap();
+        let image = InterpProgram::flatten(&p.graph, p.layout.poly_words, p.layout.mono_words);
+        group.bench_with_input(BenchmarkId::new("interpreter", paths), &paths, |b, _| {
+            b.iter(|| {
+                let mut m = msc_mimd::InterpMachine::new(&image, n_pe, n_pe);
+                m.run(black_box(&image), &CostModel::default(), 100_000_000).unwrap();
+                black_box(m.metrics.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! C2/C4/C5 (§1.2, §2.5, §2.6): the meta-state space and what compression
+//! and barriers do to it. Criterion measures conversion wall time (the
+//! paper: "meta-state conversion is a complex and slow process"); the
+//! state-count series is printed for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msc_bench::workloads::{barrier_phases_source, branch_chain_graph, fan_out_loops_graph};
+use msc_core::{convert, ConvertOptions};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_explosion");
+    group.sample_size(20);
+
+    for n in [4usize, 8, 12, 16] {
+        let g = branch_chain_graph(n);
+        let base = convert(&g, &ConvertOptions::base()).unwrap();
+        let comp = convert(&g, &ConvertOptions::compressed()).unwrap();
+        println!(
+            "[C2] chain n={n}: base {} meta states (avg width {:.2}), compressed {} (avg width {:.2})",
+            base.len(),
+            base.avg_width(),
+            comp.len(),
+            comp.avg_width()
+        );
+        group.bench_with_input(BenchmarkId::new("convert_base_chain", n), &n, |b, _| {
+            b.iter(|| black_box(convert(&g, &ConvertOptions::base()).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("convert_compressed_chain", n), &n, |b, _| {
+            b.iter(|| black_box(convert(&g, &ConvertOptions::compressed()).unwrap().len()))
+        });
+    }
+
+    for n in [4usize, 8, 12] {
+        let g = fan_out_loops_graph(n);
+        let base = convert(&g, &ConvertOptions::base());
+        let comp = convert(&g, &ConvertOptions::compressed()).unwrap();
+        println!(
+            "[C4] {n} live loops: base {} meta states, compressed {} (max width {})",
+            base.as_ref().map(|a| a.len().to_string()).unwrap_or_else(|_| "guard hit".into()),
+            comp.len(),
+            comp.max_width()
+        );
+        group.bench_with_input(BenchmarkId::new("convert_fanout_compressed", n), &n, |b, _| {
+            b.iter(|| black_box(convert(&g, &ConvertOptions::compressed()).unwrap().len()))
+        });
+    }
+
+    for phases in [2usize, 4] {
+        let src = barrier_phases_source(phases);
+        let p = msc_lang::compile(&src).unwrap();
+        let with = convert(&p.graph, &ConvertOptions::base()).unwrap();
+        let without = convert(
+            &p.graph,
+            &ConvertOptions { respect_barriers: false, ..ConvertOptions::base() },
+        )
+        .unwrap();
+        println!(
+            "[C5] {phases} phases: {} meta states with barriers (width {:.2}), {} without (width {:.2})",
+            with.len(),
+            with.avg_width(),
+            without.len(),
+            without.avg_width()
+        );
+        group.bench_with_input(BenchmarkId::new("convert_barrier_phases", phases), &phases, |b, _| {
+            b.iter(|| black_box(convert(&p.graph, &ConvertOptions::base()).unwrap().len()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! C3 (§2.4): MIMD state time splitting — utilization with and without,
+//! swept over block-cost imbalance. Criterion measures the full
+//! convert+run wall time; the utilization series is printed for
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use metastate::{ConvertMode, Pipeline, TimeSplitOptions};
+use msc_bench::workloads::imbalanced_source;
+use msc_simd::{MachineConfig, SimdMachine};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_split");
+    group.sample_size(20);
+    let n_pe = 16;
+
+    for long in [25usize, 100, 200] {
+        let src = imbalanced_source(5, long);
+        let plain = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
+        let split = Pipeline::new(src.as_str())
+            .mode(ConvertMode::Base)
+            .time_split(TimeSplitOptions::default())
+            .build()
+            .unwrap();
+        let cfg = MachineConfig::spmd(n_pe);
+        let up = plain.run(n_pe).unwrap().metrics.utilization();
+        let us = split.run(n_pe).unwrap().metrics.utilization();
+        println!(
+            "[C3] 5:{long}: utilization {:.1}% unsplit → {:.1}% split ({} splits, {} restarts)",
+            up * 100.0,
+            us * 100.0,
+            split.stats.splits,
+            split.stats.restarts
+        );
+
+        group.bench_with_input(BenchmarkId::new("run_unsplit", long), &long, |b, _| {
+            b.iter(|| {
+                let mut m = SimdMachine::new(&plain.simd, &cfg);
+                m.run(black_box(&plain.simd), &cfg).unwrap();
+                black_box(m.metrics.cycles)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("run_split", long), &long, |b, _| {
+            b.iter(|| {
+                let mut m = SimdMachine::new(&split.simd, &cfg);
+                m.run(black_box(&split.simd), &cfg).unwrap();
+                black_box(m.metrics.cycles)
+            })
+        });
+        // Conversion cost of the restart-to-fixpoint loop itself.
+        group.bench_with_input(BenchmarkId::new("convert_with_split", long), &long, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Pipeline::new(src.as_str())
+                        .mode(ConvertMode::Base)
+                        .time_split(TimeSplitOptions::default())
+                        .build()
+                        .unwrap()
+                        .automaton
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

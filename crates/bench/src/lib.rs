@@ -1,0 +1,10 @@
+//! # msc-bench — experiment harness
+//!
+//! Workload generators and measurement helpers behind the figure/claim
+//! regeneration binaries (`figures`, `claims`) and the Criterion benches.
+//! EXPERIMENTS.md maps every artifact and claim of the paper to these.
+
+pub mod measure;
+pub mod workloads;
+
+pub use measure::{measure_interp, measure_msc, measure_reference, Measurement};

@@ -1,0 +1,469 @@
+//! # msc-cli — the `mscc` command-line driver
+//!
+//! ```text
+//! mscc build prog.mimdc --emit automaton      # print the meta-state graph
+//! mscc build prog.mimdc --emit mpl            # Listing-5-style SIMD code
+//! mscc build prog.mimdc --emit dot            # Graphviz of the automaton
+//! mscc build prog.mimdc --emit graph          # the MIMD state graph
+//! mscc run   prog.mimdc --pes 16              # execute and print results
+//! mscc run   prog.mimdc --compare             # also run MIMD ref + interpreter
+//! ```
+//!
+//! Shared flags: `--mode base|compressed`, `--time-split`, `--optimize`,
+//! `--minimize`, `--no-csi`, `--pes N`, `--pool N` (live PEs, rest idle).
+//!
+//! The argument parser and command execution live in this library so they
+//! are unit-testable; `main.rs` is a thin shell.
+
+use metastate::{ConvertMode, Pipeline, TimeSplitOptions};
+use msc_ir::CostModel;
+use msc_simd::MachineConfig;
+use std::fmt;
+
+/// What `mscc build --emit` prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emit {
+    /// The meta-state automaton as text.
+    Automaton,
+    /// MPL-like SIMD code (Listing 5 style).
+    Mpl,
+    /// Graphviz of the automaton.
+    Dot,
+    /// The MIMD state graph as text.
+    Graph,
+    /// Reloadable SIMD assembly (see `msc_simd::asm`).
+    Asm,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mscc build FILE`.
+    Build {
+        /// Source path.
+        file: String,
+        /// What to print.
+        emit: Emit,
+        /// Common options.
+        opts: CommonOpts,
+    },
+    /// `mscc run FILE`.
+    Run {
+        /// Source path.
+        file: String,
+        /// PEs to simulate.
+        pes: usize,
+        /// Live PEs at start (None = all; Some(n) leaves a spawn pool).
+        pool: Option<usize>,
+        /// Also run the MIMD reference and interpreter and compare.
+        compare: bool,
+        /// Print the meta-state execution trace.
+        trace: bool,
+        /// Common options.
+        opts: CommonOpts,
+    },
+    /// `mscc help` / `-h` / `--help`.
+    Help,
+}
+
+/// Options shared by build and run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonOpts {
+    /// Conversion mode.
+    pub mode: ConvertMode,
+    /// §2.4 time splitting.
+    pub time_split: bool,
+    /// Peephole optimization.
+    pub optimize: bool,
+    /// Bisimulation minimization.
+    pub minimize: bool,
+    /// Disable CSI in codegen.
+    pub no_csi: bool,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        CommonOpts {
+            mode: ConvertMode::Base,
+            time_split: false,
+            optimize: false,
+            minimize: false,
+            no_csi: false,
+        }
+    }
+}
+
+/// CLI failures (parse or execution).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mscc — Meta-State Conversion compiler driver
+
+USAGE:
+  mscc build <FILE> [--emit automaton|mpl|dot|graph|asm] [common flags]
+  mscc run   <FILE> [--pes N] [--pool N] [--compare] [--trace] [common flags]
+  mscc help
+
+COMMON FLAGS:
+  --mode base|compressed   conversion mode (default: base)
+  --time-split             enable §2.4 time splitting
+  --optimize               peephole-optimize blocks first
+  --minimize               merge bisimilar MIMD states first
+  --no-csi                 disable common subexpression induction
+";
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().peekable();
+    let cmd = it.next().ok_or_else(|| CliError(USAGE.into()))?;
+    match cmd.as_str() {
+        "help" | "-h" | "--help" => Ok(Command::Help),
+        "build" | "run" => {
+            let mut file: Option<String> = None;
+            let mut emit = Emit::Automaton;
+            let mut pes = 8usize;
+            let mut pool: Option<usize> = None;
+            let mut compare = false;
+            let mut trace = false;
+            let mut opts = CommonOpts::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--emit" => {
+                        let v = it.next().ok_or_else(|| CliError("--emit needs a value".into()))?;
+                        emit = match v.as_str() {
+                            "automaton" => Emit::Automaton,
+                            "mpl" => Emit::Mpl,
+                            "dot" => Emit::Dot,
+                            "graph" => Emit::Graph,
+                            "asm" => Emit::Asm,
+                            other => {
+                                return Err(CliError(format!("unknown emit kind `{other}`")))
+                            }
+                        };
+                    }
+                    "--mode" => {
+                        let v = it.next().ok_or_else(|| CliError("--mode needs a value".into()))?;
+                        opts.mode = match v.as_str() {
+                            "base" => ConvertMode::Base,
+                            "compressed" => ConvertMode::Compressed,
+                            other => return Err(CliError(format!("unknown mode `{other}`"))),
+                        };
+                    }
+                    "--pes" => {
+                        let v = it.next().ok_or_else(|| CliError("--pes needs a value".into()))?;
+                        pes = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad PE count `{v}`")))?;
+                    }
+                    "--pool" => {
+                        let v = it.next().ok_or_else(|| CliError("--pool needs a value".into()))?;
+                        pool = Some(
+                            v.parse().map_err(|_| CliError(format!("bad pool count `{v}`")))?,
+                        );
+                    }
+                    "--time-split" => opts.time_split = true,
+                    "--optimize" => opts.optimize = true,
+                    "--minimize" => opts.minimize = true,
+                    "--no-csi" => opts.no_csi = true,
+                    "--compare" => compare = true,
+                    "--trace" => trace = true,
+                    other if !other.starts_with('-') && file.is_none() => {
+                        file = Some(other.to_string());
+                    }
+                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            let file = file.ok_or_else(|| CliError("missing input file".into()))?;
+            Ok(if cmd == "build" {
+                Command::Build { file, emit, opts }
+            } else {
+                Command::Run { file, pes, pool, compare, trace, opts }
+            })
+        }
+        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn build_pipeline(src: &str, opts: &CommonOpts) -> Pipeline {
+    let mut p = Pipeline::new(src).mode(opts.mode);
+    if opts.time_split {
+        p = p.time_split(TimeSplitOptions::default());
+    }
+    if opts.optimize {
+        p = p.optimize();
+    }
+    if opts.minimize {
+        p = p.minimize();
+    }
+    if opts.no_csi {
+        p = p.gen_options(metastate::GenOptions { csi: false, ..Default::default() });
+    }
+    p
+}
+
+/// Execute a parsed command against source text, returning the output the
+/// CLI prints. Separated from file I/O for testability.
+pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Build { emit, opts, .. } => {
+            let built = build_pipeline(src, opts)
+                .build()
+                .map_err(|e| CliError(e.to_string()))?;
+            Ok(match emit {
+                Emit::Automaton => {
+                    let mut out = built.automaton_text();
+                    out.push_str(&format!(
+                        "\n{} meta states, avg width {:.2}, max width {}\n",
+                        built.automaton.len(),
+                        built.automaton.avg_width(),
+                        built.automaton.max_width()
+                    ));
+                    out
+                }
+                Emit::Mpl => built.mpl(),
+                Emit::Dot => built.automaton.dot(),
+                Emit::Graph => {
+                    msc_ir::render::text(&built.compiled.graph, &CostModel::default())
+                }
+                Emit::Asm => msc_simd::serialize_asm(&built.simd),
+            })
+        }
+        Command::Run { pes, pool, compare, trace, opts, .. } => {
+            let built = build_pipeline(src, opts)
+                .build()
+                .map_err(|e| CliError(e.to_string()))?;
+            let mut cfg = match pool {
+                Some(live) => MachineConfig::with_pool(*pes, *live),
+                None => MachineConfig::spmd(*pes),
+            };
+            cfg.trace = *trace;
+            let out = built.run_with(cfg).map_err(|e| CliError(e.to_string()))?;
+            let mut text = String::new();
+            if let Some(ret) = built.ret_addr() {
+                text.push_str("PE | result\n");
+                for pe in 0..*pes {
+                    text.push_str(&format!("{pe:2} | {}\n", out.machine.poly_at(pe, ret)));
+                }
+            }
+            text.push_str(&format!(
+                "\ncycles={} (body {}, guards {}, dispatch {}), issues={}, dispatches={}, utilization={:.1}%\n",
+                out.metrics.cycles,
+                out.metrics.body_cycles,
+                out.metrics.guard_cycles,
+                out.metrics.dispatch_cycles,
+                out.metrics.issues,
+                out.metrics.dispatches,
+                out.metrics.utilization() * 100.0
+            ));
+            text.push_str(&format!(
+                "automaton: {} meta states; per-PE program memory: 0 words\n",
+                built.automaton.len()
+            ));
+            if *trace {
+                text.push_str("\ntrace (meta-state path):\n");
+                for ev in &out.machine.trace {
+                    match ev {
+                        msc_simd::TraceEvent::EnterBlock { block, live, at_cycle } => {
+                            text.push_str(&format!(
+                                "  @{at_cycle:<6} enter {} (live PEs: {live})\n",
+                                built.simd.block(*block).name
+                            ));
+                        }
+                        msc_simd::TraceEvent::Dispatch { to: Some(t), .. } => {
+                            text.push_str(&format!(
+                                "          -> {}\n",
+                                built.simd.block(*t).name
+                            ));
+                        }
+                        msc_simd::TraceEvent::Dispatch { to: None, .. } => {
+                            text.push_str("          -> exit\n");
+                        }
+                    }
+                }
+            }
+            if *compare {
+                let p = msc_lang::compile(src).map_err(|e| CliError(e.to_string()))?;
+                let mcfg = msc_mimd::MimdConfig::spmd(*pes);
+                let mut mimd = msc_mimd::MimdReference::new(
+                    p.layout.poly_words,
+                    p.layout.mono_words,
+                    &mcfg,
+                );
+                let mm = mimd.run(&p.graph, &mcfg).map_err(|e| CliError(e.to_string()))?;
+                let (_, im) = msc_mimd::interpret_on_simd(
+                    &p.graph,
+                    p.layout.poly_words,
+                    p.layout.mono_words,
+                    *pes,
+                    &CostModel::default(),
+                )
+                .map_err(|e| CliError(e.to_string()))?;
+                text.push_str(&format!(
+                    "\ncompare: MIMD reference {} cycles; interpreter {} cycles ({:.2}x vs MSC)\n",
+                    mm.cycles,
+                    im.cycles,
+                    im.cycles as f64 / out.metrics.cycles as f64
+                ));
+                if let (Some(ret), Some(mret)) = (built.ret_addr(), p.layout.main_ret) {
+                    let agree = (0..*pes)
+                        .all(|pe| out.machine.poly_at(pe, ret) == mimd.poly_at(pe, mret));
+                    text.push_str(&format!(
+                        "results {} the MIMD reference\n",
+                        if agree { "MATCH" } else { "DIVERGE FROM" }
+                    ));
+                }
+            }
+            Ok(text)
+        }
+    }
+}
+
+/// Full entry point: parse args, read the file, execute.
+pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
+    let cmd = parse_args(args)?;
+    let src = match &cmd {
+        Command::Help => String::new(),
+        Command::Build { file, .. } | Command::Run { file, .. } => std::fs::read_to_string(file)
+            .map_err(|e| CliError(format!("cannot read {file}: {e}")))?,
+    };
+    execute_on_source(&cmd, &src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    const PROG: &str = "main() { poly int x; x = pe_id() * 2 + 1; return(x); }";
+
+    #[test]
+    fn parse_build_defaults() {
+        let cmd = parse_args(&args("build foo.mimdc")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                file: "foo.mimdc".into(),
+                emit: Emit::Automaton,
+                opts: CommonOpts::default()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_run_with_flags() {
+        let cmd = parse_args(&args(
+            "run foo.mimdc --pes 32 --pool 4 --compare --mode compressed --time-split --optimize --minimize --no-csi",
+        ))
+        .unwrap();
+        let Command::Run { pes, pool, compare, opts, .. } = cmd else { panic!() };
+        assert_eq!(pes, 32);
+        assert_eq!(pool, Some(4));
+        assert!(compare);
+        assert_eq!(opts.mode, ConvertMode::Compressed);
+        assert!(opts.time_split && opts.optimize && opts.minimize && opts.no_csi);
+    }
+
+    #[test]
+    fn parse_rejects_unknowns() {
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("build foo --emit nonsense")).is_err());
+        assert!(parse_args(&args("run --pes banana foo")).is_err());
+        assert!(parse_args(&args("build")).is_err());
+    }
+
+    #[test]
+    fn help_works() {
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert!(execute_on_source(&Command::Help, "").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn build_emits_each_kind() {
+        for (emit, needle) in [
+            (Emit::Automaton, "meta states"),
+            (Emit::Mpl, "ms_"),
+            (Emit::Dot, "digraph"),
+            (Emit::Graph, "-> "),
+            (Emit::Asm, ".program start=mb"),
+        ] {
+            let cmd = Command::Build {
+                file: "x".into(),
+                emit,
+                opts: CommonOpts::default(),
+            };
+            let out = execute_on_source(&cmd, PROG).unwrap();
+            assert!(out.contains(needle), "{emit:?}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_prints_results_and_metrics() {
+        let cmd = Command::Run {
+            file: "x".into(),
+            pes: 4,
+            pool: None,
+            compare: true,
+            trace: false,
+            opts: CommonOpts::default(),
+        };
+        let out = execute_on_source(&cmd, PROG).unwrap();
+        assert!(out.contains(" 3 | 7"), "{out}");
+        assert!(out.contains("cycles="), "{out}");
+        assert!(out.contains("results MATCH"), "{out}");
+    }
+
+    #[test]
+    fn run_with_optimizer_flags_matches_plain() {
+        let plain = Command::Run {
+            file: "x".into(),
+            pes: 4,
+            pool: None,
+            compare: false,
+            trace: false,
+            opts: CommonOpts::default(),
+        };
+        let opt = Command::Run {
+            file: "x".into(),
+            pes: 4,
+            pool: None,
+            compare: false,
+            trace: false,
+            opts: CommonOpts {
+                optimize: true,
+                minimize: true,
+                ..CommonOpts::default()
+            },
+        };
+        let a = execute_on_source(&plain, PROG).unwrap();
+        let b = execute_on_source(&opt, PROG).unwrap();
+        let results = |s: &str| -> Vec<String> {
+            s.lines().filter(|l| l.contains(" | ")).map(String::from).collect()
+        };
+        assert_eq!(results(&a), results(&b));
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let cmd = Command::Build {
+            file: "x".into(),
+            emit: Emit::Automaton,
+            opts: CommonOpts::default(),
+        };
+        let err = execute_on_source(&cmd, "main() { y = 1; }").unwrap_err();
+        assert!(err.0.contains("undeclared"), "{err}");
+    }
+}

@@ -1,0 +1,12 @@
+//! `mscc` — thin shell over [`msc_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match msc_cli::main_with_args(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("mscc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

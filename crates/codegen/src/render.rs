@@ -1,0 +1,155 @@
+//! MPL-style rendering of generated SIMD programs, reproducing the shape
+//! of the paper's Listing 5: one label per meta state, `if (pc & BIT(...))`
+//! guarded bodies, `apc = globalor(pc)`, and a hashed `switch` dispatch.
+
+use msc_ir::StateId;
+use msc_simd::{Dispatch, SimdInstr, SimdProgram};
+use std::fmt::Write as _;
+
+/// Render `pc & (BIT(2)|BIT(6))`-style guard expressions.
+fn guard_expr(guard: &[StateId]) -> String {
+    let bits: Vec<String> = guard.iter().map(|s| format!("BIT({})", s.0)).collect();
+    if bits.len() == 1 {
+        format!("pc & {}", bits[0])
+    } else {
+        format!("pc & ({})", bits.join("|"))
+    }
+}
+
+fn instr_text(i: &SimdInstr) -> String {
+    match i {
+        SimdInstr::Op(op) => op.to_string(),
+        SimdInstr::JumpF { t, f } => format!("JumpF({},{})", f.0, t.0),
+        SimdInstr::SetPc(s) => format!("SetPc({})", s.0),
+        SimdInstr::Halt => "Ret".to_string(),
+        SimdInstr::RetMulti(v) => {
+            let ts: Vec<String> = v.iter().map(|s| s.0.to_string()).collect();
+            format!("RetMulti({})", ts.join(","))
+        }
+        SimdInstr::Spawn { child, next } => format!("Spawn({},{})", child.0, next.0),
+    }
+}
+
+/// Render a whole program in the MPL-like style of Listing 5.
+pub fn render_mpl(program: &SimdProgram) -> String {
+    let mut out = String::new();
+    for block in &program.blocks {
+        let _ = writeln!(out, "{}:", block.name);
+        // Group consecutive same-guard instructions into one `if` body.
+        let mut i = 0;
+        while i < block.body.len() {
+            let guard = &block.body[i].guard;
+            let mut j = i;
+            while j < block.body.len() && block.body[j].guard == *guard {
+                j += 1;
+            }
+            let _ = writeln!(out, "  if ({}) {{", guard_expr(guard));
+            let mut line = String::from("    ");
+            for gi in &block.body[i..j] {
+                let t = instr_text(&gi.instr);
+                if line.len() + t.len() > 72 {
+                    let _ = writeln!(out, "{line}");
+                    line = String::from("    ");
+                }
+                line.push_str(&t);
+                line.push(' ');
+            }
+            if line.trim().is_empty() {
+                // nothing
+            } else {
+                let _ = writeln!(out, "{}", line.trim_end());
+            }
+            let _ = writeln!(out, "  }}");
+            i = j;
+        }
+        match &block.dispatch {
+            Dispatch::End => {
+                let _ = writeln!(out, "  /* no next meta state */");
+                let _ = writeln!(out, "  exit(0);");
+            }
+            Dispatch::Direct(t) => {
+                let _ = writeln!(out, "  goto {};", program.block(*t).name);
+            }
+            Dispatch::DirectWithBarrier { cont, barrier } => {
+                let _ = writeln!(out, "  apc = globalor(pc);");
+                let bmask: Vec<String> = program
+                    .block(*barrier)
+                    .members
+                    .iter()
+                    .map(|s| format!("BIT({})", s.0))
+                    .collect();
+                let _ = writeln!(out, "  if ((apc & ~({})) == 0) goto {};", bmask.join("|"), program.block(*barrier).name);
+                let _ = writeln!(out, "  goto {};", program.block(*cont).name);
+            }
+            Dispatch::Hashed { hash, targets, barrier_mask, .. } => {
+                let _ = writeln!(out, "  apc = globalor(pc);");
+                if *barrier_mask != 0 {
+                    let _ = writeln!(
+                        out,
+                        "  if ((apc & ~{barrier_mask:#x}) != 0) apc &= ~{barrier_mask:#x};"
+                    );
+                }
+                let _ = writeln!(out, "  switch ({}) {{", hash.expr.render("apc"));
+                for (i, key) in hash.keys.iter().enumerate() {
+                    let case = hash.expr.eval(*key);
+                    let _ = writeln!(
+                        out,
+                        "  case {}: goto {};",
+                        case,
+                        program.block(targets[i]).name
+                    );
+                }
+                let _ = writeln!(out, "  }}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, GenOptions};
+    use msc_core::{convert, ConvertOptions};
+    use msc_lang::compile;
+
+    const LISTING4: &str = r#"
+        main() {
+            poly int x;
+            if (x) { do { x = 1; } while (x); }
+            else   { do { x = 2; } while (x); }
+            return(x);
+        }
+    "#;
+
+    #[test]
+    fn listing5_shape_reproduced() {
+        let p = compile(LISTING4).unwrap();
+        let auto = convert(&p.graph, &ConvertOptions::base()).unwrap();
+        let prog =
+            generate(&auto, p.layout.poly_words, p.layout.mono_words, &GenOptions::default())
+                .unwrap();
+        let text = render_mpl(&prog);
+        // Eight labels, like Listing 5's ms_0 … ms_2_6_9.
+        assert!(text.matches("ms_").count() >= 8);
+        assert!(text.contains("apc = globalor(pc);"), "{text}");
+        assert!(text.contains("switch ("), "{text}");
+        assert!(text.contains("if (pc & BIT("), "{text}");
+        assert!(text.contains("goto ms_"), "{text}");
+        assert!(text.contains("exit(0);"), "{text}");
+        // CSI factoring shows up as a multi-bit guard.
+        assert!(text.contains("|BIT("), "{text}");
+    }
+
+    #[test]
+    fn direct_dispatch_renders_goto() {
+        let p = compile("main() { poly int x = 1; wait; return(x); }").unwrap();
+        let auto = convert(&p.graph, &ConvertOptions::base()).unwrap();
+        let prog =
+            generate(&auto, p.layout.poly_words, p.layout.mono_words, &GenOptions::default())
+                .unwrap();
+        let text = render_mpl(&prog);
+        assert!(text.contains("goto ms_"), "{text}");
+    }
+}

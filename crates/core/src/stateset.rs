@@ -1,0 +1,326 @@
+//! Meta-state membership sets.
+//!
+//! A meta state *is* a set of MIMD states (§1.2: "it is also possible to
+//! view the set of processor states at a particular time as \[a\] single,
+//! aggregate, 'Meta State'"). The converter manipulates huge numbers of
+//! these sets, so they are interned in a [`SetArena`]: each distinct set is
+//! stored once as a sorted, deduplicated `Vec<u32>` and referred to by a
+//! compact [`SetId`] handle. Sorted vectors (rather than bitsets) were
+//! chosen because time splitting (§2.4) grows the MIMD state id space
+//! dynamically, and because typical meta states are sparse subsets of a
+//! possibly large state space.
+
+use msc_ir::util::FxHashMap;
+use msc_ir::StateId;
+use std::fmt;
+
+/// A sorted, deduplicated set of MIMD state ids: one meta state's members.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StateSet(Vec<u32>);
+
+impl StateSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        StateSet(Vec::new())
+    }
+
+    /// Build from an arbitrary iterator of state ids (sorts and dedups).
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator below
+    pub fn from_iter(iter: impl IntoIterator<Item = StateId>) -> Self {
+        let mut v: Vec<u32> = iter.into_iter().map(|s| s.0).collect();
+        v.sort_unstable();
+        v.dedup();
+        StateSet(v)
+    }
+
+    /// A singleton set.
+    pub fn singleton(s: StateId) -> Self {
+        StateSet(vec![s.0])
+    }
+
+    /// Number of member MIMD states (the meta state's *width*, which §2.5
+    /// notes governs SIMD efficiency).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the set has no members (program termination).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, s: StateId) -> bool {
+        self.0.binary_search(&s.0).is_ok()
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.0.iter().map(|&x| StateId(x))
+    }
+
+    /// Set union (sorted merge).
+    pub fn union(&self, other: &StateSet) -> StateSet {
+        let (a, b) = (&self.0, &other.0);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        StateSet(out)
+    }
+
+    /// In-place union with a single element.
+    pub fn insert(&mut self, s: StateId) {
+        if let Err(pos) = self.0.binary_search(&s.0) {
+            self.0.insert(pos, s.0);
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &StateSet) -> StateSet {
+        StateSet(self.0.iter().copied().filter(|x| !other.contains(StateId(*x))).collect())
+    }
+
+    /// Members satisfying `pred` (e.g. "is a barrier wait state", §2.6).
+    pub fn filter(&self, mut pred: impl FnMut(StateId) -> bool) -> StateSet {
+        StateSet(self.0.iter().copied().filter(|&x| pred(StateId(x))).collect())
+    }
+
+    /// True when every member of `self` is in `other` (linear merge).
+    pub fn is_subset(&self, other: &StateSet) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &x in &self.0 {
+            while j < other.0.len() && other.0[j] < x {
+                j += 1;
+            }
+            if j >= other.0.len() || other.0[j] != x {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// True when `self ⊂ other` strictly.
+    pub fn is_strict_subset(&self, other: &StateSet) -> bool {
+        self.0.len() < other.0.len() && self.is_subset(other)
+    }
+
+    /// The raw sorted member ids.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl fmt::Display for StateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<StateId> for StateSet {
+    fn from_iter<T: IntoIterator<Item = StateId>>(iter: T) -> Self {
+        StateSet::from_iter(iter)
+    }
+}
+
+/// Interned handle to a [`StateSet`] inside a [`SetArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetId(pub u32);
+
+impl SetId {
+    /// The index as a usize.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interning arena: each distinct [`StateSet`] is stored exactly once.
+#[derive(Debug, Default, Clone)]
+pub struct SetArena {
+    sets: Vec<StateSet>,
+    lookup: FxHashMap<StateSet, SetId>,
+}
+
+impl SetArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a set, returning its stable handle.
+    pub fn intern(&mut self, set: StateSet) -> SetId {
+        if let Some(&id) = self.lookup.get(&set) {
+            return id;
+        }
+        let id = SetId(self.sets.len() as u32);
+        self.sets.push(set.clone());
+        self.lookup.insert(set, id);
+        id
+    }
+
+    /// Borrow a set by handle.
+    pub fn get(&self, id: SetId) -> &StateSet {
+        &self.sets[id.idx()]
+    }
+
+    /// Number of distinct sets interned.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> StateSet {
+        StateSet::from_iter(v.iter().map(|&x| StateId(x)))
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        assert_eq!(set(&[3, 1, 2, 1, 3]).as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn union_is_sorted_merge() {
+        assert_eq!(set(&[1, 3, 5]).union(&set(&[2, 3, 6])).as_slice(), &[1, 2, 3, 5, 6]);
+        assert_eq!(set(&[]).union(&set(&[2])).as_slice(), &[2]);
+        assert_eq!(set(&[2]).union(&set(&[])).as_slice(), &[2]);
+    }
+
+    #[test]
+    fn difference_removes_members() {
+        assert_eq!(set(&[1, 2, 3]).difference(&set(&[2])).as_slice(), &[1, 3]);
+        assert_eq!(set(&[1, 2]).difference(&set(&[1, 2])).as_slice(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn subset_relations() {
+        assert!(set(&[1, 3]).is_subset(&set(&[1, 2, 3])));
+        assert!(set(&[1, 3]).is_strict_subset(&set(&[1, 2, 3])));
+        assert!(set(&[1, 2, 3]).is_subset(&set(&[1, 2, 3])));
+        assert!(!set(&[1, 2, 3]).is_strict_subset(&set(&[1, 2, 3])));
+        assert!(!set(&[1, 4]).is_subset(&set(&[1, 2, 3])));
+        assert!(set(&[]).is_subset(&set(&[1])));
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut s = set(&[1, 5]);
+        s.insert(StateId(3));
+        s.insert(StateId(3));
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(set(&[2, 6, 9]).to_string(), "{2,6,9}");
+        assert_eq!(StateSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn arena_interns_once() {
+        let mut arena = SetArena::new();
+        let a = arena.intern(set(&[1, 2]));
+        let b = arena.intern(set(&[2, 1, 2]));
+        let c = arena.intern(set(&[1, 3]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a).as_slice(), &[1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_set() -> impl Strategy<Value = StateSet> {
+        prop::collection::vec(0u32..24, 0..10)
+            .prop_map(|v| StateSet::from_iter(v.into_iter().map(StateId)))
+    }
+
+    proptest! {
+        /// Union is commutative, associative, idempotent.
+        #[test]
+        fn union_algebra(a in arb_set(), b in arb_set(), c in arb_set()) {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+            prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+            prop_assert_eq!(a.union(&a), a);
+        }
+
+        /// a ⊆ a∪b; (a∪b)\b ⊆ a; difference then union restores supersets.
+        #[test]
+        fn subset_difference_laws(a in arb_set(), b in arb_set()) {
+            let u = a.union(&b);
+            prop_assert!(a.is_subset(&u));
+            prop_assert!(b.is_subset(&u));
+            prop_assert!(u.difference(&b).is_subset(&a));
+            prop_assert_eq!(a.difference(&b).union(&b).difference(&b), a.difference(&b));
+        }
+
+        /// Membership agrees with construction.
+        #[test]
+        fn contains_matches(v in prop::collection::vec(0u32..24, 0..10), probe in 0u32..24) {
+            let s = StateSet::from_iter(v.iter().copied().map(StateId));
+            prop_assert_eq!(s.contains(StateId(probe)), v.contains(&probe));
+        }
+
+        /// Strict subset is irreflexive and implies subset.
+        #[test]
+        fn strict_subset_laws(a in arb_set(), b in arb_set()) {
+            prop_assert!(!a.is_strict_subset(&a));
+            if a.is_strict_subset(&b) {
+                prop_assert!(a.is_subset(&b));
+                prop_assert!(a.len() < b.len());
+            }
+        }
+
+        /// Interning is injective: same handle iff same set.
+        #[test]
+        fn intern_injective(sets in prop::collection::vec(arb_set(), 1..12)) {
+            let mut arena = SetArena::new();
+            let ids: Vec<SetId> = sets.iter().map(|s| arena.intern(s.clone())).collect();
+            for (i, a) in sets.iter().enumerate() {
+                for (j, b) in sets.iter().enumerate() {
+                    prop_assert_eq!(ids[i] == ids[j], a == b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Subset subsumption for compressed automata (§2.5).
+//!
+//! "The case of both successors can always emulate either successor, since
+//! it has the code for both." A meta state whose members are a strict
+//! subset of another meta state's members can therefore be *folded into*
+//! the superset: every arc into the subset is redirected to the superset,
+//! and the subset is removed. On the paper's running example this is what
+//! takes the compressed automaton from the three reachable sets
+//! {0}, {2,6}, {2,6,9} down to Figure 5's **two** meta states.
+//!
+//! Barrier-only meta states are never folded: the all-barrier state is the
+//! barrier *release* target (§3.2.4), and folding it into a superset that
+//! contains non-barrier members would let PEs run past the barrier early.
+
+use crate::automaton::{MetaAutomaton, MetaId};
+
+/// Fold strict-subset meta states into supersets. Returns the number of
+/// meta states removed. The automaton is rebuilt with dense ids; the start
+/// state is remapped if it was folded.
+pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
+    let n = auto.sets.len();
+    if n == 0 {
+        return 0;
+    }
+    let barrier_only: Vec<bool> = auto
+        .sets
+        .iter()
+        .map(|s| !s.is_empty() && s.iter().all(|m| auto.graph.state(m).barrier))
+        .collect();
+
+    // For determinism, fold each subset into the *largest* superset
+    // (ties broken by lowest id).
+    let mut remap: Vec<MetaId> = (0..n as u32).map(MetaId).collect();
+    // Order candidates by descending size so the chosen superset is itself
+    // maximal (never remapped onward except through chains we resolve below).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(auto.sets[i].len()));
+
+    for &i in &order {
+        if barrier_only[i] {
+            continue;
+        }
+        let mut best: Option<usize> = None;
+        for &j in &order {
+            if j == i || barrier_only[j] {
+                continue;
+            }
+            if auto.sets[i].is_strict_subset(&auto.sets[j]) {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        (auto.sets[j].len(), std::cmp::Reverse(j))
+                            > (auto.sets[b].len(), std::cmp::Reverse(b))
+                    }
+                };
+                if better {
+                    best = Some(j);
+                }
+            }
+        }
+        if let Some(j) = best {
+            remap[i] = MetaId(j as u32);
+        }
+    }
+
+    // Resolve chains (a ⊂ b ⊂ c): follow remap until fixpoint.
+    fn resolve(remap: &[MetaId], mut i: MetaId) -> MetaId {
+        let mut hops = 0;
+        while remap[i.idx()] != i {
+            i = remap[i.idx()];
+            hops += 1;
+            debug_assert!(hops <= remap.len(), "remap cycle");
+            if hops > remap.len() {
+                break;
+            }
+        }
+        i
+    }
+
+    let removed = (0..n).filter(|&i| resolve(&remap, MetaId(i as u32)).idx() != i).count() as u32;
+    if removed == 0 {
+        return 0;
+    }
+
+    // Rebuild densely, keeping only surviving meta states (in original
+    // order) reachable from the remapped start.
+    let mut new_id = vec![None; n];
+    let mut kept: Vec<usize> = Vec::new();
+    for (i, slot) in new_id.iter_mut().enumerate() {
+        if resolve(&remap, MetaId(i as u32)).idx() == i {
+            *slot = Some(MetaId(kept.len() as u32));
+            kept.push(i);
+        }
+    }
+    let map = |i: MetaId| -> MetaId { new_id[resolve(&remap, i).idx()].unwrap() };
+
+    let mut sets = Vec::with_capacity(kept.len());
+    let mut succs = Vec::with_capacity(kept.len());
+    for &i in &kept {
+        sets.push(auto.sets[i].clone());
+        let mut out: Vec<MetaId> = Vec::new();
+        for &s in &auto.succs[i] {
+            let t = map(s);
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        succs.push(out);
+    }
+    auto.start = map(auto.start);
+    auto.sets = sets;
+    auto.succs = succs;
+
+    // Folding can strand meta states (only reachable through folded ones);
+    // drop anything unreachable from start.
+    prune_unreachable(auto);
+    removed
+}
+
+/// Remove meta states not reachable from the start state.
+fn prune_unreachable(auto: &mut MetaAutomaton) {
+    let n = auto.sets.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![auto.start];
+    seen[auto.start.idx()] = true;
+    while let Some(m) = stack.pop() {
+        for &s in &auto.succs[m.idx()] {
+            if !seen[s.idx()] {
+                seen[s.idx()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    if seen.iter().all(|&b| b) {
+        return;
+    }
+    let mut new_id = vec![None; n];
+    let mut kept = Vec::new();
+    for i in 0..n {
+        if seen[i] {
+            new_id[i] = Some(MetaId(kept.len() as u32));
+            kept.push(i);
+        }
+    }
+    let mut sets = Vec::with_capacity(kept.len());
+    let mut succs = Vec::with_capacity(kept.len());
+    for &i in &kept {
+        sets.push(auto.sets[i].clone());
+        succs.push(auto.succs[i].iter().map(|s| new_id[s.idx()].unwrap()).collect());
+    }
+    auto.start = new_id[auto.start.idx()].unwrap();
+    auto.sets = sets;
+    auto.succs = succs;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stateset::StateSet;
+    use msc_ir::{MimdGraph, MimdState, StateId, Terminator};
+
+    fn graph(n: u32, barriers: &[u32]) -> MimdGraph {
+        let mut g = MimdGraph::new();
+        for i in 0..n {
+            let id = g.add(MimdState::new(vec![], Terminator::Halt));
+            if barriers.contains(&i) {
+                g.state_mut(id).barrier = true;
+            }
+        }
+        g.start = StateId(0);
+        g
+    }
+
+    fn set(v: &[u32]) -> StateSet {
+        StateSet::from_iter(v.iter().map(|&x| StateId(x)))
+    }
+
+    #[test]
+    fn folds_subset_into_superset() {
+        let mut auto = MetaAutomaton {
+            graph: graph(4, &[]),
+            sets: vec![set(&[0]), set(&[1, 2]), set(&[1, 2, 3])],
+            start: MetaId(0),
+            succs: vec![vec![MetaId(1)], vec![MetaId(2)], vec![MetaId(2)]],
+        };
+        let removed = subsume(&mut auto);
+        assert_eq!(removed, 1);
+        assert_eq!(auto.len(), 2);
+        assert_eq!(auto.sets, vec![set(&[0]), set(&[1, 2, 3])]);
+        assert_eq!(auto.succs, vec![vec![MetaId(1)], vec![MetaId(1)]]);
+        assert_eq!(auto.validate(), Ok(()));
+    }
+
+    #[test]
+    fn resolves_chains() {
+        let mut auto = MetaAutomaton {
+            graph: graph(4, &[]),
+            sets: vec![set(&[0]), set(&[1]), set(&[1, 2]), set(&[1, 2, 3])],
+            start: MetaId(0),
+            succs: vec![vec![MetaId(1)], vec![MetaId(2)], vec![MetaId(3)], vec![]],
+        };
+        let removed = subsume(&mut auto);
+        assert_eq!(removed, 2);
+        assert_eq!(auto.sets, vec![set(&[0]), set(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn never_folds_barrier_only_states() {
+        // {3} is a barrier state; {1,2,3} would subsume it but must not.
+        let mut auto = MetaAutomaton {
+            graph: graph(4, &[3]),
+            sets: vec![set(&[0]), set(&[3]), set(&[1, 2, 3])],
+            start: MetaId(0),
+            succs: vec![vec![MetaId(1), MetaId(2)], vec![], vec![MetaId(2)]],
+        };
+        let removed = subsume(&mut auto);
+        assert_eq!(removed, 0);
+        assert_eq!(auto.len(), 3);
+    }
+
+    #[test]
+    fn remaps_folded_start() {
+        let mut auto = MetaAutomaton {
+            graph: graph(3, &[]),
+            sets: vec![set(&[0]), set(&[0, 1])],
+            start: MetaId(0),
+            succs: vec![vec![MetaId(1)], vec![]],
+        };
+        subsume(&mut auto);
+        assert_eq!(auto.len(), 1);
+        assert_eq!(auto.start, MetaId(0));
+        assert_eq!(auto.members(auto.start), &set(&[0, 1]));
+    }
+
+    #[test]
+    fn prunes_stranded_states() {
+        // 0:{5} → 1:{1}; 1 folds into 2:{1,2} whose only path is from 1;
+        // 3:{9} only reachable from 1 — after folding, 3 unreachable? Build:
+        // start {5} → {1}; {1} → {9}; {1,2} → nothing. Fold {1} ⊂ {1,2}:
+        // start → {1,2}; {9} now unreachable and must be pruned.
+        let mut auto = MetaAutomaton {
+            graph: graph(10, &[]),
+            sets: vec![set(&[5]), set(&[1]), set(&[1, 2]), set(&[9])],
+            start: MetaId(0),
+            succs: vec![vec![MetaId(1)], vec![MetaId(3)], vec![], vec![]],
+        };
+        subsume(&mut auto);
+        assert_eq!(auto.len(), 2);
+        assert!(auto.find(&set(&[9])).is_none());
+        assert_eq!(auto.validate(), Ok(()));
+    }
+
+    #[test]
+    fn no_op_when_no_subsets() {
+        let mut auto = MetaAutomaton {
+            graph: graph(4, &[]),
+            sets: vec![set(&[0]), set(&[1, 2]), set(&[2, 3])],
+            start: MetaId(0),
+            succs: vec![vec![MetaId(1), MetaId(2)], vec![], vec![]],
+        };
+        assert_eq!(subsume(&mut auto), 0);
+        assert_eq!(auto.len(), 3);
+    }
+}

@@ -1,0 +1,445 @@
+//! Optional IR optimization passes.
+//!
+//! The paper's prototype emits unoptimized stack code ("Future work will
+//! integrate the code generation process", §5). These passes are the
+//! obvious next steps a production version of the converter would take,
+//! and the ablation experiments measure what they buy:
+//!
+//! * [`peephole_ops`] / [`MimdGraph::peephole`] — local constant folding
+//!   and stack-traffic cleanup inside basic blocks. Smaller blocks mean
+//!   fewer issued SIMD instructions *and* cheaper meta states.
+//! * [`MimdGraph::minimize`] — partition-refinement (Moore) merging of
+//!   bisimilar MIMD states. Inline expansion (§2.2) duplicates code per
+//!   call site; minimization folds identical duplicates back together,
+//!   which shrinks the meta-state space the converter must explore.
+
+use crate::graph::{MimdGraph, StateId, Terminator};
+use crate::op::{Op, UnOp};
+use crate::util::FxHashMap;
+
+/// One round of local rewrites over a straight-line op sequence. Returns
+/// true if anything changed. Rewrites applied:
+///
+/// * `Push a; Push b; Bin op`   → `Push (a op b)` (integer constant fold)
+/// * `PushF a; PushF b; Bin op` → folded float op (on stored bit patterns)
+/// * `Push a; Un op`            → `Push (op a)`
+/// * `Push _ / PushF _ / Dup / PeId / NProc; Pop(1)` → (removed)
+/// * `Push 0; Bin Add/Sub/Or/Xor/Shl/Shr` → (removed — identity)
+/// * `Push 1; Bin Mul/Div`      → (removed — identity)
+/// * `Pop(0)`                   → (removed)
+fn peephole_round(ops: &mut Vec<Op>) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < ops.len() {
+        // Window of up to three ops starting at i.
+        let rewritten: Option<(usize, Vec<Op>)> = match (&ops[i], ops.get(i + 1), ops.get(i + 2))
+        {
+            // Constant folds.
+            (Op::Push(a), Some(Op::Push(b)), Some(Op::Bin(op))) if !op.is_float() => {
+                Some((3, vec![Op::Push(op.apply(*a, *b))]))
+            }
+            (Op::PushF(a), Some(Op::PushF(b)), Some(Op::Bin(op))) if op.is_float() => {
+                Some((3, vec![Op::Push(op.apply(*a as i64, *b as i64))]))
+            }
+            (Op::Push(a), Some(Op::Un(u)), _) if !matches!(u, UnOp::FNeg) => {
+                Some((2, vec![Op::Push(u.apply(*a))]))
+            }
+            // Dead pushes.
+            (
+                Op::Push(_) | Op::PushF(_) | Op::Dup | Op::PeId | Op::NProc,
+                Some(Op::Pop(1)),
+                _,
+            ) => Some((2, vec![])),
+            // Algebraic identities on the running stack value.
+            (
+                Op::Push(0),
+                Some(Op::Bin(
+                    crate::op::BinOp::Add
+                    | crate::op::BinOp::Sub
+                    | crate::op::BinOp::Or
+                    | crate::op::BinOp::Xor
+                    | crate::op::BinOp::Shl
+                    | crate::op::BinOp::Shr,
+                )),
+                _,
+            ) => Some((2, vec![])),
+            (Op::Push(1), Some(Op::Bin(crate::op::BinOp::Mul | crate::op::BinOp::Div)), _) => {
+                Some((2, vec![]))
+            }
+            (Op::Pop(0), _, _) => Some((1, vec![])),
+            _ => None,
+        };
+        if let Some((consumed, replacement)) = rewritten {
+            ops.splice(i..i + consumed, replacement);
+            changed = true;
+            // Back up one so newly adjacent ops get considered.
+            i = i.saturating_sub(1);
+        } else {
+            i += 1;
+        }
+    }
+    changed
+}
+
+/// Run the rewrite rounds to a fixed point on one op sequence. Returns the
+/// number of rounds that changed something.
+pub fn peephole_ops(ops: &mut Vec<Op>) -> u32 {
+    let mut rounds = 0;
+    while peephole_round(ops) {
+        rounds += 1;
+        if rounds > 64 {
+            break; // safety; rewrites strictly shrink, so unreachable
+        }
+    }
+    rounds
+}
+
+impl MimdGraph {
+    /// Peephole-optimize every block. Returns the number of ops removed.
+    pub fn peephole(&mut self) -> usize {
+        let before: usize = self.states.iter().map(|s| s.ops.len()).sum();
+        for st in &mut self.states {
+            peephole_ops(&mut st.ops);
+        }
+        let after: usize = self.states.iter().map(|s| s.ops.len()).sum();
+        before - after
+    }
+
+    /// Merge bisimilar states by partition refinement: two states are
+    /// equivalent iff they have identical code, the same barrier flag, and
+    /// congruent terminators (successors in pairwise-equal classes).
+    /// Returns the number of states removed.
+    ///
+    /// This directly counteracts the code duplication of per-call-site
+    /// inline expansion (§2.2): identical inlined bodies fold together, so
+    /// the meta-state construction sees a smaller MIMD state space.
+    pub fn minimize(&mut self) -> usize {
+        let n = self.states.len();
+        if n == 0 {
+            return 0;
+        }
+        // Initial partition: (ops, barrier, terminator shape).
+        let mut class: Vec<u32> = vec![0; n];
+        {
+            let mut key_to_class: FxHashMap<(Vec<Op>, bool, u8), u32> = FxHashMap::default();
+            for (i, st) in self.states.iter().enumerate() {
+                let shape = match st.term {
+                    Terminator::Halt => 0u8,
+                    Terminator::Jump(_) => 1,
+                    Terminator::Branch { .. } => 2,
+                    Terminator::Multi(_) => 3,
+                    Terminator::Spawn { .. } => 4,
+                };
+                let next = key_to_class.len() as u32;
+                let c = *key_to_class
+                    .entry((st.ops.clone(), st.barrier, shape))
+                    .or_insert(next);
+                class[i] = c;
+            }
+        }
+        // Refine until stable: signature = (class, successor classes).
+        loop {
+            let mut sig_to_class: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
+            let mut new_class = vec![0u32; n];
+            for (i, st) in self.states.iter().enumerate() {
+                let succ_classes: Vec<u32> =
+                    st.term.successors().iter().map(|s| class[s.idx()]).collect();
+                let next = sig_to_class.len() as u32;
+                let c = *sig_to_class.entry((class[i], succ_classes)).or_insert(next);
+                new_class[i] = c;
+            }
+            if new_class == class {
+                break;
+            }
+            class = new_class;
+        }
+        // Representative = lowest-id state of each class.
+        let mut rep: FxHashMap<u32, StateId> = FxHashMap::default();
+        for (i, &c) in class.iter().enumerate() {
+            rep.entry(c).or_insert(StateId(i as u32));
+        }
+        let removed = n - rep.len();
+        if removed == 0 {
+            return 0;
+        }
+        for st in &mut self.states {
+            st.term.map_successors(|s| rep[&class[s.idx()]]);
+        }
+        self.start = rep[&class[self.start.idx()]];
+        self.compact();
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::MimdState;
+    use crate::op::{Addr, BinOp};
+
+    #[test]
+    fn folds_integer_constants() {
+        let mut ops = vec![Op::Push(2), Op::Push(3), Op::Bin(BinOp::Mul), Op::St(Addr::poly(0))];
+        peephole_ops(&mut ops);
+        assert_eq!(ops, vec![Op::Push(6), Op::St(Addr::poly(0))]);
+    }
+
+    #[test]
+    fn folds_cascaded_constants() {
+        // (2*3)+4 folds completely through re-examination.
+        let mut ops = vec![
+            Op::Push(2),
+            Op::Push(3),
+            Op::Bin(BinOp::Mul),
+            Op::Push(4),
+            Op::Bin(BinOp::Add),
+        ];
+        peephole_ops(&mut ops);
+        assert_eq!(ops, vec![Op::Push(10)]);
+    }
+
+    #[test]
+    fn folds_unary() {
+        let mut ops = vec![Op::Push(5), Op::Un(UnOp::Neg)];
+        peephole_ops(&mut ops);
+        assert_eq!(ops, vec![Op::Push(-5)]);
+    }
+
+    #[test]
+    fn removes_dead_push_pop() {
+        let mut ops = vec![Op::PeId, Op::Pop(1), Op::Push(1), Op::Pop(1), Op::Ld(Addr::poly(0))];
+        peephole_ops(&mut ops);
+        assert_eq!(ops, vec![Op::Ld(Addr::poly(0))]);
+    }
+
+    #[test]
+    fn removes_additive_identity() {
+        let mut ops = vec![Op::Ld(Addr::poly(0)), Op::Push(0), Op::Bin(BinOp::Add)];
+        peephole_ops(&mut ops);
+        assert_eq!(ops, vec![Op::Ld(Addr::poly(0))]);
+    }
+
+    #[test]
+    fn removes_multiplicative_identity() {
+        let mut ops = vec![Op::Ld(Addr::poly(0)), Op::Push(1), Op::Bin(BinOp::Mul)];
+        peephole_ops(&mut ops);
+        assert_eq!(ops, vec![Op::Ld(Addr::poly(0))]);
+    }
+
+    #[test]
+    fn preserves_float_neg_bits() {
+        // FNeg on a Push'd integer must NOT fold (it operates on f64 bits).
+        let mut ops = vec![Op::Push(5), Op::Un(UnOp::FNeg)];
+        peephole_ops(&mut ops);
+        assert_eq!(ops, vec![Op::Push(5), Op::Un(UnOp::FNeg)]);
+    }
+
+    #[test]
+    fn folds_float_constants() {
+        let a = 1.5f64.to_bits();
+        let b = 2.25f64.to_bits();
+        let mut ops = vec![Op::PushF(a), Op::PushF(b), Op::Bin(BinOp::FAdd)];
+        peephole_ops(&mut ops);
+        assert_eq!(ops.len(), 1);
+        let Op::Push(bits) = ops[0] else { panic!("expected folded push") };
+        assert_eq!(f64::from_bits(bits as u64), 3.75);
+    }
+
+    #[test]
+    fn graph_peephole_counts_removed() {
+        let mut g = MimdGraph::new();
+        g.add(MimdState::new(
+            vec![Op::Push(1), Op::Push(2), Op::Bin(BinOp::Add), Op::St(Addr::poly(0))],
+            Terminator::Halt,
+        ));
+        g.start = StateId(0);
+        assert_eq!(g.peephole(), 2);
+    }
+
+    #[test]
+    fn minimize_merges_identical_tails() {
+        // Two identical "epilogue" states reached from a branch.
+        let mut g = MimdGraph::new();
+        let a = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt));
+        let e1 = g.add(MimdState::new(vec![Op::Push(9), Op::St(Addr::poly(1))], Terminator::Halt));
+        let e2 = g.add(MimdState::new(vec![Op::Push(9), Op::St(Addr::poly(1))], Terminator::Halt));
+        g.state_mut(a).term = Terminator::Branch { t: e1, f: e2 };
+        g.start = a;
+        assert_eq!(g.minimize(), 1);
+        assert_eq!(g.len(), 2);
+        let Terminator::Branch { t, f } = g.state(g.start).term else { panic!() };
+        assert_eq!(t, f, "both arcs now reach the merged epilogue");
+    }
+
+    #[test]
+    fn minimize_merges_identical_loops() {
+        // Two structurally identical self-loops (same code) merge; their
+        // distinct predecessors keep them apart only if code differs.
+        let mut g = MimdGraph::new();
+        let end = g.add(MimdState::new(vec![], Terminator::Halt));
+        let l1 = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt));
+        let l2 = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt));
+        g.state_mut(l1).term = Terminator::Branch { t: l1, f: end };
+        g.state_mut(l2).term = Terminator::Branch { t: l2, f: end };
+        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: l1, f: l2 }));
+        g.start = a;
+        assert_eq!(g.minimize(), 1, "bisimilar self-loops merge");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn minimize_keeps_distinct_code_apart() {
+        let mut g = MimdGraph::new();
+        let e1 = g.add(MimdState::new(vec![Op::Push(1)], Terminator::Halt));
+        let e2 = g.add(MimdState::new(vec![Op::Push(2)], Terminator::Halt));
+        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: e1, f: e2 }));
+        g.start = a;
+        assert_eq!(g.minimize(), 0);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn minimize_respects_barrier_flags() {
+        let mut g = MimdGraph::new();
+        let e1 = g.add(MimdState::new(vec![Op::Push(1)], Terminator::Halt));
+        let e2 = g.add(MimdState::new(vec![Op::Push(1)], Terminator::Halt).with_barrier());
+        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: e1, f: e2 }));
+        g.start = a;
+        assert_eq!(g.minimize(), 0, "barrier state must not merge with plain state");
+    }
+
+    #[test]
+    fn minimize_handles_multi_and_spawn_congruence() {
+        let mut g = MimdGraph::new();
+        let end = g.add(MimdState::new(vec![], Terminator::Halt));
+        let m1 = g.add(MimdState::new(vec![Op::PopRet], Terminator::Multi(vec![end, end])));
+        let m2 = g.add(MimdState::new(vec![Op::PopRet], Terminator::Multi(vec![end, end])));
+        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: m1, f: m2 }));
+        g.start = a;
+        assert_eq!(g.minimize(), 1);
+        g.validate().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::op::{Addr, BinOp, Op, UnOp};
+    use proptest::prelude::*;
+
+    /// Tiny single-PE evaluator for straight-line op sequences: enough to
+    /// check that peephole rewrites preserve observable behaviour (final
+    /// memory + final stack). Underflows evaluate to a sentinel error.
+    fn eval(ops: &[Op], mem_words: usize) -> Result<(Vec<i64>, Vec<i64>), ()> {
+        let mut mem = vec![0i64; mem_words];
+        let mut stack: Vec<i64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => stack.push(*v),
+                Op::PushF(b) => stack.push(*b as i64),
+                Op::Dup => {
+                    let v = *stack.last().ok_or(())?;
+                    stack.push(v);
+                }
+                Op::Pop(n) => {
+                    for _ in 0..*n {
+                        stack.pop().ok_or(())?;
+                    }
+                }
+                Op::Ld(a) => stack.push(mem[a.index as usize]),
+                Op::St(a) => {
+                    let v = stack.pop().ok_or(())?;
+                    mem[a.index as usize] = v;
+                }
+                Op::Bin(b) => {
+                    let rhs = stack.pop().ok_or(())?;
+                    let lhs = stack.pop().ok_or(())?;
+                    stack.push(b.apply(lhs, rhs));
+                }
+                Op::Un(u) => {
+                    let v = stack.pop().ok_or(())?;
+                    stack.push(u.apply(v));
+                }
+                Op::PeId => stack.push(3),
+                Op::NProc => stack.push(8),
+                _ => return Err(()), // not generated
+            }
+        }
+        Ok((mem, stack))
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (-16i64..32).prop_map(Op::Push),
+            (0u32..4).prop_map(|i| Op::Ld(Addr::poly(i))),
+            (0u32..4).prop_map(|i| Op::St(Addr::poly(i))),
+            Just(Op::Dup),
+            Just(Op::Pop(1)),
+            Just(Op::PeId),
+            Just(Op::NProc),
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+                Just(BinOp::And),
+                Just(BinOp::Xor),
+                Just(BinOp::Lt),
+            ]
+            .prop_map(Op::Bin),
+            prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)].prop_map(Op::Un),
+        ]
+    }
+
+    proptest! {
+        /// Peephole rewrites preserve the observable result (final memory
+        /// and stack) of any sequence that evaluates without underflow.
+        #[test]
+        fn peephole_preserves_semantics(ops in prop::collection::vec(arb_op(), 0..24)) {
+            if let Ok(before) = eval(&ops, 4) {
+                let mut optimized = ops.clone();
+                peephole_ops(&mut optimized);
+                let after = eval(&optimized, 4);
+                prop_assert_eq!(
+                    after, Ok(before),
+                    "peephole changed behaviour:\n  in:  {:?}\n  out: {:?}", ops, optimized
+                );
+            }
+        }
+
+        /// Peephole never grows a sequence.
+        #[test]
+        fn peephole_never_grows(ops in prop::collection::vec(arb_op(), 0..24)) {
+            let mut optimized = ops.clone();
+            peephole_ops(&mut optimized);
+            prop_assert!(optimized.len() <= ops.len());
+        }
+
+        /// Minimization preserves graph validity on arbitrary small graphs.
+        #[test]
+        fn minimize_keeps_graphs_valid(
+            n in 2usize..8,
+            seeds in prop::collection::vec(0u32..1000, 2..8),
+        ) {
+            use crate::graph::{MimdGraph, MimdState, Terminator};
+            let mut g = MimdGraph::new();
+            let k = n.min(seeds.len());
+            for seed in seeds.iter().take(k) {
+                g.add(MimdState::new(vec![Op::Push((seed % 3) as i64)], Terminator::Halt));
+            }
+            for (i, seed) in seeds.iter().take(k).enumerate() {
+                let s = *seed as usize;
+                let t = StateId(((s / 7) % k) as u32);
+                let f = StateId(((s / 13) % k) as u32);
+                g.state_mut(StateId(i as u32)).term = match s % 3 {
+                    0 => Terminator::Halt,
+                    1 => Terminator::Jump(t),
+                    _ => Terminator::Branch { t, f },
+                };
+            }
+            g.start = StateId(0);
+            g.minimize();
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+}

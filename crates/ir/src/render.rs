@@ -1,0 +1,155 @@
+//! Text and Graphviz renderings of MIMD state graphs, used by the
+//! figure-regeneration binaries (Figures 1, 3, 4 of the paper) and for
+//! debugging.
+
+use crate::graph::{MimdGraph, Terminator};
+use crate::op::CostModel;
+use std::fmt::Write as _;
+
+/// Render a graph as indented text, one state per line:
+///
+/// ```text
+/// s0 [A] cost=2 -> T:s1 F:s2
+/// s1 [B;C] cost=5 -> T:s1 F:s3
+/// ```
+pub fn text(graph: &MimdGraph, costs: &CostModel) -> String {
+    let mut out = String::new();
+    for id in graph.ids() {
+        let st = graph.state(id);
+        let _ = write!(out, "{id}");
+        if !st.label.is_empty() {
+            let _ = write!(out, " [{}]", st.label);
+        }
+        if st.barrier {
+            let _ = write!(out, " (barrier)");
+        }
+        let _ = write!(out, " cost={}", graph.state_cost(id, costs));
+        match &st.term {
+            Terminator::Halt => {
+                let _ = write!(out, " -> end");
+            }
+            Terminator::Jump(s) => {
+                let _ = write!(out, " -> {s}");
+            }
+            Terminator::Branch { t, f } => {
+                let _ = write!(out, " -> T:{t} F:{f}");
+            }
+            Terminator::Multi(v) => {
+                let _ = write!(out, " -> multi[");
+                for (i, s) in v.iter().enumerate() {
+                    if i > 0 {
+                        let _ = write!(out, ",");
+                    }
+                    let _ = write!(out, "{s}");
+                }
+                let _ = write!(out, "]");
+            }
+            Terminator::Spawn { child, next } => {
+                let _ = write!(out, " -> spawn:{child} next:{next}");
+            }
+        }
+        if id == graph.start {
+            let _ = write!(out, "  <- start");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a graph in Graphviz `dot` syntax. Barrier states are drawn as
+/// double octagons, TRUE arcs solid, FALSE arcs dashed, spawn arcs dotted.
+pub fn dot(graph: &MimdGraph, costs: &CostModel) -> String {
+    let mut out = String::from("digraph mimd {\n  rankdir=TB;\n  node [shape=box];\n");
+    for id in graph.ids() {
+        let st = graph.state(id);
+        let label = if st.label.is_empty() {
+            format!("{id}")
+        } else {
+            format!("{id}: {}", st.label)
+        };
+        let shape = if st.barrier { " shape=doubleoctagon" } else { "" };
+        let start = if id == graph.start { " penwidth=2" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{label}\\ncost={}\"{shape}{start}];",
+            id.0,
+            graph.state_cost(id, costs)
+        );
+    }
+    for id in graph.ids() {
+        let st = graph.state(id);
+        match &st.term {
+            Terminator::Halt => {}
+            Terminator::Jump(s) => {
+                let _ = writeln!(out, "  {} -> {};", id.0, s.0);
+            }
+            Terminator::Branch { t, f } => {
+                let _ = writeln!(out, "  {} -> {} [label=T];", id.0, t.0);
+                let _ = writeln!(out, "  {} -> {} [label=F style=dashed];", id.0, f.0);
+            }
+            Terminator::Multi(v) => {
+                for (i, s) in v.iter().enumerate() {
+                    let _ = writeln!(out, "  {} -> {} [label=\"ret {i}\"];", id.0, s.0);
+                }
+            }
+            Terminator::Spawn { child, next } => {
+                let _ = writeln!(out, "  {} -> {} [label=spawn style=dotted];", id.0, child.0);
+                let _ = writeln!(out, "  {} -> {};", id.0, next.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{MimdGraph, MimdState, Terminator};
+    use crate::op::{Addr, Op};
+
+    fn sample() -> MimdGraph {
+        let mut g = MimdGraph::new();
+        let a = g.add(
+            MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("A"),
+        );
+        let b = g.add(MimdState::new(vec![], Terminator::Halt).labeled("F").with_barrier());
+        g.state_mut(a).term = Terminator::Branch { t: a, f: b };
+        g.start = a;
+        g
+    }
+
+    #[test]
+    fn text_mentions_every_state_and_arcs() {
+        let s = text(&sample(), &CostModel::default());
+        assert!(s.contains("s0 [A]"));
+        assert!(s.contains("T:s0 F:s1"));
+        assert!(s.contains("(barrier)"));
+        assert!(s.contains("<- start"));
+        assert!(s.contains("-> end"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let d = dot(&sample(), &CostModel::default());
+        assert!(d.starts_with("digraph"));
+        assert!(d.trim_end().ends_with('}'));
+        assert!(d.contains("doubleoctagon"));
+        assert!(d.contains("label=T"));
+        assert!(d.contains("style=dashed"));
+    }
+
+    #[test]
+    fn dot_renders_multi_and_spawn() {
+        let mut g = MimdGraph::new();
+        let a = g.add(MimdState::new(vec![], Terminator::Halt));
+        let b = g.add(MimdState::new(vec![], Terminator::Halt));
+        let c = g.add(MimdState::new(vec![Op::Push(0)], Terminator::Multi(vec![a, b])));
+        g.state_mut(a).term = Terminator::Spawn { child: b, next: c };
+        g.start = a;
+        let d = dot(&g, &CostModel::default());
+        assert!(d.contains("ret 0"));
+        assert!(d.contains("ret 1"));
+        assert!(d.contains("label=spawn"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Small shared utilities: a fast integer hasher (Fx-style) used for the
+//! hot interning maps in the converter, plus convenient map/set aliases.
+//!
+//! The Rust Performance Book recommends a cheap integer hasher for hot maps
+//! keyed by small integers; `rustc-hash` is not on this project's approved
+//! dependency list, so the same multiply-rotate-xor scheme is implemented
+//! here (~20 lines) instead of pulling a crate.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplication constant (64-bit golden-ratio-derived odd value).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher in the style of `FxHasher` (the rustc
+/// internal hasher): each written word is folded in with
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`.
+///
+/// Not HashDoS-resistant — only use for internal maps keyed by trusted data
+/// (state ids, interned set handles), never by untrusted input.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"meta-state"), hash_of(&"meta-state"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a strong guarantee in general, but these must differ for the
+        // hasher to be useful at all.
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+        assert_ne!(hash_of(&vec![1u32, 2]), hash_of(&vec![2u32, 1]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn partial_chunk_hashing_differs_from_padded() {
+        // 7 bytes vs the same 7 bytes plus an explicit zero byte must not be
+        // forced equal by the implementation's padding of the remainder
+        // (lengths differ via the slice Hash impl writing a length prefix).
+        let a: &[u8] = &[1, 2, 3, 4, 5, 6, 7];
+        let b: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 0];
+        assert_ne!(hash_of(&a), hash_of(&b));
+    }
+}

@@ -1,0 +1,292 @@
+//! Abstract syntax for MIMDC (§4.1).
+
+use crate::token::Pos;
+
+/// Value types. MIMDC has `int` and `float` data values; `void` is allowed
+/// only as a function return type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit integer word.
+    Int,
+    /// Floating point (f64 in this implementation).
+    Float,
+    /// No value (function returns only).
+    Void,
+}
+
+/// Storage class (§4.1): `mono` variables are "replicated in each
+/// processor's local memory … stores involve a broadcast"; `poly` variables
+/// are private per processing element. Default is `poly`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Shared/replicated.
+    Mono,
+    /// Private.
+    Poly,
+}
+
+/// A variable declaration (global or local).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Storage class.
+    pub storage: Storage,
+    /// Value type (never `Void`).
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A named variable.
+    Var(String),
+    /// Parallel subscript `name[[index]]` — the `poly` slot of `name` on
+    /// the PE selected by `index`.
+    ParSub {
+        /// Variable name (must be `poly`).
+        name: String,
+        /// PE index expression.
+        index: Box<Expr>,
+    },
+}
+
+/// Binary operators at AST level (lowering maps them onto typed IR ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (evaluated non-short-circuit; see crate docs)
+    LogAnd,
+    /// `||` (evaluated non-short-circuit)
+    LogOr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// Floating literal.
+    Float(f64, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Assignment; `op` is `Some` for compound assignment (`+=` …).
+    Assign {
+        /// Target place.
+        target: LValue,
+        /// Compound operator, if any.
+        op: Option<AstBinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: AstUnOp,
+        /// Operand.
+        e: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Parallel subscript read `x[[j]]`.
+    ParSub {
+        /// Variable name (must be `poly`).
+        name: String,
+        /// PE index expression.
+        index: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Built-in `pe_id()`.
+    PeId(Pos),
+    /// Built-in `nproc()`.
+    NProc(Pos),
+}
+
+impl Expr {
+    /// The source position of this expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Float(_, p)
+            | Expr::Var(_, p)
+            | Expr::PeId(p)
+            | Expr::NProc(p) => *p,
+            Expr::Assign { pos, .. }
+            | Expr::Bin { pos, .. }
+            | Expr::Un { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::ParSub { pos, .. } => *pos,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local variable declaration.
+    Decl(VarDecl),
+    /// Multiple declarators from one statement (`poly int a, b = 2;`),
+    /// declared in the *enclosing* scope (unlike a `Block`, which opens a
+    /// new one).
+    Decls(Vec<VarDecl>),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body` — normalized during lowering to the
+    /// execute-one-or-more form (§4.2).
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);` — the native loop form.
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init expression or declaration.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent ⇒ true).
+        cond: Option<Expr>,
+        /// Optional step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// `return expr?;`.
+    Return(Option<Expr>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `wait;` — barrier synchronization of all threads (§2.6).
+    Wait(Pos),
+    /// `spawn f(args);` — restricted dynamic process creation (§3.2.5).
+    Spawn {
+        /// Function the new process runs.
+        name: String,
+        /// Arguments handed to the new process.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `halt;` — this process ends and its PE returns to the free pool.
+    Halt(Pos),
+    /// `;`
+    Empty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Return type.
+    pub ret: Type,
+    /// Name.
+    pub name: String,
+    /// Parameters (always `poly`).
+    pub params: Vec<(Type, String)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A whole MIMDC translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ast {
+    /// File-scope variable declarations.
+    pub globals: Vec<VarDecl>,
+    /// Function definitions (must include `main`).
+    pub funcs: Vec<Func>,
+}
+
+impl Ast {
+    /// Find a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}

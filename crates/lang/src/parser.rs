@@ -1,0 +1,811 @@
+//! Recursive-descent parser for MIMDC.
+//!
+//! Grammar (C subset of §4.1 plus the paper's parallel extensions):
+//!
+//! ```text
+//! unit      := (var-decl | func)*
+//! func      := type? ident '(' params? ')' block        // 'main()' K&R style allowed
+//! var-decl  := storage? type ident ('=' expr)? (',' ident ('=' expr)?)* ';'
+//! stmt      := var-decl | 'if' '(' expr ')' stmt ('else' stmt)?
+//!            | 'while' '(' expr ')' stmt | 'do' stmt 'while' '(' expr ')' ';'
+//!            | 'for' '(' (var-decl | expr? ';') expr? ';' expr? ')' stmt
+//!            | block | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+//!            | 'wait' ';' | 'spawn' ident '(' args? ')' ';' | 'halt' ';'
+//!            | expr ';' | ';'
+//! expr      := assignment
+//! assignment:= lvalue ('='|'+='|…) assignment | logor
+//! logor     := logand ('||' logand)*
+//! logand    := bitor ('&&' bitor)*
+//! bitor     := bitxor ('|' bitxor)*      … usual C precedence …
+//! unary     := ('-'|'!'|'~') unary | postfix
+//! postfix   := primary
+//! primary   := INT | FLOAT | ident | ident '(' args? ')' | ident '[[' expr ']]'
+//!            | 'pe_id' '(' ')' | 'nproc' '(' ')' | '(' expr ')'
+//! ```
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Pos, Tok, Token};
+use std::fmt;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// Where.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.msg, pos: e.pos }
+    }
+}
+
+/// Parse a MIMDC translation unit.
+pub fn parse(src: &str) -> Result<Ast, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    p.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.i + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i].tok.clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError { msg, pos: self.pos() }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    fn unit(&mut self) -> Result<Ast, ParseError> {
+        let mut ast = Ast::default();
+        while *self.peek() != Tok::Eof {
+            if self.is_func_start() {
+                ast.funcs.push(self.func()?);
+            } else if self.is_decl_start() {
+                ast.globals.extend(self.var_decl()?);
+            } else {
+                return Err(self.err(format!(
+                    "expected declaration or function, found `{}`",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(ast)
+    }
+
+    fn is_decl_start(&self) -> bool {
+        matches!(self.peek(), Tok::KwMono | Tok::KwPoly | Tok::KwInt | Tok::KwFloat)
+    }
+
+    /// A function starts with `type? ident (` where the `(` distinguishes
+    /// it from a variable declaration. K&R-style `main() { … }` has no
+    /// leading type.
+    fn is_func_start(&self) -> bool {
+        let mut j = self.i;
+        // Optional storage is not allowed on functions; skip type keywords.
+        if matches!(self.tokens[j].tok, Tok::KwInt | Tok::KwFloat | Tok::KwVoid) {
+            j += 1;
+        }
+        matches!(self.tokens[j].tok, Tok::Ident(_))
+            && j + 1 < self.tokens.len()
+            && self.tokens[j + 1].tok == Tok::LParen
+    }
+
+    fn type_kw(&mut self) -> Result<Type, ParseError> {
+        match self.bump() {
+            Tok::KwInt => Ok(Type::Int),
+            Tok::KwFloat => Ok(Type::Float),
+            Tok::KwVoid => Ok(Type::Void),
+            other => Err(self.err(format!("expected type, found `{other}`"))),
+        }
+    }
+
+    fn func(&mut self) -> Result<Func, ParseError> {
+        let pos = self.pos();
+        let ret = if matches!(self.peek(), Tok::KwInt | Tok::KwFloat | Tok::KwVoid) {
+            self.type_kw()?
+        } else {
+            Type::Int // K&R default
+        };
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                // `poly` is implied and tolerated on parameters.
+                self.eat(&Tok::KwPoly);
+                let ty = if matches!(self.peek(), Tok::KwInt | Tok::KwFloat) {
+                    self.type_kw()?
+                } else {
+                    Type::Int
+                };
+                let pname = self.ident()?;
+                params.push((ty, pname));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        self.expect(&Tok::LBrace)?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unterminated function body".into()));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(Func { ret, name, params, body, pos })
+    }
+
+    /// `storage? type name (= init)? (, name (= init)?)* ;`
+    fn var_decl(&mut self) -> Result<Vec<VarDecl>, ParseError> {
+        let pos = self.pos();
+        let storage = if self.eat(&Tok::KwMono) {
+            Storage::Mono
+        } else {
+            self.eat(&Tok::KwPoly);
+            Storage::Poly
+        };
+        let ty = match self.bump() {
+            Tok::KwInt => Type::Int,
+            Tok::KwFloat => Type::Float,
+            other => return Err(self.err(format!("expected `int` or `float`, found `{other}`"))),
+        };
+        let mut decls = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let init =
+                if self.eat(&Tok::Assign) { Some(self.assignment()?) } else { None };
+            decls.push(VarDecl { storage, ty, name, init, pos });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::Semi)?;
+        Ok(decls)
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::KwMono | Tok::KwPoly | Tok::KwInt | Tok::KwFloat => {
+                let decls = self.var_decl()?;
+                if decls.len() == 1 {
+                    Ok(Stmt::Decl(decls.into_iter().next().unwrap()))
+                } else {
+                    Ok(Stmt::Decls(decls))
+                }
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::KwDo => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                self.expect(&Tok::KwWhile)?;
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else if self.is_decl_start() {
+                    let decls = self.var_decl()?; // consumes ';'
+                    Some(Box::new(Stmt::Decls(decls)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen { None } else { Some(self.expr()?) };
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    if *self.peek() == Tok::Eof {
+                        return Err(self.err("unterminated block".into()));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let e = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(e, pos))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Continue(pos))
+            }
+            Tok::KwWait => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Wait(pos))
+            }
+            Tok::KwHalt => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Halt(pos))
+            }
+            Tok::KwSpawn => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                }
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Spawn { name, args, pos })
+            }
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        let lhs = self.logor()?;
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(AstBinOp::Add),
+            Tok::MinusAssign => Some(AstBinOp::Sub),
+            Tok::StarAssign => Some(AstBinOp::Mul),
+            Tok::SlashAssign => Some(AstBinOp::Div),
+            Tok::PercentAssign => Some(AstBinOp::Rem),
+            _ => return Ok(lhs),
+        };
+        let target = match lhs {
+            Expr::Var(name, _) => LValue::Var(name),
+            Expr::ParSub { name, index, .. } => LValue::ParSub { name, index },
+            other => {
+                return Err(ParseError {
+                    msg: "left side of assignment is not assignable".into(),
+                    pos: other.pos(),
+                })
+            }
+        };
+        self.bump(); // the assignment operator
+        let value = Box::new(self.assignment()?);
+        Ok(Expr::Assign { target, op, value, pos })
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(Tok, AstBinOp)],
+        next: fn(&mut Self) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    let pos = self.pos();
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Bin { op: *op, l: Box::new(lhs), r: Box::new(rhs), pos };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn logor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Tok::OrOr, AstBinOp::LogOr)], Self::logand)
+    }
+
+    fn logand(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Tok::AndAnd, AstBinOp::LogAnd)], Self::bitor)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Tok::Pipe, AstBinOp::BitOr)], Self::bitxor)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Tok::Caret, AstBinOp::BitXor)], Self::bitand)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Tok::Amp, AstBinOp::BitAnd)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(Tok::EqEq, AstBinOp::Eq), (Tok::NotEq, AstBinOp::Ne)],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (Tok::Lt, AstBinOp::Lt),
+                (Tok::Le, AstBinOp::Le),
+                (Tok::Gt, AstBinOp::Gt),
+                (Tok::Ge, AstBinOp::Ge),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(Tok::Shl, AstBinOp::Shl), (Tok::Shr, AstBinOp::Shr)], Self::additive)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[(Tok::Plus, AstBinOp::Add), (Tok::Minus, AstBinOp::Sub)],
+            Self::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (Tok::Star, AstBinOp::Mul),
+                (Tok::Slash, AstBinOp::Div),
+                (Tok::Percent, AstBinOp::Rem),
+            ],
+            Self::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        let op = match self.peek() {
+            Tok::Minus => Some(AstUnOp::Neg),
+            Tok::Bang => Some(AstUnOp::Not),
+            Tok::Tilde => Some(AstUnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = Box::new(self.unary()?);
+            return Ok(Expr::Un { op, e, pos });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v, pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if *self.peek2() == Tok::LParen {
+                    self.bump();
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    return Ok(match name.as_str() {
+                        "pe_id" if args.is_empty() => Expr::PeId(pos),
+                        "nproc" if args.is_empty() => Expr::NProc(pos),
+                        _ => Expr::Call { name, args, pos },
+                    });
+                }
+                if *self.peek2() == Tok::LLBracket {
+                    self.bump();
+                    self.bump();
+                    let index = Box::new(self.expr()?);
+                    self.expect(&Tok::RRBracket)?;
+                    return Ok(Expr::ParSub { name, index, pos });
+                }
+                self.bump();
+                Ok(Expr::Var(name, pos))
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing4_parses() {
+        let ast = parse(
+            r#"
+            main() {
+                poly int x;
+                if (x) { do { x = 1; } while (x); }
+                else { do { x = 2; } while (x); }
+                return(x);
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.funcs.len(), 1);
+        let main = ast.func("main").unwrap();
+        assert_eq!(main.ret, Type::Int);
+        assert_eq!(main.body.len(), 3);
+        assert!(matches!(main.body[0], Stmt::Decl(_)));
+        assert!(matches!(main.body[1], Stmt::If { .. }));
+        assert!(matches!(main.body[2], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn precedence() {
+        let ast = parse("main() { poly int x; x = 1 + 2 * 3; }").unwrap();
+        let body = &ast.func("main").unwrap().body;
+        let Stmt::Expr(Expr::Assign { value, .. }) = &body[1] else {
+            panic!("expected assignment")
+        };
+        let Expr::Bin { op: AstBinOp::Add, r, .. } = value.as_ref() else {
+            panic!("expected + at top: {value:?}")
+        };
+        assert!(matches!(r.as_ref(), Expr::Bin { op: AstBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parallel_subscript_read_and_write() {
+        let ast = parse("main() { poly int x, y; x[[3]] = y[[x + 1]]; }").unwrap();
+        let body = &ast.func("main").unwrap().body;
+        let Stmt::Expr(Expr::Assign { target: LValue::ParSub { name, .. }, value, .. }) =
+            body.last().unwrap()
+        else {
+            panic!("expected parsub assignment: {body:?}")
+        };
+        assert_eq!(name, "x");
+        assert!(matches!(value.as_ref(), Expr::ParSub { .. }));
+    }
+
+    #[test]
+    fn globals_and_functions() {
+        let ast = parse(
+            r#"
+            mono int total;
+            poly float w = 1.5;
+            int helper(int a, float b) { return a; }
+            main() { helper(1, 2.0); }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(ast.globals.len(), 2);
+        assert_eq!(ast.globals[0].storage, Storage::Mono);
+        assert!(matches!(ast.globals[1].init, Some(Expr::Float(v, _)) if v == 1.5));
+        assert_eq!(ast.funcs.len(), 2);
+        assert_eq!(ast.func("helper").unwrap().params.len(), 2);
+    }
+
+    #[test]
+    fn control_flow_statements() {
+        let ast = parse(
+            r#"
+            main() {
+                poly int i;
+                for (i = 0; i < 10; i += 1) {
+                    if (i == 5) continue;
+                    if (i > 8) break;
+                }
+                while (i) { i = i - 1; }
+                wait;
+                halt;
+            }
+            "#,
+        )
+        .unwrap();
+        let body = &ast.func("main").unwrap().body;
+        assert!(matches!(body[1], Stmt::For { .. }));
+        assert!(matches!(body[2], Stmt::While { .. }));
+        assert!(matches!(body[3], Stmt::Wait(_)));
+        assert!(matches!(body[4], Stmt::Halt(_)));
+    }
+
+    #[test]
+    fn spawn_statement() {
+        let ast = parse(
+            r#"
+            void worker(int n) { halt; }
+            main() { spawn worker(7); }
+            "#,
+        )
+        .unwrap();
+        let body = &ast.func("main").unwrap().body;
+        let Stmt::Spawn { name, args, .. } = &body[0] else { panic!("expected spawn") };
+        assert_eq!(name, "worker");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn builtins() {
+        let ast = parse("main() { poly int x; x = pe_id() + nproc(); }").unwrap();
+        let Stmt::Expr(Expr::Assign { value, .. }) = &ast.func("main").unwrap().body[1] else {
+            panic!()
+        };
+        let Expr::Bin { l, r, .. } = value.as_ref() else { panic!() };
+        assert!(matches!(l.as_ref(), Expr::PeId(_)));
+        assert!(matches!(r.as_ref(), Expr::NProc(_)));
+    }
+
+    #[test]
+    fn error_on_bad_assignment_target() {
+        let e = parse("main() { 1 = 2; }").unwrap_err();
+        assert!(e.msg.contains("not assignable"), "{e}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse("main() {\n  poly int x\n}").unwrap_err();
+        assert_eq!(e.pos.line, 3, "{e}");
+    }
+
+    #[test]
+    fn logical_operators_parse() {
+        let ast = parse("main() { poly int a, b, c; c = a && b || !a; }").unwrap();
+        let Stmt::Expr(Expr::Assign { value, .. }) = ast.func("main").unwrap().body.last().unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(value.as_ref(), Expr::Bin { op: AstBinOp::LogOr, .. }));
+    }
+
+    #[test]
+    fn multi_declarator_statement() {
+        let ast = parse("main() { poly int a = 1, b = 2; }").unwrap();
+        let Stmt::Decls(decls) = &ast.func("main").unwrap().body[0] else { panic!() };
+        assert_eq!(decls.len(), 2);
+    }
+
+    #[test]
+    fn compound_assignment_targets() {
+        let ast = parse("main() { poly int x; x += 3; }").unwrap();
+        let Stmt::Expr(Expr::Assign { op, .. }) = &ast.func("main").unwrap().body[1] else {
+            panic!()
+        };
+        assert_eq!(*op, Some(AstBinOp::Add));
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let ast = parse("main(){ poly int a; if (a) if (a) a = 1; else a = 2; }").unwrap();
+        let Stmt::If { then, els, .. } = &ast.func("main").unwrap().body[1] else { panic!() };
+        assert!(els.is_none());
+        let Stmt::If { els: inner_els, .. } = then.as_ref() else { panic!() };
+        assert!(inner_els.is_some());
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn empty_function_body() {
+        let ast = parse("main() { }").unwrap();
+        assert!(ast.func("main").unwrap().body.is_empty());
+    }
+
+    #[test]
+    fn empty_statements_allowed() {
+        let ast = parse("main() { ;; poly int x; ; x = 1; ; }").unwrap();
+        assert!(ast.func("main").unwrap().body.len() >= 4);
+    }
+
+    #[test]
+    fn void_function_with_explicit_return() {
+        let ast = parse("void f() { return; } main() { f(); }").unwrap();
+        let f = ast.func("f").unwrap();
+        assert_eq!(f.ret, Type::Void);
+        assert!(matches!(f.body[0], Stmt::Return(None, _)));
+    }
+
+    #[test]
+    fn for_with_all_clauses_empty() {
+        let ast = parse("main() { poly int x; for (;;) { break; } }").unwrap();
+        let Stmt::For { init, cond, step, .. } = &ast.func("main").unwrap().body[1] else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn nested_parallel_subscripts() {
+        // x[[ y[[0]] ]] — the index itself is a remote read.
+        let ast = parse("main() { poly int x, y, z; z = x[[y[[0]]]]; }").unwrap();
+        let Stmt::Expr(Expr::Assign { value, .. }) = ast.func("main").unwrap().body.last().unwrap()
+        else {
+            panic!()
+        };
+        let Expr::ParSub { index, .. } = value.as_ref() else { panic!("{value:?}") };
+        assert!(matches!(index.as_ref(), Expr::ParSub { .. }));
+    }
+
+    #[test]
+    fn deeply_nested_parens() {
+        let src = format!(
+            "main() {{ poly int x; x = {}1{}; }}",
+            "(".repeat(40),
+            ")".repeat(40)
+        );
+        assert!(parse(&src).is_ok());
+    }
+
+    #[test]
+    fn unbalanced_parens_error() {
+        assert!(parse("main() { poly int x; x = ((1); }").is_err());
+    }
+
+    #[test]
+    fn keywords_cannot_be_identifiers() {
+        assert!(parse("main() { poly int while; }").is_err());
+        assert!(parse("main() { poly int if; }").is_err());
+    }
+
+    #[test]
+    fn chained_comparisons_parse_left_assoc() {
+        // a < b < c parses as (a < b) < c in C.
+        let ast = parse("main() { poly int a, b, c, x; x = a < b < c; }").unwrap();
+        let Stmt::Expr(Expr::Assign { value, .. }) = ast.func("main").unwrap().body.last().unwrap()
+        else {
+            panic!()
+        };
+        let Expr::Bin { op: AstBinOp::Lt, l, .. } = value.as_ref() else { panic!() };
+        assert!(matches!(l.as_ref(), Expr::Bin { op: AstBinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn unary_chains() {
+        let ast = parse("main() { poly int x; x = - - ! ~ x; }").unwrap();
+        let Stmt::Expr(Expr::Assign { value, .. }) = ast.func("main").unwrap().body.last().unwrap()
+        else {
+            panic!()
+        };
+        // -( -( !( ~x ) ) )
+        let Expr::Un { op: AstUnOp::Neg, e, .. } = value.as_ref() else { panic!() };
+        let Expr::Un { op: AstUnOp::Neg, e, .. } = e.as_ref() else { panic!() };
+        let Expr::Un { op: AstUnOp::Not, e, .. } = e.as_ref() else { panic!() };
+        assert!(matches!(e.as_ref(), Expr::Un { op: AstUnOp::BitNot, .. }));
+    }
+
+    #[test]
+    fn function_before_and_after_main() {
+        let ast = parse(
+            "int a() { return 1; } main() { a(); b(); } int b() { return 2; }",
+        )
+        .unwrap();
+        assert_eq!(ast.funcs.len(), 3);
+    }
+
+    #[test]
+    fn eof_inside_expression_errors_cleanly() {
+        assert!(parse("main() { poly int x; x = 1 +").is_err());
+        assert!(parse("main() { poly int x; x = ").is_err());
+    }
+}

@@ -1,0 +1,567 @@
+//! The MIMD-emulation-by-interpretation baseline of §1.1.
+//!
+//! "Perhaps the most obvious way to make SIMD hardware mimic MIMD
+//! execution is to write a SIMD program that will interpretively execute a
+//! MIMD instruction set":
+//!
+//! 1. each PE fetches an "instruction" into its IR and updates its PC;
+//! 2. each PE decodes the instruction;
+//! 3. for each instruction type present: disable non-matching PEs,
+//!    simulate the instruction on the enabled PEs, re-enable;
+//! 4. go to 1.
+//!
+//! The paper lists the three overheads this repository's experiments
+//! measure (C1 in EXPERIMENTS.md):
+//!
+//! * instructions must be fetched and decoded every round;
+//! * **each PE holds a copy of the entire MIMD program** — on a 16K-PE
+//!   MP-1 with 16KB of PE memory this "severely restricts the size of MIMD
+//!   programs" ([`InterpProgram::per_pe_program_words`] measures it);
+//! * the interpreter loop itself costs cycles every round.
+//!
+//! The interpreter here is a faithful cost simulation of that algorithm:
+//! the MIMD state graph is flattened to a linear instruction image
+//! (replicated per PE for the memory metric), and each round charges
+//! fetch+decode, one issue per *distinct instruction type present* (the
+//! step-3 serialization), and the loop-back overhead.
+
+use msc_ir::util::FxHashMap;
+use msc_ir::{CostModel, MimdGraph, Op, Terminator};
+use msc_simd::RunError;
+use std::fmt;
+
+/// One interpreted MIMD instruction (the "instruction set" of §1.1's
+/// emulated machine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpInstr {
+    /// A straight-line stack op.
+    Op(Op),
+    /// Conditional branch to image addresses.
+    JumpF {
+        /// TRUE target address.
+        t: usize,
+        /// FALSE target address.
+        f: usize,
+    },
+    /// Unconditional branch.
+    Jump(usize),
+    /// Process end.
+    Halt,
+    /// Multiway return branch (image addresses).
+    RetMulti(Vec<usize>),
+    /// Barrier wait.
+    Wait,
+    /// Dynamic process creation.
+    Spawn {
+        /// Child entry address.
+        child: usize,
+        /// Continuation address.
+        next: usize,
+    },
+}
+
+impl InterpInstr {
+    /// Encoded size in memory words (opcode + operands), for the per-PE
+    /// program-copy metric.
+    pub fn encoded_words(&self) -> usize {
+        match self {
+            InterpInstr::Op(op) => match op {
+                Op::Push(_) | Op::PushF(_) => 2,
+                Op::Ld(_) | Op::St(_) | Op::LdRemote(_) | Op::StRemote(_) => 2,
+                Op::Pop(_) => 2,
+                _ => 1,
+            },
+            InterpInstr::JumpF { .. } | InterpInstr::Spawn { .. } => 3,
+            InterpInstr::Jump(_) => 2,
+            InterpInstr::Halt | InterpInstr::Wait => 1,
+            InterpInstr::RetMulti(v) => 1 + v.len(),
+        }
+    }
+
+    /// Dispatch key: the instruction *type* (step 3 serializes over these).
+    /// Operands like immediates and addresses are per-PE data and do not
+    /// split the type; distinct ALU operators do (they decode to different
+    /// execution routines).
+    fn type_key(&self) -> u32 {
+        match self {
+            InterpInstr::Op(op) => match op {
+                Op::Push(_) => 0,
+                Op::PushF(_) => 1,
+                Op::Dup => 2,
+                Op::Pop(_) => 3,
+                Op::Ld(a) => 4 + (a.space as u32),
+                Op::St(a) => 6 + (a.space as u32),
+                Op::LdRemote(_) => 8,
+                Op::StRemote(_) => 9,
+                Op::Bin(b) => 10 + *b as u32,
+                Op::Un(u) => 40 + *u as u32,
+                Op::PeId => 50,
+                Op::NProc => 51,
+                Op::PushRet => 52,
+                Op::PopRet => 53,
+            },
+            InterpInstr::JumpF { .. } => 60,
+            InterpInstr::Jump(_) => 61,
+            InterpInstr::Halt => 62,
+            InterpInstr::RetMulti(_) => 63,
+            InterpInstr::Wait => 64,
+            InterpInstr::Spawn { .. } => 65,
+        }
+    }
+
+    /// Execution cost of this instruction type's handler.
+    fn cost(&self, costs: &CostModel) -> u32 {
+        match self {
+            InterpInstr::Op(op) => costs.op_cost(op),
+            InterpInstr::JumpF { .. } | InterpInstr::Jump(_) => costs.int_simple,
+            InterpInstr::Halt | InterpInstr::Wait => costs.stack,
+            InterpInstr::RetMulti(_) => costs.control,
+            InterpInstr::Spawn { .. } => costs.dispatch,
+        }
+    }
+}
+
+/// The flattened MIMD program image.
+#[derive(Debug, Clone)]
+pub struct InterpProgram {
+    /// The instruction image (replicated into every PE's memory).
+    pub image: Vec<InterpInstr>,
+    /// Image address each process starts at.
+    pub entry: usize,
+    /// Words of poly memory the program needs.
+    pub poly_words: u32,
+    /// Words of mono memory.
+    pub mono_words: u32,
+}
+
+impl InterpProgram {
+    /// Flatten a MIMD state graph into a linear image. Blocks are laid out
+    /// in id order; every terminator becomes an explicit branch
+    /// instruction (no fall-through), which is what a simple MIMD
+    /// instruction set would require anyway.
+    pub fn flatten(graph: &MimdGraph, poly_words: u32, mono_words: u32) -> Self {
+        let mut addr_of_state = vec![0usize; graph.len()];
+        let mut image = Vec::new();
+        for id in graph.ids() {
+            addr_of_state[id.idx()] = image.len();
+            let st = graph.state(id);
+            if st.barrier {
+                image.push(InterpInstr::Wait);
+            }
+            for op in &st.ops {
+                image.push(InterpInstr::Op(op.clone()));
+            }
+            // Terminator placeholder; patched below once all addresses are
+            // known.
+            image.push(InterpInstr::Halt);
+        }
+        // Patch terminators.
+        let mut cursor = 0usize;
+        for id in graph.ids() {
+            let st = graph.state(id);
+            let len = st.ops.len() + 1 + st.barrier as usize;
+            let term_at = cursor + len - 1;
+            image[term_at] = match &st.term {
+                Terminator::Halt => InterpInstr::Halt,
+                Terminator::Jump(b) => InterpInstr::Jump(addr_of_state[b.idx()]),
+                Terminator::Branch { t, f } => InterpInstr::JumpF {
+                    t: addr_of_state[t.idx()],
+                    f: addr_of_state[f.idx()],
+                },
+                Terminator::Multi(v) => {
+                    InterpInstr::RetMulti(v.iter().map(|s| addr_of_state[s.idx()]).collect())
+                }
+                Terminator::Spawn { child, next } => InterpInstr::Spawn {
+                    child: addr_of_state[child.idx()],
+                    next: addr_of_state[next.idx()],
+                },
+            };
+            cursor += len;
+        }
+        InterpProgram {
+            image,
+            entry: addr_of_state[graph.start.idx()],
+            poly_words,
+            mono_words,
+        }
+    }
+
+    /// Words of program memory **each PE** must hold (§1.1 problem 2).
+    pub fn per_pe_program_words(&self) -> usize {
+        self.image.iter().map(InterpInstr::encoded_words).sum()
+    }
+}
+
+/// Interpreter run metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterpMetrics {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Cycles in fetch+decode (§1.1 problem 1).
+    pub fetch_decode_cycles: u64,
+    /// Cycles executing instruction handlers (incl. the serialization over
+    /// distinct types present).
+    pub execute_cycles: u64,
+    /// Cycles in interpreter loop overhead (§1.1 problem 3).
+    pub loop_cycles: u64,
+    /// Interpreter rounds (one fetch-decode-dispatch-execute iteration).
+    pub rounds: u64,
+    /// Σ distinct instruction types per round — the serialization factor.
+    pub types_dispatched: u64,
+}
+
+/// Interpreter failure modes (shared with the SIMD machine's error type
+/// where the conditions coincide).
+pub type InterpError = RunError;
+
+/// Per-PE interpreter state.
+#[derive(Debug, Clone, PartialEq)]
+enum PeState {
+    Running { pc: usize },
+    Waiting { pc: usize }, // at a Wait, pc = address of the Wait
+    Halted,
+    Idle,
+}
+
+/// The interpreter machine: N PEs interpreting their own copy of the MIMD
+/// program image under SIMD control.
+#[derive(Debug, Clone)]
+pub struct InterpMachine {
+    /// PE count.
+    pub n_pe: usize,
+    /// Per-PE poly memory.
+    pub poly: Vec<Vec<i64>>,
+    /// Replicated mono memory.
+    pub mono: Vec<i64>,
+    stack: Vec<Vec<i64>>,
+    ret_stack: Vec<Vec<i64>>,
+    pes: Vec<PeState>,
+    /// Metrics of the last run.
+    pub metrics: InterpMetrics,
+}
+
+impl InterpMachine {
+    /// Build an interpreter machine: `active` PEs start at the program
+    /// entry, the rest idle.
+    pub fn new(program: &InterpProgram, n_pe: usize, active: usize) -> Self {
+        let mut pes = vec![PeState::Idle; n_pe];
+        for p in pes.iter_mut().take(active.min(n_pe)) {
+            *p = PeState::Running { pc: program.entry };
+        }
+        InterpMachine {
+            n_pe,
+            poly: vec![vec![0; program.poly_words as usize]; n_pe],
+            mono: vec![0; program.mono_words as usize],
+            stack: vec![Vec::new(); n_pe],
+            ret_stack: vec![Vec::new(); n_pe],
+            pes,
+            metrics: InterpMetrics::default(),
+        }
+    }
+
+    /// Read a PE's view of an address.
+    pub fn poly_at(&self, pe: usize, addr: msc_ir::Addr) -> i64 {
+        match addr.space {
+            msc_ir::Space::Poly => self.poly[pe][addr.index as usize],
+            msc_ir::Space::Mono => self.mono[addr.index as usize],
+        }
+    }
+
+    /// Run the interpreter loop to completion.
+    pub fn run(
+        &mut self,
+        program: &InterpProgram,
+        costs: &CostModel,
+        max_cycles: u64,
+    ) -> Result<InterpMetrics, InterpError> {
+        loop {
+            if self.metrics.cycles > max_cycles {
+                return Err(RunError::Watchdog { max_cycles });
+            }
+            let running: Vec<usize> = (0..self.n_pe)
+                .filter(|&pe| matches!(self.pes[pe], PeState::Running { .. }))
+                .collect();
+            if running.is_empty() {
+                // Barrier release or true termination.
+                let waiting: Vec<usize> = (0..self.n_pe)
+                    .filter(|&pe| matches!(self.pes[pe], PeState::Waiting { .. }))
+                    .collect();
+                if waiting.is_empty() {
+                    return Ok(self.metrics);
+                }
+                for pe in waiting {
+                    if let PeState::Waiting { pc } = self.pes[pe] {
+                        self.pes[pe] = PeState::Running { pc: pc + 1 };
+                    }
+                }
+                continue;
+            }
+
+            // Round: fetch + decode on all PEs simultaneously (one issue).
+            self.metrics.rounds += 1;
+            self.metrics.cycles += costs.interp_fetch_decode as u64;
+            self.metrics.fetch_decode_cycles += costs.interp_fetch_decode as u64;
+
+            // Step 3: serialize over the distinct instruction types present.
+            let mut groups: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+            for &pe in &running {
+                let PeState::Running { pc } = self.pes[pe] else { unreachable!() };
+                groups.entry(program.image[pc].type_key()).or_default().push(pe);
+            }
+            let mut keys: Vec<u32> = groups.keys().copied().collect();
+            keys.sort_unstable();
+            self.metrics.types_dispatched += keys.len() as u64;
+            for key in keys {
+                let pes = &groups[&key];
+                // One representative instruction gives the handler cost;
+                // all PEs in the group execute simultaneously.
+                let PeState::Running { pc: pc0 } = self.pes[pes[0]] else { unreachable!() };
+                let cost = program.image[pc0].cost(costs) as u64;
+                self.metrics.cycles += cost;
+                self.metrics.execute_cycles += cost;
+                for &pe in pes {
+                    self.step_pe(pe, program)?;
+                }
+            }
+
+            // Step 4: loop back.
+            self.metrics.cycles += costs.interp_loop as u64;
+            self.metrics.loop_cycles += costs.interp_loop as u64;
+        }
+    }
+
+    fn step_pe(&mut self, pe: usize, program: &InterpProgram) -> Result<(), InterpError> {
+        let PeState::Running { pc } = self.pes[pe] else { unreachable!() };
+        let instr = &program.image[pc];
+        match instr {
+            InterpInstr::Op(op) => {
+                self.exec_op(op, pe)?;
+                self.pes[pe] = PeState::Running { pc: pc + 1 };
+            }
+            InterpInstr::Jump(t) => {
+                self.pes[pe] = PeState::Running { pc: *t };
+            }
+            InterpInstr::JumpF { t, f } => {
+                let c = self.pop(pe)?;
+                self.pes[pe] = PeState::Running { pc: if c != 0 { *t } else { *f } };
+            }
+            InterpInstr::Halt => {
+                self.pes[pe] = PeState::Halted;
+                self.stack[pe].clear();
+                self.ret_stack[pe].clear();
+            }
+            InterpInstr::Wait => {
+                self.pes[pe] = PeState::Waiting { pc };
+            }
+            InterpInstr::RetMulti(targets) => {
+                let sel = self.pop(pe)?;
+                let t = *targets
+                    .get(sel as usize)
+                    .ok_or(RunError::BadSelector { pe, selector: sel })?;
+                self.pes[pe] = PeState::Running { pc: t };
+            }
+            InterpInstr::Spawn { child, next } => {
+                let idle = (0..self.n_pe).find(|&q| matches!(self.pes[q], PeState::Idle));
+                let Some(idle) = idle else {
+                    return Err(RunError::SpawnOverflow {
+                        block: msc_simd::BlockId(0),
+                        requested: 1,
+                        available: 0,
+                    });
+                };
+                self.poly[idle] = self.poly[pe].clone();
+                self.stack[idle].clear();
+                self.ret_stack[idle].clear();
+                self.pes[idle] = PeState::Running { pc: *child };
+                self.pes[pe] = PeState::Running { pc: *next };
+            }
+        }
+        Ok(())
+    }
+
+    fn pop(&mut self, pe: usize) -> Result<i64, InterpError> {
+        self.stack[pe].pop().ok_or(RunError::StackUnderflow { pe })
+    }
+
+    fn exec_op(&mut self, op: &Op, pe: usize) -> Result<(), InterpError> {
+        match op {
+            Op::Push(v) => self.stack[pe].push(*v),
+            Op::PushF(b) => self.stack[pe].push(*b as i64),
+            Op::Dup => {
+                let v = *self.stack[pe].last().ok_or(RunError::StackUnderflow { pe })?;
+                self.stack[pe].push(v);
+            }
+            Op::Pop(n) => {
+                for _ in 0..*n {
+                    self.pop(pe)?;
+                }
+            }
+            Op::Ld(a) => {
+                let v = match a.space {
+                    msc_ir::Space::Poly => self.poly[pe][a.index as usize],
+                    msc_ir::Space::Mono => self.mono[a.index as usize],
+                };
+                self.stack[pe].push(v);
+            }
+            Op::St(a) => {
+                let v = self.pop(pe)?;
+                match a.space {
+                    msc_ir::Space::Poly => self.poly[pe][a.index as usize] = v,
+                    msc_ir::Space::Mono => self.mono[a.index as usize] = v,
+                }
+            }
+            Op::LdRemote(a) => {
+                let idx = self.pop(pe)?;
+                let src = (idx.rem_euclid(self.n_pe as i64)) as usize;
+                let v = self.poly[src][a.index as usize];
+                self.stack[pe].push(v);
+            }
+            Op::StRemote(a) => {
+                let idx = self.pop(pe)?;
+                let v = self.pop(pe)?;
+                let dst = (idx.rem_euclid(self.n_pe as i64)) as usize;
+                self.poly[dst][a.index as usize] = v;
+            }
+            Op::Bin(b) => {
+                let rhs = self.pop(pe)?;
+                let lhs = self.pop(pe)?;
+                self.stack[pe].push(b.apply(lhs, rhs));
+            }
+            Op::Un(u) => {
+                let v = self.pop(pe)?;
+                self.stack[pe].push(u.apply(v));
+            }
+            Op::PeId => self.stack[pe].push(pe as i64),
+            Op::NProc => self.stack[pe].push(self.n_pe as i64),
+            Op::PushRet => {
+                let v = self.pop(pe)?;
+                self.ret_stack[pe].push(v);
+            }
+            Op::PopRet => {
+                let v = self.ret_stack[pe].pop().ok_or(RunError::RetStackUnderflow { pe })?;
+                self.stack[pe].push(v);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InterpProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, instr) in self.image.iter().enumerate() {
+            writeln!(f, "{i:4}: {instr:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_lang::compile;
+
+    fn run_src(src: &str, n: usize) -> (InterpMachine, msc_lang::Program, InterpProgram) {
+        let p = compile(src).unwrap();
+        let ip = InterpProgram::flatten(&p.graph, p.layout.poly_words, p.layout.mono_words);
+        let mut m = InterpMachine::new(&ip, n, n);
+        m.run(&ip, &CostModel::default(), 100_000_000).unwrap();
+        (m, p, ip)
+    }
+
+    #[test]
+    fn interprets_straight_line() {
+        let (m, p, _) = run_src("main() { poly int x; x = pe_id() + 100; return(x); }", 4);
+        let ret = p.layout.main_ret.unwrap();
+        for pe in 0..4 {
+            assert_eq!(m.poly_at(pe, ret), pe as i64 + 100);
+        }
+    }
+
+    #[test]
+    fn interprets_divergent_control_flow() {
+        let (m, p, _) = run_src(
+            r#"
+            main() {
+                poly int x, i;
+                x = 0;
+                for (i = 0; i < pe_id() + 1; i += 1) { x += 2; }
+                return(x);
+            }
+            "#,
+            4,
+        );
+        let ret = p.layout.main_ret.unwrap();
+        for pe in 0..4 {
+            assert_eq!(m.poly_at(pe, ret), 2 * (pe as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn serialization_counts_types() {
+        let (m, _, _) = run_src(
+            r#"
+            main() {
+                poly int x;
+                if (pe_id() % 2) { x = 1 + 2; } else { x = 3 * 4; }
+                return(x);
+            }
+            "#,
+            4,
+        );
+        // Divergent paths force rounds where several instruction types are
+        // present at once.
+        assert!(m.metrics.types_dispatched > m.metrics.rounds);
+    }
+
+    #[test]
+    fn per_pe_program_memory_grows_with_program() {
+        let (_, _, small) = run_src("main() { poly int x = 1; return(x); }", 2);
+        let (_, _, large) = run_src(
+            r#"
+            main() {
+                poly int x = 1;
+                x += 1; x += 2; x += 3; x += 4; x += 5;
+                x += 6; x += 7; x += 8; x += 9; x += 10;
+                return(x);
+            }
+            "#,
+            2,
+        );
+        assert!(large.per_pe_program_words() > small.per_pe_program_words());
+        assert!(small.per_pe_program_words() > 0, "§1.1: every PE holds the program");
+    }
+
+    #[test]
+    fn barrier_in_interpreter() {
+        let (m, p, _) = run_src(
+            r#"
+            mono int shared;
+            main() {
+                poly int i, x = 0;
+                if (pe_id() == 0) {
+                    for (i = 0; i < 20; i += 1) { x += 1; }
+                    shared = 55;
+                }
+                wait;
+                return(shared);
+            }
+            "#,
+            3,
+        );
+        let ret = p.layout.main_ret.unwrap();
+        for pe in 0..3 {
+            assert_eq!(m.poly_at(pe, ret), 55);
+        }
+    }
+
+    #[test]
+    fn fetch_decode_overhead_accrues_every_round() {
+        let (m, _, _) = run_src("main() { poly int x = 1; return(x); }", 2);
+        assert!(m.metrics.fetch_decode_cycles > 0);
+        assert!(m.metrics.loop_cycles > 0);
+        assert_eq!(
+            m.metrics.cycles,
+            m.metrics.fetch_decode_cycles + m.metrics.execute_cycles + m.metrics.loop_cycles
+        );
+    }
+}

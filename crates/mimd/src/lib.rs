@@ -1,0 +1,35 @@
+//! # msc-mimd — MIMD execution baselines
+//!
+//! Two reference points for the meta-state-converted SIMD program:
+//!
+//! * [`mod@reference`] — a true multi-processor (MIMD) simulator walking the
+//!   MIMD state graph directly, one program counter per processor. This is
+//!   the golden semantics every other execution mode must match, and the
+//!   idealized-MIMD timing baseline.
+//! * [`interp`] — the §1.1 baseline: MIMD emulation by interpretation on
+//!   SIMD hardware, with its three overheads (fetch/decode, per-PE program
+//!   copies, interpreter loop) explicitly accounted so the C1 experiment
+//!   can reproduce the paper's motivation for meta-state conversion.
+
+pub mod interp;
+pub mod reference;
+
+pub use interp::{InterpInstr, InterpMachine, InterpMetrics, InterpProgram};
+pub use reference::{MimdConfig, MimdError, MimdMetrics, MimdReference};
+
+use msc_ir::{CostModel, MimdGraph};
+
+/// Convenience wrapper: interpret `graph` on `n_pe` PEs (all live) and
+/// return the machine + metrics.
+pub fn interpret_on_simd(
+    graph: &MimdGraph,
+    poly_words: u32,
+    mono_words: u32,
+    n_pe: usize,
+    costs: &CostModel,
+) -> Result<(InterpMachine, InterpMetrics), interp::InterpError> {
+    let program = InterpProgram::flatten(graph, poly_words, mono_words);
+    let mut m = InterpMachine::new(&program, n_pe, n_pe);
+    let metrics = m.run(&program, costs, 100_000_000)?;
+    Ok((m, metrics))
+}

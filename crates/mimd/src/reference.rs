@@ -1,0 +1,512 @@
+//! Reference MIMD execution: every processor has its own program counter
+//! and walks the MIMD state graph directly, in lock-step cycle simulation.
+//!
+//! This is the *golden semantics* the meta-state-converted SIMD program
+//! must reproduce (§1.2: the meta-state automaton "is a SIMD program that
+//! preserves the relative timing properties of MIMD execution"), and the
+//! idealized-MIMD timing baseline for the experiments.
+
+use msc_ir::{CostModel, MimdGraph, Op, Space, StateId, Terminator};
+use std::fmt;
+
+/// Per-processor execution state.
+#[derive(Debug, Clone, PartialEq)]
+enum Proc {
+    /// Executing op `op_idx` of `state`, with `remaining` cycles to go on
+    /// it (0 remaining = about to apply its effect).
+    Running { state: StateId, op_idx: usize, remaining: u32 },
+    /// Reached a barrier-entry state; waiting for everyone (§2.6).
+    AtBarrier { state: StateId },
+    /// Process ended.
+    Halted,
+    /// Never started / returned to the pool.
+    Idle,
+}
+
+/// Run-time failures of the reference simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MimdError {
+    /// Operand stack underflow.
+    StackUnderflow {
+        /// The processor.
+        proc: usize,
+    },
+    /// Return-site stack underflow.
+    RetStackUnderflow {
+        /// The processor.
+        proc: usize,
+    },
+    /// Multiway-branch selector out of range.
+    BadSelector {
+        /// The processor.
+        proc: usize,
+        /// The selector.
+        selector: i64,
+    },
+    /// No idle processor available for a `spawn`.
+    SpawnOverflow {
+        /// The spawning processor.
+        proc: usize,
+    },
+    /// Cycle budget exceeded.
+    Watchdog {
+        /// The limit.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for MimdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MimdError::StackUnderflow { proc } => write!(f, "stack underflow on proc {proc}"),
+            MimdError::RetStackUnderflow { proc } => {
+                write!(f, "return stack underflow on proc {proc}")
+            }
+            MimdError::BadSelector { proc, selector } => {
+                write!(f, "bad return selector {selector} on proc {proc}")
+            }
+            MimdError::SpawnOverflow { proc } => {
+                write!(f, "no idle processor for spawn from proc {proc}")
+            }
+            MimdError::Watchdog { max_cycles } => {
+                write!(f, "exceeded {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MimdError {}
+
+/// Metrics from a reference run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MimdMetrics {
+    /// Wall-clock cycles until the last processor finished.
+    pub cycles: u64,
+    /// Σ over processors of cycles spent actually executing (not waiting
+    /// at barriers, not idle, not halted).
+    pub busy_cycles: u64,
+    /// Σ over processors of cycles spent waiting at barriers.
+    pub barrier_wait_cycles: u64,
+}
+
+impl MimdMetrics {
+    /// Busy fraction of the processors that were ever started.
+    pub fn utilization(&self, started: usize) -> f64 {
+        if self.cycles == 0 || started == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / (self.cycles as f64 * started as f64)
+    }
+}
+
+/// Configuration for a reference run.
+#[derive(Debug, Clone)]
+pub struct MimdConfig {
+    /// Processor count.
+    pub n_proc: usize,
+    /// How many start in the graph's start state; the rest are idle.
+    pub active_at_start: usize,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Cost model.
+    pub costs: CostModel,
+}
+
+impl MimdConfig {
+    /// All processors start live (SPMD).
+    pub fn spmd(n_proc: usize) -> Self {
+        MimdConfig {
+            n_proc,
+            active_at_start: n_proc,
+            max_cycles: 100_000_000,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+/// The reference multi-processor machine.
+#[derive(Debug, Clone)]
+pub struct MimdReference {
+    /// Processor count.
+    pub n_proc: usize,
+    /// Per-processor private memory.
+    pub poly: Vec<Vec<i64>>,
+    /// Shared memory (kept as one copy; `mono` stores update it).
+    pub mono: Vec<i64>,
+    stack: Vec<Vec<i64>>,
+    ret_stack: Vec<Vec<i64>>,
+    procs: Vec<Proc>,
+    /// Metrics of the last run.
+    pub metrics: MimdMetrics,
+}
+
+impl MimdReference {
+    /// Build a machine sized for `graph`'s memory needs.
+    pub fn new(poly_words: u32, mono_words: u32, config: &MimdConfig) -> Self {
+        let n = config.n_proc;
+        MimdReference {
+            n_proc: n,
+            poly: vec![vec![0; poly_words as usize]; n],
+            mono: vec![0; mono_words as usize],
+            stack: vec![Vec::new(); n],
+            ret_stack: vec![Vec::new(); n],
+            procs: vec![Proc::Idle; n],
+            metrics: MimdMetrics::default(),
+        }
+    }
+
+    /// Read processor `p`'s view of `addr`.
+    pub fn poly_at(&self, p: usize, addr: msc_ir::Addr) -> i64 {
+        match addr.space {
+            Space::Poly => self.poly[p][addr.index as usize],
+            Space::Mono => self.mono[addr.index as usize],
+        }
+    }
+
+    /// Run `graph` to completion.
+    pub fn run(&mut self, graph: &MimdGraph, config: &MimdConfig) -> Result<MimdMetrics, MimdError> {
+        let costs = &config.costs;
+        for p in 0..config.active_at_start.min(self.n_proc) {
+            self.procs[p] = self.enter_state(graph, graph.start);
+        }
+        loop {
+            // Termination: nobody running or waiting.
+            let any_active = self
+                .procs
+                .iter()
+                .any(|p| matches!(p, Proc::Running { .. } | Proc::AtBarrier { .. }));
+            if !any_active {
+                return Ok(self.metrics);
+            }
+            if self.metrics.cycles > config.max_cycles {
+                return Err(MimdError::Watchdog { max_cycles: config.max_cycles });
+            }
+
+            // Barrier release: every non-halted, non-idle processor waiting.
+            let all_at_barrier = self
+                .procs
+                .iter()
+                .filter(|p| matches!(p, Proc::Running { .. } | Proc::AtBarrier { .. }))
+                .all(|p| matches!(p, Proc::AtBarrier { .. }));
+            if all_at_barrier {
+                for i in 0..self.n_proc {
+                    if let Proc::AtBarrier { state } = self.procs[i] {
+                        self.procs[i] = self.resume_barrier(graph, state);
+                    }
+                }
+                continue;
+            }
+
+            // One lock-step cycle.
+            self.metrics.cycles += 1;
+            for p in 0..self.n_proc {
+                match &mut self.procs[p] {
+                    Proc::Idle | Proc::Halted => {}
+                    Proc::AtBarrier { .. } => {
+                        self.metrics.barrier_wait_cycles += 1;
+                    }
+                    Proc::Running { remaining, .. } => {
+                        self.metrics.busy_cycles += 1;
+                        if *remaining > 1 {
+                            *remaining -= 1;
+                        } else {
+                            self.complete_op(graph, p, costs)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Entering `state`: either start its first op, or (empty block) go
+    /// straight to its terminator. Barrier-entry states park the process.
+    fn enter_state(&mut self, graph: &MimdGraph, state: StateId) -> Proc {
+        if graph.state(state).barrier {
+            return Proc::AtBarrier { state };
+        }
+        self.resume_barrier(graph, state)
+    }
+
+    /// Start executing `state`'s body (used both on normal entry and on
+    /// barrier release).
+    fn resume_barrier(&mut self, _graph: &MimdGraph, state: StateId) -> Proc {
+        Proc::Running { state, op_idx: 0, remaining: 0 }
+    }
+
+    /// The current op of processor `p` finished its cycles: apply its
+    /// effect and advance (possibly through the terminator).
+    fn complete_op(
+        &mut self,
+        graph: &MimdGraph,
+        p: usize,
+        costs: &CostModel,
+    ) -> Result<(), MimdError> {
+        let Proc::Running { state, op_idx, remaining } = self.procs[p].clone() else {
+            unreachable!()
+        };
+        let st = graph.state(state);
+        if remaining == 0 {
+            // Starting a new op (or the terminator): charge its time.
+            if op_idx < st.ops.len() {
+                let cost = costs.op_cost(&st.ops[op_idx]).max(1);
+                if cost > 1 {
+                    self.procs[p] = Proc::Running { state, op_idx, remaining: cost - 1 };
+                    return Ok(());
+                }
+            }
+            // cost 1 (or terminator): fall through to apply now.
+        }
+        if op_idx < st.ops.len() {
+            self.apply_op(&st.ops[op_idx].clone(), p)?;
+            self.procs[p] = Proc::Running { state, op_idx: op_idx + 1, remaining: 0 };
+            // If that was the last op, the terminator runs next cycle.
+            return Ok(());
+        }
+        // Terminator.
+        match st.term.clone() {
+            Terminator::Halt => {
+                self.procs[p] = Proc::Halted;
+                self.stack[p].clear();
+                self.ret_stack[p].clear();
+            }
+            Terminator::Jump(next) => {
+                self.procs[p] = self.enter_state(graph, next);
+            }
+            Terminator::Branch { t, f } => {
+                let c = self.pop(p)?;
+                self.procs[p] = self.enter_state(graph, if c != 0 { t } else { f });
+            }
+            Terminator::Multi(targets) => {
+                let sel = self.pop(p)?;
+                let t = *targets
+                    .get(sel as usize)
+                    .ok_or(MimdError::BadSelector { proc: p, selector: sel })?;
+                self.procs[p] = self.enter_state(graph, t);
+            }
+            Terminator::Spawn { child, next } => {
+                let idle = (0..self.n_proc)
+                    .find(|&q| matches!(self.procs[q], Proc::Idle))
+                    .ok_or(MimdError::SpawnOverflow { proc: p })?;
+                self.poly[idle] = self.poly[p].clone();
+                self.stack[idle].clear();
+                self.ret_stack[idle].clear();
+                self.procs[idle] = self.enter_state(graph, child);
+                self.procs[p] = self.enter_state(graph, next);
+            }
+        }
+        Ok(())
+    }
+
+    fn pop(&mut self, p: usize) -> Result<i64, MimdError> {
+        self.stack[p].pop().ok_or(MimdError::StackUnderflow { proc: p })
+    }
+
+    fn apply_op(&mut self, op: &Op, p: usize) -> Result<(), MimdError> {
+        match op {
+            Op::Push(v) => self.stack[p].push(*v),
+            Op::PushF(b) => self.stack[p].push(*b as i64),
+            Op::Dup => {
+                let v = *self.stack[p].last().ok_or(MimdError::StackUnderflow { proc: p })?;
+                self.stack[p].push(v);
+            }
+            Op::Pop(n) => {
+                for _ in 0..*n {
+                    self.pop(p)?;
+                }
+            }
+            Op::Ld(a) => {
+                let v = match a.space {
+                    Space::Poly => self.poly[p][a.index as usize],
+                    Space::Mono => self.mono[a.index as usize],
+                };
+                self.stack[p].push(v);
+            }
+            Op::St(a) => {
+                let v = self.pop(p)?;
+                match a.space {
+                    Space::Poly => self.poly[p][a.index as usize] = v,
+                    Space::Mono => self.mono[a.index as usize] = v,
+                }
+            }
+            Op::LdRemote(a) => {
+                let idx = self.pop(p)?;
+                let src = (idx.rem_euclid(self.n_proc as i64)) as usize;
+                let v = self.poly[src][a.index as usize];
+                self.stack[p].push(v);
+            }
+            Op::StRemote(a) => {
+                let idx = self.pop(p)?;
+                let v = self.pop(p)?;
+                let dst = (idx.rem_euclid(self.n_proc as i64)) as usize;
+                self.poly[dst][a.index as usize] = v;
+            }
+            Op::Bin(b) => {
+                let rhs = self.pop(p)?;
+                let lhs = self.pop(p)?;
+                self.stack[p].push(b.apply(lhs, rhs));
+            }
+            Op::Un(u) => {
+                let v = self.pop(p)?;
+                self.stack[p].push(u.apply(v));
+            }
+            Op::PeId => self.stack[p].push(p as i64),
+            Op::NProc => self.stack[p].push(self.n_proc as i64),
+            Op::PushRet => {
+                let v = self.pop(p)?;
+                self.ret_stack[p].push(v);
+            }
+            Op::PopRet => {
+                let v = self.ret_stack[p].pop().ok_or(MimdError::RetStackUnderflow { proc: p })?;
+                self.stack[p].push(v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_lang::compile;
+
+    fn run_src(src: &str, n: usize) -> (MimdReference, msc_lang::Program) {
+        let p = compile(src).unwrap();
+        let cfg = MimdConfig::spmd(n);
+        let mut m = MimdReference::new(p.layout.poly_words, p.layout.mono_words, &cfg);
+        m.run(&p.graph, &cfg).unwrap();
+        (m, p)
+    }
+
+    #[test]
+    fn straight_line_per_pe() {
+        let (m, p) = run_src("main() { poly int x; x = pe_id() * 3 + 1; return(x); }", 5);
+        let ret = p.layout.main_ret.unwrap();
+        for pe in 0..5 {
+            assert_eq!(m.poly_at(pe, ret), pe as i64 * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn divergent_branches() {
+        let (m, p) = run_src(
+            r#"
+            main() {
+                poly int x;
+                if (pe_id() % 2) { x = 100; } else { x = 200; }
+                return(x);
+            }
+            "#,
+            4,
+        );
+        let ret = p.layout.main_ret.unwrap();
+        assert_eq!(m.poly_at(0, ret), 200);
+        assert_eq!(m.poly_at(1, ret), 100);
+        assert_eq!(m.poly_at(2, ret), 200);
+        assert_eq!(m.poly_at(3, ret), 100);
+    }
+
+    #[test]
+    fn loops_with_different_trip_counts() {
+        let (m, p) = run_src(
+            r#"
+            main() {
+                poly int i, acc = 0;
+                for (i = 0; i < pe_id(); i += 1) { acc += i; }
+                return(acc);
+            }
+            "#,
+            6,
+        );
+        let ret = p.layout.main_ret.unwrap();
+        for pe in 0..6i64 {
+            let expect = (0..pe).sum::<i64>();
+            assert_eq!(m.poly_at(pe as usize, ret), expect, "PE {pe}");
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        // Fast PEs must observe the mono value written by the slow PE
+        // before the barrier.
+        let (m, p) = run_src(
+            r#"
+            mono int shared;
+            main() {
+                poly int i, x = 0;
+                if (pe_id() == 0) {
+                    for (i = 0; i < 50; i += 1) { x += 1; }
+                    shared = 777;
+                }
+                wait;
+                return(shared);
+            }
+            "#,
+            4,
+        );
+        let ret = p.layout.main_ret.unwrap();
+        for pe in 0..4 {
+            assert_eq!(m.poly_at(pe, ret), 777, "PE {pe} ran past the barrier early");
+        }
+        assert!(m.metrics.barrier_wait_cycles > 0, "fast PEs must have waited");
+    }
+
+    #[test]
+    fn recursion_executes() {
+        let (m, p) = run_src(
+            r#"
+            int fact(int n) {
+                if (n <= 1) return 1;
+                return n * fact(n - 1);
+            }
+            main() { poly int x; x = fact(pe_id() + 1); return(x); }
+            "#,
+            5,
+        );
+        let ret = p.layout.main_ret.unwrap();
+        let facts = [1i64, 2, 6, 24, 120];
+        for (pe, want) in facts.iter().enumerate() {
+            assert_eq!(m.poly_at(pe, ret), *want, "fact({})", pe + 1);
+        }
+    }
+
+    #[test]
+    fn spawn_on_reference_machine() {
+        let src = r#"
+            void worker(int v) { poly int r; r = v * 2; }
+            main() { spawn worker(21); }
+        "#;
+        let p = compile(src).unwrap();
+        let cfg = MimdConfig { n_proc: 4, active_at_start: 2, ..MimdConfig::spmd(4) };
+        let mut m = MimdReference::new(p.layout.poly_words, p.layout.mono_words, &cfg);
+        m.run(&p.graph, &cfg).unwrap();
+        let r = p.layout.var("r").unwrap().addr;
+        let spawned_results: Vec<i64> = (0..4).map(|pe| m.poly_at(pe, r)).collect();
+        assert_eq!(spawned_results.iter().filter(|&&v| v == 42).count(), 2);
+    }
+
+    #[test]
+    fn watchdog_catches_nontermination() {
+        let p = compile("main() { poly int x = 1; do { x = 1; } while (x); }").unwrap();
+        let mut cfg = MimdConfig::spmd(2);
+        cfg.max_cycles = 5_000;
+        let mut m = MimdReference::new(p.layout.poly_words, p.layout.mono_words, &cfg);
+        assert_eq!(m.run(&p.graph, &cfg), Err(MimdError::Watchdog { max_cycles: 5_000 }));
+    }
+
+    #[test]
+    fn utilization_reflects_imbalance() {
+        let (m, _) = run_src(
+            r#"
+            main() {
+                poly int i, x = 0;
+                for (i = 0; i < pe_id() * 20 + 1; i += 1) { x += i; }
+                wait;
+                return(x);
+            }
+            "#,
+            8,
+        );
+        let u = m.metrics.utilization(8);
+        assert!(u > 0.0 && u < 1.0, "imbalanced loops + barrier ⇒ some waiting, got {u}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # msc-simd — the SIMD machine substrate
+//!
+//! A cycle-accounting simulator of a MasPar-MP-1-class SIMD array (the
+//! paper's target hardware, \[Bla90\]): one control unit holding the
+//! meta-state program, N processing elements with private `poly` memory and
+//! operand stacks, replicated `mono` memory with broadcast stores, a router
+//! for parallel subscripting, a `globalor` reduction network for aggregate
+//! `pc` collection (§3.2.3), and an idle-PE pool for restricted dynamic
+//! process creation (§3.2.5).
+//!
+//! * [`program`] — [`SimdProgram`]: the executable meta-state automaton
+//!   (guarded instruction bodies + hashed multiway dispatches).
+//! * [`machine`] — [`SimdMachine`]: the array itself, with the metrics
+//!   ([`Metrics`]) the experiments report: cycles by category, issue
+//!   counts, and PE utilization.
+
+pub mod asm;
+pub mod machine;
+pub mod program;
+
+pub use asm::{parse as parse_asm, serialize as serialize_asm, AsmError};
+pub use machine::{MachineConfig, Metrics, RunError, SimdMachine, TraceEvent};
+pub use program::{BlockId, Dispatch, GuardedInstr, MetaBlock, SimdInstr, SimdProgram};

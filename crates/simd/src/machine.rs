@@ -1,0 +1,977 @@
+//! The SIMD machine: a cycle-accounting simulator of a MasPar-MP-1-class
+//! array — one control unit, N processing elements with private memory and
+//! operand stacks, an enable mask, a `globalor` reduction network, and a
+//! router for parallel subscripting.
+//!
+//! This is the substrate substitution documented in DESIGN.md: the paper
+//! ran on real MP-1 hardware; the claims it makes are about *relative*
+//! cost structure (instruction issues, PE utilization, per-PE memory),
+//! which this simulator accounts for exactly.
+//!
+//! Execution semantics: within a meta block, instruction guards test the
+//! PE's `pc` *at block entry* while control instructions write a shadow
+//! `next_pc`, committed at the dispatch. (The paper's generated MPL relies
+//! on `BIT` disjointness for the same effect; the shadow register makes the
+//! guarantee explicit.) The dispatch computes the `globalor` aggregate of
+//! all live `pc` bits, applies the §3.2.4 barrier adjustment, and hashes
+//! into the jump table.
+
+use crate::program::{BlockId, Dispatch, SimdInstr, SimdProgram};
+use msc_ir::{Op, Space, StateId};
+use std::fmt;
+
+/// Run-time failures. All of these indicate either a malformed program
+/// (compiler bug — the integration tests assert they never fire on
+/// pipeline output) or resource exhaustion (`SpawnOverflow`, `Watchdog`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// `spawn` wanted more idle PEs than exist (§3.2.5's stated limit).
+    SpawnOverflow {
+        /// Meta block where the spawn ran.
+        block: BlockId,
+        /// PEs requested.
+        requested: usize,
+        /// Idle PEs available.
+        available: usize,
+    },
+    /// The dispatch aggregate matched no successor key.
+    UndefinedTransition {
+        /// Meta block that dispatched.
+        block: BlockId,
+        /// The aggregate that missed.
+        aggregate: u64,
+    },
+    /// A PE's `pc` held a state with no bit assignment at a dispatch.
+    UnmappedState {
+        /// Meta block that dispatched.
+        block: BlockId,
+        /// The unmapped state.
+        state: StateId,
+    },
+    /// Operand-stack underflow on some PE.
+    StackUnderflow {
+        /// The PE.
+        pe: usize,
+    },
+    /// Return-site stack underflow on some PE.
+    RetStackUnderflow {
+        /// The PE.
+        pe: usize,
+    },
+    /// `RetMulti` selector out of range.
+    BadSelector {
+        /// The PE.
+        pe: usize,
+        /// The selector value.
+        selector: i64,
+    },
+    /// Execution exceeded the cycle budget (non-termination guard).
+    Watchdog {
+        /// The configured limit.
+        max_cycles: u64,
+    },
+    /// Memory access out of the program's declared bounds.
+    BadAddress {
+        /// The PE.
+        pe: usize,
+        /// Offending word index.
+        index: i64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::SpawnOverflow { block, requested, available } => write!(
+                f,
+                "spawn in {block} requested {requested} PEs but only {available} are idle"
+            ),
+            RunError::UndefinedTransition { block, aggregate } => {
+                write!(f, "no transition from {block} for aggregate {aggregate:#b}")
+            }
+            RunError::UnmappedState { block, state } => {
+                write!(f, "state {state} has no aggregate bit at {block}'s dispatch")
+            }
+            RunError::StackUnderflow { pe } => write!(f, "operand stack underflow on PE {pe}"),
+            RunError::RetStackUnderflow { pe } => write!(f, "return stack underflow on PE {pe}"),
+            RunError::BadSelector { pe, selector } => {
+                write!(f, "return selector {selector} out of range on PE {pe}")
+            }
+            RunError::Watchdog { max_cycles } => {
+                write!(f, "execution exceeded {max_cycles} cycles")
+            }
+            RunError::BadAddress { pe, index } => {
+                write!(f, "PE {pe} accessed out-of-range word {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processing elements.
+    pub n_pe: usize,
+    /// How many PEs start as live processes in the program's start state;
+    /// the rest sit in the idle pool for `spawn` to recruit (§3.2.5:
+    /// "processing elements that are not in use would be given a 'pc'
+    /// value indicating that they are not in any meta state"). Defaults to
+    /// all of them (pure SPMD).
+    pub active_at_start: usize,
+    /// Cycle budget before [`RunError::Watchdog`].
+    pub max_cycles: u64,
+    /// Record a [`TraceEvent`] stream (block entries and dispatches) in
+    /// [`SimdMachine::trace`].
+    pub trace: bool,
+}
+
+impl MachineConfig {
+    /// All `n_pe` PEs live from the start (SPMD).
+    pub fn spmd(n_pe: usize) -> Self {
+        MachineConfig { n_pe, active_at_start: n_pe, max_cycles: 100_000_000, trace: false }
+    }
+
+    /// `active` live PEs, the rest idle (for spawn workloads).
+    pub fn with_pool(n_pe: usize, active: usize) -> Self {
+        MachineConfig {
+            n_pe,
+            active_at_start: active.min(n_pe),
+            max_cycles: 100_000_000,
+            trace: false,
+        }
+    }
+
+    /// Builder-style trace enable.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// One recorded execution event (when [`MachineConfig::trace`] is set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The control unit entered a meta block.
+    EnterBlock {
+        /// Which block.
+        block: BlockId,
+        /// Live (non-idle) PEs at entry.
+        live: usize,
+        /// Cycle counter at entry.
+        at_cycle: u64,
+    },
+    /// A dispatch chose the next block.
+    Dispatch {
+        /// The block dispatching.
+        from: BlockId,
+        /// Chosen successor (`None` = execution ended).
+        to: Option<BlockId>,
+        /// The aggregate key used (0 for direct dispatches).
+        aggregate: u64,
+    },
+}
+
+/// Execution metrics, split so utilization is computable the way §2.4
+/// discusses it (idle PE cycles inside meta-state bodies).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Total cycles: body + guard switches + dispatches.
+    pub cycles: u64,
+    /// Cycles spent issuing body instructions.
+    pub body_cycles: u64,
+    /// Cycles spent switching PE enable masks.
+    pub guard_cycles: u64,
+    /// Cycles spent in `globalor` + hashed dispatch.
+    pub dispatch_cycles: u64,
+    /// Instructions issued by the control unit.
+    pub issues: u64,
+    /// Meta-state transitions taken.
+    pub dispatches: u64,
+    /// Σ (enabled PEs × instruction cost) over all issues — the useful
+    /// work actually performed.
+    pub enabled_pe_cycles: u64,
+    /// Σ (live PEs × instruction cost) over all issues — the work the
+    /// array *could* have performed with live processes.
+    pub live_pe_cycles: u64,
+}
+
+impl Metrics {
+    /// PE utilization inside meta-state bodies: useful work / (live PEs ×
+    /// body cycles). This is the quantity the §2.4 example bounds at 5%
+    /// for an unsplit 5-vs-100-cycle meta state.
+    pub fn utilization(&self) -> f64 {
+        if self.live_pe_cycles == 0 {
+            return 0.0;
+        }
+        self.enabled_pe_cycles as f64 / self.live_pe_cycles as f64
+    }
+}
+
+/// The SIMD machine state.
+#[derive(Debug, Clone)]
+pub struct SimdMachine {
+    /// Number of PEs.
+    pub n_pe: usize,
+    /// Per-PE private (`poly`) memory.
+    pub poly: Vec<Vec<i64>>,
+    /// Replicated shared (`mono`) memory — modeled once, since every
+    /// replica is kept identical by broadcast stores.
+    pub mono: Vec<i64>,
+    /// Per-PE operand stacks.
+    pub stack: Vec<Vec<i64>>,
+    /// Per-PE return-site stacks (§2.2 machinery).
+    pub ret_stack: Vec<Vec<i64>>,
+    /// Per-PE current MIMD state; `None` = idle pool.
+    pub pc: Vec<Option<StateId>>,
+    /// Execution metrics.
+    pub metrics: Metrics,
+    /// Visit count per meta block (profiling aid for the experiments).
+    pub visits: Vec<u64>,
+    /// Recorded events, when tracing is enabled.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimdMachine {
+    /// Build a machine for `program` under `config`.
+    pub fn new(program: &SimdProgram, config: &MachineConfig) -> Self {
+        let n = config.n_pe;
+        let mut pc = vec![None; n];
+        for slot in pc.iter_mut().take(config.active_at_start) {
+            *slot = Some(program.start_state);
+        }
+        SimdMachine {
+            n_pe: n,
+            poly: vec![vec![0; program.poly_words as usize]; n],
+            mono: vec![0; program.mono_words as usize],
+            stack: vec![Vec::new(); n],
+            ret_stack: vec![Vec::new(); n],
+            pc,
+            metrics: Metrics::default(),
+            visits: vec![0; program.blocks.len()],
+            trace: Vec::new(),
+        }
+    }
+
+    /// Read PE `pe`'s poly word at `addr` (testing/inspection aid).
+    pub fn poly_at(&self, pe: usize, addr: msc_ir::Addr) -> i64 {
+        match addr.space {
+            Space::Poly => self.poly[pe][addr.index as usize],
+            Space::Mono => self.mono[addr.index as usize],
+        }
+    }
+
+    /// Number of currently idle PEs.
+    pub fn idle_count(&self) -> usize {
+        self.pc.iter().filter(|p| p.is_none()).count()
+    }
+
+    /// Run `program` to completion (all PEs halted). Returns the metrics
+    /// (also retained in `self.metrics`).
+    pub fn run(&mut self, program: &SimdProgram, config: &MachineConfig) -> Result<Metrics, RunError> {
+        let costs = &program.costs;
+        let mut cur = program.start;
+        // All PEs already idle? Nothing to run.
+        if self.pc.iter().all(|p| p.is_none()) {
+            return Ok(self.metrics);
+        }
+        loop {
+            if self.metrics.cycles > config.max_cycles {
+                return Err(RunError::Watchdog { max_cycles: config.max_cycles });
+            }
+            let block = program.block(cur);
+            self.visits[cur.idx()] += 1;
+
+            let live: usize = self.pc.iter().filter(|p| p.is_some()).count();
+            if config.trace {
+                self.trace.push(TraceEvent::EnterBlock {
+                    block: cur,
+                    live,
+                    at_cycle: self.metrics.cycles,
+                });
+            }
+            let entry_pc: Vec<Option<StateId>> = self.pc.clone();
+            let mut next_pc = entry_pc.clone();
+            let mut last_guard: Option<&[StateId]> = None;
+
+            for gi in &block.body {
+                let cost = gi.instr.cost(costs) as u64;
+                // The control unit broadcasts every instruction whether or
+                // not any PE is enabled — this is exactly the inefficiency
+                // wide (compressed) meta states pay (§2.5).
+                self.metrics.cycles += cost;
+                self.metrics.body_cycles += cost;
+                self.metrics.issues += 1;
+                if last_guard != Some(gi.guard.as_slice()) {
+                    self.metrics.cycles += costs.guard_switch as u64;
+                    self.metrics.guard_cycles += costs.guard_switch as u64;
+                    last_guard = Some(gi.guard.as_slice());
+                }
+                let enabled: Vec<usize> = (0..self.n_pe)
+                    .filter(|&pe| entry_pc[pe].map(|s| gi.enables(s)).unwrap_or(false))
+                    .collect();
+                self.metrics.enabled_pe_cycles += enabled.len() as u64 * cost;
+                self.metrics.live_pe_cycles += live as u64 * cost;
+                self.exec(&gi.instr, &enabled, &mut next_pc, cur)?;
+            }
+
+            // Commit the shadow pcs.
+            self.pc = next_pc;
+
+            // Dispatch (§3.2): a single exit arc is a plain goto
+            // (§3.2.2, one cheap cycle); multiway exits pay the
+            // globalor + hashed-branch price (§3.2.3).
+            let dcost = match &block.dispatch {
+                Dispatch::End | Dispatch::Direct(_) => costs.stack as u64,
+                Dispatch::DirectWithBarrier { .. } | Dispatch::Hashed { .. } => {
+                    costs.dispatch as u64
+                }
+            };
+            self.metrics.cycles += dcost;
+            self.metrics.dispatch_cycles += dcost;
+            self.metrics.dispatches += 1;
+
+            if self.pc.iter().all(|p| p.is_none()) {
+                if config.trace {
+                    self.trace.push(TraceEvent::Dispatch { from: cur, to: None, aggregate: 0 });
+                }
+                return Ok(self.metrics); // every process ended
+            }
+            let prev = cur;
+            cur = match &block.dispatch {
+                Dispatch::End => {
+                    // Terminal block, but some PE still live: that PE was
+                    // spawned/looping into nowhere — treat as undefined.
+                    return Err(RunError::UndefinedTransition { block: cur, aggregate: 0 });
+                }
+                Dispatch::Direct(t) => *t,
+                Dispatch::DirectWithBarrier { cont, barrier } => {
+                    let all_at_barrier = self.pc.iter().flatten().all(|s| {
+                        program
+                            .block(*barrier)
+                            .members
+                            .binary_search(s)
+                            .is_ok()
+                    });
+                    if all_at_barrier {
+                        *barrier
+                    } else {
+                        *cont
+                    }
+                }
+                Dispatch::Hashed { bit_of, barrier_mask, hash, targets } => {
+                    // globalor of live pc bits.
+                    let mut aggregate = 0u64;
+                    for s in self.pc.iter().flatten() {
+                        let bit = bit_of
+                            .iter()
+                            .find(|(st, _)| st == s)
+                            .map(|(_, b)| *b)
+                            .ok_or(RunError::UnmappedState { block: cur, state: *s })?;
+                        aggregate |= 1 << bit;
+                    }
+                    // §3.2.4: unless everyone is at the barrier, PEs that
+                    // reached it are excluded from the transition key.
+                    let key = if aggregate & !barrier_mask == 0 {
+                        aggregate
+                    } else {
+                        aggregate & !barrier_mask
+                    };
+                    let idx = hash
+                        .lookup(key)
+                        .ok_or(RunError::UndefinedTransition { block: cur, aggregate: key })?;
+                    targets[idx as usize]
+                }
+            };
+            if config.trace {
+                self.trace.push(TraceEvent::Dispatch {
+                    from: prev,
+                    to: Some(cur),
+                    aggregate: 0,
+                });
+            }
+        }
+    }
+
+    fn exec(
+        &mut self,
+        instr: &SimdInstr,
+        enabled: &[usize],
+        next_pc: &mut [Option<StateId>],
+        block: BlockId,
+    ) -> Result<(), RunError> {
+        match instr {
+            SimdInstr::Op(op) => self.exec_op(op, enabled),
+            SimdInstr::JumpF { t, f } => {
+                for &pe in enabled {
+                    let c = self.pop(pe)?;
+                    next_pc[pe] = Some(if c != 0 { *t } else { *f });
+                }
+                Ok(())
+            }
+            SimdInstr::SetPc(s) => {
+                for &pe in enabled {
+                    next_pc[pe] = Some(*s);
+                }
+                Ok(())
+            }
+            SimdInstr::Halt => {
+                for &pe in enabled {
+                    next_pc[pe] = None;
+                    self.stack[pe].clear();
+                    self.ret_stack[pe].clear();
+                }
+                Ok(())
+            }
+            SimdInstr::RetMulti(targets) => {
+                for &pe in enabled {
+                    let sel = self.pop(pe)?;
+                    let t = targets
+                        .get(sel as usize)
+                        .ok_or(RunError::BadSelector { pe, selector: sel })?;
+                    next_pc[pe] = Some(*t);
+                }
+                Ok(())
+            }
+            SimdInstr::Spawn { child, next } => {
+                // Recruit one idle PE per spawner; idle = no pc now and not
+                // being recruited in this very instruction.
+                let mut idle: Vec<usize> = (0..self.n_pe)
+                    .filter(|&pe| self.pc[pe].is_none() && next_pc[pe].is_none())
+                    .collect();
+                if idle.len() < enabled.len() {
+                    return Err(RunError::SpawnOverflow {
+                        block,
+                        requested: enabled.len(),
+                        available: idle.len(),
+                    });
+                }
+                for &pe in enabled {
+                    let recruit = idle.remove(0);
+                    // The child starts with a copy of the parent's poly
+                    // memory (parameters were stored there by the parent).
+                    self.poly[recruit] = self.poly[pe].clone();
+                    self.stack[recruit].clear();
+                    self.ret_stack[recruit].clear();
+                    next_pc[recruit] = Some(*child);
+                    next_pc[pe] = Some(*next);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn pop(&mut self, pe: usize) -> Result<i64, RunError> {
+        self.stack[pe].pop().ok_or(RunError::StackUnderflow { pe })
+    }
+
+    fn exec_op(&mut self, op: &Op, enabled: &[usize]) -> Result<(), RunError> {
+        match op {
+            Op::Push(v) => {
+                for &pe in enabled {
+                    self.stack[pe].push(*v);
+                }
+            }
+            Op::PushF(bits) => {
+                for &pe in enabled {
+                    self.stack[pe].push(*bits as i64);
+                }
+            }
+            Op::Dup => {
+                for &pe in enabled {
+                    let v = *self.stack[pe].last().ok_or(RunError::StackUnderflow { pe })?;
+                    self.stack[pe].push(v);
+                }
+            }
+            Op::Pop(n) => {
+                for &pe in enabled {
+                    for _ in 0..*n {
+                        self.pop(pe)?;
+                    }
+                }
+            }
+            Op::Ld(addr) => {
+                for &pe in enabled {
+                    let v = match addr.space {
+                        Space::Poly => self.poly[pe][addr.index as usize],
+                        Space::Mono => self.mono[addr.index as usize],
+                    };
+                    self.stack[pe].push(v);
+                }
+            }
+            Op::St(addr) => match addr.space {
+                Space::Poly => {
+                    for &pe in enabled {
+                        let v = self.pop(pe)?;
+                        self.poly[pe][addr.index as usize] = v;
+                    }
+                }
+                Space::Mono => {
+                    // Broadcast store: every enabled PE writes; the
+                    // highest-numbered enabled PE's value lands last
+                    // (deterministic tie-break, documented).
+                    for &pe in enabled {
+                        let v = self.pop(pe)?;
+                        self.mono[addr.index as usize] = v;
+                    }
+                }
+            },
+            Op::LdRemote(addr) => {
+                // All enabled PEs fetch simultaneously (reads don't race).
+                let mut fetched = Vec::with_capacity(enabled.len());
+                for &pe in enabled {
+                    let idx = self.pop(pe)?;
+                    let src = self.wrap_pe(idx);
+                    fetched.push((pe, self.poly[src][addr.index as usize]));
+                }
+                for (pe, v) in fetched {
+                    self.stack[pe].push(v);
+                }
+            }
+            Op::StRemote(addr) => {
+                // Gather all (target, value) pairs against the pre-write
+                // state, then apply; write conflicts resolve to the
+                // highest-numbered writer (deterministic router policy).
+                let mut writes = Vec::with_capacity(enabled.len());
+                for &pe in enabled {
+                    let idx = self.pop(pe)?;
+                    let v = self.pop(pe)?;
+                    writes.push((self.wrap_pe(idx), v));
+                }
+                for (target, v) in writes {
+                    self.poly[target][addr.index as usize] = v;
+                }
+            }
+            Op::Bin(b) => {
+                for &pe in enabled {
+                    let rhs = self.pop(pe)?;
+                    let lhs = self.pop(pe)?;
+                    self.stack[pe].push(b.apply(lhs, rhs));
+                }
+            }
+            Op::Un(u) => {
+                for &pe in enabled {
+                    let v = self.pop(pe)?;
+                    self.stack[pe].push(u.apply(v));
+                }
+            }
+            Op::PeId => {
+                for &pe in enabled {
+                    self.stack[pe].push(pe as i64);
+                }
+            }
+            Op::NProc => {
+                for &pe in enabled {
+                    self.stack[pe].push(self.n_pe as i64);
+                }
+            }
+            Op::PushRet => {
+                for &pe in enabled {
+                    let v = self.pop(pe)?;
+                    self.ret_stack[pe].push(v);
+                }
+            }
+            Op::PopRet => {
+                for &pe in enabled {
+                    let v =
+                        self.ret_stack[pe].pop().ok_or(RunError::RetStackUnderflow { pe })?;
+                    self.stack[pe].push(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// PE indices wrap modulo N (the MP-1 router's toroidal addressing).
+    fn wrap_pe(&self, idx: i64) -> usize {
+        (idx.rem_euclid(self.n_pe as i64)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{GuardedInstr, MetaBlock};
+    use msc_ir::{Addr, BinOp, CostModel};
+
+    /// A one-block program: every PE computes pe_id()*2 + 1 into poly[0],
+    /// then halts.
+    fn trivial_program() -> SimdProgram {
+        let s0 = StateId(0);
+        let body = vec![
+            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::PeId) },
+            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(2)) },
+            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Bin(BinOp::Mul)) },
+            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(1)) },
+            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Bin(BinOp::Add)) },
+            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::St(Addr::poly(0))) },
+            GuardedInstr { guard: vec![s0], instr: SimdInstr::Halt },
+        ];
+        SimdProgram {
+            blocks: vec![MetaBlock {
+                members: vec![s0],
+                name: "ms_0".into(),
+                body,
+                dispatch: Dispatch::End,
+            }],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 1,
+            mono_words: 0,
+            costs: CostModel::default(),
+        }
+    }
+
+    #[test]
+    fn trivial_program_computes_per_pe() {
+        let p = trivial_program();
+        p.validate().unwrap();
+        let cfg = MachineConfig::spmd(8);
+        let mut m = SimdMachine::new(&p, &cfg);
+        let metrics = m.run(&p, &cfg).unwrap();
+        for pe in 0..8 {
+            assert_eq!(m.poly_at(pe, Addr::poly(0)), pe as i64 * 2 + 1);
+        }
+        assert_eq!(metrics.dispatches, 1);
+        assert!(metrics.cycles > 0);
+        assert!((metrics.utilization() - 1.0).abs() < 1e-12, "all PEs always enabled");
+    }
+
+    #[test]
+    fn two_block_branching_program() {
+        // Block ms_0: each PE pushes (pe_id < 2), JumpF(f=s2, t=s1).
+        // ms_1: poly[0] = 111 then halt; ms_2: poly[0] = 222 then halt.
+        // Conversion-style meta states: here we hand-build the *base* form
+        // where {s1,s2} is one meta block with two guarded bodies.
+        let (s0, s1, s2) = (StateId(0), StateId(1), StateId(2));
+        let b0 = MetaBlock {
+            members: vec![s0],
+            name: "ms_0".into(),
+            body: vec![
+                GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::PeId) },
+                GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(2)) },
+                GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Bin(BinOp::Lt)) },
+                GuardedInstr { guard: vec![s0], instr: SimdInstr::JumpF { t: s1, f: s2 } },
+            ],
+            dispatch: Dispatch::Hashed {
+                bit_of: vec![(s1, 1), (s2, 2)],
+                barrier_mask: 0,
+                hash: msc_hash::find_hash(&[0b010, 0b100, 0b110]).unwrap(),
+                targets: vec![BlockId(1), BlockId(1), BlockId(1)],
+            },
+        };
+        let b1 = MetaBlock {
+            members: vec![s1, s2],
+            name: "ms_1_2".into(),
+            body: vec![
+                GuardedInstr { guard: vec![s1], instr: SimdInstr::Op(Op::Push(111)) },
+                GuardedInstr { guard: vec![s2], instr: SimdInstr::Op(Op::Push(222)) },
+                GuardedInstr {
+                    guard: vec![s1, s2],
+                    instr: SimdInstr::Op(Op::St(Addr::poly(0))),
+                },
+                GuardedInstr { guard: vec![s1, s2], instr: SimdInstr::Halt },
+            ],
+            dispatch: Dispatch::End,
+        };
+        let p = SimdProgram {
+            blocks: vec![b0, b1],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 1,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        p.validate().unwrap();
+        let cfg = MachineConfig::spmd(4);
+        let mut m = SimdMachine::new(&p, &cfg);
+        m.run(&p, &cfg).unwrap();
+        assert_eq!(m.poly_at(0, Addr::poly(0)), 111);
+        assert_eq!(m.poly_at(1, Addr::poly(0)), 111);
+        assert_eq!(m.poly_at(2, Addr::poly(0)), 222);
+        assert_eq!(m.poly_at(3, Addr::poly(0)), 222);
+        // Utilization < 1: the divergent pushes idle half the PEs each.
+        assert!(m.metrics.utilization() < 1.0);
+    }
+
+    #[test]
+    fn idle_pool_and_machine_setup() {
+        let p = trivial_program();
+        let cfg = MachineConfig::with_pool(8, 3);
+        let m = SimdMachine::new(&p, &cfg);
+        assert_eq!(m.idle_count(), 5);
+    }
+
+    #[test]
+    fn watchdog_fires_on_infinite_loop() {
+        let s0 = StateId(0);
+        let p = SimdProgram {
+            blocks: vec![MetaBlock {
+                members: vec![s0],
+                name: "ms_0".into(),
+                body: vec![GuardedInstr { guard: vec![s0], instr: SimdInstr::SetPc(s0) }],
+                dispatch: Dispatch::Direct(BlockId(0)),
+            }],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 0,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        let mut cfg = MachineConfig::spmd(2);
+        cfg.max_cycles = 10_000;
+        let mut m = SimdMachine::new(&p, &cfg);
+        assert_eq!(m.run(&p, &cfg), Err(RunError::Watchdog { max_cycles: 10_000 }));
+    }
+
+    #[test]
+    fn stack_underflow_detected() {
+        let s0 = StateId(0);
+        let p = SimdProgram {
+            blocks: vec![MetaBlock {
+                members: vec![s0],
+                name: "ms_0".into(),
+                body: vec![GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::Op(Op::Pop(1)),
+                }],
+                dispatch: Dispatch::End,
+            }],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 0,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        let cfg = MachineConfig::spmd(1);
+        let mut m = SimdMachine::new(&p, &cfg);
+        assert_eq!(m.run(&p, &cfg), Err(RunError::StackUnderflow { pe: 0 }));
+    }
+
+    #[test]
+    fn remote_ops_route_between_pes() {
+        // Every PE stores pe_id into poly[0], then reads neighbour
+        // (pe_id+1) mod N into poly[1].
+        let s0 = StateId(0);
+        let g = |instr| GuardedInstr { guard: vec![s0], instr };
+        let p = SimdProgram {
+            blocks: vec![MetaBlock {
+                members: vec![s0],
+                name: "ms_0".into(),
+                body: vec![
+                    g(SimdInstr::Op(Op::PeId)),
+                    g(SimdInstr::Op(Op::St(Addr::poly(0)))),
+                    g(SimdInstr::Op(Op::PeId)),
+                    g(SimdInstr::Op(Op::Push(1))),
+                    g(SimdInstr::Op(Op::Bin(BinOp::Add))),
+                    g(SimdInstr::Op(Op::LdRemote(Addr::poly(0)))),
+                    g(SimdInstr::Op(Op::St(Addr::poly(1)))),
+                    g(SimdInstr::Halt),
+                ],
+                dispatch: Dispatch::End,
+            }],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 2,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        let cfg = MachineConfig::spmd(4);
+        let mut m = SimdMachine::new(&p, &cfg);
+        m.run(&p, &cfg).unwrap();
+        for pe in 0..4 {
+            assert_eq!(m.poly_at(pe, Addr::poly(1)), ((pe + 1) % 4) as i64);
+        }
+    }
+
+    #[test]
+    fn spawn_recruits_idle_pes() {
+        let (s0, s1) = (StateId(0), StateId(1));
+        let p = SimdProgram {
+            blocks: vec![
+                MetaBlock {
+                    members: vec![s0],
+                    name: "ms_0".into(),
+                    body: vec![
+                        GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(42)) },
+                        GuardedInstr {
+                            guard: vec![s0],
+                            instr: SimdInstr::Op(Op::St(Addr::poly(0))),
+                        },
+                        GuardedInstr {
+                            guard: vec![s0],
+                            instr: SimdInstr::Spawn { child: s1, next: s1 },
+                        },
+                    ],
+                    dispatch: Dispatch::Direct(BlockId(1)),
+                },
+                MetaBlock {
+                    members: vec![s1],
+                    name: "ms_1".into(),
+                    body: vec![
+                        GuardedInstr { guard: vec![s1], instr: SimdInstr::Op(Op::Push(7)) },
+                        GuardedInstr {
+                            guard: vec![s1],
+                            instr: SimdInstr::Op(Op::St(Addr::poly(1))),
+                        },
+                        GuardedInstr { guard: vec![s1], instr: SimdInstr::Halt },
+                    ],
+                    dispatch: Dispatch::End,
+                },
+            ],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 2,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        p.validate().unwrap();
+        let cfg = MachineConfig::with_pool(4, 2);
+        let mut m = SimdMachine::new(&p, &cfg);
+        m.run(&p, &cfg).unwrap();
+        // The two recruited PEs inherited poly[0]=42 and ran the child.
+        let spawned: Vec<usize> =
+            (2..4).filter(|&pe| m.poly_at(pe, Addr::poly(1)) == 7).collect();
+        assert_eq!(spawned.len(), 2);
+        for &pe in &spawned {
+            assert_eq!(m.poly_at(pe, Addr::poly(0)), 42, "child copies parent poly memory");
+        }
+    }
+
+    #[test]
+    fn spawn_overflow_errors() {
+        let (s0, s1) = (StateId(0), StateId(1));
+        let p = SimdProgram {
+            blocks: vec![MetaBlock {
+                members: vec![s0],
+                name: "ms_0".into(),
+                body: vec![GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::Spawn { child: s1, next: s1 },
+                }],
+                dispatch: Dispatch::End,
+            }],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 0,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        let cfg = MachineConfig::spmd(2); // no idle PEs
+        let mut m = SimdMachine::new(&p, &cfg);
+        assert!(matches!(m.run(&p, &cfg), Err(RunError::SpawnOverflow { .. })));
+    }
+
+    #[test]
+    fn mono_store_broadcasts() {
+        let s0 = StateId(0);
+        let g = |instr| GuardedInstr { guard: vec![s0], instr };
+        let p = SimdProgram {
+            blocks: vec![MetaBlock {
+                members: vec![s0],
+                name: "ms_0".into(),
+                body: vec![
+                    g(SimdInstr::Op(Op::PeId)),
+                    g(SimdInstr::Op(Op::St(Addr::mono(0)))),
+                    g(SimdInstr::Op(Op::Ld(Addr::mono(0)))),
+                    g(SimdInstr::Op(Op::St(Addr::poly(0)))),
+                    g(SimdInstr::Halt),
+                ],
+                dispatch: Dispatch::End,
+            }],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 1,
+            mono_words: 1,
+            costs: CostModel::default(),
+        };
+        let cfg = MachineConfig::spmd(4);
+        let mut m = SimdMachine::new(&p, &cfg);
+        m.run(&p, &cfg).unwrap();
+        // Last writer (PE 3) wins; all PEs then read the same replica.
+        for pe in 0..4 {
+            assert_eq!(m.poly_at(pe, Addr::poly(0)), 3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::program::{Dispatch, GuardedInstr, MetaBlock, SimdProgram};
+    use msc_ir::{CostModel, Op};
+
+    #[test]
+    fn trace_records_blocks_and_dispatches() {
+        let s0 = StateId(0);
+        let s1 = StateId(1);
+        let p = SimdProgram {
+            blocks: vec![
+                MetaBlock {
+                    members: vec![s0],
+                    name: "ms_0".into(),
+                    body: vec![
+                        GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(1)) },
+                        GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Pop(1)) },
+                        GuardedInstr { guard: vec![s0], instr: SimdInstr::SetPc(s1) },
+                    ],
+                    dispatch: Dispatch::Direct(BlockId(1)),
+                },
+                MetaBlock {
+                    members: vec![s1],
+                    name: "ms_1".into(),
+                    body: vec![GuardedInstr { guard: vec![s1], instr: SimdInstr::Halt }],
+                    dispatch: Dispatch::End,
+                },
+            ],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 0,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        let cfg = MachineConfig::spmd(2).with_trace();
+        let mut m = SimdMachine::new(&p, &cfg);
+        m.run(&p, &cfg).unwrap();
+        assert_eq!(
+            m.trace,
+            vec![
+                TraceEvent::EnterBlock { block: BlockId(0), live: 2, at_cycle: 0 },
+                TraceEvent::Dispatch { from: BlockId(0), to: Some(BlockId(1)), aggregate: 0 },
+                TraceEvent::EnterBlock {
+                    block: BlockId(1),
+                    live: 2,
+                    at_cycle: m.trace.iter().find_map(|e| match e {
+                        TraceEvent::EnterBlock { block: BlockId(1), at_cycle, .. } =>
+                            Some(*at_cycle),
+                        _ => None,
+                    }).unwrap()
+                },
+                TraceEvent::Dispatch { from: BlockId(1), to: None, aggregate: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_off_records_nothing() {
+        let s0 = StateId(0);
+        let p = SimdProgram {
+            blocks: vec![MetaBlock {
+                members: vec![s0],
+                name: "ms_0".into(),
+                body: vec![GuardedInstr { guard: vec![s0], instr: SimdInstr::Halt }],
+                dispatch: Dispatch::End,
+            }],
+            start: BlockId(0),
+            start_state: s0,
+            poly_words: 0,
+            mono_words: 0,
+            costs: CostModel::default(),
+        };
+        let cfg = MachineConfig::spmd(1);
+        let mut m = SimdMachine::new(&p, &cfg);
+        m.run(&p, &cfg).unwrap();
+        assert!(m.trace.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Recursive function calls through inline expansion (§2.2, the paper's
+//! Listing 2 pattern): `return` statements become multiway branches over
+//! the statically-computed set of return sites, selected at run time by a
+//! per-PE return-site stack.
+//!
+//! Every PE computes a different recursive workload simultaneously — MIMD
+//! control flow with recursion, running on SIMD hardware with one program
+//! counter.
+//!
+//! ```text
+//! cargo run --example recursive_calls
+//! ```
+
+use metastate::{ConvertMode, Pipeline};
+use msc_ir::Terminator;
+
+const SRC: &str = r#"
+    int ackermann_ish(int m, int n) {
+        /* A tamed two-argument recursion (true Ackermann explodes). */
+        if (m == 0) return n + 1;
+        if (n == 0) return ackermann_ish(m - 1, 1);
+        return ackermann_ish(m - 1, n - 1) + 1;
+    }
+
+    int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+
+    main() {
+        poly int x;
+        if (pe_id() % 2) { x = fib(pe_id() % 7 + 1); }
+        else             { x = ackermann_ish(2, pe_id() % 4); }
+        return(x);
+    }
+"#;
+
+fn main() {
+    let built = Pipeline::new(SRC).mode(ConvertMode::Compressed).build().expect("pipeline");
+
+    // Show the §2.2 machinery in the MIMD graph: multiway return branches.
+    let g = &built.compiled.graph;
+    println!("MIMD graph: {} states", g.len());
+    for id in g.ids() {
+        if let Terminator::Multi(targets) = &g.state(id).term {
+            println!(
+                "  {id}: multiway return branch over {} statically-known return sites",
+                targets.len()
+            );
+        }
+    }
+    println!("meta states: {}\n", built.automaton.len());
+
+    let n_pe = 10;
+    let out = built.run(n_pe).expect("run");
+    let ret = built.ret_addr().unwrap();
+
+    fn fib(n: i64) -> i64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    fn ack(m: i64, n: i64) -> i64 {
+        if m == 0 {
+            n + 1
+        } else if n == 0 {
+            ack(m - 1, 1)
+        } else {
+            ack(m - 1, n - 1) + 1
+        }
+    }
+
+    println!("PE | workload             | SIMD result | host check");
+    for pe in 0..n_pe as i64 {
+        let (label, expect) = if pe % 2 == 1 {
+            (format!("fib({})", pe % 7 + 1), fib(pe % 7 + 1))
+        } else {
+            (format!("ackermann_ish(2,{})", pe % 4), ack(2, pe % 4))
+        };
+        let got = out.machine.poly_at(pe as usize, ret);
+        assert_eq!(got, expect, "PE {pe}");
+        println!("{pe:2} | {label:20} | {got:11} | {expect} ✓");
+    }
+    println!(
+        "\ncycles={}, utilization={:.1}%",
+        out.metrics.cycles,
+        out.metrics.utilization() * 100.0
+    );
+}

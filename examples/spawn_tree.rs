@@ -1,0 +1,68 @@
+//! Restricted dynamic process creation (§3.2.5): a coordinator process
+//! spawns workers out of the idle-PE pool; each worker computes and then
+//! `halt`s, returning its PE to the pool.
+//!
+//! "Initially, processing elements that are not in use would be given a
+//! 'pc' value indicating that they are not in any meta state. When a
+//! spawn(x) instruction is reached by N processing elements … N
+//! currently-disabled processing elements are selected and their pc values
+//! are set to x."
+//!
+//! ```text
+//! cargo run --example spawn_tree
+//! ```
+
+use metastate::{ConvertMode, Pipeline};
+use msc_simd::MachineConfig;
+
+const SRC: &str = r#"
+    void worker(int seed) {
+        poly int r, i;
+        r = 0;
+        for (i = 1; i <= seed; i += 1) {
+            r += i * seed;
+        }
+        /* falling off the end of a spawned process = halt: the PE
+           returns to the free pool */
+    }
+
+    main() {
+        poly int me = pe_id();
+        /* Two generations of workers from the two live coordinators. */
+        spawn worker(me + 2);
+        spawn worker(me + 10);
+    }
+"#;
+
+fn main() {
+    let n_pe = 8;
+    let live = 2; // two coordinators; six PEs idle in the pool
+
+    let built = Pipeline::new(SRC).mode(ConvertMode::Base).build().expect("pipeline");
+
+    println!("=== Meta-state automaton (spawn arcs take both paths) ===");
+    println!("{}", built.automaton_text());
+
+    let cfg = MachineConfig::with_pool(n_pe, live);
+    let out = built.run_with(cfg).expect("run");
+
+    let r = built.compiled.layout.var("r").expect("worker result var").addr;
+    println!("{n_pe} PEs, {live} live coordinators, {} initially idle\n", n_pe - live);
+    println!("PE | worker result r");
+    for pe in 0..n_pe {
+        let v = out.machine.poly_at(pe, r);
+        let role = if pe < live { "coordinator" } else if v != 0 { "worker" } else { "unused" };
+        println!("{pe:2} | {v:6}  ({role})");
+    }
+
+    // Four workers ran: seeds 2, 3 (first generation), 12, 11 (second).
+    let results: Vec<i64> =
+        (live..n_pe).map(|pe| out.machine.poly_at(pe, r)).filter(|&v| v != 0).collect();
+    assert_eq!(results.len(), 4, "two coordinators × two spawns");
+    println!(
+        "\n{} workers completed; {} PEs back in the idle pool; cycles={}",
+        results.len(),
+        out.machine.idle_count(),
+        out.metrics.cycles
+    );
+}

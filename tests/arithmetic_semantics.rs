@@ -1,0 +1,169 @@
+//! Arithmetic edge-case semantics, pinned across every execution mode:
+//! the simulated machine's defined behaviours (div/rem by zero → 0,
+//! wrapping shifts, float→int truncation, non-short-circuit logicals)
+//! must be identical in the MIMD reference, both MSC modes, and the
+//! interpreter — otherwise "duplicating MIMD execution" (§1) would only
+//! hold for well-behaved programs.
+
+mod common;
+use common::{assert_all_modes_agree, run_reference};
+
+#[test]
+fn division_and_remainder_by_zero_trap_to_zero() {
+    let src = r#"
+        main() {
+            poly int a, b;
+            a = 7 / (pe_id() - 2);   /* PE 2 divides by zero */
+            b = 7 % (pe_id() - 2);
+            return(a * 100 + b);
+        }
+    "#;
+    assert_all_modes_agree(src, 5);
+    let vals = run_reference(src, 5).values;
+    assert_eq!(vals[2], 0, "div-by-zero and rem-by-zero both yield 0");
+}
+
+#[test]
+fn negative_division_truncates_toward_zero() {
+    let src = r#"
+        main() {
+            poly int q, r;
+            q = (0 - 7) / 2;
+            r = (0 - 7) % 2;
+            return(q * 100 + r);
+        }
+    "#;
+    assert_all_modes_agree(src, 2);
+    let vals = run_reference(src, 2).values;
+    // -7/2 = -3 (truncation), -7%2 = -1 (C semantics).
+    assert_eq!(vals[0], -3 * 100 + -1);
+}
+
+#[test]
+fn shift_amounts_wrap_mod_64() {
+    let src = r#"
+        main() {
+            poly int x;
+            x = 1 << (64 + pe_id());   /* wraps: 1 << pe_id() */
+            return(x);
+        }
+    "#;
+    assert_all_modes_agree(src, 4);
+    let vals = run_reference(src, 4).values;
+    assert_eq!(vals, vec![1, 2, 4, 8]);
+}
+
+#[test]
+fn float_to_int_truncates() {
+    let src = r#"
+        main() {
+            poly int x;
+            poly float f;
+            f = 2.9;
+            x = f;            /* assignment converts: trunc(2.9) = 2 */
+            x = x * 10;
+            f = 0.0 - 3.7;
+            x = x + f;        /* x + (-3.7): promoted to float, then trunc */
+            return(x);
+        }
+    "#;
+    assert_all_modes_agree(src, 2);
+    let vals = run_reference(src, 2).values;
+    // x = 2*10 = 20; 20 + (-3.7) = 16.3 → stored back into int x = 16.
+    assert_eq!(vals[0], 16);
+}
+
+#[test]
+fn float_comparisons_drive_control_flow() {
+    let src = r#"
+        main() {
+            poly float f;
+            poly int x;
+            f = pe_id() * 0.5;
+            if (f >= 1.0) { x = 1; } else { x = 0; }
+            while (f < 3.0) { f = f + 1.0; x += 10; }
+            return(x);
+        }
+    "#;
+    assert_all_modes_agree(src, 6);
+    let vals = run_reference(src, 6).values;
+    // pe 0: f=0.0, x=0, loop 3 times → 30; pe 2: f=1.0 → 1 + 20 = 21.
+    assert_eq!(vals[0], 30);
+    assert_eq!(vals[2], 21);
+}
+
+#[test]
+fn logical_operators_do_not_short_circuit_but_match() {
+    // Both sides always evaluate (documented divergence from C), but since
+    // all our backends share that semantics, results agree; also the
+    // *values* are C-correct for side-effect-free operands.
+    let src = r#"
+        main() {
+            poly int a, b, x;
+            a = pe_id() % 2;
+            b = 2 - pe_id() % 3;
+            x = (a && b) + (a || b) * 10 + (!a) * 100 + (!!b) * 1000;
+            return(x);
+        }
+    "#;
+    assert_all_modes_agree(src, 6);
+}
+
+#[test]
+fn bitwise_on_negative_numbers() {
+    let src = r#"
+        main() {
+            poly int x;
+            x = (~pe_id()) & 255;
+            x = x ^ (0 - 1);
+            x = x | (1 << 62);
+            return(x >> 1);
+        }
+    "#;
+    assert_all_modes_agree(src, 4);
+}
+
+#[test]
+fn mixed_precedence_expression_torture() {
+    let src = r#"
+        main() {
+            poly int x;
+            x = 1 + 2 * 3 - 4 / 2 % 3 << 1 & 15 | 3 ^ 9;
+            x = x * (pe_id() + 1) == 0 != 1 < 2 <= 3 > 0 >= 0;
+            return(x);
+        }
+    "#;
+    assert_all_modes_agree(src, 3);
+}
+
+#[test]
+fn deeply_nested_expressions() {
+    let src = r#"
+        main() {
+            poly int x;
+            x = ((((((pe_id() + 1) * 2) + 3) * 4) + 5) * 6) + 7;
+            return(x);
+        }
+    "#;
+    assert_all_modes_agree(src, 4);
+    let vals = run_reference(src, 4).values;
+    let f = |p: i64| ((((((p + 1) * 2) + 3) * 4) + 5) * 6) + 7;
+    assert_eq!(vals, (0..4).map(f).collect::<Vec<_>>());
+}
+
+#[test]
+fn assignment_is_an_expression() {
+    let src = r#"
+        main() {
+            poly int a, b, c;
+            a = b = c = pe_id() + 1;
+            a += b = 10;
+            return(a * 100 + b * 10 + c);
+        }
+    "#;
+    assert_all_modes_agree(src, 3);
+    let vals = run_reference(src, 3).values;
+    // a = pe+1 then a += 10 → pe+11; b = 10; c = pe+1.
+    let f = |p: i64| (p + 11) * 100 + 10 * 10 + (p + 1);
+    assert_eq!(vals, (0..3).map(f).collect::<Vec<_>>());
+}

@@ -1,0 +1,142 @@
+//! Assembly round-trip: serialize a compiled program, parse it back, and
+//! check the reloaded program is structurally identical and executes to
+//! the same per-PE results. Exercises every dispatch kind and the whole
+//! instruction set as it appears in real pipeline output.
+
+use metastate::{ConvertMode, Pipeline};
+use msc_simd::{parse_asm, serialize_asm, MachineConfig, SimdMachine};
+
+fn roundtrip_and_compare(src: &str, mode: ConvertMode, n_pe: usize) {
+    let built = Pipeline::new(src).mode(mode).build().expect("pipeline");
+    let text = serialize_asm(&built.simd);
+    let reloaded = parse_asm(&text, built.simd.costs.clone())
+        .unwrap_or_else(|e| panic!("{e}\n--- asm ---\n{text}"));
+
+    // Structural identity.
+    assert_eq!(reloaded.start, built.simd.start);
+    assert_eq!(reloaded.start_state, built.simd.start_state);
+    assert_eq!(reloaded.poly_words, built.simd.poly_words);
+    assert_eq!(reloaded.blocks.len(), built.simd.blocks.len());
+    for (a, b) in reloaded.blocks.iter().zip(&built.simd.blocks) {
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.dispatch, b.dispatch);
+    }
+
+    // Behavioural identity.
+    let cfg = MachineConfig::spmd(n_pe);
+    let mut m1 = SimdMachine::new(&built.simd, &cfg);
+    m1.run(&built.simd, &cfg).expect("original runs");
+    let mut m2 = SimdMachine::new(&reloaded, &cfg);
+    m2.run(&reloaded, &cfg).expect("reloaded runs");
+    if let Some(ret) = built.ret_addr() {
+        for pe in 0..n_pe {
+            assert_eq!(m1.poly_at(pe, ret), m2.poly_at(pe, ret), "PE {pe}");
+        }
+    }
+    assert_eq!(m1.metrics, m2.metrics, "identical programs cost identically");
+}
+
+#[test]
+fn roundtrip_branching_program_base() {
+    roundtrip_and_compare(
+        r#"
+        main() {
+            poly int x, i, acc = 0;
+            x = pe_id() % 3;
+            for (i = 0; i < x + 1; i += 1) { acc += i * 7; }
+            if (acc > 5) { acc -= 3; } else { acc += 3; }
+            return(acc);
+        }
+        "#,
+        ConvertMode::Base,
+        6,
+    );
+}
+
+#[test]
+fn roundtrip_compressed_direct_dispatches() {
+    roundtrip_and_compare(
+        r#"
+        main() {
+            poly int x, n = 0;
+            x = pe_id() % 2;
+            if (x) { do { n += 1; x -= 1; } while (x); }
+            else   { do { n += 10; } while (x); }
+            return(n);
+        }
+        "#,
+        ConvertMode::Compressed,
+        4,
+    );
+}
+
+#[test]
+fn roundtrip_barrier_program() {
+    roundtrip_and_compare(
+        r#"
+        mono int shared;
+        main() {
+            poly int i, x = 0;
+            if (pe_id() == 0) {
+                for (i = 0; i < 10; i += 1) { x += 1; }
+                shared = 7;
+            }
+            wait;
+            return(shared + pe_id());
+        }
+        "#,
+        ConvertMode::Base,
+        4,
+    );
+}
+
+#[test]
+fn roundtrip_recursion_with_retmulti() {
+    roundtrip_and_compare(
+        r#"
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        main() {
+            poly int x;
+            x = fib(pe_id() % 5 + 1);
+            return(x);
+        }
+        "#,
+        ConvertMode::Compressed,
+        6,
+    );
+}
+
+#[test]
+fn roundtrip_float_program() {
+    roundtrip_and_compare(
+        r#"
+        main() {
+            poly float f;
+            poly int x;
+            f = pe_id() * 1.5 + 0.25;
+            if (f > 2.0) { x = 1; } else { x = 2; }
+            return(x);
+        }
+        "#,
+        ConvertMode::Base,
+        4,
+    );
+}
+
+#[test]
+fn asm_text_is_human_shaped() {
+    let built = Pipeline::new("main() { poly int x = 1; return(x); }")
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
+    let text = serialize_asm(&built.simd);
+    assert!(text.starts_with(".program start=mb0"), "{text}");
+    assert!(text.contains(".block mb0 ms_0 members=s0"), "{text}");
+    assert!(text.contains("[s0] Push 1"), "{text}");
+    assert!(text.contains(".dispatch end"), "{text}");
+}

@@ -1,0 +1,72 @@
+//! Shared helpers for the integration tests: run one MIMDC program through
+//! every execution mode and check they agree.
+
+use metastate::{ConvertMode, Pipeline};
+use msc_ir::CostModel;
+use msc_mimd::{MimdConfig, MimdReference};
+
+/// Results of one execution mode: the per-PE values of `main`'s return
+/// slot (or of a named variable).
+pub struct ModeResult {
+    /// Per-PE values.
+    pub values: Vec<i64>,
+    /// Cycles the mode took (read by some, not all, test binaries).
+    #[allow(dead_code)]
+    pub cycles: u64,
+}
+
+/// Run `src` on `n_pe` PEs through the MIMD reference simulator.
+pub fn run_reference(src: &str, n_pe: usize) -> ModeResult {
+    let p = msc_lang::compile(src).expect("compiles");
+    let cfg = MimdConfig::spmd(n_pe);
+    let mut m = MimdReference::new(p.layout.poly_words, p.layout.mono_words, &cfg);
+    let metrics = m.run(&p.graph, &cfg).expect("reference runs");
+    let ret = p.layout.main_ret.expect("main returns a value");
+    ModeResult {
+        values: (0..n_pe).map(|pe| m.poly_at(pe, ret)).collect(),
+        cycles: metrics.cycles,
+    }
+}
+
+/// Run `src` through meta-state conversion + the SIMD machine.
+#[allow(dead_code)] // used by most, not all, test binaries
+pub fn run_msc(src: &str, n_pe: usize, mode: ConvertMode) -> ModeResult {
+    let built = Pipeline::new(src).mode(mode).build().expect("pipeline builds");
+    let out = built.run(n_pe).expect("SIMD run succeeds");
+    let ret = built.ret_addr().expect("main returns a value");
+    ModeResult {
+        values: (0..n_pe).map(|pe| out.machine.poly_at(pe, ret)).collect(),
+        cycles: out.metrics.cycles,
+    }
+}
+
+/// Run `src` through the §1.1 interpreter baseline.
+pub fn run_interp(src: &str, n_pe: usize) -> ModeResult {
+    let p = msc_lang::compile(src).expect("compiles");
+    let (m, metrics) = msc_mimd::interpret_on_simd(
+        &p.graph,
+        p.layout.poly_words,
+        p.layout.mono_words,
+        n_pe,
+        &CostModel::default(),
+    )
+    .expect("interpreter runs");
+    let ret = p.layout.main_ret.expect("main returns a value");
+    ModeResult {
+        values: (0..n_pe).map(|pe| m.poly_at(pe, ret)).collect(),
+        cycles: metrics.cycles,
+    }
+}
+
+/// Assert that the MIMD reference, base-mode MSC, compressed-mode MSC, and
+/// the interpreter all compute identical per-PE results for `src`.
+#[allow(dead_code)] // used by most, not all, test binaries
+pub fn assert_all_modes_agree(src: &str, n_pe: usize) {
+    let reference = run_reference(src, n_pe);
+    let base = run_msc(src, n_pe, ConvertMode::Base);
+    let compressed = run_msc(src, n_pe, ConvertMode::Compressed);
+    let interp = run_interp(src, n_pe);
+    assert_eq!(base.values, reference.values, "base MSC != MIMD reference");
+    assert_eq!(compressed.values, reference.values, "compressed MSC != MIMD reference");
+    assert_eq!(interp.values, reference.values, "interpreter != MIMD reference");
+}

@@ -1,0 +1,332 @@
+//! Cross-mode equivalence: the meta-state-converted SIMD program must
+//! compute exactly what true MIMD execution computes (§1.2: the automaton
+//! "preserves the relative timing properties of MIMD execution" — and, a
+//! fortiori, its results), and so must the §1.1 interpreter baseline.
+
+mod common;
+use common::assert_all_modes_agree;
+
+#[test]
+fn straight_line_arithmetic() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int x;
+            x = (pe_id() + 3) * 7 - pe_id() / 2;
+            return(x);
+        }
+        "#,
+        8,
+    );
+}
+
+#[test]
+fn data_dependent_branching() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int x;
+            if (pe_id() % 3 == 0)      { x = 100 + pe_id(); }
+            else { if (pe_id() % 3 == 1) { x = 200 + pe_id(); }
+                   else                  { x = 300 + pe_id(); } }
+            return(x);
+        }
+        "#,
+        9,
+    );
+}
+
+#[test]
+fn divergent_loop_trip_counts() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int i, acc = 0;
+            for (i = 0; i < pe_id() + 1; i += 1) { acc += i * i; }
+            return(acc);
+        }
+        "#,
+        7,
+    );
+}
+
+#[test]
+fn nested_loops() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int i, j, acc = 0;
+            for (i = 0; i < pe_id() % 3 + 1; i += 1) {
+                for (j = 0; j < i + 1; j += 1) {
+                    acc += i * 10 + j;
+                }
+            }
+            return(acc);
+        }
+        "#,
+        6,
+    );
+}
+
+#[test]
+fn barrier_synchronized_phases() {
+    assert_all_modes_agree(
+        r#"
+        mono int shared;
+        main() {
+            poly int i, x = 0;
+            if (pe_id() == 0) {
+                for (i = 0; i < 30; i += 1) { x += 1; }
+                shared = 42;
+            }
+            wait;
+            x = shared + pe_id();
+            wait;
+            return(x);
+        }
+        "#,
+        5,
+    );
+}
+
+#[test]
+fn function_calls_inline() {
+    assert_all_modes_agree(
+        r#"
+        int clamp(int v, int hi) {
+            if (v > hi) return hi;
+            return v;
+        }
+        main() {
+            poly int x;
+            x = clamp(pe_id() * 3, 10) + clamp(pe_id(), 2);
+            return(x);
+        }
+        "#,
+        8,
+    );
+}
+
+#[test]
+fn recursion_factorial() {
+    assert_all_modes_agree(
+        r#"
+        int fact(int n) {
+            if (n <= 1) return 1;
+            return n * fact(n - 1);
+        }
+        main() {
+            poly int x;
+            x = fact(pe_id() % 5 + 1);
+            return(x);
+        }
+        "#,
+        10,
+    );
+}
+
+#[test]
+fn recursion_fibonacci_two_calls() {
+    let src = r#"
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        main() {
+            poly int x;
+            x = fib(pe_id() % 6 + 1);
+            return(x);
+        }
+    "#;
+    assert_all_modes_agree(src, 8);
+    // Also pin against host-computed ground truth (catches the case where
+    // every simulator is consistently wrong, e.g. clobbered activation
+    // records across the first recursive call).
+    fn fib(n: i64) -> i64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    let got = common::run_reference(src, 8).values;
+    let want: Vec<i64> = (0..8).map(|pe| fib(pe % 6 + 1)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn mutual_recursion() {
+    assert_all_modes_agree(
+        r#"
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n)  { if (n == 0) return 0; return is_even(n - 1); }
+        main() {
+            poly int x;
+            x = is_even(pe_id());
+            return(x);
+        }
+        "#,
+        8,
+    );
+}
+
+#[test]
+fn float_arithmetic() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly float f;
+            poly int x;
+            f = 1.5 * pe_id() + 0.25;
+            if (f > 3.0) { x = 1; } else { x = 0; }
+            return(x * 1000 + pe_id());
+        }
+        "#,
+        6,
+    );
+}
+
+#[test]
+fn parallel_subscript_neighbour_exchange() {
+    // Barrier separates the write phase from the read phase, so results
+    // are deterministic in every execution mode.
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int mine, left;
+            mine = pe_id() * pe_id();
+            wait;
+            left = mine[[pe_id() - 1]];
+            return(left);
+        }
+        "#,
+        6,
+    );
+}
+
+#[test]
+fn logical_operators() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int a, b, x;
+            a = pe_id() % 2;
+            b = pe_id() % 3;
+            x = (a && b) * 100 + (a || b) * 10 + (!a);
+            return(x);
+        }
+        "#,
+        12,
+    );
+}
+
+#[test]
+fn bitwise_and_shifts() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int x;
+            x = ((pe_id() << 3) | 5) ^ (pe_id() & 3);
+            x = x + (x >> 1) + (~pe_id() & 15);
+            return(x);
+        }
+        "#,
+        8,
+    );
+}
+
+#[test]
+fn while_loop_zero_trip() {
+    // The §4.2 normalization must preserve zero-iteration semantics.
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int i = 0, acc = 7;
+            while (i < pe_id()) { acc += 2; i += 1; }
+            return(acc);
+        }
+        "#,
+        4, // includes PE 0, whose loop runs zero times
+    );
+}
+
+#[test]
+fn break_and_continue() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int i, acc = 0;
+            for (i = 0; i < 20; i += 1) {
+                if (i % 2) continue;
+                if (i > pe_id() + 5) break;
+                acc += i;
+            }
+            return(acc);
+        }
+        "#,
+        6,
+    );
+}
+
+#[test]
+fn mono_broadcast_without_race() {
+    assert_all_modes_agree(
+        r#"
+        mono int config;
+        main() {
+            poly int x;
+            if (pe_id() == 2) { config = 99; }
+            wait;
+            x = config * 2 + pe_id();
+            return(x);
+        }
+        "#,
+        4,
+    );
+}
+
+#[test]
+fn compound_assignment_operators() {
+    assert_all_modes_agree(
+        r#"
+        main() {
+            poly int x = 100;
+            x += pe_id();
+            x -= 1;
+            x *= 2;
+            x /= 3;
+            x %= 50;
+            return(x);
+        }
+        "#,
+        7,
+    );
+}
+
+#[test]
+fn time_split_mode_agrees_too() {
+    // Time splitting changes the automaton but must not change results.
+    use metastate::{ConvertMode, Pipeline, TimeSplitOptions};
+    let src = r#"
+        main() {
+            poly int i, x = 0;
+            if (pe_id() % 2) {
+                x = pe_id() + 1;
+            } else {
+                for (i = 0; i < 40; i += 1) { x += i % 7; }
+            }
+            return(x);
+        }
+    "#;
+    let reference = common::run_reference(src, 8);
+    let built = Pipeline::new(src)
+        .mode(ConvertMode::Compressed)
+        .time_split(TimeSplitOptions::default())
+        .build()
+        .unwrap();
+    let out = built.run(8).unwrap();
+    let ret = built.ret_addr().unwrap();
+    let values: Vec<i64> = (0..8).map(|pe| out.machine.poly_at(pe, ret)).collect();
+    assert_eq!(values, reference.values);
+    assert!(built.stats.splits > 0, "the imbalanced branch should have split");
+}

@@ -1,0 +1,159 @@
+//! The paper's Listing 2 (§2.2): a `main` that invokes a recursive
+//! function `g` from two positions, with `g` calling itself once.
+//!
+//! "When in-line expanding the call to g from position a, we know that any
+//! return statements within g must return to either position b or e, and
+//! can replace the return statements with the appropriate multiway branch.
+//! Likewise, when in-line expanding g called from position c, return
+//! statements are translated into multiway branches targeting d or e."
+//!
+//! These tests pin that exact structure: two copies of `g` (one per
+//! top-level call site), each with a 2-way return branch (external site +
+//! internal recursive site), and correct end-to-end execution.
+
+mod common;
+
+use metastate::{ConvertMode, Pipeline};
+use msc_ir::Terminator;
+
+/// Listing 2's shape with concrete bodies: g recurses on n, decrementing;
+/// called from two positions in main.
+const LISTING2: &str = r#"
+    int g(int n) {
+        /* position e is after this recursive call */
+        if (n > 0) {
+            return g(n - 1) + 1;
+        }
+        return 100;
+    }
+    main() {
+        poly int r1, r2;
+        /* position a: first call; position b follows it */
+        r1 = g(pe_id() % 3);
+        /* position c: second call; position d follows it */
+        r2 = g(pe_id() % 2 + 1);
+        return(r1 * 1000 + r2);
+    }
+"#;
+
+#[test]
+fn two_call_sites_two_copies_each_with_two_return_targets() {
+    let p = msc_lang::compile(LISTING2).unwrap();
+    // Each copy of g has exactly one multiway return branch with exactly
+    // two targets: {external continuation, internal recursive site}.
+    let multis: Vec<Vec<msc_ir::StateId>> = p
+        .graph
+        .ids()
+        .filter_map(|i| match &p.graph.state(i).term {
+            Terminator::Multi(v) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    // g has two `return` statements, so each inline copy carries two
+    // multiway branches — 4 in all, every one 2-way.
+    assert_eq!(multis.len(), 4, "two returns × two copies of g");
+    for targets in &multis {
+        assert_eq!(targets.len(), 2, "paper: return to either b or e (d or e)");
+    }
+    // Exactly two distinct target sets — one per copy — returning to
+    // different external sites.
+    let mut distinct: Vec<Vec<msc_ir::StateId>> = multis.clone();
+    distinct.sort();
+    distinct.dedup();
+    assert_eq!(distinct.len(), 2, "one return-target set per copy");
+    assert_ne!(distinct[0][0], distinct[1][0]);
+}
+
+#[test]
+fn listing2_executes_correctly_in_every_mode() {
+    common::assert_all_modes_agree(LISTING2, 6);
+    // And against host ground truth.
+    fn g(n: i64) -> i64 {
+        if n > 0 {
+            g(n - 1) + 1
+        } else {
+            100
+        }
+    }
+    let got = common::run_reference(LISTING2, 6).values;
+    let want: Vec<i64> =
+        (0..6i64).map(|pe| g(pe % 3) * 1000 + g(pe % 2 + 1)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn meta_conversion_handles_the_recursive_automaton() {
+    let built = Pipeline::new(LISTING2).mode(ConvertMode::Compressed).build().unwrap();
+    assert!(built.automaton.len() >= 2);
+    built.automaton.validate().unwrap();
+    // The generated program contains RetMulti dispatch instructions.
+    let has_retmulti = built
+        .simd
+        .blocks
+        .iter()
+        .flat_map(|b| &b.body)
+        .any(|gi| matches!(gi.instr, msc_simd::SimdInstr::RetMulti(_)));
+    assert!(has_retmulti, "§2.2 machinery must survive to SIMD code");
+}
+
+/// Deeper mutual recursion through the same machinery.
+#[test]
+fn mutual_recursion_with_accumulation() {
+    let src = r#"
+        int ping(int n, int acc) {
+            if (n == 0) return acc;
+            return pong(n - 1, acc + 1);
+        }
+        int pong(int n, int acc) {
+            if (n == 0) return acc;
+            return ping(n - 1, acc + 10);
+        }
+        main() {
+            poly int x;
+            x = ping(pe_id() % 5, 0);
+            return(x);
+        }
+    "#;
+    common::assert_all_modes_agree(src, 10);
+    fn ping(n: i64, acc: i64) -> i64 {
+        if n == 0 {
+            acc
+        } else {
+            pong(n - 1, acc + 1)
+        }
+    }
+    fn pong(n: i64, acc: i64) -> i64 {
+        if n == 0 {
+            acc
+        } else {
+            ping(n - 1, acc + 10)
+        }
+    }
+    let got = common::run_reference(src, 10).values;
+    let want: Vec<i64> = (0..10i64).map(|pe| ping(pe % 5, 0)).collect();
+    assert_eq!(got, want);
+}
+
+/// Recursion nested under divergent control flow: different PEs recurse to
+/// different depths simultaneously, all under one SIMD program counter.
+#[test]
+fn divergent_recursion_depths() {
+    let src = r#"
+        int depth_sum(int n) {
+            if (n <= 0) return 0;
+            return n + depth_sum(n - 1);
+        }
+        main() {
+            poly int x;
+            if (pe_id() % 2) { x = depth_sum(pe_id()); }
+            else             { x = depth_sum(pe_id() / 2); }
+            return(x);
+        }
+    "#;
+    common::assert_all_modes_agree(src, 8);
+    let tri = |n: i64| n * (n + 1) / 2;
+    let got = common::run_reference(src, 8).values;
+    let want: Vec<i64> =
+        (0..8i64).map(|pe| if pe % 2 == 1 { tri(pe) } else { tri(pe / 2) }).collect();
+    assert_eq!(got, want);
+}
