@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, then the tier-1 build + test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build --release =="
+cargo build --release
+
+echo "== tier-1: test =="
+cargo test -q
+
+echo "CI OK"

@@ -22,9 +22,11 @@ fn bench(c: &mut Criterion) {
             s.lower_bound,
             (1.0 - s.cost as f64 / s.naive_cost as f64) * 100.0
         );
-        group.bench_with_input(BenchmarkId::new("induce_threads", threads), &threads, |b, _| {
-            b.iter(|| black_box(msc_csi::induce(black_box(&input)).unwrap().cost))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("induce_threads", threads),
+            &threads,
+            |b, _| b.iter(|| black_box(msc_csi::induce(black_box(&input)).unwrap().cost)),
+        );
     }
 
     for shared in [0usize, 4, 8, 16] {
@@ -34,9 +36,11 @@ fn bench(c: &mut Criterion) {
             "[C6] 4 threads, shared={shared}, private=4: naive {} → CSI {} (lb {})",
             s.naive_cost, s.cost, s.lower_bound
         );
-        group.bench_with_input(BenchmarkId::new("induce_shared", shared), &shared, |b, _| {
-            b.iter(|| black_box(msc_csi::induce(black_box(&input)).unwrap().cost))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("induce_shared", shared),
+            &shared,
+            |b, _| b.iter(|| black_box(msc_csi::induce(black_box(&input)).unwrap().cost)),
+        );
     }
     group.finish();
 }

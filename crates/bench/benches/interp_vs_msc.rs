@@ -33,7 +33,10 @@ fn bench(c: &mut Criterion) {
             it.cycles as f64 / msc.cycles as f64
         );
 
-        let built = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
+        let built = Pipeline::new(src.as_str())
+            .mode(ConvertMode::Base)
+            .build()
+            .unwrap();
         let cfg = MachineConfig::spmd(n_pe);
         group.bench_with_input(BenchmarkId::new("msc_base", paths), &paths, |b, _| {
             b.iter(|| {
@@ -48,7 +51,8 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("interpreter", paths), &paths, |b, _| {
             b.iter(|| {
                 let mut m = msc_mimd::InterpMachine::new(&image, n_pe, n_pe);
-                m.run(black_box(&image), &CostModel::default(), 100_000_000).unwrap();
+                m.run(black_box(&image), &CostModel::default(), 100_000_000)
+                    .unwrap();
                 black_box(m.metrics.cycles)
             })
         });

@@ -1,0 +1,104 @@
+//! Engine benchmarks: frontier-parallel conversion speedup over thread
+//! count on a branchy workload (the fan-out-loops subset lattice keeps
+//! thousands of meta states in flight, so the frontier is wide enough to
+//! feed several workers), and compile-cache hit latency versus a cold
+//! compile. Speedup is bounded by the machine's core count — the header
+//! line prints it so single-core CI numbers are read correctly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msc_bench::workloads::{branchy_source, fan_out_loops_graph};
+use msc_core::ConvertOptions;
+use msc_engine::{convert_parallel, Engine, EngineOptions, Job};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn wide_opts() -> ConvertOptions {
+    ConvertOptions {
+        max_meta_states: 1 << 22,
+        max_successor_sets: 1 << 22,
+        ..ConvertOptions::base()
+    }
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("[engine] {cores} cores available (speedup is bounded by this)");
+    let mut group = c.benchmark_group("parallel_convert");
+    group.sample_size(10);
+
+    for n in [8usize, 10] {
+        let g = fan_out_loops_graph(n);
+        let opts = wide_opts();
+        // One-shot wall-clock series for the speedup summary (criterion's
+        // per-thread-count medians land in the same report below).
+        let mut t1 = 0.0f64;
+        for threads in [1usize, 2, 4, 8] {
+            let start = Instant::now();
+            let (auto, _) = convert_parallel(&g, &opts, threads).unwrap();
+            let secs = start.elapsed().as_secs_f64();
+            if threads == 1 {
+                t1 = secs;
+            }
+            println!(
+                "[engine] fanout n={n}: {threads} threads {:.1} ms ({} meta states, {:.2}x)",
+                secs * 1e3,
+                auto.len(),
+                t1 / secs
+            );
+        }
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fanout_{n}_threads"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| black_box(convert_parallel(&g, &opts, threads).unwrap().0.len()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_cache");
+    group.sample_size(10);
+    let src = branchy_source(8);
+
+    group.bench_function("cold_compile", |b| {
+        b.iter(|| {
+            // Fresh engine per iteration: nothing can be cached.
+            let engine = Engine::new(EngineOptions {
+                threads: 4,
+                ..EngineOptions::default()
+            });
+            black_box(
+                engine
+                    .compile(&Job::new("bench", &src))
+                    .unwrap()
+                    .artifact
+                    .meta_states,
+            )
+        })
+    });
+
+    let engine = Engine::new(EngineOptions {
+        threads: 4,
+        ..EngineOptions::default()
+    });
+    let job = Job::new("bench", &src);
+    engine.compile(&job).unwrap();
+    group.bench_function("memory_hit", |b| {
+        b.iter(|| black_box(engine.compile(&job).unwrap().artifact.meta_states))
+    });
+    let s = engine.cache_stats();
+    println!(
+        "[engine] cache counters after hit bench: {} hits, {} misses",
+        s.hits, s.misses
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel, bench_cache);
+criterion_main!(benches);

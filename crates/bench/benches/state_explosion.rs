@@ -26,9 +26,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("convert_base_chain", n), &n, |b, _| {
             b.iter(|| black_box(convert(&g, &ConvertOptions::base()).unwrap().len()))
         });
-        group.bench_with_input(BenchmarkId::new("convert_compressed_chain", n), &n, |b, _| {
-            b.iter(|| black_box(convert(&g, &ConvertOptions::compressed()).unwrap().len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("convert_compressed_chain", n),
+            &n,
+            |b, _| b.iter(|| black_box(convert(&g, &ConvertOptions::compressed()).unwrap().len())),
+        );
     }
 
     for n in [4usize, 8, 12] {
@@ -37,13 +39,17 @@ fn bench(c: &mut Criterion) {
         let comp = convert(&g, &ConvertOptions::compressed()).unwrap();
         println!(
             "[C4] {n} live loops: base {} meta states, compressed {} (max width {})",
-            base.as_ref().map(|a| a.len().to_string()).unwrap_or_else(|_| "guard hit".into()),
+            base.as_ref()
+                .map(|a| a.len().to_string())
+                .unwrap_or_else(|_| "guard hit".into()),
             comp.len(),
             comp.max_width()
         );
-        group.bench_with_input(BenchmarkId::new("convert_fanout_compressed", n), &n, |b, _| {
-            b.iter(|| black_box(convert(&g, &ConvertOptions::compressed()).unwrap().len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("convert_fanout_compressed", n),
+            &n,
+            |b, _| b.iter(|| black_box(convert(&g, &ConvertOptions::compressed()).unwrap().len())),
+        );
     }
 
     for phases in [2usize, 4] {
@@ -52,7 +58,10 @@ fn bench(c: &mut Criterion) {
         let with = convert(&p.graph, &ConvertOptions::base()).unwrap();
         let without = convert(
             &p.graph,
-            &ConvertOptions { respect_barriers: false, ..ConvertOptions::base() },
+            &ConvertOptions {
+                respect_barriers: false,
+                ..ConvertOptions::base()
+            },
         )
         .unwrap();
         println!(
@@ -62,9 +71,11 @@ fn bench(c: &mut Criterion) {
             without.len(),
             without.avg_width()
         );
-        group.bench_with_input(BenchmarkId::new("convert_barrier_phases", phases), &phases, |b, _| {
-            b.iter(|| black_box(convert(&p.graph, &ConvertOptions::base()).unwrap().len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("convert_barrier_phases", phases),
+            &phases,
+            |b, _| b.iter(|| black_box(convert(&p.graph, &ConvertOptions::base()).unwrap().len())),
+        );
     }
 
     group.finish();

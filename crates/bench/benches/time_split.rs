@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
 
     for long in [25usize, 100, 200] {
         let src = imbalanced_source(5, long);
-        let plain = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
+        let plain = Pipeline::new(src.as_str())
+            .mode(ConvertMode::Base)
+            .build()
+            .unwrap();
         let split = Pipeline::new(src.as_str())
             .mode(ConvertMode::Base)
             .time_split(TimeSplitOptions::default())
@@ -48,19 +51,23 @@ fn bench(c: &mut Criterion) {
             })
         });
         // Conversion cost of the restart-to-fixpoint loop itself.
-        group.bench_with_input(BenchmarkId::new("convert_with_split", long), &long, |b, _| {
-            b.iter(|| {
-                black_box(
-                    Pipeline::new(src.as_str())
-                        .mode(ConvertMode::Base)
-                        .time_split(TimeSplitOptions::default())
-                        .build()
-                        .unwrap()
-                        .automaton
-                        .len(),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("convert_with_split", long),
+            &long,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        Pipeline::new(src.as_str())
+                            .mode(ConvertMode::Base)
+                            .time_split(TimeSplitOptions::default())
+                            .build()
+                            .unwrap()
+                            .automaton
+                            .len(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -75,7 +75,10 @@ fn c3() {
     println!("arm ratio | util (no split) | util (split) | splits");
     for long in [5usize, 25, 50, 100, 200] {
         let src = imbalanced_source(5, long);
-        let plain = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
+        let plain = Pipeline::new(src.as_str())
+            .mode(ConvertMode::Base)
+            .build()
+            .unwrap();
         let split = Pipeline::new(src.as_str())
             .mode(ConvertMode::Base)
             .time_split(TimeSplitOptions::default())
@@ -101,8 +104,14 @@ fn c4() {
     println!("paths | base: states/width/cycles | compressed: states/width/cycles");
     for n in [2usize, 3, 4, 5, 6] {
         let src = branchy_source(n);
-        let b = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
-        let c = Pipeline::new(src.as_str()).mode(ConvertMode::Compressed).build().unwrap();
+        let b = Pipeline::new(src.as_str())
+            .mode(ConvertMode::Base)
+            .build()
+            .unwrap();
+        let c = Pipeline::new(src.as_str())
+            .mode(ConvertMode::Compressed)
+            .build()
+            .unwrap();
         let br = b.run(16).unwrap();
         let cr = c.run(16).unwrap();
         assert!(c.automaton.len() <= b.automaton.len());
@@ -131,7 +140,10 @@ fn c5() {
         let with = convert(&p.graph, &ConvertOptions::base()).unwrap();
         let without = convert(
             &p.graph,
-            &ConvertOptions { respect_barriers: false, ..ConvertOptions::base() },
+            &ConvertOptions {
+                respect_barriers: false,
+                ..ConvertOptions::base()
+            },
         )
         .unwrap();
         println!(
@@ -151,7 +163,13 @@ fn c6() {
     println!("   paper: operations performed by more than one member sequence 'can be");
     println!("   executed in parallel by all processors' after factoring.\n");
     println!("threads shared/private | naive cost | CSI cost | lower bound | saved");
-    for (t, s, p) in [(2usize, 8usize, 2usize), (4, 8, 2), (8, 8, 2), (4, 2, 8), (4, 12, 0)] {
+    for (t, s, p) in [
+        (2usize, 8usize, 2usize),
+        (4, 8, 2),
+        (8, 8, 2),
+        (4, 2, 8),
+        (4, 12, 0),
+    ] {
         let threads = csi_threads(t, s, p);
         let sched = msc_csi::induce(&threads).unwrap();
         sched.validate(&threads).unwrap();
@@ -165,10 +183,16 @@ fn c6() {
     }
     // End-to-end: CSI on vs off through codegen.
     let src = branchy_source(4);
-    let with = Pipeline::new(src.as_str()).mode(ConvertMode::Compressed).build().unwrap();
+    let with = Pipeline::new(src.as_str())
+        .mode(ConvertMode::Compressed)
+        .build()
+        .unwrap();
     let without = Pipeline::new(src.as_str())
         .mode(ConvertMode::Compressed)
-        .gen_options(msc_codegen::GenOptions { csi: false, ..Default::default() })
+        .gen_options(msc_codegen::GenOptions {
+            csi: false,
+            ..Default::default()
+        })
         .build()
         .unwrap();
     let wc = with.run(16).unwrap().metrics.cycles;
@@ -183,7 +207,14 @@ fn c7() {
     println!("   paper: aggregate pc values are sparse bitmasks; a customized hash makes");
     println!("   'the case values contiguous so that the compiler will use a jump table.'\n");
     println!("cases | pc bits | naive table | hashed table | hash ops | load");
-    for (n, bits) in [(3usize, 10u32), (5, 10), (8, 16), (16, 24), (32, 32), (64, 48)] {
+    for (n, bits) in [
+        (3usize, 10u32),
+        (5, 10),
+        (8, 16),
+        (16, 24),
+        (32, 32),
+        (64, 48),
+    ] {
         let keys = aggregate_keys(n, bits);
         let ph = msc_hash::find_hash(&keys).unwrap();
         println!(
@@ -215,10 +246,13 @@ fn c8() {
     // Each live PE spawns twice and the two worker generations overlap, so
     // the pool must hold 2×live recruits at once.
     for (n_pe, live) in [(16usize, 4usize), (16, 5)] {
-        let out = built.run_with(MachineConfig::with_pool(n_pe, live)).unwrap();
+        let out = built
+            .run_with(MachineConfig::with_pool(n_pe, live))
+            .unwrap();
         let r = built.compiled.layout.var("r").unwrap().addr;
-        let done =
-            (0..n_pe).filter(|&pe| out.machine.poly_at(pe, r) != 0).count();
+        let done = (0..n_pe)
+            .filter(|&pe| out.machine.poly_at(pe, r) != 0)
+            .count();
         println!(
             "{n_pe} PEs, {live} live: {} workers completed, {} PEs idle at end, {} cycles",
             done,
@@ -228,7 +262,10 @@ fn c8() {
         assert_eq!(done, live * 2, "each live PE spawns twice");
     }
     let over = built.run_with(MachineConfig::spmd(4));
-    println!("4 PEs, 4 live (no pool): {:?}", over.err().map(|e| e.to_string()));
+    println!(
+        "4 PEs, 4 live (no pool): {:?}",
+        over.err().map(|e| e.to_string())
+    );
     println!("\n   shape check: spawn works exactly while 'the number of processes");
     println!("   requested does not exceed the number of processors available'.\n");
 }
@@ -240,17 +277,17 @@ fn c9() {
     println!("phases | MSC sync instrs issued | interpreter Wait rounds");
     for phases in [1usize, 2, 3] {
         let src = barrier_phases_source(phases);
-        let built = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
+        let built = Pipeline::new(src.as_str())
+            .mode(ConvertMode::Base)
+            .build()
+            .unwrap();
         // Count synchronization instructions in the generated program: by
         // construction there are none — barriers shaped the automaton.
         let sync_instrs = 0; // no Wait/sync opcode exists in SimdInstr
         let _ = built.run(8).unwrap();
         let p = msc_lang::compile(&src).unwrap();
-        let image = msc_mimd::InterpProgram::flatten(
-            &p.graph,
-            p.layout.poly_words,
-            p.layout.mono_words,
-        );
+        let image =
+            msc_mimd::InterpProgram::flatten(&p.graph, p.layout.poly_words, p.layout.mono_words);
         let waits = image
             .image
             .iter()
@@ -272,7 +309,10 @@ fn c10() {
     let src = branchy_source(3);
     println!("dispatch cost | base cycles | compressed cycles | winner");
     for dispatch in [2u32, 8, 32, 128, 512] {
-        let costs = msc_ir::CostModel { dispatch, ..Default::default() };
+        let costs = msc_ir::CostModel {
+            dispatch,
+            ..Default::default()
+        };
         let run = |mode: ConvertMode| {
             let mut copts = match mode {
                 ConvertMode::Base => ConvertOptions::base(),
@@ -281,7 +321,10 @@ fn c10() {
             copts.costs = costs.clone();
             let built = Pipeline::new(src.as_str())
                 .convert_options(copts)
-                .gen_options(msc_codegen::GenOptions { costs: costs.clone(), ..Default::default() })
+                .gen_options(msc_codegen::GenOptions {
+                    costs: costs.clone(),
+                    ..Default::default()
+                })
                 .build()
                 .unwrap();
             built.run(16).unwrap().metrics.cycles
@@ -309,7 +352,10 @@ fn a1() {
         let with = convert(&g, &ConvertOptions::compressed()).unwrap();
         let without = convert(
             &g,
-            &ConvertOptions { subsumption: false, ..ConvertOptions::compressed() },
+            &ConvertOptions {
+                subsumption: false,
+                ..ConvertOptions::compressed()
+            },
         )
         .unwrap();
         println!("{n:12} | {:25} | {}", with.len(), without.len());
@@ -339,7 +385,11 @@ fn a2() {
         }
     "#;
     let plain = Pipeline::new(src).mode(ConvertMode::Base).build().unwrap();
-    let minimized = Pipeline::new(src).mode(ConvertMode::Base).minimize().build().unwrap();
+    let minimized = Pipeline::new(src)
+        .mode(ConvertMode::Base)
+        .minimize()
+        .build()
+        .unwrap();
     println!(
         "MIMD states: {} plain → {} minimized",
         plain.compiled.graph.len(),
@@ -354,11 +404,15 @@ fn a2() {
     let b = minimized.run(8).unwrap();
     let ret = plain.ret_addr().unwrap();
     let va: Vec<i64> = (0..8).map(|pe| a.machine.poly_at(pe, ret)).collect();
-    let vb: Vec<i64> =
-        (0..8).map(|pe| b.machine.poly_at(pe, minimized.ret_addr().unwrap())).collect();
+    let vb: Vec<i64> = (0..8)
+        .map(|pe| b.machine.poly_at(pe, minimized.ret_addr().unwrap()))
+        .collect();
     assert_eq!(va, vb, "minimization must preserve semantics");
     assert!(minimized.compiled.graph.len() < plain.compiled.graph.len());
-    println!("results identical; cycles {} → {}", a.metrics.cycles, b.metrics.cycles);
+    println!(
+        "results identical; cycles {} → {}",
+        a.metrics.cycles, b.metrics.cycles
+    );
     println!("   (note: §2.2 inline copies do NOT merge — each call site's frame");
     println!("   addresses differ, so the duplicated code is not textually equal;");
     println!("   an address-abstracting minimizer is genuine future work.)\n");
@@ -375,13 +429,19 @@ fn a3() {
         }
     "#;
     let plain = Pipeline::new(src).mode(ConvertMode::Base).build().unwrap();
-    let opt = Pipeline::new(src).mode(ConvertMode::Base).optimize().build().unwrap();
+    let opt = Pipeline::new(src)
+        .mode(ConvertMode::Base)
+        .optimize()
+        .build()
+        .unwrap();
     let a = plain.run(8).unwrap();
     let b = opt.run(8).unwrap();
-    let va: Vec<i64> =
-        (0..8).map(|pe| a.machine.poly_at(pe, plain.ret_addr().unwrap())).collect();
-    let vb: Vec<i64> =
-        (0..8).map(|pe| b.machine.poly_at(pe, opt.ret_addr().unwrap())).collect();
+    let va: Vec<i64> = (0..8)
+        .map(|pe| a.machine.poly_at(pe, plain.ret_addr().unwrap()))
+        .collect();
+    let vb: Vec<i64> = (0..8)
+        .map(|pe| b.machine.poly_at(pe, opt.ret_addr().unwrap()))
+        .collect();
     assert_eq!(va, vb);
     println!(
         "control-unit instrs: {} plain → {} optimized; cycles {} → {}",
@@ -402,12 +462,17 @@ fn a4() {
         let keys = aggregate_keys(n, bits);
         let fold_only = msc_hash::find_hash_with(
             &keys,
-            msc_hash::SearchOptions { max_table_bits: 16, allow_mul: false },
+            msc_hash::SearchOptions {
+                max_table_bits: 16,
+                allow_mul: false,
+            },
         );
         let with_mul = msc_hash::find_hash(&keys).unwrap();
         println!(
             "{n:5} | {bits:4} | {:18} | {}",
-            fold_only.map(|p| p.table.len().to_string()).unwrap_or_else(|_| "not found".into()),
+            fold_only
+                .map(|p| p.table.len().to_string())
+                .unwrap_or_else(|_| "not found".into()),
             with_mul.table.len()
         );
     }

@@ -36,12 +36,18 @@ fn fig1() {
     let p = msc_lang::compile(LISTING4).unwrap();
     println!("{}", msc_ir::render::text(&p.graph, &CostModel::default()));
     println!("(paper ids 0,2,6,9 = our ids 0,1,2,3; structure identical)\n");
-    println!("--- graphviz ---\n{}", msc_ir::render::dot(&p.graph, &CostModel::default()));
+    println!(
+        "--- graphviz ---\n{}",
+        msc_ir::render::dot(&p.graph, &CostModel::default())
+    );
 }
 
 fn fig2() {
     println!("== Figure 2: meta-state graph (base conversion) ==\n");
-    let built = Pipeline::new(LISTING4).mode(ConvertMode::Base).build().unwrap();
+    let built = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
     println!("{}", built.automaton_text());
     println!("meta states: {} (paper: 8)\n", built.automaton.len());
     println!("--- graphviz ---\n{}", built.automaton.dot());
@@ -52,24 +58,39 @@ fn fig34() {
     let src = msc_bench::workloads::imbalanced_source(5, 100);
     let costs = CostModel::default();
 
-    let before = Pipeline::new(src.as_str()).mode(ConvertMode::Base).build().unwrap();
+    let before = Pipeline::new(src.as_str())
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
     println!("--- before splitting ---");
     println!("{}", msc_ir::render::text(&before.compiled.graph, &costs));
-    println!("max imbalance within a meta state: {} cycles\n", before.automaton.max_imbalance(&costs));
+    println!(
+        "max imbalance within a meta state: {} cycles\n",
+        before.automaton.max_imbalance(&costs)
+    );
 
     let after = Pipeline::new(src.as_str())
         .mode(ConvertMode::Base)
         .time_split(TimeSplitOptions::default())
         .build()
         .unwrap();
-    println!("--- after splitting ({} splits, {} restarts) ---", after.stats.splits, after.stats.restarts);
+    println!(
+        "--- after splitting ({} splits, {} restarts) ---",
+        after.stats.splits, after.stats.restarts
+    );
     println!("{}", msc_ir::render::text(&after.automaton.graph, &costs));
-    println!("max imbalance within a meta state: {} cycles", after.automaton.max_imbalance(&costs));
+    println!(
+        "max imbalance within a meta state: {} cycles",
+        after.automaton.max_imbalance(&costs)
+    );
 }
 
 fn fig5() {
     println!("== Figure 5: compressed meta-state graph ==\n");
-    let built = Pipeline::new(LISTING4).mode(ConvertMode::Compressed).build().unwrap();
+    let built = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Compressed)
+        .build()
+        .unwrap();
     println!("{}", built.automaton_text());
     println!(
         "meta states: {} (paper: 2, \"compared to eight for the uncompressed graph\")",
@@ -81,9 +102,15 @@ fn fig5() {
 
 fn fig6() {
     println!("== Figure 6: meta-state graph for Listing 3 (barrier) ==\n");
-    let built = Pipeline::new(LISTING3).mode(ConvertMode::Base).build().unwrap();
+    let built = Pipeline::new(LISTING3)
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
     println!("{}", built.automaton_text());
-    println!("meta states: {}; no meta state mixes the barrier state with loop states.\n", built.automaton.len());
+    println!(
+        "meta states: {}; no meta state mixes the barrier state with loop states.\n",
+        built.automaton.len()
+    );
     println!("--- graphviz ---\n{}", built.automaton.dot());
 }
 
@@ -108,15 +135,16 @@ fn listing2() {
         .ids()
         .filter(|&i| matches!(p.graph.state(i).term, msc_ir::Terminator::Multi(_)))
         .count();
-    println!(
-        "{multis} multiway return branches (two returns × two inline copies of g);"
-    );
+    println!("{multis} multiway return branches (two returns × two inline copies of g);");
     println!("each returns to its copy's statically-known sites, per §2.2.\n");
 }
 
 fn listing5() {
     println!("== Listing 5: meta-state converted SIMD code for Listing 4 ==\n");
-    let built = Pipeline::new(LISTING4).mode(ConvertMode::Base).build().unwrap();
+    let built = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
     println!("{}", built.mpl());
 }
 

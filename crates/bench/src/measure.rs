@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn msc_has_zero_per_pe_program_memory() {
         let src = branchy_source(2);
-        assert_eq!(measure_msc(&src, 4, ConvertMode::Base).per_pe_program_words, 0);
+        assert_eq!(
+            measure_msc(&src, 4, ConvertMode::Base).per_pe_program_words,
+            0
+        );
         assert!(measure_interp(&src, 4).per_pe_program_words > 0);
     }
 }

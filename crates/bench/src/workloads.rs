@@ -39,9 +39,7 @@ pub fn branchy_source(n_paths: usize) -> String {
             let _ = writeln!(body, "{indent}}}");
         }
     }
-    format!(
-        "main() {{\n    poly int kind, i, acc = 0;\n{body}    return(acc);\n}}\n"
-    )
+    format!("main() {{\n    poly int kind, i, acc = 0;\n{body}    return(acc);\n}}\n")
 }
 
 /// MIMDC source: a two-way branch whose arms cost roughly `short_ops` and
@@ -85,11 +83,18 @@ pub fn barrier_phases_source(n_phases: usize) -> String {
 /// make many states co-reachable.
 pub fn branch_chain_graph(n: usize) -> MimdGraph {
     let mut g = MimdGraph::new();
-    let end = g.add(MimdState::new(vec![Op::Push(0), Op::St(Addr::poly(0))], Terminator::Halt));
+    let end = g.add(MimdState::new(
+        vec![Op::Push(0), Op::St(Addr::poly(0))],
+        Terminator::Halt,
+    ));
     let mut ids: Vec<StateId> = Vec::with_capacity(n);
     for i in 0..n {
         let id = g.add(MimdState::new(
-            vec![Op::Ld(Addr::poly(0)), Op::Push(i as i64), Op::Bin(msc_ir::BinOp::Lt)],
+            vec![
+                Op::Ld(Addr::poly(0)),
+                Op::Push(i as i64),
+                Op::Bin(msc_ir::BinOp::Lt),
+            ],
             Terminator::Halt,
         ));
         ids.push(id);
@@ -111,7 +116,11 @@ pub fn fan_out_loops_graph(n: usize) -> MimdGraph {
     let loops: Vec<StateId> = (0..n)
         .map(|i| {
             g.add(MimdState::new(
-                vec![Op::Ld(Addr::poly(0)), Op::Push(i as i64), Op::Bin(msc_ir::BinOp::Gt)],
+                vec![
+                    Op::Ld(Addr::poly(0)),
+                    Op::Push(i as i64),
+                    Op::Bin(msc_ir::BinOp::Gt),
+                ],
                 Terminator::Halt,
             ))
         })
@@ -127,7 +136,10 @@ pub fn fan_out_loops_graph(n: usize) -> MimdGraph {
             if pair.len() == 2 {
                 let id = g.add(MimdState::new(
                     vec![Op::Ld(Addr::poly(0))],
-                    Terminator::Branch { t: pair[0], f: pair[1] },
+                    Terminator::Branch {
+                        t: pair[0],
+                        f: pair[1],
+                    },
                 ));
                 next.push(id);
             } else {
@@ -167,7 +179,9 @@ pub fn aggregate_keys(n: usize, bits: u32) -> Vec<u64> {
     let mut keys = Vec::with_capacity(n);
     let mut x = 0x243f_6a88_85a3_08d3u64; // pi digits, fixed seed
     while keys.len() < n {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = (x >> 5) % bits as u64;
         let b = (x >> 23) % bits as u64;
         let c = (x >> 41) % bits as u64;
@@ -200,8 +214,11 @@ mod tests {
     fn imbalanced_source_compiles_with_expected_costs() {
         let p = msc_lang::compile(&imbalanced_source(5, 100)).unwrap();
         let costs = msc_ir::CostModel::default();
-        let mut block_costs: Vec<u64> =
-            p.graph.ids().map(|i| p.graph.state_cost(i, &costs)).collect();
+        let mut block_costs: Vec<u64> = p
+            .graph
+            .ids()
+            .map(|i| p.graph.state_cost(i, &costs))
+            .collect();
         block_costs.sort_unstable();
         let max = *block_costs.last().unwrap();
         let mid = block_costs[block_costs.len() / 2];

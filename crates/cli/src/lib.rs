@@ -5,6 +5,10 @@
 //! mscc build prog.mimdc --emit mpl            # Listing-5-style SIMD code
 //! mscc build prog.mimdc --emit dot            # Graphviz of the automaton
 //! mscc build prog.mimdc --emit graph          # the MIMD state graph
+//! mscc build prog.mimdc --stats               # conversion stats + timings
+//! mscc build prog.mimdc --jobs 8              # frontier-parallel conversion
+//! mscc build prog.mimdc --cache .msc-cache    # reuse artifacts across runs
+//! mscc batch a.mimdc b.mimdc c.mimdc          # compile many over a pool
 //! mscc run   prog.mimdc --pes 16              # execute and print results
 //! mscc run   prog.mimdc --compare             # also run MIMD ref + interpreter
 //! ```
@@ -12,10 +16,19 @@
 //! Shared flags: `--mode base|compressed`, `--time-split`, `--optimize`,
 //! `--minimize`, `--no-csi`, `--pes N`, `--pool N` (live PEs, rest idle).
 //!
+//! Engine flags (build and batch): `--jobs N` runs meta-state conversion
+//! frontier-parallel on N threads (0 = all cores; batch also uses the pool
+//! to compile files concurrently); `--cache DIR` persists compiled
+//! artifacts content-addressed under DIR, so an unchanged source + options
+//! combination is reloaded instead of recompiled; `--stats` appends a
+//! stats block (meta-state counts, conversion counters, per-phase
+//! timings, cache hits/misses). Any engine flag routes the build through
+//! [`metastate::Engine`].
+//!
 //! The argument parser and command execution live in this library so they
 //! are unit-testable; `main.rs` is a thin shell.
 
-use metastate::{ConvertMode, Pipeline, TimeSplitOptions};
+use metastate::{ConvertMode, Engine, EngineOptions, Pipeline, Provenance, TimeSplitOptions};
 use msc_ir::CostModel;
 use msc_simd::MachineConfig;
 use std::fmt;
@@ -62,6 +75,13 @@ pub enum Command {
         /// Common options.
         opts: CommonOpts,
     },
+    /// `mscc batch FILE...`: compile many files over a worker pool.
+    Batch {
+        /// Source paths.
+        files: Vec<String>,
+        /// Common options.
+        opts: CommonOpts,
+    },
     /// `mscc help` / `-h` / `--help`.
     Help,
 }
@@ -79,6 +99,21 @@ pub struct CommonOpts {
     pub minimize: bool,
     /// Disable CSI in codegen.
     pub no_csi: bool,
+    /// Conversion / batch worker threads (1 = classic sequential path,
+    /// 0 = all cores). Any value other than 1 routes through the engine.
+    pub jobs: usize,
+    /// Artifact cache directory (routes through the engine).
+    pub cache: Option<String>,
+    /// Append the stats block to build/batch output (routes through the
+    /// engine).
+    pub stats: bool,
+}
+
+impl CommonOpts {
+    /// True when any engine feature was requested.
+    pub fn wants_engine(&self) -> bool {
+        self.jobs != 1 || self.cache.is_some() || self.stats
+    }
 }
 
 impl Default for CommonOpts {
@@ -89,6 +124,9 @@ impl Default for CommonOpts {
             optimize: false,
             minimize: false,
             no_csi: false,
+            jobs: 1,
+            cache: None,
+            stats: false,
         }
     }
 }
@@ -110,8 +148,9 @@ pub const USAGE: &str = "\
 mscc — Meta-State Conversion compiler driver
 
 USAGE:
-  mscc build <FILE> [--emit automaton|mpl|dot|graph|asm] [common flags]
-  mscc run   <FILE> [--pes N] [--pool N] [--compare] [--trace] [common flags]
+  mscc build <FILE>    [--emit automaton|mpl|dot|graph|asm] [common flags] [engine flags]
+  mscc batch <FILE>... [common flags] [engine flags]
+  mscc run   <FILE>    [--pes N] [--pool N] [--compare] [--trace] [common flags]
   mscc help
 
 COMMON FLAGS:
@@ -120,6 +159,14 @@ COMMON FLAGS:
   --optimize               peephole-optimize blocks first
   --minimize               merge bisimilar MIMD states first
   --no-csi                 disable common subexpression induction
+
+ENGINE FLAGS (build and batch):
+  --jobs N                 convert frontier-parallel on N threads (0 = all cores);
+                           batch also compiles files concurrently
+  --cache DIR              content-addressed artifact cache: unchanged
+                           source + options reload instead of recompiling
+  --stats                  append meta-state counts, conversion counters,
+                           per-phase timings, and cache hit/miss counters
 ";
 
 /// Parse an argument vector (without the program name).
@@ -128,8 +175,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let cmd = it.next().ok_or_else(|| CliError(USAGE.into()))?;
     match cmd.as_str() {
         "help" | "-h" | "--help" => Ok(Command::Help),
-        "build" | "run" => {
-            let mut file: Option<String> = None;
+        "build" | "run" | "batch" => {
+            let mut files: Vec<String> = Vec::new();
             let mut emit = Emit::Automaton;
             let mut pes = 8usize;
             let mut pool: Option<usize> = None;
@@ -139,20 +186,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--emit" => {
-                        let v = it.next().ok_or_else(|| CliError("--emit needs a value".into()))?;
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--emit needs a value".into()))?;
                         emit = match v.as_str() {
                             "automaton" => Emit::Automaton,
                             "mpl" => Emit::Mpl,
                             "dot" => Emit::Dot,
                             "graph" => Emit::Graph,
                             "asm" => Emit::Asm,
-                            other => {
-                                return Err(CliError(format!("unknown emit kind `{other}`")))
-                            }
+                            other => return Err(CliError(format!("unknown emit kind `{other}`"))),
                         };
                     }
                     "--mode" => {
-                        let v = it.next().ok_or_else(|| CliError("--mode needs a value".into()))?;
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--mode needs a value".into()))?;
                         opts.mode = match v.as_str() {
                             "base" => ConvertMode::Base,
                             "compressed" => ConvertMode::Compressed,
@@ -160,15 +209,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         };
                     }
                     "--pes" => {
-                        let v = it.next().ok_or_else(|| CliError("--pes needs a value".into()))?;
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--pes needs a value".into()))?;
                         pes = v
                             .parse()
                             .map_err(|_| CliError(format!("bad PE count `{v}`")))?;
                     }
                     "--pool" => {
-                        let v = it.next().ok_or_else(|| CliError("--pool needs a value".into()))?;
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--pool needs a value".into()))?;
                         pool = Some(
-                            v.parse().map_err(|_| CliError(format!("bad pool count `{v}`")))?,
+                            v.parse()
+                                .map_err(|_| CliError(format!("bad pool count `{v}`")))?,
                         );
                     }
                     "--time-split" => opts.time_split = true,
@@ -177,17 +231,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--no-csi" => opts.no_csi = true,
                     "--compare" => compare = true,
                     "--trace" => trace = true,
-                    other if !other.starts_with('-') && file.is_none() => {
-                        file = Some(other.to_string());
+                    "--jobs" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--jobs needs a value".into()))?;
+                        opts.jobs = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad job count `{v}`")))?;
+                    }
+                    "--cache" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--cache needs a directory".into()))?;
+                        opts.cache = Some(v.clone());
+                    }
+                    "--stats" => opts.stats = true,
+                    other if !other.starts_with('-') && (cmd == "batch" || files.is_empty()) => {
+                        files.push(other.to_string());
                     }
                     other => return Err(CliError(format!("unexpected argument `{other}`"))),
                 }
             }
-            let file = file.ok_or_else(|| CliError("missing input file".into()))?;
-            Ok(if cmd == "build" {
-                Command::Build { file, emit, opts }
-            } else {
-                Command::Run { file, pes, pool, compare, trace, opts }
+            if files.is_empty() {
+                return Err(CliError("missing input file".into()));
+            }
+            Ok(match cmd.as_str() {
+                "build" => Command::Build {
+                    file: files.remove(0),
+                    emit,
+                    opts,
+                },
+                "batch" => Command::Batch { files, opts },
+                _ => Command::Run {
+                    file: files.remove(0),
+                    pes,
+                    pool,
+                    compare,
+                    trace,
+                    opts,
+                },
             })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -206,20 +288,174 @@ fn build_pipeline(src: &str, opts: &CommonOpts) -> Pipeline {
         p = p.minimize();
     }
     if opts.no_csi {
-        p = p.gen_options(metastate::GenOptions { csi: false, ..Default::default() });
+        p = p.gen_options(metastate::GenOptions {
+            csi: false,
+            ..Default::default()
+        });
     }
     p
 }
 
+/// Build an [`Engine`] from the engine-related common options.
+fn engine_for(opts: &CommonOpts) -> Engine {
+    Engine::new(EngineOptions {
+        threads: opts.jobs,
+        cache_dir: opts.cache.as_ref().map(std::path::PathBuf::from),
+        ..EngineOptions::default()
+    })
+}
+
+/// The `--stats` block for one compiled artifact.
+fn stats_block(artifact: &metastate::Artifact, provenance: Provenance, engine: &Engine) -> String {
+    let s = &artifact.stats;
+    let t = &artifact.timings;
+    let c = engine.cache_stats();
+    let mut out = String::from("\n-- stats --\n");
+    out.push_str(&format!("provenance: {provenance}\n"));
+    match &artifact.automaton {
+        Some(a) => out.push_str(&format!(
+            "meta states: {} (avg width {:.2}, max width {})\n",
+            a.len(),
+            a.avg_width(),
+            a.max_width()
+        )),
+        None => out.push_str(&format!("meta states: {}\n", artifact.meta_states)),
+    }
+    out.push_str(&format!(
+        "conversion: {} restarts, {} splits, {} subsumed, {} successor sets enumerated\n",
+        s.restarts, s.splits, s.subsumed, s.successor_sets_enumerated
+    ));
+    out.push_str(&format!(
+        "timings: compile {:?}, convert {:?}, codegen {:?}\n",
+        t.compile, t.convert, t.codegen
+    ));
+    out.push_str(&format!(
+        "cache: {} memory hits, {} disk hits, {} misses, {} insertions, {} evictions\n",
+        c.hits, c.disk_hits, c.misses, c.insertions, c.evictions
+    ));
+    out.push_str(&format!("threads: {}\n", engine.threads()));
+    out
+}
+
+/// `mscc build` through the engine: parallel conversion + cache. Artifacts
+/// reloaded from the disk cache carry the program and automaton text but
+/// not the in-memory IR, so `--emit dot|graph` falls back to a fresh
+/// classic build for them.
+fn execute_build_engine(
+    file: &str,
+    emit: &Emit,
+    opts: &CommonOpts,
+    src: &str,
+) -> Result<String, CliError> {
+    let engine = engine_for(opts);
+    let job = build_pipeline(src, opts).into_job(file);
+    let out = engine.compile(&job).map_err(|e| CliError(e.to_string()))?;
+    let artifact = &out.artifact;
+    let mut text = match emit {
+        Emit::Automaton => {
+            let mut t = artifact.automaton_text.clone();
+            match &artifact.automaton {
+                Some(a) => t.push_str(&format!(
+                    "\n{} meta states, avg width {:.2}, max width {}\n",
+                    a.len(),
+                    a.avg_width(),
+                    a.max_width()
+                )),
+                None => t.push_str(&format!("\n{} meta states\n", artifact.meta_states)),
+            }
+            t
+        }
+        Emit::Mpl => metastate::render_mpl(&artifact.simd),
+        Emit::Asm => msc_simd::serialize_asm(&artifact.simd),
+        Emit::Dot => match &artifact.automaton {
+            Some(a) => a.dot(),
+            None => classic_built(src, opts)?.automaton.dot(),
+        },
+        Emit::Graph => {
+            let graph_text =
+                |p: &msc_lang::Program| msc_ir::render::text(&p.graph, &CostModel::default());
+            match &artifact.compiled {
+                Some(p) => graph_text(p),
+                None => graph_text(&classic_built(src, opts)?.compiled),
+            }
+        }
+    };
+    if opts.stats {
+        text.push_str(&stats_block(artifact, out.provenance, &engine));
+    }
+    Ok(text)
+}
+
+fn classic_built(src: &str, opts: &CommonOpts) -> Result<metastate::Built, CliError> {
+    build_pipeline(src, opts)
+        .build()
+        .map_err(|e| CliError(e.to_string()))
+}
+
+/// `mscc batch`: compile `(name, source)` pairs over the engine's worker
+/// pool; each file reports success or its own error. Returns the report
+/// and the number of files that failed (so the driver can exit nonzero
+/// on partial failure without losing the per-file lines).
+pub fn execute_batch(
+    sources: &[(String, String)],
+    opts: &CommonOpts,
+) -> Result<(String, usize), CliError> {
+    let engine = engine_for(opts);
+    let jobs: Vec<metastate::Job> = sources
+        .iter()
+        .map(|(name, src)| build_pipeline(src, opts).into_job(name.clone()))
+        .collect();
+    let results = engine.compile_many(&jobs);
+    let mut text = String::new();
+    let mut ok = 0usize;
+    for (job, result) in jobs.iter().zip(&results) {
+        match result {
+            Ok(c) => {
+                ok += 1;
+                text.push_str(&format!(
+                    "{}: ok, {} meta states, {} blocks ({})\n",
+                    job.name,
+                    c.artifact.meta_states,
+                    c.artifact.simd.blocks.len(),
+                    c.provenance
+                ));
+            }
+            Err(e) => text.push_str(&format!("{}: error: {e}\n", job.name)),
+        }
+    }
+    text.push_str(&format!(
+        "\n{ok}/{} succeeded, {} threads",
+        results.len(),
+        engine.threads()
+    ));
+    if opts.stats {
+        let c = engine.cache_stats();
+        text.push_str(&format!(
+            "; cache: {} memory hits, {} disk hits, {} misses",
+            c.hits, c.disk_hits, c.misses
+        ));
+    }
+    text.push('\n');
+    Ok((text, results.len() - ok))
+}
+
 /// Execute a parsed command against source text, returning the output the
-/// CLI prints. Separated from file I/O for testability.
+/// CLI prints. Separated from file I/O for testability. (`Batch` reads
+/// many files, so it goes through [`execute_batch`] instead.)
 pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Build { emit, opts, .. } => {
-            let built = build_pipeline(src, opts)
-                .build()
-                .map_err(|e| CliError(e.to_string()))?;
+        Command::Batch { files, opts } => {
+            // Testing convenience: every file gets the same source text.
+            let sources: Vec<(String, String)> =
+                files.iter().map(|f| (f.clone(), src.to_string())).collect();
+            execute_batch(&sources, opts).map(|(text, _)| text)
+        }
+        Command::Build { file, emit, opts } => {
+            if opts.wants_engine() {
+                return execute_build_engine(file, emit, opts, src);
+            }
+            let built = classic_built(src, opts)?;
             Ok(match emit {
                 Emit::Automaton => {
                     let mut out = built.automaton_text();
@@ -233,13 +469,18 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
                 }
                 Emit::Mpl => built.mpl(),
                 Emit::Dot => built.automaton.dot(),
-                Emit::Graph => {
-                    msc_ir::render::text(&built.compiled.graph, &CostModel::default())
-                }
+                Emit::Graph => msc_ir::render::text(&built.compiled.graph, &CostModel::default()),
                 Emit::Asm => msc_simd::serialize_asm(&built.simd),
             })
         }
-        Command::Run { pes, pool, compare, trace, opts, .. } => {
+        Command::Run {
+            pes,
+            pool,
+            compare,
+            trace,
+            opts,
+            ..
+        } => {
             let built = build_pipeline(src, opts)
                 .build()
                 .map_err(|e| CliError(e.to_string()))?;
@@ -274,17 +515,18 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
                 text.push_str("\ntrace (meta-state path):\n");
                 for ev in &out.machine.trace {
                     match ev {
-                        msc_simd::TraceEvent::EnterBlock { block, live, at_cycle } => {
+                        msc_simd::TraceEvent::EnterBlock {
+                            block,
+                            live,
+                            at_cycle,
+                        } => {
                             text.push_str(&format!(
                                 "  @{at_cycle:<6} enter {} (live PEs: {live})\n",
                                 built.simd.block(*block).name
                             ));
                         }
                         msc_simd::TraceEvent::Dispatch { to: Some(t), .. } => {
-                            text.push_str(&format!(
-                                "          -> {}\n",
-                                built.simd.block(*t).name
-                            ));
+                            text.push_str(&format!("          -> {}\n", built.simd.block(*t).name));
                         }
                         msc_simd::TraceEvent::Dispatch { to: None, .. } => {
                             text.push_str("          -> exit\n");
@@ -295,12 +537,11 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
             if *compare {
                 let p = msc_lang::compile(src).map_err(|e| CliError(e.to_string()))?;
                 let mcfg = msc_mimd::MimdConfig::spmd(*pes);
-                let mut mimd = msc_mimd::MimdReference::new(
-                    p.layout.poly_words,
-                    p.layout.mono_words,
-                    &mcfg,
-                );
-                let mm = mimd.run(&p.graph, &mcfg).map_err(|e| CliError(e.to_string()))?;
+                let mut mimd =
+                    msc_mimd::MimdReference::new(p.layout.poly_words, p.layout.mono_words, &mcfg);
+                let mm = mimd
+                    .run(&p.graph, &mcfg)
+                    .map_err(|e| CliError(e.to_string()))?;
                 let (_, im) = msc_mimd::interpret_on_simd(
                     &p.graph,
                     p.layout.poly_words,
@@ -316,8 +557,8 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
                     im.cycles as f64 / out.metrics.cycles as f64
                 ));
                 if let (Some(ret), Some(mret)) = (built.ret_addr(), p.layout.main_ret) {
-                    let agree = (0..*pes)
-                        .all(|pe| out.machine.poly_at(pe, ret) == mimd.poly_at(pe, mret));
+                    let agree =
+                        (0..*pes).all(|pe| out.machine.poly_at(pe, ret) == mimd.poly_at(pe, mret));
                     text.push_str(&format!(
                         "results {} the MIMD reference\n",
                         if agree { "MATCH" } else { "DIVERGE FROM" }
@@ -329,15 +570,31 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
     }
 }
 
-/// Full entry point: parse args, read the file, execute.
+/// Full entry point: parse args, read the file(s), execute.
 pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
     let cmd = parse_args(args)?;
-    let src = match &cmd {
-        Command::Help => String::new(),
-        Command::Build { file, .. } | Command::Run { file, .. } => std::fs::read_to_string(file)
-            .map_err(|e| CliError(format!("cannot read {file}: {e}")))?,
+    let read = |file: &str| {
+        std::fs::read_to_string(file).map_err(|e| CliError(format!("cannot read {file}: {e}")))
     };
-    execute_on_source(&cmd, &src)
+    match &cmd {
+        Command::Help => execute_on_source(&cmd, ""),
+        Command::Batch { files, opts } => {
+            let sources = files
+                .iter()
+                .map(|f| Ok((f.clone(), read(f)?)))
+                .collect::<Result<Vec<_>, CliError>>()?;
+            let (text, failed) = execute_batch(&sources, opts)?;
+            if failed > 0 {
+                // Per-file lines are in the report; fail the invocation so
+                // scripts see the partial failure.
+                return Err(CliError(format!("{failed} file(s) failed\n{text}")));
+            }
+            Ok(text)
+        }
+        Command::Build { file, .. } | Command::Run { file, .. } => {
+            execute_on_source(&cmd, &read(file)?)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -369,7 +626,16 @@ mod tests {
             "run foo.mimdc --pes 32 --pool 4 --compare --mode compressed --time-split --optimize --minimize --no-csi",
         ))
         .unwrap();
-        let Command::Run { pes, pool, compare, opts, .. } = cmd else { panic!() };
+        let Command::Run {
+            pes,
+            pool,
+            compare,
+            opts,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
         assert_eq!(pes, 32);
         assert_eq!(pool, Some(4));
         assert!(compare);
@@ -388,7 +654,9 @@ mod tests {
     #[test]
     fn help_works() {
         assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
-        assert!(execute_on_source(&Command::Help, "").unwrap().contains("USAGE"));
+        assert!(execute_on_source(&Command::Help, "")
+            .unwrap()
+            .contains("USAGE"));
     }
 
     #[test]
@@ -451,9 +719,162 @@ mod tests {
         let a = execute_on_source(&plain, PROG).unwrap();
         let b = execute_on_source(&opt, PROG).unwrap();
         let results = |s: &str| -> Vec<String> {
-            s.lines().filter(|l| l.contains(" | ")).map(String::from).collect()
+            s.lines()
+                .filter(|l| l.contains(" | "))
+                .map(String::from)
+                .collect()
         };
         assert_eq!(results(&a), results(&b));
+    }
+
+    #[test]
+    fn parse_engine_flags() {
+        let cmd = parse_args(&args("build foo.mimdc --jobs 8 --cache /tmp/c --stats")).unwrap();
+        let Command::Build { opts, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.jobs, 8);
+        assert_eq!(opts.cache.as_deref(), Some("/tmp/c"));
+        assert!(opts.stats);
+        assert!(opts.wants_engine());
+        assert!(!CommonOpts::default().wants_engine());
+    }
+
+    #[test]
+    fn parse_batch_collects_files() {
+        let cmd = parse_args(&args("batch a.mimdc b.mimdc c.mimdc --jobs 2")).unwrap();
+        let Command::Batch { files, opts } = cmd else {
+            panic!()
+        };
+        assert_eq!(files, vec!["a.mimdc", "b.mimdc", "c.mimdc"]);
+        assert_eq!(opts.jobs, 2);
+        assert!(
+            parse_args(&args("batch")).is_err(),
+            "batch needs at least one file"
+        );
+        assert!(
+            parse_args(&args("build a.mimdc b.mimdc")).is_err(),
+            "build takes exactly one file"
+        );
+    }
+
+    #[test]
+    fn build_stats_block() {
+        let cmd = Command::Build {
+            file: "x".into(),
+            emit: Emit::Automaton,
+            opts: CommonOpts {
+                stats: true,
+                jobs: 2,
+                ..CommonOpts::default()
+            },
+        };
+        let out = execute_on_source(&cmd, PROG).unwrap();
+        assert!(out.contains("-- stats --"), "{out}");
+        assert!(out.contains("provenance: fresh compile"), "{out}");
+        assert!(out.contains("timings: compile"), "{out}");
+        assert!(out.contains("cache: 0 memory hits"), "{out}");
+        assert!(out.contains("meta states"), "{out}");
+    }
+
+    #[test]
+    fn build_engine_emits_each_kind() {
+        // All emit kinds work through the engine route too.
+        for (emit, needle) in [
+            (Emit::Automaton, "meta states"),
+            (Emit::Mpl, "ms_"),
+            (Emit::Dot, "digraph"),
+            (Emit::Graph, "-> "),
+            (Emit::Asm, ".program start=mb"),
+        ] {
+            let cmd = Command::Build {
+                file: "x".into(),
+                emit,
+                opts: CommonOpts {
+                    jobs: 2,
+                    ..CommonOpts::default()
+                },
+            };
+            let out = execute_on_source(&cmd, PROG).unwrap();
+            assert!(out.contains(needle), "{emit:?}: {out}");
+        }
+    }
+
+    #[test]
+    fn build_engine_output_matches_classic() {
+        // The engine canonicalizes the automaton; for this straight-line
+        // program the classic numbering is already canonical, so the
+        // automaton text must agree exactly.
+        let classic = Command::Build {
+            file: "x".into(),
+            emit: Emit::Automaton,
+            opts: CommonOpts::default(),
+        };
+        let engine = Command::Build {
+            file: "x".into(),
+            emit: Emit::Automaton,
+            opts: CommonOpts {
+                jobs: 4,
+                ..CommonOpts::default()
+            },
+        };
+        assert_eq!(
+            execute_on_source(&classic, PROG).unwrap(),
+            execute_on_source(&engine, PROG).unwrap()
+        );
+    }
+
+    #[test]
+    fn repeated_cached_build_reports_disk_hit() {
+        let dir = std::env::temp_dir().join(format!("mscc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CommonOpts {
+            cache: Some(dir.to_string_lossy().into_owned()),
+            stats: true,
+            ..CommonOpts::default()
+        };
+        let cmd = Command::Build {
+            file: "x".into(),
+            emit: Emit::Automaton,
+            opts,
+        };
+        // First invocation compiles and persists; each call builds a fresh
+        // engine (as separate mscc processes would), so the second can only
+        // be satisfied by the disk layer.
+        let first = execute_on_source(&cmd, PROG).unwrap();
+        assert!(first.contains("provenance: fresh compile"), "{first}");
+        let second = execute_on_source(&cmd, PROG).unwrap();
+        assert!(second.contains("provenance: cache hit (disk)"), "{second}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_reports_per_file_outcomes() {
+        let good = "main() { poly int x; x = pe_id(); return(x); }";
+        let bad = "main() { y = 1; }";
+        let sources = vec![
+            ("a.mimdc".to_string(), good.to_string()),
+            ("broken.mimdc".to_string(), bad.to_string()),
+            ("c.mimdc".to_string(), good.to_string()),
+        ];
+        // jobs: 1 keeps the pool sequential so the cache hit on the
+        // repeated source is deterministic (still the engine route).
+        let opts = CommonOpts {
+            jobs: 1,
+            stats: true,
+            ..CommonOpts::default()
+        };
+        let (out, failed) = execute_batch(&sources, &opts).unwrap();
+        assert_eq!(failed, 1, "{out}");
+        assert!(out.contains("a.mimdc: ok"), "{out}");
+        assert!(out.contains("broken.mimdc: error: compile:"), "{out}");
+        assert!(out.contains("c.mimdc: ok"), "{out}");
+        assert!(out.contains("2/3 succeeded"), "{out}");
+        // a and c share source + options: the second must hit the cache.
+        assert!(
+            out.contains("cache hit (memory)") || out.contains("1 memory hits"),
+            "{out}"
+        );
     }
 
     #[test]

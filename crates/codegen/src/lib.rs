@@ -73,7 +73,10 @@ impl fmt::Display for GenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GenError::TooManyDispatchStates { meta, states } => {
-                write!(f, "dispatch at {meta} needs {states} aggregate bits (max 64)")
+                write!(
+                    f,
+                    "dispatch at {meta} needs {states} aggregate bits (max 64)"
+                )
             }
             GenError::Hash(e) => write!(f, "multiway branch encoding failed: {e}"),
             GenError::Csi(e) => write!(f, "common subexpression induction failed: {e}"),
@@ -124,12 +127,19 @@ pub fn generate(
         let members: Vec<StateId> = set.iter().collect();
 
         // §3.1: the member bodies are the threads of a CSI problem.
-        let threads: Vec<Vec<Op>> =
-            members.iter().map(|&m| graph.state(m).ops.clone()).collect();
+        let threads: Vec<Vec<Op>> = members
+            .iter()
+            .map(|&m| graph.state(m).ops.clone())
+            .collect();
         let mut body: Vec<GuardedInstr> = Vec::new();
         if opts.csi {
-            let schedule =
-                msc_csi::induce_with(&threads, &CsiOptions { costs: opts.costs.clone(), ..Default::default() })?;
+            let schedule = msc_csi::induce_with(
+                &threads,
+                &CsiOptions {
+                    costs: opts.costs.clone(),
+                    ..Default::default()
+                },
+            )?;
             for slot in schedule.slots {
                 let guard: Vec<StateId> = members
                     .iter()
@@ -137,7 +147,10 @@ pub fn generate(
                     .filter(|(t, _)| slot.active & (1 << t) != 0)
                     .map(|(_, &m)| m)
                     .collect();
-                body.push(GuardedInstr { guard, instr: SimdInstr::Op(slot.op) });
+                body.push(GuardedInstr {
+                    guard,
+                    instr: SimdInstr::Op(slot.op),
+                });
             }
         } else {
             for (t, thread) in threads.iter().enumerate() {
@@ -159,9 +172,10 @@ pub fn generate(
                 Terminator::Jump(b) => SimdInstr::SetPc(*b),
                 Terminator::Branch { t, f } => SimdInstr::JumpF { t: *t, f: *f },
                 Terminator::Multi(v) => SimdInstr::RetMulti(v.clone()),
-                Terminator::Spawn { child, next } => {
-                    SimdInstr::Spawn { child: *child, next: *next }
-                }
+                Terminator::Spawn { child, next } => SimdInstr::Spawn {
+                    child: *child,
+                    next: *next,
+                },
             };
             if let Some(entry) = term_instrs.iter_mut().find(|(i, _)| *i == instr) {
                 entry.1.push(m);
@@ -214,12 +228,15 @@ fn build_dispatch(
             // §2.5 transition): exactly one all-barrier successor, and the
             // other successor covers every possible non-barrier next state.
             if succs.len() == 2 {
-                let is_barrier_set = |m: MetaId| {
-                    auto.members(m).iter().all(|s| graph.state(s).barrier)
-                };
+                let is_barrier_set =
+                    |m: MetaId| auto.members(m).iter().all(|s| graph.state(s).barrier);
                 let (b, c) = (is_barrier_set(succs[0]), is_barrier_set(succs[1]));
                 if b != c {
-                    let (barrier, cont) = if b { (succs[0], succs[1]) } else { (succs[1], succs[0]) };
+                    let (barrier, cont) = if b {
+                        (succs[0], succs[1])
+                    } else {
+                        (succs[1], succs[0])
+                    };
                     // All non-barrier successor states of members:
                     let mut covered = true;
                     for m in auto.members(meta).iter() {
@@ -275,11 +292,13 @@ fn build_dispatch(
             let bit_of: Vec<(StateId, u32)> = if graph.len() <= 64 {
                 possible.iter().map(|&s| (s, s.0)).collect()
             } else {
-                possible.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect()
+                possible
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| (s, i as u32))
+                    .collect()
             };
-            let bit = |s: StateId| -> u32 {
-                bit_of.iter().find(|(st, _)| *st == s).unwrap().1
-            };
+            let bit = |s: StateId| -> u32 { bit_of.iter().find(|(st, _)| *st == s).unwrap().1 };
             let barrier_mask: u64 = possible
                 .iter()
                 .filter(|&&s| graph.state(s).barrier)
@@ -287,12 +306,19 @@ fn build_dispatch(
             let keys: Vec<u64> = succs
                 .iter()
                 .map(|&sm| {
-                    auto.members(sm).iter().fold(0u64, |k, s| k | (1u64 << bit(s)))
+                    auto.members(sm)
+                        .iter()
+                        .fold(0u64, |k, s| k | (1u64 << bit(s)))
                 })
                 .collect();
             let hash = msc_hash::find_hash_with(&keys, opts.hash_search)?;
             let targets: Vec<BlockId> = succs.iter().map(|&s| BlockId(s.0)).collect();
-            Ok(Dispatch::Hashed { bit_of, barrier_mask, hash, targets })
+            Ok(Dispatch::Hashed {
+                bit_of,
+                barrier_mask,
+                hash,
+                targets,
+            })
         }
     }
 }
@@ -326,8 +352,11 @@ mod tests {
         assert_eq!(prog.blocks.len(), 8, "Listing 5 has eight ms_ labels");
         prog.validate().unwrap();
         // Exactly one terminal block (the all-halt meta state).
-        let ends =
-            prog.blocks.iter().filter(|b| matches!(b.dispatch, Dispatch::End)).count();
+        let ends = prog
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.dispatch, Dispatch::End))
+            .count();
         assert_eq!(ends, 1);
     }
 
@@ -380,7 +409,10 @@ mod tests {
         let without = build(
             LISTING4,
             &ConvertOptions::base(),
-            &GenOptions { csi: false, ..Default::default() },
+            &GenOptions {
+                csi: false,
+                ..Default::default()
+            },
         );
         let issues = |p: &SimdProgram| p.control_unit_instrs();
         assert!(

@@ -78,10 +78,20 @@ pub fn render_mpl(program: &SimdProgram) -> String {
                     .iter()
                     .map(|s| format!("BIT({})", s.0))
                     .collect();
-                let _ = writeln!(out, "  if ((apc & ~({})) == 0) goto {};", bmask.join("|"), program.block(*barrier).name);
+                let _ = writeln!(
+                    out,
+                    "  if ((apc & ~({})) == 0) goto {};",
+                    bmask.join("|"),
+                    program.block(*barrier).name
+                );
                 let _ = writeln!(out, "  goto {};", program.block(*cont).name);
             }
-            Dispatch::Hashed { hash, targets, barrier_mask, .. } => {
+            Dispatch::Hashed {
+                hash,
+                targets,
+                barrier_mask,
+                ..
+            } => {
                 let _ = writeln!(out, "  apc = globalor(pc);");
                 if *barrier_mask != 0 {
                     let _ = writeln!(
@@ -127,9 +137,13 @@ mod tests {
     fn listing5_shape_reproduced() {
         let p = compile(LISTING4).unwrap();
         let auto = convert(&p.graph, &ConvertOptions::base()).unwrap();
-        let prog =
-            generate(&auto, p.layout.poly_words, p.layout.mono_words, &GenOptions::default())
-                .unwrap();
+        let prog = generate(
+            &auto,
+            p.layout.poly_words,
+            p.layout.mono_words,
+            &GenOptions::default(),
+        )
+        .unwrap();
         let text = render_mpl(&prog);
         // Eight labels, like Listing 5's ms_0 … ms_2_6_9.
         assert!(text.matches("ms_").count() >= 8);
@@ -146,9 +160,13 @@ mod tests {
     fn direct_dispatch_renders_goto() {
         let p = compile("main() { poly int x = 1; wait; return(x); }").unwrap();
         let auto = convert(&p.graph, &ConvertOptions::base()).unwrap();
-        let prog =
-            generate(&auto, p.layout.poly_words, p.layout.mono_words, &GenOptions::default())
-                .unwrap();
+        let prog = generate(
+            &auto,
+            p.layout.poly_words,
+            p.layout.mono_words,
+            &GenOptions::default(),
+        )
+        .unwrap();
         let text = render_mpl(&prog);
         assert!(text.contains("goto ms_"), "{text}");
     }

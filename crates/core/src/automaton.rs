@@ -64,7 +64,10 @@ impl MetaAutomaton {
 
     /// Find the meta state with exactly these members.
     pub fn find(&self, set: &StateSet) -> Option<MetaId> {
-        self.sets.iter().position(|s| s == set).map(|i| MetaId(i as u32))
+        self.sets
+            .iter()
+            .position(|s| s == set)
+            .map(|i| MetaId(i as u32))
     }
 
     /// Average meta-state width (member count). §2.5 trades state count
@@ -112,6 +115,105 @@ impl MetaAutomaton {
             .unwrap_or(0)
     }
 
+    /// Renumber meta states into deterministic breadth-first order from
+    /// the start state (successor lists visited in stored order). Two
+    /// automatons with the same reachable structure — regardless of the
+    /// discovery order that built them — become bit-identical, which is
+    /// how the parallel converter's output is normalized against the
+    /// sequential one. Unreachable meta states (possible after external
+    /// surgery) are appended in their original relative order.
+    pub fn canonicalize(&mut self) {
+        let n = self.sets.len();
+        if n == 0 {
+            return;
+        }
+        let mut new_of_old: Vec<Option<u32>> = vec![None; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        new_of_old[self.start.idx()] = Some(0);
+        order.push(self.start.idx());
+        queue.push_back(self.start.idx());
+        while let Some(o) = queue.pop_front() {
+            for s in &self.succs[o] {
+                if new_of_old[s.idx()].is_none() {
+                    new_of_old[s.idx()] = Some(order.len() as u32);
+                    order.push(s.idx());
+                    queue.push_back(s.idx());
+                }
+            }
+        }
+        for (o, slot) in new_of_old.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(order.len() as u32);
+                order.push(o);
+            }
+        }
+        self.sets = order
+            .iter()
+            .map(|&o| std::mem::take(&mut self.sets[o]))
+            .collect();
+        self.succs = order
+            .iter()
+            .map(|&o| {
+                self.succs[o]
+                    .iter()
+                    .map(|s| MetaId(new_of_old[s.idx()].expect("every meta state numbered")))
+                    .collect()
+            })
+            .collect();
+        self.start = MetaId(0);
+    }
+
+    /// Remove meta states not reachable from the start state, keeping the
+    /// survivors in their original relative order with dense ids. Returns
+    /// the number of states removed. Parallel construction can intern
+    /// states from expansions that were later invalidated by latent
+    /// widening, and subsumption folds can strand states behind folded
+    /// arcs; both are cleaned up here.
+    pub fn prune_unreachable(&mut self) -> usize {
+        let n = self.sets.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.start];
+        seen[self.start.idx()] = true;
+        while let Some(m) = stack.pop() {
+            for &s in &self.succs[m.idx()] {
+                if !seen[s.idx()] {
+                    seen[s.idx()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        if seen.iter().all(|&b| b) {
+            return 0;
+        }
+        let mut new_id = vec![None; n];
+        let mut kept = Vec::new();
+        for i in 0..n {
+            if seen[i] {
+                new_id[i] = Some(MetaId(kept.len() as u32));
+                kept.push(i);
+            }
+        }
+        let mut sets = Vec::with_capacity(kept.len());
+        let mut succs = Vec::with_capacity(kept.len());
+        for &i in &kept {
+            sets.push(std::mem::take(&mut self.sets[i]));
+            succs.push(
+                self.succs[i]
+                    .iter()
+                    .map(|s| new_id[s.idx()].expect("successors of reachable states are reachable"))
+                    .collect(),
+            );
+        }
+        self.start = new_id[self.start.idx()].expect("start is always reachable");
+        self.sets = sets;
+        self.succs = succs;
+        n - kept.len()
+    }
+
     /// Render the automaton as text, one meta state per line:
     ///
     /// ```text
@@ -126,7 +228,12 @@ impl MetaAutomaton {
                 let _ = write!(out, " end");
             } else {
                 for (k, s) in self.succs[i].iter().enumerate() {
-                    let _ = write!(out, "{}{}", if k == 0 { " " } else { "," }, self.sets[s.idx()]);
+                    let _ = write!(
+                        out,
+                        "{}{}",
+                        if k == 0 { " " } else { "," },
+                        self.sets[s.idx()]
+                    );
                 }
             }
             if id == self.start {
@@ -141,7 +248,11 @@ impl MetaAutomaton {
     pub fn dot(&self) -> String {
         let mut out = String::from("digraph meta {\n  rankdir=TB;\n  node [shape=ellipse];\n");
         for (i, set) in self.sets.iter().enumerate() {
-            let pen = if MetaId(i as u32) == self.start { " penwidth=2" } else { "" };
+            let pen = if MetaId(i as u32) == self.start {
+                " penwidth=2"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  {i} [label=\"{set}\"{pen}];");
         }
         for (i, succs) in self.succs.iter().enumerate() {
@@ -241,5 +352,81 @@ mod tests {
         let a = tiny();
         assert_eq!(a.find(&StateSet::singleton(StateId(1))), Some(MetaId(1)));
         assert_eq!(a.find(&StateSet::from_iter([StateId(0), StateId(1)])), None);
+    }
+
+    #[test]
+    fn canonicalize_renumbers_bfs_from_start() {
+        // Same structure as `tiny` but with ids permuted: start is ms_1.
+        let mut graph = MimdGraph::new();
+        let a = graph.add(MimdState::new(vec![], Terminator::Halt));
+        let b = graph.add(MimdState::new(vec![], Terminator::Halt));
+        graph.state_mut(a).term = Terminator::Jump(b);
+        graph.start = a;
+        let mut auto = MetaAutomaton {
+            graph,
+            sets: vec![StateSet::singleton(b), StateSet::singleton(a)],
+            start: MetaId(1),
+            succs: vec![vec![], vec![MetaId(0)]],
+        };
+        auto.canonicalize();
+        assert_eq!(auto.start, MetaId(0));
+        assert_eq!(auto.sets[0], StateSet::singleton(a));
+        assert_eq!(auto.sets[1], StateSet::singleton(b));
+        assert_eq!(auto.succs, vec![vec![MetaId(1)], vec![]]);
+        assert_eq!(auto.validate(), Ok(()));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_keeps_unreachable() {
+        let mut graph = MimdGraph::new();
+        let a = graph.add(MimdState::new(vec![], Terminator::Halt));
+        let b = graph.add(MimdState::new(vec![], Terminator::Halt));
+        let c = graph.add(MimdState::new(vec![], Terminator::Halt));
+        graph.start = a;
+        let mut auto = MetaAutomaton {
+            graph,
+            sets: vec![
+                StateSet::singleton(c), // unreachable
+                StateSet::singleton(a), // start
+                StateSet::singleton(b),
+            ],
+            start: MetaId(1),
+            succs: vec![vec![], vec![MetaId(2)], vec![]],
+        };
+        auto.canonicalize();
+        let once = (auto.sets.clone(), auto.succs.clone(), auto.start);
+        auto.canonicalize();
+        assert_eq!((auto.sets.clone(), auto.succs.clone(), auto.start), once);
+        assert_eq!(auto.len(), 3, "unreachable states are kept");
+        assert_eq!(auto.sets[2], StateSet::singleton(c));
+    }
+
+    #[test]
+    fn prune_unreachable_drops_and_remaps() {
+        let mut graph = MimdGraph::new();
+        let a = graph.add(MimdState::new(vec![], Terminator::Halt));
+        let b = graph.add(MimdState::new(vec![], Terminator::Halt));
+        let c = graph.add(MimdState::new(vec![], Terminator::Halt));
+        graph.start = a;
+        let mut auto = MetaAutomaton {
+            graph,
+            sets: vec![
+                StateSet::singleton(c), // unreachable
+                StateSet::singleton(a), // start
+                StateSet::singleton(b),
+            ],
+            start: MetaId(1),
+            succs: vec![vec![MetaId(2)], vec![MetaId(2)], vec![]],
+        };
+        assert_eq!(auto.prune_unreachable(), 1);
+        assert_eq!(auto.len(), 2);
+        assert_eq!(auto.start, MetaId(0));
+        assert_eq!(
+            auto.sets,
+            vec![StateSet::singleton(a), StateSet::singleton(b)]
+        );
+        assert_eq!(auto.succs, vec![vec![MetaId(1)], vec![]]);
+        assert_eq!(auto.validate(), Ok(()));
+        assert_eq!(auto.prune_unreachable(), 0, "idempotent on reachable-only");
     }
 }

@@ -55,7 +55,11 @@ pub struct TimeSplitOptions {
 
 impl Default for TimeSplitOptions {
     fn default() -> Self {
-        TimeSplitOptions { split_delta: 4, split_percent: 75, max_restarts: 10_000 }
+        TimeSplitOptions {
+            split_delta: 4,
+            split_percent: 75,
+            max_restarts: 10_000,
+        }
     }
 }
 
@@ -102,7 +106,11 @@ impl ConvertOptions {
 
     /// Defaults for compressed conversion (§2.5), with subsumption.
     pub fn compressed() -> Self {
-        ConvertOptions { mode: ConvertMode::Compressed, subsumption: true, ..Self::base() }
+        ConvertOptions {
+            mode: ConvertMode::Compressed,
+            subsumption: true,
+            ..Self::base()
+        }
     }
 }
 
@@ -153,13 +161,22 @@ impl fmt::Display for ConvertError {
                 write!(f, "meta-state space exceeded the guard of {limit} states")
             }
             ConvertError::TooManySuccessorSets { meta, limit } => {
-                write!(f, "meta state {meta} produced more than {limit} successor sets")
+                write!(
+                    f,
+                    "meta state {meta} produced more than {limit} successor sets"
+                )
             }
             ConvertError::MultiTooWide { state, arity } => {
-                write!(f, "multiway branch at {state} has arity {arity}, too wide to enumerate")
+                write!(
+                    f,
+                    "multiway branch at {state} has arity {arity}, too wide to enumerate"
+                )
             }
             ConvertError::TimeSplitDiverged { restarts } => {
-                write!(f, "time splitting did not converge after {restarts} restarts")
+                write!(
+                    f,
+                    "time splitting did not converge after {restarts} restarts"
+                )
             }
         }
     }
@@ -200,7 +217,11 @@ pub fn convert_with_stats(
     graph.validate()?;
     let mut g = graph.clone();
     let mut stats = ConvertStats::default();
-    let max_restarts = opts.time_split.as_ref().map(|t| t.max_restarts).unwrap_or(0);
+    let max_restarts = opts
+        .time_split
+        .as_ref()
+        .map(|t| t.max_restarts)
+        .unwrap_or(0);
 
     'restart: loop {
         let mut arena = SetArena::new();
@@ -215,6 +236,9 @@ pub fn convert_with_stats(
         let mut latents: Vec<StateSet> = Vec::new();
         let mut meta_of_set: Vec<Option<MetaId>> = Vec::new();
         let mut worklist: VecDeque<MetaId> = VecDeque::new();
+        // Membership flag per meta state: re-enqueue on latent widening in
+        // O(1) instead of scanning the whole worklist.
+        let mut in_worklist: Vec<bool> = Vec::new();
 
         let intern = |set: StateSet,
                       latent: StateSet,
@@ -223,7 +247,8 @@ pub fn convert_with_stats(
                       succs: &mut Vec<Vec<MetaId>>,
                       latents: &mut Vec<StateSet>,
                       meta_of_set: &mut Vec<Option<MetaId>>,
-                      worklist: &mut VecDeque<MetaId>|
+                      worklist: &mut VecDeque<MetaId>,
+                      in_worklist: &mut Vec<bool>|
          -> MetaId {
             let sid = arena.intern(set);
             if sid.idx() >= meta_of_set.len() {
@@ -235,7 +260,8 @@ pub fn convert_with_stats(
                 // recomputed.
                 if !latent.is_subset(&latents[m.idx()]) {
                     latents[m.idx()] = latents[m.idx()].union(&latent);
-                    if !worklist.contains(&m) {
+                    if !in_worklist[m.idx()] {
+                        in_worklist[m.idx()] = true;
                         worklist.push_back(m);
                     }
                 }
@@ -246,6 +272,7 @@ pub fn convert_with_stats(
             sets_in_order.push(sid);
             succs.push(Vec::new());
             latents.push(latent);
+            in_worklist.push(true);
             worklist.push_back(m);
             m
         };
@@ -260,9 +287,11 @@ pub fn convert_with_stats(
             &mut latents,
             &mut meta_of_set,
             &mut worklist,
+            &mut in_worklist,
         );
 
         while let Some(m) = worklist.pop_front() {
+            in_worklist[m.idx()] = false;
             let members = arena.get(sets_in_order[m.idx()]).clone();
             let latent = latents[m.idx()].clone();
 
@@ -273,7 +302,9 @@ pub fn convert_with_stats(
                 if did {
                     stats.restarts += 1;
                     if stats.restarts > max_restarts {
-                        return Err(ConvertError::TimeSplitDiverged { restarts: stats.restarts });
+                        return Err(ConvertError::TimeSplitDiverged {
+                            restarts: stats.restarts,
+                        });
                     }
                     continue 'restart;
                 }
@@ -291,12 +322,15 @@ pub fn convert_with_stats(
                     &mut latents,
                     &mut meta_of_set,
                     &mut worklist,
+                    &mut in_worklist,
                 );
                 if !out.contains(&id) {
                     out.push(id);
                 }
                 if sets_in_order.len() > opts.max_meta_states {
-                    return Err(ConvertError::TooManyMetaStates { limit: opts.max_meta_states });
+                    return Err(ConvertError::TooManyMetaStates {
+                        limit: opts.max_meta_states,
+                    });
                 }
             }
             succs[m.idx()] = out;
@@ -304,7 +338,10 @@ pub fn convert_with_stats(
 
         let mut automaton = MetaAutomaton {
             graph: g.clone(),
-            sets: sets_in_order.iter().map(|&sid| arena.get(sid).clone()).collect(),
+            sets: sets_in_order
+                .iter()
+                .map(|&sid| arena.get(sid).clone())
+                .collect(),
             start,
             succs,
         };
@@ -313,6 +350,26 @@ pub fn convert_with_stats(
         }
         return Ok((automaton, stats));
     }
+}
+
+/// Frontier-expansion hook for external drivers (e.g. the parallel engine
+/// in `msc-engine`): enumerate the `(visible members, latent waits)`
+/// successor pairs of one meta state exactly as the sequential worklist
+/// loop does, returning the candidate-set count alongside (the
+/// [`ConvertStats::successor_sets_enumerated`] contribution).
+///
+/// The expansion of a meta state depends only on `(graph, members, latent,
+/// opts)` — not on any converter-global state — which is what makes the
+/// frontier safely parallelizable.
+pub fn expand_frontier(
+    graph: &MimdGraph,
+    members: &StateSet,
+    latent: &StateSet,
+    opts: &ConvertOptions,
+) -> Result<(Vec<(StateSet, StateSet)>, u64), ConvertError> {
+    let mut stats = ConvertStats::default();
+    let targets = successor_sets(graph, members, latent, opts, &mut stats)?;
+    Ok((targets, stats.successor_sets_enumerated))
 }
 
 /// §2.6 `barrier_sync`: if some but not all members of `set` are barrier
@@ -576,8 +633,11 @@ mod tests {
         let a = convert(&listing1(), &ConvertOptions::base()).unwrap();
         let id = |v: &[u32]| a.find(&set(v)).unwrap();
         let succ_sets = |v: &[u32]| {
-            let mut s: Vec<StateSet> =
-                a.successors(id(v)).iter().map(|m| a.members(*m).clone()).collect();
+            let mut s: Vec<StateSet> = a
+                .successors(id(v))
+                .iter()
+                .map(|m| a.members(*m).clone())
+                .collect();
             s.sort();
             s
         };
@@ -588,7 +648,13 @@ mod tests {
         // From {1,2}: five distinct targets.
         assert_eq!(
             succ_sets(&[1, 2]),
-            vec![set(&[1, 2]), set(&[1, 2, 3]), set(&[1, 3]), set(&[2, 3]), set(&[3])]
+            vec![
+                set(&[1, 2]),
+                set(&[1, 2, 3]),
+                set(&[1, 3]),
+                set(&[2, 3]),
+                set(&[3])
+            ]
         );
         // {3} is terminal.
         assert!(a.successors(id(&[3])).is_empty());
@@ -626,7 +692,10 @@ mod tests {
         let a = convert(&listing3(), &ConvertOptions::base()).unwrap();
         // {0},{1},{2},{1,2},{3}: five states; no {1,3} or {2,3} may exist.
         assert_eq!(a.len(), 5, "{}", a.text());
-        assert!(a.find(&set(&[1, 3])).is_none(), "barrier must remove 3 from {{1,3}}");
+        assert!(
+            a.find(&set(&[1, 3])).is_none(),
+            "barrier must remove 3 from {{1,3}}"
+        );
         assert!(a.find(&set(&[2, 3])).is_none());
         assert!(a.find(&set(&[1, 2, 3])).is_none());
         let all_barrier = a.find(&set(&[3])).unwrap();
@@ -647,7 +716,11 @@ mod tests {
         let m12 = a.find(&set(&[1, 2])).expect("{1,2} exists");
         let succ: Vec<&StateSet> = a.successors(m12).iter().map(|m| a.members(*m)).collect();
         assert!(succ.contains(&&set(&[1, 2])), "{}", a.text());
-        assert!(succ.contains(&&set(&[3])), "release edge missing: {}", a.text());
+        assert!(
+            succ.contains(&&set(&[3])),
+            "release edge missing: {}",
+            a.text()
+        );
     }
 
     #[test]
@@ -709,7 +782,10 @@ mod tests {
         let targets: Vec<StateId> = (0..20)
             .map(|i| g.add(MimdState::new(vec![Op::Push(i)], Terminator::Halt)))
             .collect();
-        let a = g.add(MimdState::new(vec![Op::Push(0)], Terminator::Multi(targets)));
+        let a = g.add(MimdState::new(
+            vec![Op::Push(0)],
+            Terminator::Multi(targets),
+        ));
         g.start = a;
         let err = convert(&g, &ConvertOptions::base()).unwrap_err();
         assert!(matches!(err, ConvertError::MultiTooWide { arity: 20, .. }));
@@ -723,8 +799,9 @@ mod tests {
         // base mode; the guard must fail cleanly.
         let mut g = MimdGraph::new();
         let n = 12;
-        let ids: Vec<StateId> =
-            (0..n).map(|i| g.add(MimdState::new(vec![Op::Push(i)], Terminator::Halt))).collect();
+        let ids: Vec<StateId> = (0..n)
+            .map(|i| g.add(MimdState::new(vec![Op::Push(i)], Terminator::Halt)))
+            .collect();
         let end = g.add(MimdState::new(vec![], Terminator::Halt));
         for (i, &id) in ids.iter().enumerate() {
             let next = if i + 1 < ids.len() { ids[i + 1] } else { end };
@@ -782,8 +859,7 @@ mod tests {
 
     #[test]
     fn stats_count_successor_enumeration() {
-        let (_, stats) =
-            convert_with_stats(&listing1(), &ConvertOptions::base()).unwrap();
+        let (_, stats) = convert_with_stats(&listing1(), &ConvertOptions::base()).unwrap();
         assert!(stats.successor_sets_enumerated >= 8);
     }
 }
@@ -797,7 +873,10 @@ mod proptests {
     /// Random small MIMD graphs: every state gets a cheap block and a
     /// terminator drawn over valid targets. Start is state 0.
     fn arb_graph() -> impl Strategy<Value = MimdGraph> {
-        (2usize..8, prop::collection::vec((0u8..4, 0u32..64, 0u32..64, any::<bool>()), 2..8))
+        (
+            2usize..8,
+            prop::collection::vec((0u8..4, 0u32..64, 0u32..64, any::<bool>()), 2..8),
+        )
             .prop_map(|(n, seeds)| {
                 let n = n.min(seeds.len());
                 let mut g = MimdGraph::new();

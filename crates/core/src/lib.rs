@@ -21,7 +21,7 @@ pub mod subsume;
 
 pub use automaton::{MetaAutomaton, MetaId};
 pub use convert::{
-    barrier_sync, convert, convert_with_stats, ConvertError, ConvertMode, ConvertOptions,
-    ConvertStats, TimeSplitOptions,
+    apply_barrier, barrier_sync, convert, convert_with_stats, expand_frontier, ConvertError,
+    ConvertMode, ConvertOptions, ConvertStats, TimeSplitOptions,
 };
 pub use stateset::{SetArena, SetId, StateSet};

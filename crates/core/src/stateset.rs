@@ -95,12 +95,24 @@ impl StateSet {
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &StateSet) -> StateSet {
-        StateSet(self.0.iter().copied().filter(|x| !other.contains(StateId(*x))).collect())
+        StateSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|x| !other.contains(StateId(*x)))
+                .collect(),
+        )
     }
 
     /// Members satisfying `pred` (e.g. "is a barrier wait state", §2.6).
     pub fn filter(&self, mut pred: impl FnMut(StateId) -> bool) -> StateSet {
-        StateSet(self.0.iter().copied().filter(|&x| pred(StateId(x))).collect())
+        StateSet(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&x| pred(StateId(x)))
+                .collect(),
+        )
     }
 
     /// True when every member of `self` is in `other` (linear merge).
@@ -217,7 +229,10 @@ mod tests {
 
     #[test]
     fn union_is_sorted_merge() {
-        assert_eq!(set(&[1, 3, 5]).union(&set(&[2, 3, 6])).as_slice(), &[1, 2, 3, 5, 6]);
+        assert_eq!(
+            set(&[1, 3, 5]).union(&set(&[2, 3, 6])).as_slice(),
+            &[1, 2, 3, 5, 6]
+        );
         assert_eq!(set(&[]).union(&set(&[2])).as_slice(), &[2]);
         assert_eq!(set(&[2]).union(&set(&[])).as_slice(), &[2]);
     }
@@ -225,7 +240,10 @@ mod tests {
     #[test]
     fn difference_removes_members() {
         assert_eq!(set(&[1, 2, 3]).difference(&set(&[2])).as_slice(), &[1, 3]);
-        assert_eq!(set(&[1, 2]).difference(&set(&[1, 2])).as_slice(), &[] as &[u32]);
+        assert_eq!(
+            set(&[1, 2]).difference(&set(&[1, 2])).as_slice(),
+            &[] as &[u32]
+        );
     }
 
     #[test]

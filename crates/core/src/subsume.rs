@@ -77,7 +77,9 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
         i
     }
 
-    let removed = (0..n).filter(|&i| resolve(&remap, MetaId(i as u32)).idx() != i).count() as u32;
+    let removed = (0..n)
+        .filter(|&i| resolve(&remap, MetaId(i as u32)).idx() != i)
+        .count() as u32;
     if removed == 0 {
         return 0;
     }
@@ -113,44 +115,8 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
 
     // Folding can strand meta states (only reachable through folded ones);
     // drop anything unreachable from start.
-    prune_unreachable(auto);
+    auto.prune_unreachable();
     removed
-}
-
-/// Remove meta states not reachable from the start state.
-fn prune_unreachable(auto: &mut MetaAutomaton) {
-    let n = auto.sets.len();
-    let mut seen = vec![false; n];
-    let mut stack = vec![auto.start];
-    seen[auto.start.idx()] = true;
-    while let Some(m) = stack.pop() {
-        for &s in &auto.succs[m.idx()] {
-            if !seen[s.idx()] {
-                seen[s.idx()] = true;
-                stack.push(s);
-            }
-        }
-    }
-    if seen.iter().all(|&b| b) {
-        return;
-    }
-    let mut new_id = vec![None; n];
-    let mut kept = Vec::new();
-    for i in 0..n {
-        if seen[i] {
-            new_id[i] = Some(MetaId(kept.len() as u32));
-            kept.push(i);
-        }
-    }
-    let mut sets = Vec::with_capacity(kept.len());
-    let mut succs = Vec::with_capacity(kept.len());
-    for &i in &kept {
-        sets.push(auto.sets[i].clone());
-        succs.push(auto.succs[i].iter().map(|s| new_id[s.idx()].unwrap()).collect());
-    }
-    auto.start = new_id[auto.start.idx()].unwrap();
-    auto.sets = sets;
-    auto.succs = succs;
 }
 
 #[cfg(test)]

@@ -73,8 +73,12 @@ impl Schedule {
     pub fn validate(&self, threads: &[Vec<Op>]) -> Result<(), String> {
         for (t, seq) in threads.iter().enumerate() {
             let bit = 1u64 << t;
-            let got: Vec<&Op> =
-                self.slots.iter().filter(|s| s.active & bit != 0).map(|s| &s.op).collect();
+            let got: Vec<&Op> = self
+                .slots
+                .iter()
+                .filter(|s| s.active & bit != 0)
+                .map(|s| &s.op)
+                .collect();
             if got.len() != seq.len() || got.iter().zip(seq).any(|(a, b)| **a != *b) {
                 return Err(format!(
                     "thread {t}: scheduled subsequence {:?} != input {:?}",
@@ -119,7 +123,10 @@ impl fmt::Display for CsiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsiError::TooManyThreads(n) => {
-                write!(f, "{n} threads exceed the CSI guard-word limit of {MAX_THREADS}")
+                write!(
+                    f,
+                    "{n} threads exceed the CSI guard-word limit of {MAX_THREADS}"
+                )
             }
         }
     }
@@ -138,7 +145,10 @@ pub struct CsiOptions {
 
 impl Default for CsiOptions {
     fn default() -> Self {
-        CsiOptions { costs: CostModel::default(), max_improve_passes: 64 }
+        CsiOptions {
+            costs: CostModel::default(),
+            max_improve_passes: 64,
+        }
     }
 }
 
@@ -157,7 +167,12 @@ pub fn induce_with(threads: &[Vec<Op>], opts: &CsiOptions) -> Result<Schedule, C
     let naive = naive_cost(threads, costs);
 
     if threads.iter().all(|t| t.is_empty()) {
-        return Ok(Schedule { slots: vec![], cost: 0, lower_bound: 0, naive_cost: naive });
+        return Ok(Schedule {
+            slots: vec![],
+            cost: 0,
+            lower_bound: 0,
+            naive_cost: naive,
+        });
     }
 
     // Three linear schedules: greedy list schedule, hierarchical pairwise
@@ -192,7 +207,12 @@ pub fn induce_with(threads: &[Vec<Op>], opts: &CsiOptions) -> Result<Schedule, C
     let slots = best.unwrap_or_default();
 
     let cost = schedule_cost(&slots, costs);
-    Ok(Schedule { slots, cost, lower_bound: lb, naive_cost: naive })
+    Ok(Schedule {
+        slots,
+        cost,
+        lower_bound: lb,
+        naive_cost: naive,
+    })
 }
 
 /// The cost the SIMD machine pays to execute `slots`: op issue costs plus
@@ -221,8 +241,11 @@ pub fn schedule_cost(slots: &[Slot], costs: &CostModel) -> u64 {
 ///
 /// The returned bound is the max of the two plus one guard set-up.
 pub fn lower_bound(threads: &[Vec<Op>], costs: &CostModel) -> u64 {
-    let per_thread =
-        threads.iter().map(|t| costs.block_cost(t)).max().unwrap_or(0);
+    let per_thread = threads
+        .iter()
+        .map(|t| costs.block_cost(t))
+        .max()
+        .unwrap_or(0);
     let mut max_counts: FxHashMap<&Op, u64> = FxHashMap::default();
     for t in threads {
         let mut counts: FxHashMap<&Op, u64> = FxHashMap::default();
@@ -234,8 +257,10 @@ pub fn lower_bound(threads: &[Vec<Op>], costs: &CostModel) -> u64 {
             *e = (*e).max(c);
         }
     }
-    let per_op: u64 =
-        max_counts.iter().map(|(op, c)| *c * costs.op_cost(op) as u64).sum();
+    let per_op: u64 = max_counts
+        .iter()
+        .map(|(op, c)| *c * costs.op_cost(op) as u64)
+        .sum();
     let body = per_thread.max(per_op);
     if body == 0 {
         0
@@ -272,7 +297,10 @@ fn serial_schedule(threads: &[Vec<Op>]) -> Vec<Slot> {
     let mut slots = Vec::new();
     for (t, seq) in threads.iter().enumerate() {
         for op in seq {
-            slots.push(Slot { op: op.clone(), active: 1u64 << t });
+            slots.push(Slot {
+                op: op.clone(),
+                active: 1u64 << t,
+            });
         }
     }
     slots
@@ -334,7 +362,12 @@ fn pairwise_merge_schedule(threads: &[Vec<Op>], costs: &CostModel) -> Vec<Slot> 
         .enumerate()
         .filter(|(_, t)| !t.is_empty())
         .map(|(i, t)| {
-            t.iter().map(|op| Slot { op: op.clone(), active: 1u64 << i }).collect()
+            t.iter()
+                .map(|op| Slot {
+                    op: op.clone(),
+                    active: 1u64 << i,
+                })
+                .collect()
         })
         .collect();
     seqs.sort_by_key(|s| {
@@ -385,7 +418,10 @@ fn merge_two(a: &[Slot], b: &[Slot], costs: &CostModel) -> Vec<Slot> {
         if i < la && j < lb && a[i].op == b[j].op {
             let shared = dp[i + 1][j + 1] + costs.op_cost(&a[i].op) as u64;
             if dp[i][j] == shared {
-                out.push(Slot { op: a[i].op.clone(), active: a[i].active | b[j].active });
+                out.push(Slot {
+                    op: a[i].op.clone(),
+                    active: a[i].active | b[j].active,
+                });
                 i += 1;
                 j += 1;
                 continue;
@@ -433,10 +469,7 @@ fn coalesce_guards(slots: &mut [Slot]) -> bool {
     for i in 1..n {
         // Try to sink slot i earlier toward a same-guard neighbour.
         let mut j = i;
-        while j > 0
-            && slots[j - 1].active & slots[j].active == 0
-            && swap_improves(slots, j - 1)
-        {
+        while j > 0 && slots[j - 1].active & slots[j].active == 0 && swap_improves(slots, j - 1) {
             slots.swap(j - 1, j);
             changed = true;
             j -= 1;
@@ -448,16 +481,16 @@ fn coalesce_guards(slots: &mut [Slot]) -> bool {
 /// Would swapping `slots[k]` and `slots[k+1]` reduce guard transitions?
 fn swap_improves(slots: &[Slot], k: usize) -> bool {
     let before = |a: Option<u64>, b: u64| (a != Some(b)) as i32;
-    let prev = if k > 0 { Some(slots[k - 1].active) } else { None };
+    let prev = if k > 0 {
+        Some(slots[k - 1].active)
+    } else {
+        None
+    };
     let next = slots.get(k + 2).map(|s| s.active);
     let (x, y) = (slots[k].active, slots[k + 1].active);
     // Transitions around the pair, before and after the swap.
-    let cur = before(prev, x)
-        + (x != y) as i32
-        + next.map(|n| (y != n) as i32).unwrap_or(0);
-    let new = before(prev, y)
-        + (y != x) as i32
-        + next.map(|n| (x != n) as i32).unwrap_or(0);
+    let cur = before(prev, x) + (x != y) as i32 + next.map(|n| (y != n) as i32).unwrap_or(0);
+    let new = before(prev, y) + (y != x) as i32 + next.map(|n| (x != n) as i32).unwrap_or(0);
     new < cur
 }
 
@@ -475,11 +508,7 @@ mod tests {
     /// suffix.
     #[test]
     fn listing5_ms_2_6_factoring() {
-        let suffix = vec![
-            Op::Push(0),
-            Op::St(Addr::poly(12)),
-            Op::Ld(Addr::poly(4)),
-        ];
+        let suffix = vec![Op::Push(0), Op::St(Addr::poly(12)), Op::Ld(Addr::poly(4))];
         let mut t0 = vec![Op::Push(1)];
         t0.extend(suffix.clone());
         let mut t1 = vec![Op::Push(2)];
@@ -547,8 +576,18 @@ mod tests {
         let threads = vec![t0, t1, t2];
         let s = induce(&threads).unwrap();
         s.validate(&threads).unwrap();
-        assert!(s.lower_bound <= s.cost, "lb {} > cost {}", s.lower_bound, s.cost);
-        assert!(s.cost <= s.naive_cost, "cost {} > naive {}", s.cost, s.naive_cost);
+        assert!(
+            s.lower_bound <= s.cost,
+            "lb {} > cost {}",
+            s.lower_bound,
+            s.cost
+        );
+        assert!(
+            s.cost <= s.naive_cost,
+            "cost {} > naive {}",
+            s.cost,
+            s.naive_cost
+        );
     }
 
     #[test]
@@ -567,7 +606,11 @@ mod tests {
         // Threads with interleavable private ops: a good schedule groups
         // each thread's private ops contiguously.
         let t0 = vec![Op::Push(1), Op::Push(2), Op::Push(3)];
-        let t1 = vec![Op::Bin(BinOp::Mul), Op::Bin(BinOp::Div), Op::Bin(BinOp::Rem)];
+        let t1 = vec![
+            Op::Bin(BinOp::Mul),
+            Op::Bin(BinOp::Div),
+            Op::Bin(BinOp::Rem),
+        ];
         let s = induce(&[t0.clone(), t1.clone()]).unwrap();
         s.validate(&[t0, t1]).unwrap();
         assert_eq!(s.guard_regions(), 2, "{:?}", s.slots);

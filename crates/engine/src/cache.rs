@@ -1,0 +1,558 @@
+//! Content-addressed compile cache.
+//!
+//! A cache key is a 128-bit SipHash-2-4 fingerprint of everything that
+//! determines the compiled output: the MIMDC source text, the conversion
+//! options, the code-generation options, and the optional IR passes. The
+//! two output words come from SipHash's genuinely independent 128-bit
+//! finalization (not two seeded runs of a weak mixer), so accidental
+//! collision of distinct inputs is vanishingly unlikely for a cache
+//! (this is an integrity shortcut, not a security boundary — the key is
+//! fixed, not secret).
+//!
+//! The in-memory layer is a bounded LRU of [`Artifact`]s behind a
+//! [`parking_lot::Mutex`]. The optional on-disk layer persists one text
+//! file per key — the SIMD program via the reloadable assembly format
+//! (`msc_simd::asm`), plus conversion stats and the automaton rendering —
+//! so repeated `mscc` invocations reuse artifacts across processes. Disk
+//! artifacts reload the executable program but not the full automaton or
+//! front-end IR, so [`Artifact::automaton`] / [`Artifact::compiled`] are
+//! `None` for them.
+
+use crate::{Artifact, PhaseTimings};
+use msc_codegen::GenOptions;
+use msc_core::{ConvertOptions, ConvertStats};
+use msc_ir::util::FxHashMap;
+use msc_ir::{Addr, CostModel};
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A 128-bit content fingerprint (the two words of a SipHash-2-4-128).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// Hex rendering, used as the on-disk file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Fingerprint one compilation request. Options are folded in through
+/// their `Debug` rendering: every field participates, and adding a field
+/// to either options struct automatically invalidates old keys. The
+/// `0xfe` separators cannot occur inside the UTF-8 fields, so the
+/// encoding is unambiguous.
+pub fn cache_key(
+    source: &str,
+    convert: &ConvertOptions,
+    gen: &GenOptions,
+    optimize: bool,
+    minimize: bool,
+) -> CacheKey {
+    let mut msg = Vec::with_capacity(source.len() + 256);
+    msg.extend_from_slice(source.as_bytes());
+    msg.push(0xfe);
+    msg.extend_from_slice(format!("{convert:?}").as_bytes());
+    msg.push(0xfe);
+    msg.extend_from_slice(format!("{gen:?}").as_bytes());
+    msg.push(optimize as u8);
+    msg.push(minimize as u8);
+    let (hi, lo) = siphash128(0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03, &msg);
+    CacheKey { hi, lo }
+}
+
+/// SipHash-2-4 with 128-bit output (reference construction from the
+/// SipHash paper / `siphash.c`). Vendored because the cache needs a
+/// fingerprint whose two words mix independently — deriving two 64-bit
+/// lanes by reseeding a non-seed-robust hash (Fx) leaves them correlated
+/// — and the container has no 128-bit hash crate to lean on.
+fn siphash128(k0: u64, k1: u64, data: &[u8]) -> (u64, u64) {
+    #[inline]
+    fn round(v: &mut [u64; 4]) {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13);
+        v[1] ^= v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16);
+        v[3] ^= v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21);
+        v[3] ^= v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17);
+        v[1] ^= v[2];
+        v[2] = v[2].rotate_left(32);
+    }
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575,
+        k1 ^ 0x646f_7261_6e64_6f6d ^ 0xee, // 128-bit output variant marker
+        k0 ^ 0x6c79_6765_6e65_7261,
+        k1 ^ 0x7465_6462_7974_6573,
+    ];
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
+        v[3] ^= m;
+        round(&mut v);
+        round(&mut v);
+        v[0] ^= m;
+    }
+    let rem = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rem.len()].copy_from_slice(rem);
+    last[7] = data.len() as u8;
+    let m = u64::from_le_bytes(last);
+    v[3] ^= m;
+    round(&mut v);
+    round(&mut v);
+    v[0] ^= m;
+    v[2] ^= 0xee;
+    for _ in 0..4 {
+        round(&mut v);
+    }
+    let hi = v[0] ^ v[1] ^ v[2] ^ v[3];
+    v[1] ^= 0xdd;
+    for _ in 0..4 {
+        round(&mut v);
+    }
+    let lo = v[0] ^ v[1] ^ v[2] ^ v[3];
+    (hi, lo)
+}
+
+/// Where a cache hit came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLayer {
+    /// In-memory LRU.
+    Memory,
+    /// On-disk artifact, reloaded (and promoted into memory).
+    Disk,
+}
+
+/// Counter snapshot for `--stats` output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// In-memory hits.
+    pub hits: u64,
+    /// Disk hits (artifact reloaded and promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing anywhere.
+    pub misses: u64,
+    /// Artifacts inserted after a fresh compile.
+    pub insertions: u64,
+    /// LRU evictions from the memory layer.
+    pub evictions: u64,
+}
+
+struct Entry {
+    artifact: Arc<Artifact>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: FxHashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// Bounded, thread-safe artifact cache with an optional disk layer.
+pub struct CompileCache {
+    capacity: usize,
+    disk_dir: Option<PathBuf>,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CompileCache {
+    /// A cache holding at most `capacity` artifacts in memory (0 disables
+    /// the memory layer), persisting to `disk_dir` when given (the
+    /// directory is created on first use; I/O failures degrade to misses).
+    pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> Self {
+        CompileCache {
+            capacity,
+            disk_dir,
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, consulting memory then disk. `costs` is needed to
+    /// reparse a disk artifact's assembly (the key already pins it).
+    pub fn lookup(&self, key: CacheKey, costs: &CostModel) -> Option<(Arc<Artifact>, CacheLayer)> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&key) {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some((Arc::clone(&e.artifact), CacheLayer::Memory));
+            }
+        }
+        if let Some(dir) = &self.disk_dir {
+            if let Some(artifact) = read_disk_artifact(&disk_path(dir, key), costs) {
+                let artifact = Arc::new(artifact);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.put_memory(key, Arc::clone(&artifact));
+                return Some((artifact, CacheLayer::Disk));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Insert a freshly compiled artifact into both layers.
+    pub fn insert(&self, key: CacheKey, artifact: Arc<Artifact>) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.disk_dir {
+            // Best effort: a full disk or read-only dir must not fail the
+            // compile that produced the artifact. Write to a unique temp
+            // file and rename into place — rename is atomic on POSIX, so a
+            // concurrent reader (another `mscc` sharing the cache dir) sees
+            // either the old artifact or the complete new one, never a torn
+            // write, and concurrent writers cannot interleave.
+            let _ = std::fs::create_dir_all(dir);
+            static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+            let tmp = dir.join(format!(
+                "{}.tmp.{}.{}",
+                key.hex(),
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            if std::fs::write(&tmp, write_disk_artifact(key, &artifact)).is_ok() {
+                if std::fs::rename(&tmp, disk_path(dir, key)).is_err() {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            } else {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+        self.put_memory(key, artifact);
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of artifacts currently in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when the memory layer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn put_memory(&self, key: CacheKey, artifact: Arc<Artifact>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                artifact,
+                last_used: tick,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            // O(n) victim scan; capacities are small (a cache of whole
+            // compiled programs, not of cache lines).
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty map has a minimum");
+            inner.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn disk_path(dir: &Path, key: CacheKey) -> PathBuf {
+    dir.join(format!("{}.mscache", key.hex()))
+}
+
+/// On-disk artifact: a small line-oriented header followed by the
+/// automaton rendering and the reloadable assembly, each length-prefixed
+/// by line count.
+fn write_disk_artifact(key: CacheKey, artifact: &Artifact) -> String {
+    use std::fmt::Write as _;
+    let asm = msc_simd::asm::serialize(&artifact.simd);
+    let mut out = String::new();
+    let _ = writeln!(out, "mscache v1");
+    let _ = writeln!(out, "key {}", key.hex());
+    let _ = writeln!(out, "meta_states {}", artifact.meta_states);
+    let s = &artifact.stats;
+    let _ = writeln!(
+        out,
+        "stats {} {} {} {}",
+        s.restarts, s.splits, s.subsumed, s.successor_sets_enumerated
+    );
+    let t = &artifact.timings;
+    let _ = writeln!(
+        out,
+        "timings_ns {} {} {}",
+        t.compile.as_nanos(),
+        t.convert.as_nanos(),
+        t.codegen.as_nanos()
+    );
+    match artifact.ret_addr {
+        Some(a) => {
+            let _ = writeln!(out, "ret {} {}", a.space, a.index);
+        }
+        None => {
+            let _ = writeln!(out, "ret none");
+        }
+    }
+    let _ = writeln!(out, "automaton {}", artifact.automaton_text.lines().count());
+    out.push_str(&artifact.automaton_text);
+    if !artifact.automaton_text.ends_with('\n') && !artifact.automaton_text.is_empty() {
+        out.push('\n');
+    }
+    let _ = writeln!(out, "asm {}", asm.lines().count());
+    out.push_str(&asm);
+    out
+}
+
+/// Parse a disk artifact; any malformation yields `None` (treated as a
+/// miss — the artifact is simply rebuilt).
+fn read_disk_artifact(path: &Path, costs: &CostModel) -> Option<Artifact> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != "mscache v1" {
+        return None;
+    }
+    let _key = lines.next()?.strip_prefix("key ")?;
+    let meta_states: usize = lines.next()?.strip_prefix("meta_states ")?.parse().ok()?;
+    let stats_line = lines.next()?.strip_prefix("stats ")?;
+    let mut it = stats_line.split_whitespace();
+    let stats = ConvertStats {
+        restarts: it.next()?.parse().ok()?,
+        splits: it.next()?.parse().ok()?,
+        subsumed: it.next()?.parse().ok()?,
+        successor_sets_enumerated: it.next()?.parse().ok()?,
+    };
+    let timings_line = lines.next()?.strip_prefix("timings_ns ")?;
+    let mut it = timings_line.split_whitespace();
+    let mut dur =
+        || -> Option<Duration> { it.next()?.parse::<u64>().ok().map(Duration::from_nanos) };
+    let timings = PhaseTimings {
+        compile: dur()?,
+        convert: dur()?,
+        codegen: dur()?,
+    };
+    let ret_line = lines.next()?.strip_prefix("ret ")?;
+    let ret_addr = match ret_line {
+        "none" => None,
+        other => {
+            let mut it = other.split_whitespace();
+            let space = it.next()?;
+            let index: u32 = it.next()?.parse().ok()?;
+            Some(match space {
+                "poly" => Addr::poly(index),
+                "mono" => Addr::mono(index),
+                _ => return None,
+            })
+        }
+    };
+    let n_auto: usize = lines.next()?.strip_prefix("automaton ")?.parse().ok()?;
+    let mut automaton_text = String::new();
+    for _ in 0..n_auto {
+        automaton_text.push_str(lines.next()?);
+        automaton_text.push('\n');
+    }
+    let n_asm: usize = lines.next()?.strip_prefix("asm ")?.parse().ok()?;
+    let mut asm = String::new();
+    for _ in 0..n_asm {
+        asm.push_str(lines.next()?);
+        asm.push('\n');
+    }
+    let simd = msc_simd::asm::parse(&asm, costs.clone()).ok()?;
+    Some(Artifact {
+        simd,
+        stats,
+        meta_states,
+        timings,
+        ret_addr,
+        automaton_text,
+        automaton: None,
+        compiled: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> (ConvertOptions, GenOptions) {
+        (ConvertOptions::base(), GenOptions::default())
+    }
+
+    #[test]
+    fn siphash128_matches_reference_vectors() {
+        // `vectors_sip128` from the SipHash reference implementation,
+        // key = 00 01 02 .. 0f, read as two little-endian words.
+        let k0 = 0x0706_0504_0302_0100;
+        let k1 = 0x0f0e_0d0c_0b0a_0908;
+        assert_eq!(
+            siphash128(k0, k1, &[]),
+            (0xe6a8_25ba_047f_81a3, 0x9302_55c7_1472_f66d)
+        );
+        assert_eq!(
+            siphash128(k0, k1, &[0x00]),
+            (0x44af_996b_d8c1_87da, 0x45fc_229b_1159_7634)
+        );
+        let msg: Vec<u8> = (0..15).collect(); // crosses the 8-byte block edge
+        assert_eq!(
+            siphash128(k0, k1, &msg),
+            (0x11a8_b033_99e9_9354, 0xd9c3_cf97_0fec_087e)
+        );
+    }
+
+    #[test]
+    fn key_is_stable_and_content_sensitive() {
+        let (c, g) = opts();
+        let k1 = cache_key("main() {}", &c, &g, false, false);
+        let k2 = cache_key("main() {}", &c, &g, false, false);
+        assert_eq!(k1, k2);
+        assert_ne!(k1, cache_key("main() { }", &c, &g, false, false));
+        assert_ne!(k1, cache_key("main() {}", &c, &g, true, false));
+        let mut c2 = c.clone();
+        c2.max_meta_states = 7;
+        assert_ne!(k1, cache_key("main() {}", &c2, &g, false, false));
+        let g2 = GenOptions { csi: false, ..g };
+        assert_ne!(k1, cache_key("main() {}", &c, &g2, false, false));
+    }
+
+    fn dummy_artifact(tag: usize) -> Arc<Artifact> {
+        // A real (tiny) artifact, so the disk round-trip exercises the
+        // actual assembly serializer.
+        let program =
+            msc_lang::compile("main() { poly int x; x = pe_id(); return(x); }").expect("compiles");
+        let (automaton, stats) =
+            msc_core::convert_with_stats(&program.graph, &ConvertOptions::base()).unwrap();
+        let simd = msc_codegen::generate(
+            &automaton,
+            program.layout.poly_words,
+            program.layout.mono_words,
+            &GenOptions::default(),
+        )
+        .unwrap();
+        Arc::new(Artifact {
+            automaton_text: automaton.text(),
+            meta_states: automaton.len() + tag, // tag distinguishes entries
+            stats,
+            timings: PhaseTimings::default(),
+            ret_addr: program.layout.main_ret,
+            simd,
+            automaton: Some(automaton),
+            compiled: Some(program),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (c, g) = opts();
+        let cache = CompileCache::new(2, None);
+        let keys: Vec<CacheKey> = (0..3)
+            .map(|i| cache_key(&format!("src{i}"), &c, &g, false, false))
+            .collect();
+        cache.insert(keys[0], dummy_artifact(0));
+        cache.insert(keys[1], dummy_artifact(1));
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert!(cache.lookup(keys[0], &c.costs).is_some());
+        cache.insert(keys[2], dummy_artifact(2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(keys[0], &c.costs).is_some());
+        assert!(cache.lookup(keys[1], &c.costs).is_none());
+        assert!(cache.lookup(keys[2], &c.costs).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn disk_layer_round_trips() {
+        let (c, g) = opts();
+        let dir =
+            std::env::temp_dir().join(format!("msc-engine-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = cache_key("disk", &c, &g, false, false);
+        let art = dummy_artifact(0);
+        {
+            let cache = CompileCache::new(4, Some(dir.clone()));
+            cache.insert(key, Arc::clone(&art));
+        }
+        // A fresh cache (cold memory) must reload from disk.
+        let cache = CompileCache::new(4, Some(dir.clone()));
+        let (reloaded, layer) = cache.lookup(key, &c.costs).expect("disk hit");
+        assert_eq!(layer, CacheLayer::Disk);
+        assert_eq!(reloaded.meta_states, art.meta_states);
+        assert_eq!(reloaded.automaton_text, art.automaton_text);
+        assert_eq!(reloaded.ret_addr, art.ret_addr);
+        assert_eq!(
+            msc_simd::asm::serialize(&reloaded.simd),
+            msc_simd::asm::serialize(&art.simd),
+            "assembly round-trips exactly"
+        );
+        assert!(reloaded.automaton.is_none(), "disk artifacts are partial");
+        // Second lookup is served from memory (promotion happened).
+        let (_, layer) = cache.lookup(key, &c.costs).expect("memory hit");
+        assert_eq!(layer, CacheLayer::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_artifact_degrades_to_miss() {
+        let (c, g) = opts();
+        let dir =
+            std::env::temp_dir().join(format!("msc-engine-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = cache_key("corrupt", &c, &g, false, false);
+        std::fs::write(
+            dir.join(format!("{}.mscache", key.hex())),
+            "not an artifact",
+        )
+        .unwrap();
+        let cache = CompileCache::new(4, Some(dir.clone()));
+        assert!(cache.lookup(key, &c.costs).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

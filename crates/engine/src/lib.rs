@@ -1,0 +1,494 @@
+//! # msc-engine — throughput-oriented compilation service
+//!
+//! `msc-core` answers "how do I convert one MIMD graph"; this crate
+//! answers "how do I run many conversions fast, repeatedly, without
+//! recomputing what I already know". Three pieces:
+//!
+//! * [`parallel`] — frontier-parallel meta-state conversion over a sharded
+//!   state-set interner, bit-identical to the sequential converter after
+//!   canonical BFS renumbering (see the module docs for the scheme);
+//! * [`cache`] — a content-addressed compile cache keyed by the hash of
+//!   (source, conversion options, codegen options, IR passes), with a
+//!   bounded in-memory LRU and an optional on-disk layer;
+//! * [`Engine`] — the service wrapper: [`Engine::compile`] for one job,
+//!   [`Engine::compile_many`] for a batch over a worker pool with per-job
+//!   cooperative timeouts and panic capture (one poisoned job yields one
+//!   errored slot, never a sunk batch).
+//!
+//! ```
+//! use msc_engine::{Engine, EngineOptions, Job};
+//!
+//! let engine = Engine::new(EngineOptions::default());
+//! let job = Job::new("demo", "main() { poly int x; x = pe_id(); return(x); }");
+//! let out = engine.compile(&job).unwrap();
+//! assert!(out.artifact.meta_states > 0);
+//! // Same job again: served from the cache without reconverting.
+//! let again = engine.compile(&job).unwrap();
+//! assert_eq!(again.provenance, msc_engine::Provenance::Memory);
+//! ```
+
+pub mod cache;
+pub mod parallel;
+
+pub use cache::{cache_key, CacheKey, CacheLayer, CacheStats, CompileCache};
+pub use parallel::{convert_parallel, convert_parallel_deadline, ParallelError};
+
+use msc_codegen::{generate, GenError, GenOptions};
+use msc_core::{ConvertError, ConvertOptions, ConvertStats, MetaAutomaton};
+use msc_lang::{compile, CompileError, Program};
+use msc_simd::SimdProgram;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost of each pipeline phase of one fresh compile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Front end (parse + lower + optional IR passes).
+    pub compile: Duration,
+    /// Meta-state conversion.
+    pub convert: Duration,
+    /// SIMD code generation.
+    pub codegen: Duration,
+}
+
+/// Everything one compilation produced. Artifacts restored from the disk
+/// cache carry the executable program and summary data but not the
+/// in-memory IR ([`automaton`](Self::automaton) /
+/// [`compiled`](Self::compiled) are `None` for them).
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The executable SIMD program.
+    pub simd: SimdProgram,
+    /// Conversion statistics.
+    pub stats: ConvertStats,
+    /// Meta states in the final automaton.
+    pub meta_states: usize,
+    /// Per-phase wall-clock timings of the compile that produced this
+    /// artifact (not of the cache hit that returned it).
+    pub timings: PhaseTimings,
+    /// Where `main`'s return value lands, if it returns one.
+    pub ret_addr: Option<msc_ir::Addr>,
+    /// Text rendering of the automaton (always available, even from disk).
+    pub automaton_text: String,
+    /// The meta-state automaton (`None` when restored from disk).
+    pub automaton: Option<MetaAutomaton>,
+    /// Front-end output (`None` when restored from disk).
+    pub compiled: Option<Program>,
+}
+
+/// One compilation request.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Label used in errors and batch reports (usually the file name).
+    pub name: String,
+    /// MIMDC source text.
+    pub source: String,
+    /// Conversion options.
+    pub convert: ConvertOptions,
+    /// Code-generation options.
+    pub gen: GenOptions,
+    /// Peephole-optimize blocks before conversion.
+    pub optimize: bool,
+    /// Merge bisimilar MIMD states before conversion.
+    pub minimize: bool,
+}
+
+impl Job {
+    /// A job with default options (base-mode conversion, CSI on).
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        Job {
+            name: name.into(),
+            source: source.into(),
+            convert: ConvertOptions::base(),
+            gen: GenOptions::default(),
+            optimize: false,
+            minimize: false,
+        }
+    }
+}
+
+/// How a compilation was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Compiled from scratch this call.
+    Fresh,
+    /// Served from the in-memory cache.
+    Memory,
+    /// Reloaded from the on-disk cache.
+    Disk,
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provenance::Fresh => write!(f, "fresh compile"),
+            Provenance::Memory => write!(f, "cache hit (memory)"),
+            Provenance::Disk => write!(f, "cache hit (disk)"),
+        }
+    }
+}
+
+/// A successful [`Engine::compile`].
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The artifact (shared with the cache).
+    pub artifact: Arc<Artifact>,
+    /// Whether it was fresh or a cache hit.
+    pub provenance: Provenance,
+}
+
+/// Failures of [`Engine::compile`] / one slot of [`Engine::compile_many`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// Front end failed.
+    Compile(CompileError),
+    /// Meta-state conversion failed.
+    Convert(ConvertError),
+    /// SIMD code generation failed.
+    Gen(GenError),
+    /// The job's cooperative deadline passed.
+    TimedOut {
+        /// The job's label.
+        job: String,
+        /// The configured timeout.
+        timeout: Duration,
+    },
+    /// The job panicked; the panic was contained to this slot.
+    Panicked {
+        /// The job's label.
+        job: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Compile(e) => write!(f, "compile: {e}"),
+            EngineError::Convert(e) => write!(f, "convert: {e}"),
+            EngineError::Gen(e) => write!(f, "codegen: {e}"),
+            EngineError::TimedOut { job, timeout } => {
+                write!(f, "job `{job}` exceeded its {timeout:?} timeout")
+            }
+            EngineError::Panicked { job, message } => {
+                write!(f, "job `{job}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<GenError> for EngineError {
+    fn from(e: GenError) -> Self {
+        EngineError::Gen(e)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads for conversion and batches (0 = all available).
+    pub threads: usize,
+    /// In-memory cache capacity in artifacts (0 disables it).
+    pub cache_capacity: usize,
+    /// On-disk cache directory (None disables the disk layer).
+    pub cache_dir: Option<PathBuf>,
+    /// Per-job cooperative timeout, checked at phase boundaries and
+    /// between frontier expansions (None = unbounded).
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            threads: 0,
+            cache_capacity: 128,
+            cache_dir: None,
+            job_timeout: None,
+        }
+    }
+}
+
+/// The compilation service: parallel conversion + cache + batch driver.
+pub struct Engine {
+    opts: EngineOptions,
+    cache: CompileCache,
+    jobs_compiled: AtomicU64,
+}
+
+impl Engine {
+    /// Build an engine from options.
+    pub fn new(opts: EngineOptions) -> Self {
+        let cache = CompileCache::new(opts.cache_capacity, opts.cache_dir.clone());
+        Engine {
+            opts,
+            cache,
+            jobs_compiled: AtomicU64::new(0),
+        }
+    }
+
+    /// Resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        if self.opts.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.opts.threads
+        }
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Jobs compiled from scratch (cache hits excluded).
+    pub fn jobs_compiled(&self) -> u64 {
+        self.jobs_compiled.load(Ordering::Relaxed)
+    }
+
+    /// Compile one job, using every engine thread for the conversion.
+    pub fn compile(&self, job: &Job) -> Result<Compiled, EngineError> {
+        self.compile_with_threads(job, self.threads())
+    }
+
+    /// Compile a batch. Jobs are distributed over a pool of up to
+    /// [`threads`](Self::threads) workers (conversion threads are divided
+    /// among concurrent jobs); each slot carries its own job's outcome —
+    /// an error or panic in one job never affects its neighbours.
+    pub fn compile_many(&self, jobs: &[Job]) -> Vec<Result<Compiled, EngineError>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let pool = self.threads().min(jobs.len()).max(1);
+        let per_job_threads = (self.threads() / pool).max(1);
+        let next = AtomicUsize::new(0);
+        let results: Vec<parking_lot::Mutex<Option<Result<Compiled, EngineError>>>> =
+            jobs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..pool {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        return;
+                    }
+                    let job = &jobs[i];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        self.compile_with_threads(job, per_job_threads)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(EngineError::Panicked {
+                            job: job.name.clone(),
+                            message: panic_message(payload.as_ref()),
+                        })
+                    });
+                    *results[i].lock() = Some(outcome);
+                });
+            }
+        })
+        .expect("batch workers contain their panics");
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every job slot filled"))
+            .collect()
+    }
+
+    fn compile_with_threads(&self, job: &Job, threads: usize) -> Result<Compiled, EngineError> {
+        let key = cache_key(
+            &job.source,
+            &job.convert,
+            &job.gen,
+            job.optimize,
+            job.minimize,
+        );
+        if let Some((artifact, layer)) = self.cache.lookup(key, &job.gen.costs) {
+            let provenance = match layer {
+                CacheLayer::Memory => Provenance::Memory,
+                CacheLayer::Disk => Provenance::Disk,
+            };
+            return Ok(Compiled {
+                artifact,
+                provenance,
+            });
+        }
+        let deadline = self.opts.job_timeout.map(|t| Instant::now() + t);
+        let timed_out = || EngineError::TimedOut {
+            job: job.name.clone(),
+            timeout: self.opts.job_timeout.unwrap_or_default(),
+        };
+
+        let t0 = Instant::now();
+        let mut compiled = compile(&job.source)?;
+        if job.optimize {
+            compiled.graph.peephole();
+            compiled.graph.normalize();
+        }
+        if job.minimize {
+            compiled.graph.minimize();
+            compiled.graph.normalize();
+        }
+        let t1 = Instant::now();
+        if deadline.is_some_and(|d| t1 > d) {
+            return Err(timed_out());
+        }
+
+        let (automaton, stats) =
+            convert_parallel_deadline(&compiled.graph, &job.convert, threads, deadline).map_err(
+                |e| match e {
+                    ParallelError::Convert(e) => EngineError::Convert(e),
+                    ParallelError::TimedOut => timed_out(),
+                },
+            )?;
+        let t2 = Instant::now();
+
+        let simd = generate(
+            &automaton,
+            compiled.layout.poly_words,
+            compiled.layout.mono_words,
+            &job.gen,
+        )?;
+        let t3 = Instant::now();
+        if deadline.is_some_and(|d| t3 > d) {
+            return Err(timed_out());
+        }
+
+        let artifact = Arc::new(Artifact {
+            simd,
+            stats,
+            meta_states: automaton.len(),
+            timings: PhaseTimings {
+                compile: t1 - t0,
+                convert: t2 - t1,
+                codegen: t3 - t2,
+            },
+            ret_addr: compiled.layout.main_ret,
+            automaton_text: automaton.text(),
+            automaton: Some(automaton),
+            compiled: Some(compiled),
+        });
+        self.jobs_compiled.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(key, Arc::clone(&artifact));
+        Ok(Compiled {
+            artifact,
+            provenance: Provenance::Fresh,
+        })
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "main() { poly int x; x = pe_id() * 2 + 1; return(x); }";
+
+    #[test]
+    fn compile_then_hit() {
+        let engine = Engine::new(EngineOptions::default());
+        let job = Job::new("p", PROG);
+        let first = engine.compile(&job).unwrap();
+        assert_eq!(first.provenance, Provenance::Fresh);
+        assert!(first.artifact.automaton.is_some());
+        let second = engine.compile(&job).unwrap();
+        assert_eq!(second.provenance, Provenance::Memory);
+        assert!(
+            Arc::ptr_eq(&first.artifact, &second.artifact),
+            "hit shares the artifact"
+        );
+        assert_eq!(engine.jobs_compiled(), 1, "the hit did not recompile");
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn option_changes_miss() {
+        let engine = Engine::new(EngineOptions::default());
+        let job = Job::new("p", PROG);
+        engine.compile(&job).unwrap();
+        let mut job2 = job.clone();
+        job2.convert = ConvertOptions::compressed();
+        let out = engine.compile(&job2).unwrap();
+        assert_eq!(out.provenance, Provenance::Fresh);
+        assert_eq!(engine.jobs_compiled(), 2);
+    }
+
+    #[test]
+    fn batch_isolates_poisoned_jobs() {
+        let engine = Engine::new(EngineOptions {
+            threads: 4,
+            ..EngineOptions::default()
+        });
+        let jobs = vec![
+            Job::new("good-1", PROG),
+            Job::new("bad-syntax", "main() { y = 1; }"),
+            Job::new("good-2", "main() { poly int v; v = 3; return(v); }"),
+            Job::new(
+                "bad-explosion",
+                "main() { poly int x; if (pe_id()) { x = 1; } else { x = 2; } return(x); }",
+            )
+            .tap(|j| j.convert.max_meta_states = 1),
+        ];
+        let results = engine.compile_many(&jobs);
+        assert_eq!(results.len(), 4);
+        assert!(results[0].is_ok(), "{:?}", results[0].as_ref().err());
+        assert!(matches!(results[1], Err(EngineError::Compile(_))));
+        assert!(results[2].is_ok());
+        assert!(matches!(results[3], Err(EngineError::Convert(_))));
+    }
+
+    impl Job {
+        fn tap(mut self, f: impl FnOnce(&mut Job)) -> Job {
+            f(&mut self);
+            self
+        }
+    }
+
+    #[test]
+    fn batch_shares_the_cache() {
+        let engine = Engine::new(EngineOptions {
+            threads: 4,
+            ..EngineOptions::default()
+        });
+        let jobs: Vec<Job> = (0..6).map(|_| Job::new("same", PROG)).collect();
+        let results = engine.compile_many(&jobs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        // Identical jobs race on the first compile; at least the repeats
+        // after the first insertion must hit.
+        assert!(engine.cache_stats().hits >= 1);
+        let a0 = results[0].as_ref().unwrap().artifact.automaton_text.clone();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().artifact.automaton_text, a0);
+        }
+    }
+
+    #[test]
+    fn zero_timeout_times_out() {
+        let engine = Engine::new(EngineOptions {
+            job_timeout: Some(Duration::ZERO),
+            ..EngineOptions::default()
+        });
+        let err = engine.compile(&Job::new("t", PROG)).unwrap_err();
+        assert!(matches!(err, EngineError::TimedOut { .. }), "{err:?}");
+    }
+}

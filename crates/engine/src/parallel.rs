@@ -1,0 +1,599 @@
+//! Frontier-parallel meta-state conversion.
+//!
+//! The sequential converter in `msc-core` is a worklist algorithm: pop a
+//! meta state, enumerate its successor sets, intern each one, repeat. The
+//! expansion of one meta state depends only on `(graph, members, latent,
+//! options)` — never on converter-global state — so independent frontier
+//! entries can be expanded on different threads. This module does exactly
+//! that:
+//!
+//! * a **sharded interner** maps member sets to meta-state ids. Each shard
+//!   is a [`parking_lot::Mutex`]-guarded Fx hash map, sharded by the set's
+//!   Fx hash, so interning contention scales with shard count rather than
+//!   serializing on one table;
+//! * a **shared worklist** with condvar-based idle/termination detection
+//!   feeds the frontier to a [`crossbeam::thread::scope`] worker pool;
+//! * **latent barrier widening** (§2.6 of the paper) is handled with a
+//!   per-record version counter: a worker that expanded a meta state under
+//!   a since-widened latent set detects the stale version when it goes to
+//!   publish its successors and re-enqueues the record instead.
+//!
+//! Discovery order — and therefore raw meta-state numbering — is
+//! nondeterministic under parallel execution, and a stale expansion may
+//! already have interned successor sets that the fresh re-expansion never
+//! produces, leaving spurious records in the slab. The finished automaton
+//! is therefore normalized in two steps: spurious/unreachable states are
+//! dropped with [`MetaAutomaton::prune_unreachable`], then the survivors
+//! are renumbered with [`MetaAutomaton::canonicalize`] (deterministic BFS
+//! from the start state). The reachable fixpoint of subset construction is
+//! unique, so after this normalization the automaton is **bit-identical**
+//! regardless of thread count — including the single-threaded sequential
+//! fallback. Subsumption, when requested, runs *after* normalization;
+//! the subset fold is deterministic in its input order.
+//!
+//! Time splitting (§2.4) restarts the whole construction whenever any meta
+//! state splits a MIMD state, which serializes the algorithm by design;
+//! conversion with `time_split` enabled falls back to the sequential core
+//! converter.
+
+use msc_core::{
+    apply_barrier, convert_with_stats, expand_frontier, subsume::subsume, ConvertError,
+    ConvertOptions, ConvertStats, MetaAutomaton, MetaId, StateSet,
+};
+use msc_ir::util::{FxHashMap, FxHasher};
+use msc_ir::MimdGraph;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Failures of [`convert_parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParallelError {
+    /// The underlying conversion failed (same errors as the sequential
+    /// converter).
+    Convert(ConvertError),
+    /// The cooperative deadline passed before conversion finished.
+    TimedOut,
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::Convert(e) => write!(f, "{e}"),
+            ParallelError::TimedOut => write!(f, "conversion deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+impl From<ConvertError> for ParallelError {
+    fn from(e: ConvertError) -> Self {
+        ParallelError::Convert(e)
+    }
+}
+
+/// One interned meta state under construction.
+struct Record {
+    /// Visible members (immutable once interned — identity of the record).
+    members: StateSet,
+    /// Mutable construction state: latent waiters + widening version.
+    state: Mutex<RecordState>,
+    /// Published successor ids (global interner ids, dedup in order).
+    succs: Mutex<Vec<u32>>,
+}
+
+struct RecordState {
+    /// Latent barrier waiters (§2.6) accumulated from every path in.
+    latent: StateSet,
+    /// Bumped on every latent widening; lets a worker detect that the
+    /// expansion it just computed used a stale latent set.
+    version: u64,
+    /// True while the record sits in the worklist (O(1) re-enqueue check).
+    queued: bool,
+}
+
+/// Shared worklist with idle-aware termination: the pool is done when the
+/// queue is empty *and* no worker is mid-expansion (a busy worker may still
+/// push new work).
+struct WorkQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+struct QueueInner {
+    deque: VecDeque<u32>,
+    active: usize,
+    stopped: bool,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue {
+            inner: Mutex::new(QueueInner {
+                deque: VecDeque::new(),
+                active: 0,
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, id: u32) {
+        let mut g = self.inner.lock();
+        g.deque.push_back(id);
+        self.cv.notify_one();
+    }
+
+    /// Pop the next record id, blocking while other workers may still
+    /// produce work. Returns `None` on termination (or abort).
+    fn pop(&self) -> Option<u32> {
+        let mut g = self.inner.lock();
+        loop {
+            if g.stopped {
+                return None;
+            }
+            if let Some(id) = g.deque.pop_front() {
+                g.active += 1;
+                return Some(id);
+            }
+            if g.active == 0 {
+                g.stopped = true;
+                self.cv.notify_all();
+                return None;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Abort: wake everyone and refuse further pops.
+    fn stop(&self) {
+        let mut g = self.inner.lock();
+        g.stopped = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Marks the current expansion finished when dropped (pairs with a
+/// successful [`WorkQueue::pop`]). Running the bookkeeping in `Drop` keeps
+/// the `active` count correct even when the expansion panics: without it,
+/// the other workers would block forever in `pop`'s condvar wait and the
+/// thread scope would hang instead of propagating the panic. A panicking
+/// holder additionally stops the whole queue, since the construction can
+/// no longer complete.
+struct TaskGuard<'a>(&'a WorkQueue);
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.0.inner.lock();
+        g.active -= 1;
+        let idle = g.active == 0 && g.deque.is_empty();
+        if std::thread::panicking() || idle {
+            g.stopped = true;
+            self.0.cv.notify_all();
+        }
+    }
+}
+
+/// The sharded interner plus the record slab.
+struct Interner {
+    /// `members -> global id`, sharded by the set's Fx hash.
+    shards: Vec<Mutex<FxHashMap<StateSet, u32>>>,
+    /// Records addressed by global id (creation order).
+    slab: RwLock<Vec<Arc<Record>>>,
+}
+
+impl Interner {
+    fn new(n_shards: usize) -> Self {
+        Interner {
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            slab: RwLock::new(Vec::new()),
+        }
+    }
+
+    fn shard_of(&self, set: &StateSet) -> usize {
+        let mut h = FxHasher::default();
+        set.hash(&mut h);
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    fn resolve(&self, id: u32) -> Arc<Record> {
+        Arc::clone(&self.slab.read()[id as usize])
+    }
+
+    fn len(&self) -> usize {
+        self.slab.read().len()
+    }
+
+    /// Intern `(members, latent)`: create the record (enqueued) if the
+    /// member set is new, otherwise widen the existing record's latent set,
+    /// re-enqueueing it if the widening invalidated published successors.
+    fn intern(&self, members: StateSet, latent: StateSet, queue: &WorkQueue) -> u32 {
+        let shard = self.shard_of(&members);
+        let mut map = self.shards[shard].lock();
+        if let Some(&id) = map.get(&members) {
+            drop(map);
+            let rec = self.resolve(id);
+            let mut st = rec.state.lock();
+            if !latent.is_subset(&st.latent) {
+                st.latent = st.latent.union(&latent);
+                st.version += 1;
+                if !st.queued {
+                    st.queued = true;
+                    drop(st);
+                    queue.push(id);
+                }
+            }
+            return id;
+        }
+        // New meta state: allocate a global id while still holding the
+        // shard lock so the map and slab stay consistent (lock order is
+        // always shard -> slab).
+        let mut slab = self.slab.write();
+        let id = slab.len() as u32;
+        slab.push(Arc::new(Record {
+            members: members.clone(),
+            state: Mutex::new(RecordState {
+                latent,
+                version: 0,
+                queued: true,
+            }),
+            succs: Mutex::new(Vec::new()),
+        }));
+        drop(slab);
+        map.insert(members, id);
+        drop(map);
+        queue.push(id);
+        id
+    }
+}
+
+/// Convert `graph` with up to `threads` worker threads, normalizing the
+/// result so it is bit-identical across thread counts (see module docs).
+/// `threads == 0` selects the machine's available parallelism.
+pub fn convert_parallel(
+    graph: &MimdGraph,
+    opts: &ConvertOptions,
+    threads: usize,
+) -> Result<(MetaAutomaton, ConvertStats), ConvertError> {
+    convert_parallel_deadline(graph, opts, threads, None).map_err(|e| match e {
+        ParallelError::Convert(e) => e,
+        // Unreachable without a deadline; keep the error total anyway.
+        ParallelError::TimedOut => ConvertError::TooManyMetaStates { limit: 0 },
+    })
+}
+
+/// [`convert_parallel`] with a cooperative deadline, checked between
+/// frontier expansions (the sequential time-split fallback checks only at
+/// the end, since the core converter has no cancellation hook).
+pub fn convert_parallel_deadline(
+    graph: &MimdGraph,
+    opts: &ConvertOptions,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Result<(MetaAutomaton, ConvertStats), ParallelError> {
+    let threads = effective_threads(threads);
+    // Time splitting restarts the construction on every split — inherently
+    // sequential — and a single worker gains nothing from the machinery.
+    if threads <= 1 || opts.time_split.is_some() {
+        return convert_sequential_canonical(graph, opts, deadline);
+    }
+    graph.validate().map_err(ConvertError::from)?;
+
+    // Construction runs with subsumption off; the fold is applied after
+    // canonicalization so its input order is thread-count-independent.
+    let mut build_opts = opts.clone();
+    build_opts.subsumption = false;
+
+    let n_shards = (threads * 4).next_power_of_two().min(64);
+    let interner = Interner::new(n_shards);
+    let queue = WorkQueue::new();
+    let enumerated = AtomicU64::new(0);
+    let failure: Mutex<Option<ParallelError>> = Mutex::new(None);
+
+    let start_set = apply_barrier(graph, StateSet::singleton(graph.start), opts);
+    let start_id = interner.intern(start_set, StateSet::empty(), &queue);
+    debug_assert_eq!(start_id, 0);
+
+    let fail = |e: ParallelError| {
+        let mut slot = failure.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        queue.stop();
+    };
+
+    let scope_result = crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                while let Some(id) = queue.pop() {
+                    // Dropped at the end of each iteration — and on panic,
+                    // where it also stops the queue so the pool unwinds
+                    // instead of deadlocking (see `TaskGuard`).
+                    let _task = TaskGuard(&queue);
+                    if deadline.is_some_and(|d| Instant::now() > d) {
+                        fail(ParallelError::TimedOut);
+                        return;
+                    }
+                    let rec = interner.resolve(id);
+                    let (latent, version) = {
+                        let mut st = rec.state.lock();
+                        st.queued = false;
+                        (st.latent.clone(), st.version)
+                    };
+                    let expansion = expand_frontier(graph, &rec.members, &latent, &build_opts);
+                    let (targets, n_enum) = match expansion {
+                        Ok(x) => x,
+                        Err(e) => {
+                            fail(e.into());
+                            return;
+                        }
+                    };
+                    enumerated.fetch_add(n_enum, Ordering::Relaxed);
+                    let mut out: Vec<u32> = Vec::with_capacity(targets.len());
+                    for (t, l) in targets {
+                        let sid = interner.intern(t, l, &queue);
+                        if !out.contains(&sid) {
+                            out.push(sid);
+                        }
+                    }
+                    if interner.len() > opts.max_meta_states {
+                        fail(
+                            ConvertError::TooManyMetaStates {
+                                limit: opts.max_meta_states,
+                            }
+                            .into(),
+                        );
+                        return;
+                    }
+                    // Publish unless the latent set widened underneath us —
+                    // then the expansion is stale and the record must go
+                    // around again.
+                    let mut st = rec.state.lock();
+                    if st.version == version {
+                        *rec.succs.lock() = out;
+                    } else if !st.queued {
+                        st.queued = true;
+                        drop(st);
+                        queue.push(id);
+                    }
+                }
+            });
+        }
+    });
+    if let Err(payload) = scope_result {
+        // Re-raise a worker's panic with its original payload so callers
+        // (e.g. the batch API's per-job `catch_unwind`) see the real
+        // message rather than a generic join error.
+        std::panic::resume_unwind(payload);
+    }
+
+    if let Some(e) = failure.lock().take() {
+        return Err(e);
+    }
+
+    let records = std::mem::take(&mut *interner.slab.write());
+    let mut automaton = MetaAutomaton {
+        graph: graph.clone(),
+        sets: records.iter().map(|r| r.members.clone()).collect(),
+        start: MetaId(0),
+        succs: records
+            .iter()
+            .map(|r| r.succs.lock().iter().map(|&i| MetaId(i)).collect())
+            .collect(),
+    };
+    let mut stats = ConvertStats {
+        successor_sets_enumerated: enumerated.load(Ordering::Relaxed),
+        ..ConvertStats::default()
+    };
+    finish(&mut automaton, &mut stats, opts);
+    Ok((automaton, stats))
+}
+
+/// Sequential path producing the same normal form as the parallel one:
+/// core conversion with subsumption deferred, then canonicalize + fold.
+fn convert_sequential_canonical(
+    graph: &MimdGraph,
+    opts: &ConvertOptions,
+    deadline: Option<Instant>,
+) -> Result<(MetaAutomaton, ConvertStats), ParallelError> {
+    let mut build_opts = opts.clone();
+    build_opts.subsumption = false;
+    let (mut automaton, mut stats) = convert_with_stats(graph, &build_opts)?;
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        return Err(ParallelError::TimedOut);
+    }
+    finish(&mut automaton, &mut stats, opts);
+    Ok((automaton, stats))
+}
+
+/// Normalize into the engine's canonical form: drop unreachable states
+/// (stale expansions can intern successor sets the fresh re-expansion
+/// never produces — those spurious records must not survive into the
+/// automaton), BFS-renumber the reachable remainder, then run the
+/// (deterministic) subsumption fold if requested and renumber again since
+/// the fold compacts ids.
+fn finish(automaton: &mut MetaAutomaton, stats: &mut ConvertStats, opts: &ConvertOptions) {
+    automaton.prune_unreachable();
+    automaton.canonicalize();
+    if opts.subsumption {
+        stats.subsumed += subsume(automaton);
+        automaton.canonicalize();
+    }
+}
+
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msc_core::ConvertMode;
+    use msc_ir::{MimdState, Terminator};
+
+    /// A chain of n conditional branches: 2^n reachable subsets in base
+    /// mode — enough meta states to exercise real contention.
+    fn branch_chain(n: usize) -> MimdGraph {
+        let mut g = MimdGraph::new();
+        let halt = g.add(MimdState::new(vec![], Terminator::Halt));
+        let mut next = halt;
+        for _ in 0..n {
+            let f = g.add(MimdState::new(vec![], Terminator::Halt));
+            let s = g.add(MimdState::new(vec![], Terminator::Branch { t: next, f }));
+            g.state_mut(f).term = Terminator::Jump(next);
+            next = s;
+        }
+        g.start = next;
+        g
+    }
+
+    fn barrier_diamond() -> MimdGraph {
+        let mut g = MimdGraph::new();
+        let end = g.add(MimdState::new(vec![], Terminator::Halt));
+        let mut wait = MimdState::new(vec![], Terminator::Jump(end));
+        wait.barrier = true;
+        let w = g.add(wait);
+        let a = g.add(MimdState::new(vec![], Terminator::Jump(w)));
+        let b = g.add(MimdState::new(vec![], Terminator::Jump(w)));
+        let start = g.add(MimdState::new(vec![], Terminator::Branch { t: a, f: b }));
+        g.start = start;
+        g
+    }
+
+    fn check_equal_across_threads(graph: &MimdGraph, opts: &ConvertOptions) {
+        let (seq, _) = convert_parallel(graph, opts, 1).expect("sequential converts");
+        seq.validate().expect("sequential output valid");
+        for threads in [2, 4, 8] {
+            let (par, _) = convert_parallel(graph, opts, threads).expect("parallel converts");
+            assert_eq!(par.sets, seq.sets, "sets differ at {threads} threads");
+            assert_eq!(par.succs, seq.succs, "succs differ at {threads} threads");
+            assert_eq!(par.start, seq.start);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_base_mode() {
+        let mut opts = ConvertOptions::base();
+        opts.costs = Default::default();
+        check_equal_across_threads(&branch_chain(6), &opts);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_compressed_with_subsumption() {
+        let opts = ConvertOptions {
+            mode: ConvertMode::Compressed,
+            ..ConvertOptions::compressed()
+        };
+        check_equal_across_threads(&branch_chain(6), &opts);
+    }
+
+    #[test]
+    fn parallel_handles_barriers() {
+        check_equal_across_threads(&barrier_diamond(), &ConvertOptions::base());
+    }
+
+    #[test]
+    fn parallel_respects_meta_state_guard() {
+        let opts = ConvertOptions {
+            max_meta_states: 4,
+            ..ConvertOptions::base()
+        };
+        let err = convert_parallel(&branch_chain(8), &opts, 4).unwrap_err();
+        assert!(
+            matches!(err, ConvertError::TooManyMetaStates { limit: 4 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_in_the_past_times_out() {
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let err =
+            convert_parallel_deadline(&branch_chain(10), &ConvertOptions::base(), 4, Some(past))
+                .unwrap_err();
+        assert_eq!(err, ParallelError::TimedOut);
+    }
+
+    #[test]
+    fn matches_core_converter_modulo_canonicalization() {
+        // The engine's normal form must be the core converter's output
+        // canonicalized (subsumption off isolates the construction).
+        let g = branch_chain(5);
+        let opts = ConvertOptions::base();
+        let (mut core, _) = convert_with_stats(&g, &opts).unwrap();
+        core.prune_unreachable();
+        core.canonicalize();
+        let (par, _) = convert_parallel(&g, &opts, 4).unwrap();
+        assert_eq!(par.sets, core.sets);
+        assert_eq!(par.succs, core.succs);
+    }
+
+    #[test]
+    fn finish_drops_spurious_slab_records() {
+        // Simulate the slab a stale expansion leaves behind: record 2 was
+        // interned by an expansion that latent widening later invalidated,
+        // so no fresh expansion references it. It must not survive into
+        // the normalized automaton.
+        let mut graph = MimdGraph::new();
+        let a = graph.add(MimdState::new(vec![], Terminator::Halt));
+        let b = graph.add(MimdState::new(vec![], Terminator::Halt));
+        let c = graph.add(MimdState::new(vec![], Terminator::Halt));
+        graph.state_mut(a).term = Terminator::Jump(b);
+        graph.start = a;
+        let mut automaton = MetaAutomaton {
+            graph,
+            sets: vec![
+                StateSet::singleton(a),
+                StateSet::singleton(b),
+                StateSet::singleton(c), // spurious
+            ],
+            start: MetaId(0),
+            succs: vec![vec![MetaId(1)], vec![], vec![MetaId(1)]],
+        };
+        let mut stats = ConvertStats::default();
+        finish(&mut automaton, &mut stats, &ConvertOptions::base());
+        assert_eq!(automaton.len(), 2, "spurious record pruned");
+        assert!(automaton.sets.iter().all(|s| !s.contains(c)));
+        assert_eq!(automaton.validate(), Ok(()));
+    }
+
+    #[test]
+    fn panicking_worker_releases_the_pool() {
+        // One worker panics mid-expansion; the other must terminate (pop
+        // returns None) rather than block forever on the condvar.
+        let queue = WorkQueue::new();
+        queue.push(0);
+        queue.push(1);
+        let worker = |q: &WorkQueue| {
+            while let Some(id) = q.pop() {
+                let _task = TaskGuard(q);
+                if id == 0 {
+                    panic!("boom");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let (r1, r2) = std::thread::scope(|s| {
+            let h1 = s.spawn(|| worker(&queue));
+            let h2 = s.spawn(|| worker(&queue));
+            (h1.join(), h2.join())
+        });
+        assert_eq!(
+            [r1.is_err(), r2.is_err()].iter().filter(|&&e| e).count(),
+            1,
+            "exactly one worker panicked, the other exited cleanly"
+        );
+    }
+}

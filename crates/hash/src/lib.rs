@@ -107,7 +107,11 @@ impl HashExpr {
     pub fn render(&self, var: &str) -> String {
         match *self {
             HashExpr::ShiftMask { neg, shift, mask } => {
-                let v = if neg { format!("(-{var})") } else { var.to_string() };
+                let v = if neg {
+                    format!("(-{var})")
+                } else {
+                    var.to_string()
+                };
                 if shift > 0 {
                     format!("(({v} >> {shift}) & {mask})")
                 } else {
@@ -202,7 +206,10 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { max_table_bits: 16, allow_mul: true }
+        SearchOptions {
+            max_table_bits: 16,
+            allow_mul: true,
+        }
     }
 }
 
@@ -249,10 +256,18 @@ pub fn find_hash_with(keys: &[u64], opts: SearchOptions) -> Result<PerfectHash, 
         // Families in increasing op-count order.
         let mut candidates: Vec<HashExpr> = Vec::new();
         for shift in 0..64 {
-            candidates.push(HashExpr::ShiftMask { neg: false, shift, mask });
+            candidates.push(HashExpr::ShiftMask {
+                neg: false,
+                shift,
+                mask,
+            });
         }
         for shift in 0..64 {
-            candidates.push(HashExpr::ShiftMask { neg: true, shift, mask });
+            candidates.push(HashExpr::ShiftMask {
+                neg: true,
+                shift,
+                mask,
+            });
         }
         for shift in 1..64 {
             candidates.push(HashExpr::XorFold { shift, mask });
@@ -269,7 +284,11 @@ pub fn find_hash_with(keys: &[u64], opts: SearchOptions) -> Result<PerfectHash, 
         }
         for expr in candidates {
             if let Some(table) = try_build(keys, &expr) {
-                return Ok(PerfectHash { expr, table, keys: keys.to_vec() });
+                return Ok(PerfectHash {
+                    expr,
+                    table,
+                    keys: keys.to_vec(),
+                });
             }
         }
     }
@@ -312,7 +331,10 @@ mod tests {
         let b = |s: &[u32]| s.iter().fold(0u64, |m, &x| m | (1 << x));
         let keys = [b(&[2, 6]), b(&[9]), b(&[6, 9]), b(&[2, 9]), b(&[2, 6, 9])];
         let ph = find_hash(&keys).unwrap();
-        assert!(ph.table.len() <= 16, "paper's generated mask was 15 (table 16)");
+        assert!(
+            ph.table.len() <= 16,
+            "paper's generated mask was 15 (table 16)"
+        );
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(ph.lookup(k), Some(i as u32));
         }
@@ -348,7 +370,12 @@ mod tests {
         let keys: Vec<u64> = (0..8).collect();
         let ph = find_hash(&keys).unwrap();
         assert_eq!(ph.table.len(), 8);
-        assert_eq!(ph.expr.op_count(), 1, "identity-with-mask should win: {}", ph.expr);
+        assert_eq!(
+            ph.expr.op_count(),
+            1,
+            "identity-with-mask should win: {}",
+            ph.expr
+        );
     }
 
     #[test]
@@ -372,7 +399,11 @@ mod tests {
 
     #[test]
     fn render_matches_listing5_style() {
-        let e = HashExpr::ShiftMask { neg: true, shift: 5, mask: 3 };
+        let e = HashExpr::ShiftMask {
+            neg: true,
+            shift: 5,
+            mask: 3,
+        };
         assert_eq!(e.render("apc"), "(((-apc) >> 5) & 3)");
         let e = HashExpr::XorFold { shift: 6, mask: 15 };
         assert_eq!(e.render("apc"), "(((apc >> 6) ^ apc) & 15)");
@@ -390,7 +421,12 @@ mod tests {
     #[test]
     fn op_count_ordering() {
         assert!(
-            HashExpr::ShiftMask { neg: false, shift: 0, mask: 7 }.op_count()
+            HashExpr::ShiftMask {
+                neg: false,
+                shift: 0,
+                mask: 7
+            }
+            .op_count()
                 < HashExpr::XorFold { shift: 3, mask: 7 }.op_count()
         );
     }
@@ -398,8 +434,14 @@ mod tests {
     #[test]
     fn search_without_mul_family_still_works_on_bitmasks() {
         let keys = [1u64 << 3, 1 << 7, (1 << 3) | (1 << 7), 1 << 11];
-        let ph =
-            find_hash_with(&keys, SearchOptions { max_table_bits: 8, allow_mul: false }).unwrap();
+        let ph = find_hash_with(
+            &keys,
+            SearchOptions {
+                max_table_bits: 8,
+                allow_mul: false,
+            },
+        )
+        .unwrap();
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(ph.lookup(k), Some(i as u32));
         }

@@ -127,7 +127,12 @@ pub struct MimdState {
 impl MimdState {
     /// A state with the given code and terminator, no barrier, empty label.
     pub fn new(ops: Vec<Op>, term: Terminator) -> Self {
-        MimdState { ops, term, barrier: false, label: String::new() }
+        MimdState {
+            ops,
+            term,
+            barrier: false,
+            label: String::new(),
+        }
     }
 
     /// Builder-style label attachment.
@@ -190,7 +195,10 @@ pub struct MimdGraph {
 impl MimdGraph {
     /// An empty graph with start pointing at the (future) state 0.
     pub fn new() -> Self {
-        MimdGraph { states: Vec::new(), start: StateId(0) }
+        MimdGraph {
+            states: Vec::new(),
+            start: StateId(0),
+        }
     }
 
     /// Append a state, returning its id.
@@ -298,10 +306,7 @@ impl MimdGraph {
                     Terminator::Jump(b) => b,
                     _ => continue,
                 };
-                if b == a
-                    || preds[b.idx()] != 1
-                    || b == self.start
-                    || self.states[b.idx()].barrier
+                if b == a || preds[b.idx()] != 1 || b == self.start || self.states[b.idx()].barrier
                 {
                     continue;
                 }
@@ -425,12 +430,7 @@ impl MimdGraph {
     /// block has fewer than two ops, or the first op alone exceeds the
     /// budget and the paper's heuristic would leave an empty prefix, the
     /// split fails and `None` is returned.
-    pub fn split_state(
-        &mut self,
-        id: StateId,
-        budget: u64,
-        costs: &CostModel,
-    ) -> Option<StateId> {
+    pub fn split_state(&mut self, id: StateId, budget: u64, costs: &CostModel) -> Option<StateId> {
         let ops = &self.states[id.idx()].ops;
         if ops.len() < 2 {
             return None;
@@ -459,7 +459,11 @@ impl MimdGraph {
             ops: suffix_ops,
             term: orig_term,
             barrier: false,
-            label: if label.is_empty() { String::new() } else { format!("{label}'") },
+            label: if label.is_empty() {
+                String::new()
+            } else {
+                format!("{label}'")
+            },
         });
         self.states[id.idx()].term = Terminator::Jump(suffix);
         if !label.is_empty() {
@@ -482,15 +486,9 @@ mod tests {
     /// 0:A → {2:B;C, 6:D;E}; 2 → {2, 9:F}; 6 → {6, 9}; 9 → end.
     pub(crate) fn figure1() -> MimdGraph {
         let mut g = MimdGraph::new();
-        let a = g.add(
-            MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("A"),
-        );
-        let b = g.add(
-            MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("B;C"),
-        );
-        let d = g.add(
-            MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("D;E"),
-        );
+        let a = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("A"));
+        let b = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("B;C"));
+        let d = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("D;E"));
         let f = g.add(MimdState::new(vec![], Terminator::Halt).labeled("F"));
         g.state_mut(a).term = Terminator::Branch { t: b, f: d };
         g.state_mut(b).term = Terminator::Branch { t: b, f };
@@ -510,7 +508,10 @@ mod tests {
         let a = g.add(MimdState::new(vec![], Terminator::Jump(StateId(7))));
         assert_eq!(
             g.validate(),
-            Err(GraphError::DanglingArc { from: a, to: StateId(7) })
+            Err(GraphError::DanglingArc {
+                from: a,
+                to: StateId(7)
+            })
         );
     }
 
@@ -563,7 +564,11 @@ mod tests {
         let b = g.add(MimdState::new(push_block(2), Terminator::Halt).with_barrier());
         g.state_mut(a).term = Terminator::Jump(b);
         g.start = a;
-        assert_eq!(g.straighten(), 0, "barrier entry must stay a distinct state");
+        assert_eq!(
+            g.straighten(),
+            0,
+            "barrier entry must stay a distinct state"
+        );
     }
 
     #[test]
@@ -612,7 +617,13 @@ mod tests {
         let costs = CostModel::default();
         let mut g = MimdGraph::new();
         // 4 pushes + a store: cost 4*1 + 2 = 6; budget 2 ⇒ prefix = 2 pushes.
-        let ops = vec![Op::Push(1), Op::Push(2), Op::Push(3), Op::Push(4), Op::St(Addr::poly(0))];
+        let ops = vec![
+            Op::Push(1),
+            Op::Push(2),
+            Op::Push(3),
+            Op::Push(4),
+            Op::St(Addr::poly(0)),
+        ];
         let a = g.add(MimdState::new(ops, Terminator::Halt).labeled("β"));
         g.start = a;
         let suffix = g.split_state(a, 2, &costs).expect("splittable");
@@ -628,7 +639,12 @@ mod tests {
     fn split_state_preserves_branch_terminator() {
         let costs = CostModel::default();
         let mut g = MimdGraph::new();
-        let ops = vec![Op::Push(1), Op::Push(2), Op::Bin(BinOp::Add), Op::Ld(Addr::poly(0))];
+        let ops = vec![
+            Op::Push(1),
+            Op::Push(2),
+            Op::Bin(BinOp::Add),
+            Op::Ld(Addr::poly(0)),
+        ];
         let a = g.add(MimdState::new(ops, Terminator::Halt));
         let b = g.add(MimdState::new(vec![], Terminator::Halt));
         g.state_mut(a).term = Terminator::Branch { t: a, f: b };

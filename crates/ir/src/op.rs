@@ -49,12 +49,18 @@ pub struct Addr {
 impl Addr {
     /// A `poly` (per-PE private) address.
     pub const fn poly(index: u32) -> Self {
-        Addr { space: Space::Poly, index }
+        Addr {
+            space: Space::Poly,
+            index,
+        }
     }
 
     /// A `mono` (replicated shared) address.
     pub const fn mono(index: u32) -> Self {
-        Addr { space: Space::Mono, index }
+        Addr {
+            space: Space::Mono,
+            index,
+        }
     }
 }
 
@@ -539,7 +545,12 @@ mod tests {
     #[test]
     fn block_cost_sums() {
         let c = CostModel::default();
-        let ops = vec![Op::Push(1), Op::Push(2), Op::Bin(BinOp::Mul), Op::St(Addr::poly(0))];
+        let ops = vec![
+            Op::Push(1),
+            Op::Push(2),
+            Op::Bin(BinOp::Mul),
+            Op::St(Addr::poly(0)),
+        ];
         assert_eq!(
             c.block_cost(&ops),
             (2 * c.stack + c.int_mul + c.mem_local) as u64

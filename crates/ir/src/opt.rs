@@ -32,8 +32,7 @@ fn peephole_round(ops: &mut Vec<Op>) -> bool {
     let mut i = 0;
     while i < ops.len() {
         // Window of up to three ops starting at i.
-        let rewritten: Option<(usize, Vec<Op>)> = match (&ops[i], ops.get(i + 1), ops.get(i + 2))
-        {
+        let rewritten: Option<(usize, Vec<Op>)> = match (&ops[i], ops.get(i + 1), ops.get(i + 2)) {
             // Constant folds.
             (Op::Push(a), Some(Op::Push(b)), Some(Op::Bin(op))) if !op.is_float() => {
                 Some((3, vec![Op::Push(op.apply(*a, *b))]))
@@ -45,11 +44,9 @@ fn peephole_round(ops: &mut Vec<Op>) -> bool {
                 Some((2, vec![Op::Push(u.apply(*a))]))
             }
             // Dead pushes.
-            (
-                Op::Push(_) | Op::PushF(_) | Op::Dup | Op::PeId | Op::NProc,
-                Some(Op::Pop(1)),
-                _,
-            ) => Some((2, vec![])),
+            (Op::Push(_) | Op::PushF(_) | Op::Dup | Op::PeId | Op::NProc, Some(Op::Pop(1)), _) => {
+                Some((2, vec![]))
+            }
             // Algebraic identities on the running stack value.
             (
                 Op::Push(0),
@@ -142,8 +139,12 @@ impl MimdGraph {
             let mut sig_to_class: FxHashMap<(u32, Vec<u32>), u32> = FxHashMap::default();
             let mut new_class = vec![0u32; n];
             for (i, st) in self.states.iter().enumerate() {
-                let succ_classes: Vec<u32> =
-                    st.term.successors().iter().map(|s| class[s.idx()]).collect();
+                let succ_classes: Vec<u32> = st
+                    .term
+                    .successors()
+                    .iter()
+                    .map(|s| class[s.idx()])
+                    .collect();
                 let next = sig_to_class.len() as u32;
                 let c = *sig_to_class.entry((class[i], succ_classes)).or_insert(next);
                 new_class[i] = c;
@@ -179,7 +180,12 @@ mod tests {
 
     #[test]
     fn folds_integer_constants() {
-        let mut ops = vec![Op::Push(2), Op::Push(3), Op::Bin(BinOp::Mul), Op::St(Addr::poly(0))];
+        let mut ops = vec![
+            Op::Push(2),
+            Op::Push(3),
+            Op::Bin(BinOp::Mul),
+            Op::St(Addr::poly(0)),
+        ];
         peephole_ops(&mut ops);
         assert_eq!(ops, vec![Op::Push(6), Op::St(Addr::poly(0))]);
     }
@@ -207,7 +213,13 @@ mod tests {
 
     #[test]
     fn removes_dead_push_pop() {
-        let mut ops = vec![Op::PeId, Op::Pop(1), Op::Push(1), Op::Pop(1), Op::Ld(Addr::poly(0))];
+        let mut ops = vec![
+            Op::PeId,
+            Op::Pop(1),
+            Op::Push(1),
+            Op::Pop(1),
+            Op::Ld(Addr::poly(0)),
+        ];
         peephole_ops(&mut ops);
         assert_eq!(ops, vec![Op::Ld(Addr::poly(0))]);
     }
@@ -241,7 +253,9 @@ mod tests {
         let mut ops = vec![Op::PushF(a), Op::PushF(b), Op::Bin(BinOp::FAdd)];
         peephole_ops(&mut ops);
         assert_eq!(ops.len(), 1);
-        let Op::Push(bits) = ops[0] else { panic!("expected folded push") };
+        let Op::Push(bits) = ops[0] else {
+            panic!("expected folded push")
+        };
         assert_eq!(f64::from_bits(bits as u64), 3.75);
     }
 
@@ -249,7 +263,12 @@ mod tests {
     fn graph_peephole_counts_removed() {
         let mut g = MimdGraph::new();
         g.add(MimdState::new(
-            vec![Op::Push(1), Op::Push(2), Op::Bin(BinOp::Add), Op::St(Addr::poly(0))],
+            vec![
+                Op::Push(1),
+                Op::Push(2),
+                Op::Bin(BinOp::Add),
+                Op::St(Addr::poly(0)),
+            ],
             Terminator::Halt,
         ));
         g.start = StateId(0);
@@ -260,14 +279,25 @@ mod tests {
     fn minimize_merges_identical_tails() {
         // Two identical "epilogue" states reached from a branch.
         let mut g = MimdGraph::new();
-        let a = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt));
-        let e1 = g.add(MimdState::new(vec![Op::Push(9), Op::St(Addr::poly(1))], Terminator::Halt));
-        let e2 = g.add(MimdState::new(vec![Op::Push(9), Op::St(Addr::poly(1))], Terminator::Halt));
+        let a = g.add(MimdState::new(
+            vec![Op::Ld(Addr::poly(0))],
+            Terminator::Halt,
+        ));
+        let e1 = g.add(MimdState::new(
+            vec![Op::Push(9), Op::St(Addr::poly(1))],
+            Terminator::Halt,
+        ));
+        let e2 = g.add(MimdState::new(
+            vec![Op::Push(9), Op::St(Addr::poly(1))],
+            Terminator::Halt,
+        ));
         g.state_mut(a).term = Terminator::Branch { t: e1, f: e2 };
         g.start = a;
         assert_eq!(g.minimize(), 1);
         assert_eq!(g.len(), 2);
-        let Terminator::Branch { t, f } = g.state(g.start).term else { panic!() };
+        let Terminator::Branch { t, f } = g.state(g.start).term else {
+            panic!()
+        };
         assert_eq!(t, f, "both arcs now reach the merged epilogue");
     }
 
@@ -277,11 +307,20 @@ mod tests {
         // distinct predecessors keep them apart only if code differs.
         let mut g = MimdGraph::new();
         let end = g.add(MimdState::new(vec![], Terminator::Halt));
-        let l1 = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt));
-        let l2 = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt));
+        let l1 = g.add(MimdState::new(
+            vec![Op::Ld(Addr::poly(0))],
+            Terminator::Halt,
+        ));
+        let l2 = g.add(MimdState::new(
+            vec![Op::Ld(Addr::poly(0))],
+            Terminator::Halt,
+        ));
         g.state_mut(l1).term = Terminator::Branch { t: l1, f: end };
         g.state_mut(l2).term = Terminator::Branch { t: l2, f: end };
-        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: l1, f: l2 }));
+        let a = g.add(MimdState::new(
+            vec![Op::PeId],
+            Terminator::Branch { t: l1, f: l2 },
+        ));
         g.start = a;
         assert_eq!(g.minimize(), 1, "bisimilar self-loops merge");
         g.validate().unwrap();
@@ -292,7 +331,10 @@ mod tests {
         let mut g = MimdGraph::new();
         let e1 = g.add(MimdState::new(vec![Op::Push(1)], Terminator::Halt));
         let e2 = g.add(MimdState::new(vec![Op::Push(2)], Terminator::Halt));
-        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: e1, f: e2 }));
+        let a = g.add(MimdState::new(
+            vec![Op::PeId],
+            Terminator::Branch { t: e1, f: e2 },
+        ));
         g.start = a;
         assert_eq!(g.minimize(), 0);
         assert_eq!(g.len(), 3);
@@ -303,18 +345,34 @@ mod tests {
         let mut g = MimdGraph::new();
         let e1 = g.add(MimdState::new(vec![Op::Push(1)], Terminator::Halt));
         let e2 = g.add(MimdState::new(vec![Op::Push(1)], Terminator::Halt).with_barrier());
-        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: e1, f: e2 }));
+        let a = g.add(MimdState::new(
+            vec![Op::PeId],
+            Terminator::Branch { t: e1, f: e2 },
+        ));
         g.start = a;
-        assert_eq!(g.minimize(), 0, "barrier state must not merge with plain state");
+        assert_eq!(
+            g.minimize(),
+            0,
+            "barrier state must not merge with plain state"
+        );
     }
 
     #[test]
     fn minimize_handles_multi_and_spawn_congruence() {
         let mut g = MimdGraph::new();
         let end = g.add(MimdState::new(vec![], Terminator::Halt));
-        let m1 = g.add(MimdState::new(vec![Op::PopRet], Terminator::Multi(vec![end, end])));
-        let m2 = g.add(MimdState::new(vec![Op::PopRet], Terminator::Multi(vec![end, end])));
-        let a = g.add(MimdState::new(vec![Op::PeId], Terminator::Branch { t: m1, f: m2 }));
+        let m1 = g.add(MimdState::new(
+            vec![Op::PopRet],
+            Terminator::Multi(vec![end, end]),
+        ));
+        let m2 = g.add(MimdState::new(
+            vec![Op::PopRet],
+            Terminator::Multi(vec![end, end]),
+        ));
+        let a = g.add(MimdState::new(
+            vec![Op::PeId],
+            Terminator::Branch { t: m1, f: m2 },
+        ));
         g.start = a;
         assert_eq!(g.minimize(), 1);
         g.validate().unwrap();

@@ -67,7 +67,11 @@ pub fn dot(graph: &MimdGraph, costs: &CostModel) -> String {
         } else {
             format!("{id}: {}", st.label)
         };
-        let shape = if st.barrier { " shape=doubleoctagon" } else { "" };
+        let shape = if st.barrier {
+            " shape=doubleoctagon"
+        } else {
+            ""
+        };
         let start = if id == graph.start { " penwidth=2" } else { "" };
         let _ = writeln!(
             out,
@@ -110,10 +114,12 @@ mod tests {
 
     fn sample() -> MimdGraph {
         let mut g = MimdGraph::new();
-        let a = g.add(
-            MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("A"),
+        let a = g.add(MimdState::new(vec![Op::Ld(Addr::poly(0))], Terminator::Halt).labeled("A"));
+        let b = g.add(
+            MimdState::new(vec![], Terminator::Halt)
+                .labeled("F")
+                .with_barrier(),
         );
-        let b = g.add(MimdState::new(vec![], Terminator::Halt).labeled("F").with_barrier());
         g.state_mut(a).term = Terminator::Branch { t: a, f: b };
         g.start = a;
         g
@@ -144,7 +150,10 @@ mod tests {
         let mut g = MimdGraph::new();
         let a = g.add(MimdState::new(vec![], Terminator::Halt));
         let b = g.add(MimdState::new(vec![], Terminator::Halt));
-        let c = g.add(MimdState::new(vec![Op::Push(0)], Terminator::Multi(vec![a, b])));
+        let c = g.add(MimdState::new(
+            vec![Op::Push(0)],
+            Terminator::Multi(vec![a, b]),
+        ));
         g.state_mut(a).term = Terminator::Spawn { child: b, next: c };
         g.start = a;
         let d = dot(&g, &CostModel::default());

@@ -108,6 +108,9 @@ mod tests {
 
     #[test]
     fn compile_reports_lower_errors() {
-        assert!(matches!(compile("main() { y = 1; }"), Err(CompileError::Lower(_))));
+        assert!(matches!(
+            compile("main() { y = 1; }"),
+            Err(CompileError::Lower(_))
+        ));
     }
 }

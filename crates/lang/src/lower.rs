@@ -217,10 +217,16 @@ pub fn lower(ast: &Ast) -> Result<Program, LowerError> {
     });
     lw.scopes.push(FxHashMap::default());
     if !main.params.is_empty() {
-        return Err(LowerError { msg: "`main` takes no parameters".into(), pos: main.pos });
+        return Err(LowerError {
+            msg: "`main` takes no parameters".into(),
+            pos: main.pos,
+        });
     }
     if *lw.recursive_funcs.get("main").unwrap_or(&false) {
-        return Err(LowerError { msg: "recursive `main` is not supported".into(), pos: main.pos });
+        return Err(LowerError {
+            msg: "recursive `main` is not supported".into(),
+            pos: main.pos,
+        });
     }
     for s in &main.body {
         lw.stmt(s)?;
@@ -238,7 +244,10 @@ pub fn lower(ast: &Ast) -> Result<Program, LowerError> {
         msg: format!("internal: lowered graph invalid: {e}"),
         pos: Pos { line: 0, col: 0 },
     })?;
-    Ok(Program { graph, layout: lw.layout })
+    Ok(Program {
+        graph,
+        layout: lw.layout,
+    })
 }
 
 /// Which functions can reach themselves through the call graph (direct or
@@ -271,7 +280,12 @@ fn compute_recursive(ast: &Ast) -> FxHashMap<String, bool> {
                 calls_in_expr(cond, out);
                 calls_in_stmt(body, out);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(i) = init {
                     calls_in_stmt(i, out);
                 }
@@ -394,7 +408,10 @@ impl<'a> Lowerer<'a> {
 
     fn declare(&mut self, d: &VarDecl, func: &str) -> Result<(), LowerError> {
         if d.ty == Type::Void {
-            return Err(LowerError { msg: format!("variable `{}` cannot be void", d.name), pos: d.pos });
+            return Err(LowerError {
+                msg: format!("variable `{}` cannot be void", d.name),
+                pos: d.pos,
+            });
         }
         let scope = self.scopes.last_mut().unwrap();
         if scope.contains_key(&d.name) {
@@ -421,10 +438,14 @@ impl<'a> Lowerer<'a> {
             })
             .flatten();
         let addr = prealloc.unwrap_or_else(|| self.alloc(space));
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(d.name.clone(), VarInfo { addr, ty: d.ty, storage: d.storage });
+        self.scopes.last_mut().unwrap().insert(
+            d.name.clone(),
+            VarInfo {
+                addr,
+                ty: d.ty,
+                storage: d.storage,
+            },
+        );
         self.layout.vars.push(VarRecord {
             func: func.into(),
             name: d.name.clone(),
@@ -446,7 +467,10 @@ impl<'a> Lowerer<'a> {
                 return Ok(v.clone());
             }
         }
-        Err(LowerError { msg: format!("undeclared variable `{name}`"), pos })
+        Err(LowerError {
+            msg: format!("undeclared variable `{name}`"),
+            pos,
+        })
     }
 
     // ---- types ---------------------------------------------------------
@@ -493,7 +517,10 @@ impl<'a> Lowerer<'a> {
             Expr::Call { name, pos, .. } => {
                 self.ast
                     .func(name)
-                    .ok_or_else(|| LowerError { msg: format!("unknown function `{name}`"), pos: *pos })?
+                    .ok_or_else(|| LowerError {
+                        msg: format!("unknown function `{name}`"),
+                        pos: *pos,
+                    })?
                     .ret
             }
         })
@@ -511,9 +538,10 @@ impl<'a> Lowerer<'a> {
                 self.emit(Op::Un(UnOp::FloatToInt));
                 Ok(())
             }
-            (Type::Void, _) | (_, Type::Void) => {
-                Err(LowerError { msg: "void value used".into(), pos })
-            }
+            (Type::Void, _) | (_, Type::Void) => Err(LowerError {
+                msg: "void value used".into(),
+                pos,
+            }),
             _ => unreachable!(),
         }
     }
@@ -527,14 +555,20 @@ impl<'a> Lowerer<'a> {
                 self.emit(Op::Bin(BinOp::FNe));
                 Ok(())
             }
-            Type::Void => Err(LowerError { msg: "void value used as condition".into(), pos }),
+            Type::Void => Err(LowerError {
+                msg: "void value used as condition".into(),
+                pos,
+            }),
         }
     }
 
     // ---- statements ----------------------------------------------------
 
     fn cur_func_name(&self) -> String {
-        self.active.last().map(|c| c.func.clone()).unwrap_or_else(|| "<global>".into())
+        self.active
+            .last()
+            .map(|c| c.func.clone())
+            .unwrap_or_else(|| "<global>".into())
     }
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
@@ -568,8 +602,15 @@ impl<'a> Lowerer<'a> {
                 self.truthify(t, cond.pos())?;
                 let then_b = self.new_block();
                 let join = self.new_block();
-                let else_b = if els.is_some() { self.new_block() } else { join };
-                self.seal(Terminator::Branch { t: then_b, f: else_b });
+                let else_b = if els.is_some() {
+                    self.new_block()
+                } else {
+                    join
+                };
+                self.seal(Terminator::Branch {
+                    t: then_b,
+                    f: else_b,
+                });
                 self.start_block(then_b);
                 self.stmt(then)?;
                 if !self.sealed {
@@ -589,7 +630,10 @@ impl<'a> Lowerer<'a> {
             Stmt::While { cond, body } => {
                 let desugared = Stmt::If {
                     cond: cond.clone(),
-                    then: Box::new(Stmt::DoWhile { body: body.clone(), cond: cond.clone() }),
+                    then: Box::new(Stmt::DoWhile {
+                        body: body.clone(),
+                        cond: cond.clone(),
+                    }),
                     els: None,
                 };
                 self.stmt(&desugared)
@@ -600,7 +644,10 @@ impl<'a> Lowerer<'a> {
                 let exit = self.new_block();
                 self.seal(Terminator::Jump(body_b));
                 self.start_block(body_b);
-                self.loops.push(LoopCtx { cont: cond_b, brk: exit });
+                self.loops.push(LoopCtx {
+                    cont: cond_b,
+                    brk: exit,
+                });
                 self.scopes.push(FxHashMap::default());
                 self.stmt(body)?;
                 self.scopes.pop();
@@ -615,7 +662,12 @@ impl<'a> Lowerer<'a> {
                 self.start_block(exit);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(FxHashMap::default());
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -633,7 +685,10 @@ impl<'a> Lowerer<'a> {
                     self.seal(Terminator::Jump(body_b));
                 }
                 self.start_block(body_b);
-                self.loops.push(LoopCtx { cont: step_b, brk: exit });
+                self.loops.push(LoopCtx {
+                    cont: step_b,
+                    brk: exit,
+                });
                 self.stmt(body)?;
                 self.loops.pop();
                 if !self.sealed {
@@ -658,7 +713,10 @@ impl<'a> Lowerer<'a> {
             }
             Stmt::Break(pos) => {
                 let Some(ctx) = self.loops.last() else {
-                    return Err(LowerError { msg: "`break` outside loop".into(), pos: *pos });
+                    return Err(LowerError {
+                        msg: "`break` outside loop".into(),
+                        pos: *pos,
+                    });
                 };
                 let brk = ctx.brk;
                 self.seal(Terminator::Jump(brk));
@@ -667,7 +725,10 @@ impl<'a> Lowerer<'a> {
             }
             Stmt::Continue(pos) => {
                 let Some(ctx) = self.loops.last() else {
-                    return Err(LowerError { msg: "`continue` outside loop".into(), pos: *pos });
+                    return Err(LowerError {
+                        msg: "`continue` outside loop".into(),
+                        pos: *pos,
+                    });
                 };
                 let cont = ctx.cont;
                 self.seal(Terminator::Jump(cont));
@@ -698,8 +759,12 @@ impl<'a> Lowerer<'a> {
             msg: "`return` outside of a function".into(),
             pos,
         })?;
-        let (ret_slot, ret_ty, halt, recursive) =
-            (copy.ret_slot, copy.ret_ty, copy.halt_on_return, copy.recursive);
+        let (ret_slot, ret_ty, halt, recursive) = (
+            copy.ret_slot,
+            copy.ret_ty,
+            copy.halt_on_return,
+            copy.recursive,
+        );
         match (e, ret_ty) {
             (Some(_), Type::Void) => {
                 return Err(LowerError {
@@ -736,7 +801,10 @@ impl<'a> Lowerer<'a> {
         let func = self
             .ast
             .func(name)
-            .ok_or_else(|| LowerError { msg: format!("unknown function `{name}`"), pos })?
+            .ok_or_else(|| LowerError {
+                msg: format!("unknown function `{name}`"),
+                pos,
+            })?
             .clone();
         if args.len() != func.params.len() {
             return Err(LowerError {
@@ -762,12 +830,20 @@ impl<'a> Lowerer<'a> {
             self.coerce(t, *pty, arg.pos())?;
         }
         // Stored in reverse so evaluation order stays left-to-right.
-        for (addr, _) in param_addrs.iter().zip(&func.params).collect::<Vec<_>>().into_iter().rev()
+        for (addr, _) in param_addrs
+            .iter()
+            .zip(&func.params)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
         {
             self.emit(Op::St(*addr));
         }
         let cont = self.new_block();
-        self.seal(Terminator::Spawn { child: entry, next: cont });
+        self.seal(Terminator::Spawn {
+            child: entry,
+            next: cont,
+        });
         self.start_block(cont);
         Ok(())
     }
@@ -780,21 +856,33 @@ impl<'a> Lowerer<'a> {
         pos: Pos,
     ) -> Result<(StateId, Vec<Addr>), LowerError> {
         if self.active.len() >= MAX_INLINE_DEPTH {
-            return Err(LowerError { msg: "inline expansion too deep".into(), pos });
+            return Err(LowerError {
+                msg: "inline expansion too deep".into(),
+                pos,
+            });
         }
         let entry = self.new_block();
-        let param_addrs: Vec<Addr> = func.params.iter().map(|_| self.alloc(Space::Poly)).collect();
+        let param_addrs: Vec<Addr> = func
+            .params
+            .iter()
+            .map(|_| self.alloc(Space::Poly))
+            .collect();
         // Register before lowering the body so recursive spawns reuse it.
-        self.spawn_entries.insert(func.name.clone(), (entry, param_addrs.clone()));
+        self.spawn_entries
+            .insert(func.name.clone(), (entry, param_addrs.clone()));
 
         let ret_slot = (func.ret != Type::Void).then(|| self.alloc(Space::Poly));
         let saved = self.suspend_block();
         self.scopes.push(FxHashMap::default());
         for ((ty, pname), addr) in func.params.iter().zip(&param_addrs) {
-            self.scopes
-                .last_mut()
-                .unwrap()
-                .insert(pname.clone(), VarInfo { addr: *addr, ty: *ty, storage: Storage::Poly });
+            self.scopes.last_mut().unwrap().insert(
+                pname.clone(),
+                VarInfo {
+                    addr: *addr,
+                    ty: *ty,
+                    storage: Storage::Poly,
+                },
+            );
             self.layout.vars.push(VarRecord {
                 func: func.name.clone(),
                 name: pname.clone(),
@@ -810,8 +898,9 @@ impl<'a> Lowerer<'a> {
         let recursive = *self.recursive_funcs.get(&func.name).unwrap_or(&false);
         let halt_cont = recursive.then(|| self.new_block());
         let (slots, prealloc) = if recursive {
-            let prealloc: Vec<Addr> =
-                (0..count_poly_decls(&func.body)).map(|_| self.alloc(Space::Poly)).collect();
+            let prealloc: Vec<Addr> = (0..count_poly_decls(&func.body))
+                .map(|_| self.alloc(Space::Poly))
+                .collect();
             let mut slots = param_addrs.clone();
             slots.extend(prealloc.iter().copied());
             (slots, prealloc)
@@ -934,7 +1023,10 @@ impl<'a> Lowerer<'a> {
                             Type::Int => self.emit(Op::Un(UnOp::Neg)),
                             Type::Float => self.emit(Op::Un(UnOp::FNeg)),
                             Type::Void => {
-                                return Err(LowerError { msg: "void operand".into(), pos: *pos })
+                                return Err(LowerError {
+                                    msg: "void operand".into(),
+                                    pos: *pos,
+                                })
                             }
                         }
                         t
@@ -947,7 +1039,10 @@ impl<'a> Lowerer<'a> {
                                 self.emit(Op::Bin(BinOp::FEq));
                             }
                             Type::Void => {
-                                return Err(LowerError { msg: "void operand".into(), pos: *pos })
+                                return Err(LowerError {
+                                    msg: "void operand".into(),
+                                    pos: *pos,
+                                })
                             }
                         }
                         Type::Int
@@ -975,7 +1070,12 @@ impl<'a> Lowerer<'a> {
                 }
                 Ok(rt)
             }
-            Expr::Assign { target, op, value, pos } => self.lower_assign(target, *op, value, *pos, need),
+            Expr::Assign {
+                target,
+                op,
+                value,
+                pos,
+            } => self.lower_assign(target, *op, value, *pos, need),
             Expr::Call { name, args, pos } => self.lower_call(name, args, *pos, need),
         }
     }
@@ -1100,8 +1200,7 @@ impl<'a> Lowerer<'a> {
             LValue::ParSub { name, index } => {
                 if op.is_some() {
                     return Err(LowerError {
-                        msg: "compound assignment to a parallel subscript is not supported"
-                            .into(),
+                        msg: "compound assignment to a parallel subscript is not supported".into(),
                         pos,
                     });
                 }
@@ -1135,7 +1234,10 @@ impl<'a> Lowerer<'a> {
         let func = self
             .ast
             .func(name)
-            .ok_or_else(|| LowerError { msg: format!("unknown function `{name}`"), pos })?
+            .ok_or_else(|| LowerError {
+                msg: format!("unknown function `{name}`"),
+                pos,
+            })?
             .clone();
         if args.len() != func.params.len() {
             return Err(LowerError {
@@ -1166,8 +1268,10 @@ impl<'a> Lowerer<'a> {
                 debug_assert!(copy.recursive, "linking into a non-recursive copy");
                 (copy.entry, copy.params.clone(), copy.ret_slot)
             };
-            let save: Vec<Addr> =
-                self.active[ci..].iter().flat_map(|c| c.slots.iter().copied()).collect();
+            let save: Vec<Addr> = self.active[ci..]
+                .iter()
+                .flat_map(|c| c.slots.iter().copied())
+                .collect();
             for a in &save {
                 self.emit(Op::Ld(*a));
             }
@@ -1200,12 +1304,19 @@ impl<'a> Lowerer<'a> {
         }
 
         if self.active.len() >= MAX_INLINE_DEPTH {
-            return Err(LowerError { msg: "inline expansion too deep".into(), pos });
+            return Err(LowerError {
+                msg: "inline expansion too deep".into(),
+                pos,
+            });
         }
 
         // Fresh inline copy for this call site.
         let recursive = *self.recursive_funcs.get(name).unwrap_or(&false);
-        let param_addrs: Vec<Addr> = func.params.iter().map(|_| self.alloc(Space::Poly)).collect();
+        let param_addrs: Vec<Addr> = func
+            .params
+            .iter()
+            .map(|_| self.alloc(Space::Poly))
+            .collect();
         let ret_slot = (func.ret != Type::Void).then(|| self.alloc(Space::Poly));
         for (arg, ((pty, _), addr)) in args.iter().zip(func.params.iter().zip(&param_addrs)) {
             let t = self.expr(arg, true)?;
@@ -1223,10 +1334,14 @@ impl<'a> Lowerer<'a> {
 
         self.scopes.push(FxHashMap::default());
         for ((ty, pname), addr) in func.params.iter().zip(&param_addrs) {
-            self.scopes
-                .last_mut()
-                .unwrap()
-                .insert(pname.clone(), VarInfo { addr: *addr, ty: *ty, storage: Storage::Poly });
+            self.scopes.last_mut().unwrap().insert(
+                pname.clone(),
+                VarInfo {
+                    addr: *addr,
+                    ty: *ty,
+                    storage: Storage::Poly,
+                },
+            );
             self.layout.vars.push(VarRecord {
                 func: func.name.clone(),
                 name: pname.clone(),
@@ -1236,8 +1351,9 @@ impl<'a> Lowerer<'a> {
             });
         }
         let (slots, prealloc) = if recursive {
-            let prealloc: Vec<Addr> =
-                (0..count_poly_decls(&func.body)).map(|_| self.alloc(Space::Poly)).collect();
+            let prealloc: Vec<Addr> = (0..count_poly_decls(&func.body))
+                .map(|_| self.alloc(Space::Poly))
+                .collect();
             let mut slots = param_addrs.clone();
             slots.extend(prealloc.iter().copied());
             (slots, prealloc)
@@ -1291,7 +1407,6 @@ impl<'a> Lowerer<'a> {
         }
         Ok(func.ret)
     }
-
 }
 
 /// Number of `poly` declarations a function body makes, in the order the
@@ -1303,13 +1418,9 @@ fn count_poly_decls(stmts: &[Stmt]) -> usize {
             Stmt::Decl(d) => (d.storage == Storage::Poly) as usize,
             Stmt::Decls(ds) => ds.iter().filter(|d| d.storage == Storage::Poly).count(),
             Stmt::Block(v) => v.iter().map(one).sum(),
-            Stmt::If { then, els, .. } => {
-                one(then) + els.as_ref().map(|e| one(e)).unwrap_or(0)
-            }
+            Stmt::If { then, els, .. } => one(then) + els.as_ref().map(|e| one(e)).unwrap_or(0),
             Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => one(body),
-            Stmt::For { init, body, .. } => {
-                init.as_ref().map(|i| one(i)).unwrap_or(0) + one(body)
-            }
+            Stmt::For { init, body, .. } => init.as_ref().map(|i| one(i)).unwrap_or(0) + one(body),
             _ => 0,
         }
     }
@@ -1343,7 +1454,12 @@ mod tests {
             "#,
         );
         let g = &p.graph;
-        assert_eq!(g.len(), 4, "Figure 1 has 4 states:\n{}", msc_ir::render::text(g, &Default::default()));
+        assert_eq!(
+            g.len(),
+            4,
+            "Figure 1 has 4 states:\n{}",
+            msc_ir::render::text(g, &Default::default())
+        );
         // Start state branches to the two loop states.
         let (t, f) = match g.state(g.start).term {
             Terminator::Branch { t, f } => (t, f),
@@ -1418,8 +1534,11 @@ mod tests {
     #[test]
     fn wait_creates_barrier_state() {
         let p = compile("main() { poly int x; x = 1; wait; x = 2; }");
-        let barriers: Vec<_> =
-            p.graph.ids().filter(|&i| p.graph.state(i).barrier).collect();
+        let barriers: Vec<_> = p
+            .graph
+            .ids()
+            .filter(|&i| p.graph.state(i).barrier)
+            .collect();
         assert_eq!(barriers.len(), 1);
         // Code after the wait lives in the barrier state.
         assert!(!p.graph.state(barriers[0]).ops.is_empty());
@@ -1438,7 +1557,12 @@ mod tests {
             assert!(!matches!(p.graph.state(id).term, Terminator::Multi(_)));
         }
         // And after straightening the whole thing is one straight line.
-        assert_eq!(p.graph.len(), 1, "{}", msc_ir::render::text(&p.graph, &Default::default()));
+        assert_eq!(
+            p.graph.len(),
+            1,
+            "{}",
+            msc_ir::render::text(&p.graph, &Default::default())
+        );
     }
 
     #[test]
@@ -1474,13 +1598,22 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(!multis.is_empty(), "recursive returns must be multiway branches");
+        assert!(
+            !multis.is_empty(),
+            "recursive returns must be multiway branches"
+        );
         // fact has two return sites: the external call and the internal
         // recursive one.
         assert!(multis.iter().all(|&n| n == 2), "{multis:?}");
         // The call stack ops are present.
-        let has_pushret = p.graph.ids().any(|i| p.graph.state(i).ops.contains(&Op::PushRet));
-        let has_popret = p.graph.ids().any(|i| p.graph.state(i).ops.contains(&Op::PopRet));
+        let has_pushret = p
+            .graph
+            .ids()
+            .any(|i| p.graph.state(i).ops.contains(&Op::PushRet));
+        let has_popret = p
+            .graph
+            .ids()
+            .any(|i| p.graph.state(i).ops.contains(&Op::PopRet));
         assert!(has_pushret && has_popret);
     }
 
@@ -1564,8 +1697,11 @@ mod tests {
     #[test]
     fn float_promotion_inserts_conversion() {
         let p = compile("main() { poly float f; f = 1 + 2.5; return(f); }");
-        let all_ops: Vec<Op> =
-            p.graph.ids().flat_map(|i| p.graph.state(i).ops.clone()).collect();
+        let all_ops: Vec<Op> = p
+            .graph
+            .ids()
+            .flat_map(|i| p.graph.state(i).ops.clone())
+            .collect();
         assert!(all_ops.contains(&Op::Bin(BinOp::FAdd)), "{all_ops:?}");
         assert!(all_ops.contains(&Op::Un(UnOp::IntToFloat)), "{all_ops:?}");
     }
@@ -1575,18 +1711,22 @@ mod tests {
         let p = compile("mono int total; main() { total = 5; }");
         let rec = p.layout.var("total").unwrap();
         assert_eq!(rec.addr.space, Space::Mono);
-        let all_ops: Vec<Op> =
-            p.graph.ids().flat_map(|i| p.graph.state(i).ops.clone()).collect();
+        let all_ops: Vec<Op> = p
+            .graph
+            .ids()
+            .flat_map(|i| p.graph.state(i).ops.clone())
+            .collect();
         assert!(all_ops.contains(&Op::St(rec.addr)));
     }
 
     #[test]
     fn parsub_lowering_uses_router_ops() {
-        let p = compile(
-            "main() { poly int x, y; x[[pe_id() + 1]] = y[[0]]; }",
-        );
-        let all_ops: Vec<Op> =
-            p.graph.ids().flat_map(|i| p.graph.state(i).ops.clone()).collect();
+        let p = compile("main() { poly int x, y; x[[pe_id() + 1]] = y[[0]]; }");
+        let all_ops: Vec<Op> = p
+            .graph
+            .ids()
+            .flat_map(|i| p.graph.state(i).ops.clone())
+            .collect();
         assert!(all_ops.iter().any(|o| matches!(o, Op::LdRemote(_))));
         assert!(all_ops.iter().any(|o| matches!(o, Op::StRemote(_))));
     }

@@ -46,7 +46,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { msg: e.msg, pos: e.pos }
+        ParseError {
+            msg: e.msg,
+            pos: e.pos,
+        }
     }
 }
 
@@ -101,7 +104,10 @@ impl Parser {
     }
 
     fn err(&self, msg: String) -> ParseError {
-        ParseError { msg, pos: self.pos() }
+        ParseError {
+            msg,
+            pos: self.pos(),
+        }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -134,7 +140,10 @@ impl Parser {
     }
 
     fn is_decl_start(&self) -> bool {
-        matches!(self.peek(), Tok::KwMono | Tok::KwPoly | Tok::KwInt | Tok::KwFloat)
+        matches!(
+            self.peek(),
+            Tok::KwMono | Tok::KwPoly | Tok::KwInt | Tok::KwFloat
+        )
     }
 
     /// A function starts with `type? ident (` where the `(` distinguishes
@@ -195,7 +204,13 @@ impl Parser {
             }
             body.push(self.stmt()?);
         }
-        Ok(Func { ret, name, params, body, pos })
+        Ok(Func {
+            ret,
+            name,
+            params,
+            body,
+            pos,
+        })
     }
 
     /// `storage? type name (= init)? (, name (= init)?)* ;`
@@ -215,9 +230,18 @@ impl Parser {
         let mut decls = Vec::new();
         loop {
             let name = self.ident()?;
-            let init =
-                if self.eat(&Tok::Assign) { Some(self.assignment()?) } else { None };
-            decls.push(VarDecl { storage, ty, name, init, pos });
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.assignment()?)
+            } else {
+                None
+            };
+            decls.push(VarDecl {
+                storage,
+                ty,
+                name,
+                init,
+                pos,
+            });
             if !self.eat(&Tok::Comma) {
                 break;
             }
@@ -245,7 +269,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let then = Box::new(self.stmt()?);
-                let els = if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
+                let els = if self.eat(&Tok::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
                 Ok(Stmt::If { cond, then, els })
             }
             Tok::KwWhile => {
@@ -279,12 +307,25 @@ impl Parser {
                     self.expect(&Tok::Semi)?;
                     Some(Box::new(Stmt::Expr(e)))
                 };
-                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
-                let step = if *self.peek() == Tok::RParen { None } else { Some(self.expr()?) };
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::RParen)?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Tok::LBrace => {
                 self.bump();
@@ -299,7 +340,11 @@ impl Parser {
             }
             Tok::KwReturn => {
                 self.bump();
-                let e = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let e = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
                 Ok(Stmt::Return(e, pos))
             }
@@ -382,7 +427,12 @@ impl Parser {
         };
         self.bump(); // the assignment operator
         let value = Box::new(self.assignment()?);
-        Ok(Expr::Assign { target, op, value, pos })
+        Ok(Expr::Assign {
+            target,
+            op,
+            value,
+            pos,
+        })
     }
 
     fn binary_level(
@@ -397,7 +447,12 @@ impl Parser {
                     let pos = self.pos();
                     self.bump();
                     let rhs = next(self)?;
-                    lhs = Expr::Bin { op: *op, l: Box::new(lhs), r: Box::new(rhs), pos };
+                    lhs = Expr::Bin {
+                        op: *op,
+                        l: Box::new(lhs),
+                        r: Box::new(rhs),
+                        pos,
+                    };
                     continue 'outer;
                 }
             }
@@ -445,7 +500,10 @@ impl Parser {
     }
 
     fn shift(&mut self) -> Result<Expr, ParseError> {
-        self.binary_level(&[(Tok::Shl, AstBinOp::Shl), (Tok::Shr, AstBinOp::Shr)], Self::additive)
+        self.binary_level(
+            &[(Tok::Shl, AstBinOp::Shl), (Tok::Shr, AstBinOp::Shr)],
+            Self::additive,
+        )
     }
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
@@ -567,18 +625,32 @@ mod tests {
         let Stmt::Expr(Expr::Assign { value, .. }) = &body[1] else {
             panic!("expected assignment")
         };
-        let Expr::Bin { op: AstBinOp::Add, r, .. } = value.as_ref() else {
+        let Expr::Bin {
+            op: AstBinOp::Add,
+            r,
+            ..
+        } = value.as_ref()
+        else {
             panic!("expected + at top: {value:?}")
         };
-        assert!(matches!(r.as_ref(), Expr::Bin { op: AstBinOp::Mul, .. }));
+        assert!(matches!(
+            r.as_ref(),
+            Expr::Bin {
+                op: AstBinOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parallel_subscript_read_and_write() {
         let ast = parse("main() { poly int x, y; x[[3]] = y[[x + 1]]; }").unwrap();
         let body = &ast.func("main").unwrap().body;
-        let Stmt::Expr(Expr::Assign { target: LValue::ParSub { name, .. }, value, .. }) =
-            body.last().unwrap()
+        let Stmt::Expr(Expr::Assign {
+            target: LValue::ParSub { name, .. },
+            value,
+            ..
+        }) = body.last().unwrap()
         else {
             panic!("expected parsub assignment: {body:?}")
         };
@@ -638,7 +710,9 @@ mod tests {
         )
         .unwrap();
         let body = &ast.func("main").unwrap().body;
-        let Stmt::Spawn { name, args, .. } = &body[0] else { panic!("expected spawn") };
+        let Stmt::Spawn { name, args, .. } = &body[0] else {
+            panic!("expected spawn")
+        };
         assert_eq!(name, "worker");
         assert_eq!(args.len(), 1);
     }
@@ -649,7 +723,9 @@ mod tests {
         let Stmt::Expr(Expr::Assign { value, .. }) = &ast.func("main").unwrap().body[1] else {
             panic!()
         };
-        let Expr::Bin { l, r, .. } = value.as_ref() else { panic!() };
+        let Expr::Bin { l, r, .. } = value.as_ref() else {
+            panic!()
+        };
         assert!(matches!(l.as_ref(), Expr::PeId(_)));
         assert!(matches!(r.as_ref(), Expr::NProc(_)));
     }
@@ -673,13 +749,21 @@ mod tests {
         else {
             panic!()
         };
-        assert!(matches!(value.as_ref(), Expr::Bin { op: AstBinOp::LogOr, .. }));
+        assert!(matches!(
+            value.as_ref(),
+            Expr::Bin {
+                op: AstBinOp::LogOr,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn multi_declarator_statement() {
         let ast = parse("main() { poly int a = 1, b = 2; }").unwrap();
-        let Stmt::Decls(decls) = &ast.func("main").unwrap().body[0] else { panic!() };
+        let Stmt::Decls(decls) = &ast.func("main").unwrap().body[0] else {
+            panic!()
+        };
         assert_eq!(decls.len(), 2);
     }
 
@@ -695,9 +779,13 @@ mod tests {
     #[test]
     fn dangling_else_binds_inner() {
         let ast = parse("main(){ poly int a; if (a) if (a) a = 1; else a = 2; }").unwrap();
-        let Stmt::If { then, els, .. } = &ast.func("main").unwrap().body[1] else { panic!() };
+        let Stmt::If { then, els, .. } = &ast.func("main").unwrap().body[1] else {
+            panic!()
+        };
         assert!(els.is_none());
-        let Stmt::If { els: inner_els, .. } = then.as_ref() else { panic!() };
+        let Stmt::If { els: inner_els, .. } = then.as_ref() else {
+            panic!()
+        };
         assert!(inner_els.is_some());
     }
 }
@@ -729,7 +817,10 @@ mod edge_tests {
     #[test]
     fn for_with_all_clauses_empty() {
         let ast = parse("main() { poly int x; for (;;) { break; } }").unwrap();
-        let Stmt::For { init, cond, step, .. } = &ast.func("main").unwrap().body[1] else {
+        let Stmt::For {
+            init, cond, step, ..
+        } = &ast.func("main").unwrap().body[1]
+        else {
             panic!()
         };
         assert!(init.is_none() && cond.is_none() && step.is_none());
@@ -743,7 +834,9 @@ mod edge_tests {
         else {
             panic!()
         };
-        let Expr::ParSub { index, .. } = value.as_ref() else { panic!("{value:?}") };
+        let Expr::ParSub { index, .. } = value.as_ref() else {
+            panic!("{value:?}")
+        };
         assert!(matches!(index.as_ref(), Expr::ParSub { .. }));
     }
 
@@ -776,8 +869,21 @@ mod edge_tests {
         else {
             panic!()
         };
-        let Expr::Bin { op: AstBinOp::Lt, l, .. } = value.as_ref() else { panic!() };
-        assert!(matches!(l.as_ref(), Expr::Bin { op: AstBinOp::Lt, .. }));
+        let Expr::Bin {
+            op: AstBinOp::Lt,
+            l,
+            ..
+        } = value.as_ref()
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            l.as_ref(),
+            Expr::Bin {
+                op: AstBinOp::Lt,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -788,18 +894,43 @@ mod edge_tests {
             panic!()
         };
         // -( -( !( ~x ) ) )
-        let Expr::Un { op: AstUnOp::Neg, e, .. } = value.as_ref() else { panic!() };
-        let Expr::Un { op: AstUnOp::Neg, e, .. } = e.as_ref() else { panic!() };
-        let Expr::Un { op: AstUnOp::Not, e, .. } = e.as_ref() else { panic!() };
-        assert!(matches!(e.as_ref(), Expr::Un { op: AstUnOp::BitNot, .. }));
+        let Expr::Un {
+            op: AstUnOp::Neg,
+            e,
+            ..
+        } = value.as_ref()
+        else {
+            panic!()
+        };
+        let Expr::Un {
+            op: AstUnOp::Neg,
+            e,
+            ..
+        } = e.as_ref()
+        else {
+            panic!()
+        };
+        let Expr::Un {
+            op: AstUnOp::Not,
+            e,
+            ..
+        } = e.as_ref()
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            e.as_ref(),
+            Expr::Un {
+                op: AstUnOp::BitNot,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn function_before_and_after_main() {
-        let ast = parse(
-            "int a() { return 1; } main() { a(); b(); } int b() { return 2; }",
-        )
-        .unwrap();
+        let ast =
+            parse("int a() { return 1; } main() { a(); b(); } int b() { return 2; }").unwrap();
         assert_eq!(ast.funcs.len(), 3);
     }
 

@@ -271,7 +271,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 bump!();
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError { msg: "unterminated block comment".into(), pos: start });
+                        return Err(LexError {
+                            msg: "unterminated block comment".into(),
+                            pos: start,
+                        });
                     }
                     if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         bump!();
@@ -362,7 +365,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             continue;
         }
         // Operators / punctuation (longest match first).
-        let two = if i + 1 < bytes.len() { &bytes[i..i + 2] } else { &bytes[i..i + 1] };
+        let two = if i + 1 < bytes.len() {
+            &bytes[i..i + 2]
+        } else {
+            &bytes[i..i + 1]
+        };
         let (tok, len) = match two {
             b"[[" => (Tok::LLBracket, 2),
             b"]]" => (Tok::RRBracket, 2),
@@ -424,7 +431,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         }
         out.push(Token { tok, pos: start });
     }
-    out.push(Token { tok: Tok::Eof, pos: pos!() });
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
     Ok(out)
 }
 
@@ -495,14 +505,27 @@ mod tests {
                 Tok::Eof
             ]
         );
-        assert_eq!(toks("x += 1"), vec![Tok::Ident("x".into()), Tok::PlusAssign, Tok::Int(1), Tok::Eof]);
+        assert_eq!(
+            toks("x += 1"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::PlusAssign,
+                Tok::Int(1),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn comments_skipped() {
         assert_eq!(
             toks("a // comment\n b /* multi\nline */ c"),
-            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
         );
     }
 

@@ -305,8 +305,13 @@ impl InterpMachine {
             // Step 3: serialize over the distinct instruction types present.
             let mut groups: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
             for &pe in &running {
-                let PeState::Running { pc } = self.pes[pe] else { unreachable!() };
-                groups.entry(program.image[pc].type_key()).or_default().push(pe);
+                let PeState::Running { pc } = self.pes[pe] else {
+                    unreachable!()
+                };
+                groups
+                    .entry(program.image[pc].type_key())
+                    .or_default()
+                    .push(pe);
             }
             let mut keys: Vec<u32> = groups.keys().copied().collect();
             keys.sort_unstable();
@@ -315,7 +320,9 @@ impl InterpMachine {
                 let pes = &groups[&key];
                 // One representative instruction gives the handler cost;
                 // all PEs in the group execute simultaneously.
-                let PeState::Running { pc: pc0 } = self.pes[pes[0]] else { unreachable!() };
+                let PeState::Running { pc: pc0 } = self.pes[pes[0]] else {
+                    unreachable!()
+                };
                 let cost = program.image[pc0].cost(costs) as u64;
                 self.metrics.cycles += cost;
                 self.metrics.execute_cycles += cost;
@@ -331,7 +338,9 @@ impl InterpMachine {
     }
 
     fn step_pe(&mut self, pe: usize, program: &InterpProgram) -> Result<(), InterpError> {
-        let PeState::Running { pc } = self.pes[pe] else { unreachable!() };
+        let PeState::Running { pc } = self.pes[pe] else {
+            unreachable!()
+        };
         let instr = &program.image[pc];
         match instr {
             InterpInstr::Op(op) => {
@@ -343,7 +352,9 @@ impl InterpMachine {
             }
             InterpInstr::JumpF { t, f } => {
                 let c = self.pop(pe)?;
-                self.pes[pe] = PeState::Running { pc: if c != 0 { *t } else { *f } };
+                self.pes[pe] = PeState::Running {
+                    pc: if c != 0 { *t } else { *f },
+                };
             }
             InterpInstr::Halt => {
                 self.pes[pe] = PeState::Halted;
@@ -388,7 +399,9 @@ impl InterpMachine {
             Op::Push(v) => self.stack[pe].push(*v),
             Op::PushF(b) => self.stack[pe].push(*b as i64),
             Op::Dup => {
-                let v = *self.stack[pe].last().ok_or(RunError::StackUnderflow { pe })?;
+                let v = *self.stack[pe]
+                    .last()
+                    .ok_or(RunError::StackUnderflow { pe })?;
                 self.stack[pe].push(v);
             }
             Op::Pop(n) => {
@@ -438,7 +451,9 @@ impl InterpMachine {
                 self.ret_stack[pe].push(v);
             }
             Op::PopRet => {
-                let v = self.ret_stack[pe].pop().ok_or(RunError::RetStackUnderflow { pe })?;
+                let v = self.ret_stack[pe]
+                    .pop()
+                    .ok_or(RunError::RetStackUnderflow { pe })?;
                 self.stack[pe].push(v);
             }
         }
@@ -528,7 +543,10 @@ mod tests {
             2,
         );
         assert!(large.per_pe_program_words() > small.per_pe_program_words());
-        assert!(small.per_pe_program_words() > 0, "§1.1: every PE holds the program");
+        assert!(
+            small.per_pe_program_words() > 0,
+            "§1.1: every PE holds the program"
+        );
     }
 
     #[test]

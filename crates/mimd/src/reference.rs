@@ -14,7 +14,11 @@ use std::fmt;
 enum Proc {
     /// Executing op `op_idx` of `state`, with `remaining` cycles to go on
     /// it (0 remaining = about to apply its effect).
-    Running { state: StateId, op_idx: usize, remaining: u32 },
+    Running {
+        state: StateId,
+        op_idx: usize,
+        remaining: u32,
+    },
     /// Reached a barrier-entry state; waiting for everyone (§2.6).
     AtBarrier { state: StateId },
     /// Process ended.
@@ -164,7 +168,11 @@ impl MimdReference {
     }
 
     /// Run `graph` to completion.
-    pub fn run(&mut self, graph: &MimdGraph, config: &MimdConfig) -> Result<MimdMetrics, MimdError> {
+    pub fn run(
+        &mut self,
+        graph: &MimdGraph,
+        config: &MimdConfig,
+    ) -> Result<MimdMetrics, MimdError> {
         let costs = &config.costs;
         for p in 0..config.active_at_start.min(self.n_proc) {
             self.procs[p] = self.enter_state(graph, graph.start);
@@ -179,7 +187,9 @@ impl MimdReference {
                 return Ok(self.metrics);
             }
             if self.metrics.cycles > config.max_cycles {
-                return Err(MimdError::Watchdog { max_cycles: config.max_cycles });
+                return Err(MimdError::Watchdog {
+                    max_cycles: config.max_cycles,
+                });
             }
 
             // Barrier release: every non-halted, non-idle processor waiting.
@@ -230,7 +240,11 @@ impl MimdReference {
     /// Start executing `state`'s body (used both on normal entry and on
     /// barrier release).
     fn resume_barrier(&mut self, _graph: &MimdGraph, state: StateId) -> Proc {
-        Proc::Running { state, op_idx: 0, remaining: 0 }
+        Proc::Running {
+            state,
+            op_idx: 0,
+            remaining: 0,
+        }
     }
 
     /// The current op of processor `p` finished its cycles: apply its
@@ -241,7 +255,12 @@ impl MimdReference {
         p: usize,
         costs: &CostModel,
     ) -> Result<(), MimdError> {
-        let Proc::Running { state, op_idx, remaining } = self.procs[p].clone() else {
+        let Proc::Running {
+            state,
+            op_idx,
+            remaining,
+        } = self.procs[p].clone()
+        else {
             unreachable!()
         };
         let st = graph.state(state);
@@ -250,7 +269,11 @@ impl MimdReference {
             if op_idx < st.ops.len() {
                 let cost = costs.op_cost(&st.ops[op_idx]).max(1);
                 if cost > 1 {
-                    self.procs[p] = Proc::Running { state, op_idx, remaining: cost - 1 };
+                    self.procs[p] = Proc::Running {
+                        state,
+                        op_idx,
+                        remaining: cost - 1,
+                    };
                     return Ok(());
                 }
             }
@@ -258,7 +281,11 @@ impl MimdReference {
         }
         if op_idx < st.ops.len() {
             self.apply_op(&st.ops[op_idx].clone(), p)?;
-            self.procs[p] = Proc::Running { state, op_idx: op_idx + 1, remaining: 0 };
+            self.procs[p] = Proc::Running {
+                state,
+                op_idx: op_idx + 1,
+                remaining: 0,
+            };
             // If that was the last op, the terminator runs next cycle.
             return Ok(());
         }
@@ -278,9 +305,10 @@ impl MimdReference {
             }
             Terminator::Multi(targets) => {
                 let sel = self.pop(p)?;
-                let t = *targets
-                    .get(sel as usize)
-                    .ok_or(MimdError::BadSelector { proc: p, selector: sel })?;
+                let t = *targets.get(sel as usize).ok_or(MimdError::BadSelector {
+                    proc: p,
+                    selector: sel,
+                })?;
                 self.procs[p] = self.enter_state(graph, t);
             }
             Terminator::Spawn { child, next } => {
@@ -298,7 +326,9 @@ impl MimdReference {
     }
 
     fn pop(&mut self, p: usize) -> Result<i64, MimdError> {
-        self.stack[p].pop().ok_or(MimdError::StackUnderflow { proc: p })
+        self.stack[p]
+            .pop()
+            .ok_or(MimdError::StackUnderflow { proc: p })
     }
 
     fn apply_op(&mut self, op: &Op, p: usize) -> Result<(), MimdError> {
@@ -306,7 +336,9 @@ impl MimdReference {
             Op::Push(v) => self.stack[p].push(*v),
             Op::PushF(b) => self.stack[p].push(*b as i64),
             Op::Dup => {
-                let v = *self.stack[p].last().ok_or(MimdError::StackUnderflow { proc: p })?;
+                let v = *self.stack[p]
+                    .last()
+                    .ok_or(MimdError::StackUnderflow { proc: p })?;
                 self.stack[p].push(v);
             }
             Op::Pop(n) => {
@@ -356,7 +388,9 @@ impl MimdReference {
                 self.ret_stack[p].push(v);
             }
             Op::PopRet => {
-                let v = self.ret_stack[p].pop().ok_or(MimdError::RetStackUnderflow { proc: p })?;
+                let v = self.ret_stack[p]
+                    .pop()
+                    .ok_or(MimdError::RetStackUnderflow { proc: p })?;
                 self.stack[p].push(v);
             }
         }
@@ -445,9 +479,16 @@ mod tests {
         );
         let ret = p.layout.main_ret.unwrap();
         for pe in 0..4 {
-            assert_eq!(m.poly_at(pe, ret), 777, "PE {pe} ran past the barrier early");
+            assert_eq!(
+                m.poly_at(pe, ret),
+                777,
+                "PE {pe} ran past the barrier early"
+            );
         }
-        assert!(m.metrics.barrier_wait_cycles > 0, "fast PEs must have waited");
+        assert!(
+            m.metrics.barrier_wait_cycles > 0,
+            "fast PEs must have waited"
+        );
     }
 
     #[test]
@@ -476,7 +517,11 @@ mod tests {
             main() { spawn worker(21); }
         "#;
         let p = compile(src).unwrap();
-        let cfg = MimdConfig { n_proc: 4, active_at_start: 2, ..MimdConfig::spmd(4) };
+        let cfg = MimdConfig {
+            n_proc: 4,
+            active_at_start: 2,
+            ..MimdConfig::spmd(4)
+        };
         let mut m = MimdReference::new(p.layout.poly_words, p.layout.mono_words, &cfg);
         m.run(&p.graph, &cfg).unwrap();
         let r = p.layout.var("r").unwrap().addr;
@@ -490,7 +535,10 @@ mod tests {
         let mut cfg = MimdConfig::spmd(2);
         cfg.max_cycles = 5_000;
         let mut m = MimdReference::new(p.layout.poly_words, p.layout.mono_words, &cfg);
-        assert_eq!(m.run(&p.graph, &cfg), Err(MimdError::Watchdog { max_cycles: 5_000 }));
+        assert_eq!(
+            m.run(&p.graph, &cfg),
+            Err(MimdError::Watchdog { max_cycles: 5_000 })
+        );
     }
 
     #[test]
@@ -507,6 +555,9 @@ mod tests {
             8,
         );
         let u = m.metrics.utilization(8);
-        assert!(u > 0.0 && u < 1.0, "imbalanced loops + barrier ⇒ some waiting, got {u}");
+        assert!(
+            u > 0.0 && u < 1.0,
+            "imbalanced loops + barrier ⇒ some waiting, got {u}"
+        );
     }
 }

@@ -108,7 +108,13 @@ pub fn serialize(program: &SimdProgram) -> String {
     );
     for (bi, block) in program.blocks.iter().enumerate() {
         let members: Vec<String> = block.members.iter().map(|s| format!("s{}", s.0)).collect();
-        let _ = writeln!(out, ".block mb{} {} members={}", bi, block.name, members.join(","));
+        let _ = writeln!(
+            out,
+            ".block mb{} {} members={}",
+            bi,
+            block.name,
+            members.join(",")
+        );
         for gi in &block.body {
             let guard: Vec<String> = gi.guard.iter().map(|s| format!("s{}", s.0)).collect();
             let _ = writeln!(out, "  [{}] {}", guard.join(","), instr_text(&gi.instr));
@@ -121,11 +127,22 @@ pub fn serialize(program: &SimdProgram) -> String {
                 let _ = writeln!(out, ".dispatch direct mb{}", t.0);
             }
             Dispatch::DirectWithBarrier { cont, barrier } => {
-                let _ = writeln!(out, ".dispatch barrier cont=mb{} barrier=mb{}", cont.0, barrier.0);
+                let _ = writeln!(
+                    out,
+                    ".dispatch barrier cont=mb{} barrier=mb{}",
+                    cont.0, barrier.0
+                );
             }
-            Dispatch::Hashed { bit_of, barrier_mask, hash, targets } => {
-                let bits: Vec<String> =
-                    bit_of.iter().map(|(s, b)| format!("s{}:{b}", s.0)).collect();
+            Dispatch::Hashed {
+                bit_of,
+                barrier_mask,
+                hash,
+                targets,
+            } => {
+                let bits: Vec<String> = bit_of
+                    .iter()
+                    .map(|(s, b)| format!("s{}:{b}", s.0))
+                    .collect();
                 let _ = writeln!(
                     out,
                     ".dispatch hashed bits={} barrier={barrier_mask:#x}",
@@ -160,7 +177,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, line: usize, msg: impl Into<String>) -> AsmError {
-        AsmError { line, msg: msg.into() }
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -168,7 +188,10 @@ fn kv<'b>(token: &'b str, key: &str, line: usize) -> Result<&'b str, AsmError> {
     token
         .strip_prefix(key)
         .and_then(|r| r.strip_prefix('='))
-        .ok_or(AsmError { line, msg: format!("expected `{key}=...`, found `{token}`") })
+        .ok_or(AsmError {
+            line,
+            msg: format!("expected `{key}=...`, found `{token}`"),
+        })
 }
 
 fn parse_u64(s: &str, line: usize) -> Result<u64, AsmError> {
@@ -177,43 +200,86 @@ fn parse_u64(s: &str, line: usize) -> Result<u64, AsmError> {
     } else {
         s.parse()
     };
-    r.map_err(|_| AsmError { line, msg: format!("bad number `{s}`") })
+    r.map_err(|_| AsmError {
+        line,
+        msg: format!("bad number `{s}`"),
+    })
 }
 
 fn parse_state(s: &str, line: usize) -> Result<StateId, AsmError> {
     s.strip_prefix('s')
         .and_then(|r| r.parse().ok())
         .map(StateId)
-        .ok_or(AsmError { line, msg: format!("bad state id `{s}`") })
+        .ok_or(AsmError {
+            line,
+            msg: format!("bad state id `{s}`"),
+        })
 }
 
 fn parse_block_id(s: &str, line: usize) -> Result<BlockId, AsmError> {
     s.strip_prefix("mb")
         .and_then(|r| r.parse().ok())
         .map(BlockId)
-        .ok_or(AsmError { line, msg: format!("bad block id `{s}`") })
+        .ok_or(AsmError {
+            line,
+            msg: format!("bad block id `{s}`"),
+        })
 }
 
 fn parse_addr(s: &str, line: usize) -> Result<Addr, AsmError> {
     let (space, rest) = match s.split_at_checked(1) {
         Some(("p", r)) => (Space::Poly, r),
         Some(("m", r)) => (Space::Mono, r),
-        _ => return Err(AsmError { line, msg: format!("bad address `{s}`") }),
+        _ => {
+            return Err(AsmError {
+                line,
+                msg: format!("bad address `{s}`"),
+            })
+        }
     };
     rest.parse()
         .map(|index| Addr { space, index })
-        .map_err(|_| AsmError { line, msg: format!("bad address `{s}`") })
+        .map_err(|_| AsmError {
+            line,
+            msg: format!("bad address `{s}`"),
+        })
 }
 
 fn parse_binop(s: &str, line: usize) -> Result<BinOp, AsmError> {
     use BinOp::*;
     Ok(match s {
-        "Add" => Add, "Sub" => Sub, "Mul" => Mul, "Div" => Div, "Rem" => Rem,
-        "And" => And, "Or" => Or, "Xor" => Xor, "Shl" => Shl, "Shr" => Shr,
-        "Eq" => Eq, "Ne" => Ne, "Lt" => Lt, "Le" => Le, "Gt" => Gt, "Ge" => Ge,
-        "FAdd" => FAdd, "FSub" => FSub, "FMul" => FMul, "FDiv" => FDiv,
-        "FLt" => FLt, "FLe" => FLe, "FGt" => FGt, "FGe" => FGe, "FEq" => FEq, "FNe" => FNe,
-        other => return Err(AsmError { line, msg: format!("bad binop `{other}`") }),
+        "Add" => Add,
+        "Sub" => Sub,
+        "Mul" => Mul,
+        "Div" => Div,
+        "Rem" => Rem,
+        "And" => And,
+        "Or" => Or,
+        "Xor" => Xor,
+        "Shl" => Shl,
+        "Shr" => Shr,
+        "Eq" => Eq,
+        "Ne" => Ne,
+        "Lt" => Lt,
+        "Le" => Le,
+        "Gt" => Gt,
+        "Ge" => Ge,
+        "FAdd" => FAdd,
+        "FSub" => FSub,
+        "FMul" => FMul,
+        "FDiv" => FDiv,
+        "FLt" => FLt,
+        "FLe" => FLe,
+        "FGt" => FGt,
+        "FGe" => FGe,
+        "FEq" => FEq,
+        "FNe" => FNe,
+        other => {
+            return Err(AsmError {
+                line,
+                msg: format!("bad binop `{other}`"),
+            })
+        }
     })
 }
 
@@ -226,26 +292,43 @@ fn parse_unop(s: &str, line: usize) -> Result<UnOp, AsmError> {
         "FNeg" => FNeg,
         "IntToFloat" => IntToFloat,
         "FloatToInt" => FloatToInt,
-        other => return Err(AsmError { line, msg: format!("bad unop `{other}`") }),
+        other => {
+            return Err(AsmError {
+                line,
+                msg: format!("bad unop `{other}`"),
+            })
+        }
     })
 }
 
 fn parse_instr(text: &str, line: usize) -> Result<SimdInstr, AsmError> {
     let mut parts = text.split_whitespace();
-    let head = parts.next().ok_or(AsmError { line, msg: "empty instruction".into() })?;
+    let head = parts.next().ok_or(AsmError {
+        line,
+        msg: "empty instruction".into(),
+    })?;
     let arg = parts.next();
     fn need<'b>(a: Option<&'b str>, head: &str, line: usize) -> Result<&'b str, AsmError> {
-        a.ok_or(AsmError { line, msg: format!("`{head}` needs an operand") })
+        a.ok_or(AsmError {
+            line,
+            msg: format!("`{head}` needs an operand"),
+        })
     }
     Ok(match head {
-        "Push" => SimdInstr::Op(Op::Push(
-            need(arg, head, line)?.parse().map_err(|_| AsmError { line, msg: "bad int".into() })?,
-        )),
+        "Push" => SimdInstr::Op(Op::Push(need(arg, head, line)?.parse().map_err(|_| {
+            AsmError {
+                line,
+                msg: "bad int".into(),
+            }
+        })?)),
         "PushF" => SimdInstr::Op(Op::PushF(parse_u64(need(arg, head, line)?, line)?)),
         "Dup" => SimdInstr::Op(Op::Dup),
-        "Pop" => SimdInstr::Op(Op::Pop(
-            need(arg, head, line)?.parse().map_err(|_| AsmError { line, msg: "bad count".into() })?,
-        )),
+        "Pop" => SimdInstr::Op(Op::Pop(need(arg, head, line)?.parse().map_err(|_| {
+            AsmError {
+                line,
+                msg: "bad count".into(),
+            }
+        })?)),
         "Ld" => SimdInstr::Op(Op::Ld(parse_addr(need(arg, head, line)?, line)?)),
         "St" => SimdInstr::Op(Op::St(parse_addr(need(arg, head, line)?, line)?)),
         "LdRemote" => SimdInstr::Op(Op::LdRemote(parse_addr(need(arg, head, line)?, line)?)),
@@ -264,8 +347,10 @@ fn parse_instr(text: &str, line: usize) -> Result<SimdInstr, AsmError> {
             SimdInstr::JumpF { t, f }
         }
         "RetMulti" => {
-            let targets: Result<Vec<StateId>, AsmError> =
-                need(arg, head, line)?.split(',').map(|s| parse_state(s, line)).collect();
+            let targets: Result<Vec<StateId>, AsmError> = need(arg, head, line)?
+                .split(',')
+                .map(|s| parse_state(s, line))
+                .collect();
             SimdInstr::RetMulti(targets?)
         }
         "Spawn" => {
@@ -273,24 +358,37 @@ fn parse_instr(text: &str, line: usize) -> Result<SimdInstr, AsmError> {
             let next = parse_state(kv(need(parts.next(), head, line)?, "next", line)?, line)?;
             SimdInstr::Spawn { child, next }
         }
-        other => return Err(AsmError { line, msg: format!("unknown instruction `{other}`") }),
+        other => {
+            return Err(AsmError {
+                line,
+                msg: format!("unknown instruction `{other}`"),
+            })
+        }
     })
 }
 
 fn parse_hash_expr(text: &str, line: usize) -> Result<HashExpr, AsmError> {
     let mut parts = text.split_whitespace();
-    let family =
-        parts.next().ok_or(AsmError { line, msg: "empty hash expression".into() })?;
+    let family = parts.next().ok_or(AsmError {
+        line,
+        msg: "empty hash expression".into(),
+    })?;
     let mut field = |key: &str| -> Result<u64, AsmError> {
-        let tok = parts
-            .next()
-            .ok_or(AsmError { line, msg: format!("hash missing `{key}`") })?;
+        let tok = parts.next().ok_or(AsmError {
+            line,
+            msg: format!("hash missing `{key}`"),
+        })?;
         let v = kv(tok, key, line)?;
         if key == "neg" {
             Ok(match v {
                 "true" => 1,
                 "false" => 0,
-                _ => return Err(AsmError { line, msg: format!("bad bool `{v}`") }),
+                _ => {
+                    return Err(AsmError {
+                        line,
+                        msg: format!("bad bool `{v}`"),
+                    })
+                }
             })
         } else {
             parse_u64(v, line)
@@ -319,7 +417,12 @@ fn parse_hash_expr(text: &str, line: usize) -> Result<HashExpr, AsmError> {
             let mask = field("mask")?;
             HashExpr::MulShift { mul, shift, mask }
         }
-        other => return Err(AsmError { line, msg: format!("unknown hash family `{other}`") }),
+        other => {
+            return Err(AsmError {
+                line,
+                msg: format!("unknown hash family `{other}`"),
+            })
+        }
     })
 }
 
@@ -335,14 +438,19 @@ pub fn parse(text: &str, costs: CostModel) -> Result<SimdProgram, AsmError> {
     let mut p = Parser { lines, pos: 0 };
 
     // Header.
-    let (hline, header) = p.next().ok_or(AsmError { line: 1, msg: "empty input".into() })?;
+    let (hline, header) = p.next().ok_or(AsmError {
+        line: 1,
+        msg: "empty input".into(),
+    })?;
     let mut tokens = header.split_whitespace();
     if tokens.next() != Some(".program") {
         return Err(p.err(hline, "expected `.program` header"));
     }
     let start = parse_block_id(kv(tokens.next().unwrap_or(""), "start", hline)?, hline)?;
-    let start_state =
-        parse_state(kv(tokens.next().unwrap_or(""), "start_state", hline)?, hline)?;
+    let start_state = parse_state(
+        kv(tokens.next().unwrap_or(""), "start_state", hline)?,
+        hline,
+    )?;
     let poly_words = parse_u64(kv(tokens.next().unwrap_or(""), "poly", hline)?, hline)? as u32;
     let mono_words = parse_u64(kv(tokens.next().unwrap_or(""), "mono", hline)?, hline)? as u32;
 
@@ -353,11 +461,15 @@ pub fn parse(text: &str, costs: CostModel) -> Result<SimdProgram, AsmError> {
             return Err(p.err(bline, format!("expected `.block`, found `{bhead}`")));
         }
         let _id = tokens.next().ok_or(p.err(bline, "missing block id"))?;
-        let name =
-            tokens.next().ok_or(p.err(bline, "missing block name"))?.to_string();
+        let name = tokens
+            .next()
+            .ok_or(p.err(bline, "missing block name"))?
+            .to_string();
         let members_tok = kv(tokens.next().unwrap_or(""), "members", bline)?;
-        let members: Result<Vec<StateId>, AsmError> =
-            members_tok.split(',').map(|s| parse_state(s, bline)).collect();
+        let members: Result<Vec<StateId>, AsmError> = members_tok
+            .split(',')
+            .map(|s| parse_state(s, bline))
+            .collect();
         let members = members?;
 
         // Body lines until `.dispatch`.
@@ -376,11 +488,16 @@ pub fn parse(text: &str, costs: CostModel) -> Result<SimdProgram, AsmError> {
             let (guard_text, instr_text) = rest
                 .split_once(']')
                 .ok_or(p.err(iline, "unterminated guard"))?;
-            let guard: Result<Vec<StateId>, AsmError> =
-                guard_text.split(',').map(|s| parse_state(s.trim(), iline)).collect();
+            let guard: Result<Vec<StateId>, AsmError> = guard_text
+                .split(',')
+                .map(|s| parse_state(s.trim(), iline))
+                .collect();
             let mut guard = guard?;
             guard.sort_unstable();
-            body.push(GuardedInstr { guard, instr: parse_instr(instr_text.trim(), iline)? });
+            body.push(GuardedInstr {
+                guard,
+                instr: parse_instr(instr_text.trim(), iline)?,
+            });
         }
 
         // Dispatch.
@@ -395,8 +512,7 @@ pub fn parse(text: &str, costs: CostModel) -> Result<SimdProgram, AsmError> {
                 dline,
             )?),
             "barrier" => {
-                let cont =
-                    parse_block_id(kv(tokens.next().unwrap_or(""), "cont", dline)?, dline)?;
+                let cont = parse_block_id(kv(tokens.next().unwrap_or(""), "cont", dline)?, dline)?;
                 let barrier =
                     parse_block_id(kv(tokens.next().unwrap_or(""), "barrier", dline)?, dline)?;
                 Dispatch::DirectWithBarrier { cont, barrier }
@@ -408,16 +524,14 @@ pub fn parse(text: &str, costs: CostModel) -> Result<SimdProgram, AsmError> {
                     let (s, b) = pair
                         .split_once(':')
                         .ok_or(p.err(dline, format!("bad bit pair `{pair}`")))?;
-                    bit_of.push((
-                        parse_state(s, dline)?,
-                        parse_u64(b, dline)? as u32,
-                    ));
+                    bit_of.push((parse_state(s, dline)?, parse_u64(b, dline)? as u32));
                 }
                 let barrier_mask =
                     parse_u64(kv(tokens.next().unwrap_or(""), "barrier", dline)?, dline)?;
                 // `hash ...` line.
-                let (hl, hline_text) =
-                    p.next().ok_or(p.err(dline, "hashed dispatch missing `hash` line"))?;
+                let (hl, hline_text) = p
+                    .next()
+                    .ok_or(p.err(dline, "hashed dispatch missing `hash` line"))?;
                 let expr_text = hline_text
                     .strip_prefix("hash ")
                     .ok_or(p.err(hl, "expected `hash <family> ...`"))?;
@@ -441,7 +555,11 @@ pub fn parse(text: &str, costs: CostModel) -> Result<SimdProgram, AsmError> {
                 let mut table = vec![None; expr.table_size()];
                 for (i, &k) in keys.iter().enumerate() {
                     let h = expr.eval(k) as usize;
-                    if table.get(h).map(|e: &Option<u32>| e.is_some()).unwrap_or(true) {
+                    if table
+                        .get(h)
+                        .map(|e: &Option<u32>| e.is_some())
+                        .unwrap_or(true)
+                    {
                         return Err(p.err(dline, format!("hash collision on key {k:#x}")));
                     }
                     table[h] = Some(i as u32);
@@ -455,11 +573,25 @@ pub fn parse(text: &str, costs: CostModel) -> Result<SimdProgram, AsmError> {
             }
             other => return Err(p.err(dline, format!("unknown dispatch `{other}`"))),
         };
-        blocks.push(MetaBlock { members, name, body, dispatch });
+        blocks.push(MetaBlock {
+            members,
+            name,
+            body,
+            dispatch,
+        });
     }
 
-    let program = SimdProgram { blocks, start, start_state, poly_words, mono_words, costs };
-    program.validate().map_err(|m| AsmError { line: 0, msg: m })?;
+    let program = SimdProgram {
+        blocks,
+        start,
+        start_state,
+        poly_words,
+        mono_words,
+        costs,
+    };
+    program
+        .validate()
+        .map_err(|m| AsmError { line: 0, msg: m })?;
     Ok(program)
 }
 

@@ -82,7 +82,11 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::SpawnOverflow { block, requested, available } => write!(
+            RunError::SpawnOverflow {
+                block,
+                requested,
+                available,
+            } => write!(
                 f,
                 "spawn in {block} requested {requested} PEs but only {available} are idle"
             ),
@@ -90,7 +94,10 @@ impl fmt::Display for RunError {
                 write!(f, "no transition from {block} for aggregate {aggregate:#b}")
             }
             RunError::UnmappedState { block, state } => {
-                write!(f, "state {state} has no aggregate bit at {block}'s dispatch")
+                write!(
+                    f,
+                    "state {state} has no aggregate bit at {block}'s dispatch"
+                )
             }
             RunError::StackUnderflow { pe } => write!(f, "operand stack underflow on PE {pe}"),
             RunError::RetStackUnderflow { pe } => write!(f, "return stack underflow on PE {pe}"),
@@ -130,7 +137,12 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// All `n_pe` PEs live from the start (SPMD).
     pub fn spmd(n_pe: usize) -> Self {
-        MachineConfig { n_pe, active_at_start: n_pe, max_cycles: 100_000_000, trace: false }
+        MachineConfig {
+            n_pe,
+            active_at_start: n_pe,
+            max_cycles: 100_000_000,
+            trace: false,
+        }
     }
 
     /// `active` live PEs, the rest idle (for spawn workloads).
@@ -269,7 +281,11 @@ impl SimdMachine {
 
     /// Run `program` to completion (all PEs halted). Returns the metrics
     /// (also retained in `self.metrics`).
-    pub fn run(&mut self, program: &SimdProgram, config: &MachineConfig) -> Result<Metrics, RunError> {
+    pub fn run(
+        &mut self,
+        program: &SimdProgram,
+        config: &MachineConfig,
+    ) -> Result<Metrics, RunError> {
         let costs = &program.costs;
         let mut cur = program.start;
         // All PEs already idle? Nothing to run.
@@ -278,7 +294,9 @@ impl SimdMachine {
         }
         loop {
             if self.metrics.cycles > config.max_cycles {
-                return Err(RunError::Watchdog { max_cycles: config.max_cycles });
+                return Err(RunError::Watchdog {
+                    max_cycles: config.max_cycles,
+                });
             }
             let block = program.block(cur);
             self.visits[cur.idx()] += 1;
@@ -334,7 +352,11 @@ impl SimdMachine {
 
             if self.pc.iter().all(|p| p.is_none()) {
                 if config.trace {
-                    self.trace.push(TraceEvent::Dispatch { from: cur, to: None, aggregate: 0 });
+                    self.trace.push(TraceEvent::Dispatch {
+                        from: cur,
+                        to: None,
+                        aggregate: 0,
+                    });
                 }
                 return Ok(self.metrics); // every process ended
             }
@@ -343,24 +365,30 @@ impl SimdMachine {
                 Dispatch::End => {
                     // Terminal block, but some PE still live: that PE was
                     // spawned/looping into nowhere — treat as undefined.
-                    return Err(RunError::UndefinedTransition { block: cur, aggregate: 0 });
+                    return Err(RunError::UndefinedTransition {
+                        block: cur,
+                        aggregate: 0,
+                    });
                 }
                 Dispatch::Direct(t) => *t,
                 Dispatch::DirectWithBarrier { cont, barrier } => {
-                    let all_at_barrier = self.pc.iter().flatten().all(|s| {
-                        program
-                            .block(*barrier)
-                            .members
-                            .binary_search(s)
-                            .is_ok()
-                    });
+                    let all_at_barrier = self
+                        .pc
+                        .iter()
+                        .flatten()
+                        .all(|s| program.block(*barrier).members.binary_search(s).is_ok());
                     if all_at_barrier {
                         *barrier
                     } else {
                         *cont
                     }
                 }
-                Dispatch::Hashed { bit_of, barrier_mask, hash, targets } => {
+                Dispatch::Hashed {
+                    bit_of,
+                    barrier_mask,
+                    hash,
+                    targets,
+                } => {
                     // globalor of live pc bits.
                     let mut aggregate = 0u64;
                     for s in self.pc.iter().flatten() {
@@ -368,7 +396,10 @@ impl SimdMachine {
                             .iter()
                             .find(|(st, _)| st == s)
                             .map(|(_, b)| *b)
-                            .ok_or(RunError::UnmappedState { block: cur, state: *s })?;
+                            .ok_or(RunError::UnmappedState {
+                                block: cur,
+                                state: *s,
+                            })?;
                         aggregate |= 1 << bit;
                     }
                     // §3.2.4: unless everyone is at the barrier, PEs that
@@ -378,9 +409,10 @@ impl SimdMachine {
                     } else {
                         aggregate & !barrier_mask
                     };
-                    let idx = hash
-                        .lookup(key)
-                        .ok_or(RunError::UndefinedTransition { block: cur, aggregate: key })?;
+                    let idx = hash.lookup(key).ok_or(RunError::UndefinedTransition {
+                        block: cur,
+                        aggregate: key,
+                    })?;
                     targets[idx as usize]
                 }
             };
@@ -480,7 +512,9 @@ impl SimdMachine {
             }
             Op::Dup => {
                 for &pe in enabled {
-                    let v = *self.stack[pe].last().ok_or(RunError::StackUnderflow { pe })?;
+                    let v = *self.stack[pe]
+                        .last()
+                        .ok_or(RunError::StackUnderflow { pe })?;
                     self.stack[pe].push(v);
                 }
             }
@@ -574,8 +608,9 @@ impl SimdMachine {
             }
             Op::PopRet => {
                 for &pe in enabled {
-                    let v =
-                        self.ret_stack[pe].pop().ok_or(RunError::RetStackUnderflow { pe })?;
+                    let v = self.ret_stack[pe]
+                        .pop()
+                        .ok_or(RunError::RetStackUnderflow { pe })?;
                     self.stack[pe].push(v);
                 }
             }
@@ -600,13 +635,34 @@ mod tests {
     fn trivial_program() -> SimdProgram {
         let s0 = StateId(0);
         let body = vec![
-            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::PeId) },
-            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(2)) },
-            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Bin(BinOp::Mul)) },
-            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(1)) },
-            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Bin(BinOp::Add)) },
-            GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::St(Addr::poly(0))) },
-            GuardedInstr { guard: vec![s0], instr: SimdInstr::Halt },
+            GuardedInstr {
+                guard: vec![s0],
+                instr: SimdInstr::Op(Op::PeId),
+            },
+            GuardedInstr {
+                guard: vec![s0],
+                instr: SimdInstr::Op(Op::Push(2)),
+            },
+            GuardedInstr {
+                guard: vec![s0],
+                instr: SimdInstr::Op(Op::Bin(BinOp::Mul)),
+            },
+            GuardedInstr {
+                guard: vec![s0],
+                instr: SimdInstr::Op(Op::Push(1)),
+            },
+            GuardedInstr {
+                guard: vec![s0],
+                instr: SimdInstr::Op(Op::Bin(BinOp::Add)),
+            },
+            GuardedInstr {
+                guard: vec![s0],
+                instr: SimdInstr::Op(Op::St(Addr::poly(0))),
+            },
+            GuardedInstr {
+                guard: vec![s0],
+                instr: SimdInstr::Halt,
+            },
         ];
         SimdProgram {
             blocks: vec![MetaBlock {
@@ -635,7 +691,10 @@ mod tests {
         }
         assert_eq!(metrics.dispatches, 1);
         assert!(metrics.cycles > 0);
-        assert!((metrics.utilization() - 1.0).abs() < 1e-12, "all PEs always enabled");
+        assert!(
+            (metrics.utilization() - 1.0).abs() < 1e-12,
+            "all PEs always enabled"
+        );
     }
 
     #[test]
@@ -649,10 +708,22 @@ mod tests {
             members: vec![s0],
             name: "ms_0".into(),
             body: vec![
-                GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::PeId) },
-                GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(2)) },
-                GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Bin(BinOp::Lt)) },
-                GuardedInstr { guard: vec![s0], instr: SimdInstr::JumpF { t: s1, f: s2 } },
+                GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::Op(Op::PeId),
+                },
+                GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::Op(Op::Push(2)),
+                },
+                GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::Op(Op::Bin(BinOp::Lt)),
+                },
+                GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::JumpF { t: s1, f: s2 },
+                },
             ],
             dispatch: Dispatch::Hashed {
                 bit_of: vec![(s1, 1), (s2, 2)],
@@ -665,13 +736,22 @@ mod tests {
             members: vec![s1, s2],
             name: "ms_1_2".into(),
             body: vec![
-                GuardedInstr { guard: vec![s1], instr: SimdInstr::Op(Op::Push(111)) },
-                GuardedInstr { guard: vec![s2], instr: SimdInstr::Op(Op::Push(222)) },
+                GuardedInstr {
+                    guard: vec![s1],
+                    instr: SimdInstr::Op(Op::Push(111)),
+                },
+                GuardedInstr {
+                    guard: vec![s2],
+                    instr: SimdInstr::Op(Op::Push(222)),
+                },
                 GuardedInstr {
                     guard: vec![s1, s2],
                     instr: SimdInstr::Op(Op::St(Addr::poly(0))),
                 },
-                GuardedInstr { guard: vec![s1, s2], instr: SimdInstr::Halt },
+                GuardedInstr {
+                    guard: vec![s1, s2],
+                    instr: SimdInstr::Halt,
+                },
             ],
             dispatch: Dispatch::End,
         };
@@ -710,7 +790,10 @@ mod tests {
             blocks: vec![MetaBlock {
                 members: vec![s0],
                 name: "ms_0".into(),
-                body: vec![GuardedInstr { guard: vec![s0], instr: SimdInstr::SetPc(s0) }],
+                body: vec![GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::SetPc(s0),
+                }],
                 dispatch: Dispatch::Direct(BlockId(0)),
             }],
             start: BlockId(0),
@@ -722,7 +805,10 @@ mod tests {
         let mut cfg = MachineConfig::spmd(2);
         cfg.max_cycles = 10_000;
         let mut m = SimdMachine::new(&p, &cfg);
-        assert_eq!(m.run(&p, &cfg), Err(RunError::Watchdog { max_cycles: 10_000 }));
+        assert_eq!(
+            m.run(&p, &cfg),
+            Err(RunError::Watchdog { max_cycles: 10_000 })
+        );
     }
 
     #[test]
@@ -754,7 +840,10 @@ mod tests {
         // Every PE stores pe_id into poly[0], then reads neighbour
         // (pe_id+1) mod N into poly[1].
         let s0 = StateId(0);
-        let g = |instr| GuardedInstr { guard: vec![s0], instr };
+        let g = |instr| GuardedInstr {
+            guard: vec![s0],
+            instr,
+        };
         let p = SimdProgram {
             blocks: vec![MetaBlock {
                 members: vec![s0],
@@ -794,14 +883,20 @@ mod tests {
                     members: vec![s0],
                     name: "ms_0".into(),
                     body: vec![
-                        GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(42)) },
+                        GuardedInstr {
+                            guard: vec![s0],
+                            instr: SimdInstr::Op(Op::Push(42)),
+                        },
                         GuardedInstr {
                             guard: vec![s0],
                             instr: SimdInstr::Op(Op::St(Addr::poly(0))),
                         },
                         GuardedInstr {
                             guard: vec![s0],
-                            instr: SimdInstr::Spawn { child: s1, next: s1 },
+                            instr: SimdInstr::Spawn {
+                                child: s1,
+                                next: s1,
+                            },
                         },
                     ],
                     dispatch: Dispatch::Direct(BlockId(1)),
@@ -810,12 +905,18 @@ mod tests {
                     members: vec![s1],
                     name: "ms_1".into(),
                     body: vec![
-                        GuardedInstr { guard: vec![s1], instr: SimdInstr::Op(Op::Push(7)) },
+                        GuardedInstr {
+                            guard: vec![s1],
+                            instr: SimdInstr::Op(Op::Push(7)),
+                        },
                         GuardedInstr {
                             guard: vec![s1],
                             instr: SimdInstr::Op(Op::St(Addr::poly(1))),
                         },
-                        GuardedInstr { guard: vec![s1], instr: SimdInstr::Halt },
+                        GuardedInstr {
+                            guard: vec![s1],
+                            instr: SimdInstr::Halt,
+                        },
                     ],
                     dispatch: Dispatch::End,
                 },
@@ -831,11 +932,16 @@ mod tests {
         let mut m = SimdMachine::new(&p, &cfg);
         m.run(&p, &cfg).unwrap();
         // The two recruited PEs inherited poly[0]=42 and ran the child.
-        let spawned: Vec<usize> =
-            (2..4).filter(|&pe| m.poly_at(pe, Addr::poly(1)) == 7).collect();
+        let spawned: Vec<usize> = (2..4)
+            .filter(|&pe| m.poly_at(pe, Addr::poly(1)) == 7)
+            .collect();
         assert_eq!(spawned.len(), 2);
         for &pe in &spawned {
-            assert_eq!(m.poly_at(pe, Addr::poly(0)), 42, "child copies parent poly memory");
+            assert_eq!(
+                m.poly_at(pe, Addr::poly(0)),
+                42,
+                "child copies parent poly memory"
+            );
         }
     }
 
@@ -848,7 +954,10 @@ mod tests {
                 name: "ms_0".into(),
                 body: vec![GuardedInstr {
                     guard: vec![s0],
-                    instr: SimdInstr::Spawn { child: s1, next: s1 },
+                    instr: SimdInstr::Spawn {
+                        child: s1,
+                        next: s1,
+                    },
                 }],
                 dispatch: Dispatch::End,
             }],
@@ -860,13 +969,19 @@ mod tests {
         };
         let cfg = MachineConfig::spmd(2); // no idle PEs
         let mut m = SimdMachine::new(&p, &cfg);
-        assert!(matches!(m.run(&p, &cfg), Err(RunError::SpawnOverflow { .. })));
+        assert!(matches!(
+            m.run(&p, &cfg),
+            Err(RunError::SpawnOverflow { .. })
+        ));
     }
 
     #[test]
     fn mono_store_broadcasts() {
         let s0 = StateId(0);
-        let g = |instr| GuardedInstr { guard: vec![s0], instr };
+        let g = |instr| GuardedInstr {
+            guard: vec![s0],
+            instr,
+        };
         let p = SimdProgram {
             blocks: vec![MetaBlock {
                 members: vec![s0],
@@ -912,16 +1027,28 @@ mod trace_tests {
                     members: vec![s0],
                     name: "ms_0".into(),
                     body: vec![
-                        GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Push(1)) },
-                        GuardedInstr { guard: vec![s0], instr: SimdInstr::Op(Op::Pop(1)) },
-                        GuardedInstr { guard: vec![s0], instr: SimdInstr::SetPc(s1) },
+                        GuardedInstr {
+                            guard: vec![s0],
+                            instr: SimdInstr::Op(Op::Push(1)),
+                        },
+                        GuardedInstr {
+                            guard: vec![s0],
+                            instr: SimdInstr::Op(Op::Pop(1)),
+                        },
+                        GuardedInstr {
+                            guard: vec![s0],
+                            instr: SimdInstr::SetPc(s1),
+                        },
                     ],
                     dispatch: Dispatch::Direct(BlockId(1)),
                 },
                 MetaBlock {
                     members: vec![s1],
                     name: "ms_1".into(),
-                    body: vec![GuardedInstr { guard: vec![s1], instr: SimdInstr::Halt }],
+                    body: vec![GuardedInstr {
+                        guard: vec![s1],
+                        instr: SimdInstr::Halt,
+                    }],
                     dispatch: Dispatch::End,
                 },
             ],
@@ -937,18 +1064,37 @@ mod trace_tests {
         assert_eq!(
             m.trace,
             vec![
-                TraceEvent::EnterBlock { block: BlockId(0), live: 2, at_cycle: 0 },
-                TraceEvent::Dispatch { from: BlockId(0), to: Some(BlockId(1)), aggregate: 0 },
+                TraceEvent::EnterBlock {
+                    block: BlockId(0),
+                    live: 2,
+                    at_cycle: 0
+                },
+                TraceEvent::Dispatch {
+                    from: BlockId(0),
+                    to: Some(BlockId(1)),
+                    aggregate: 0
+                },
                 TraceEvent::EnterBlock {
                     block: BlockId(1),
                     live: 2,
-                    at_cycle: m.trace.iter().find_map(|e| match e {
-                        TraceEvent::EnterBlock { block: BlockId(1), at_cycle, .. } =>
-                            Some(*at_cycle),
-                        _ => None,
-                    }).unwrap()
+                    at_cycle: m
+                        .trace
+                        .iter()
+                        .find_map(|e| match e {
+                            TraceEvent::EnterBlock {
+                                block: BlockId(1),
+                                at_cycle,
+                                ..
+                            } => Some(*at_cycle),
+                            _ => None,
+                        })
+                        .unwrap()
                 },
-                TraceEvent::Dispatch { from: BlockId(1), to: None, aggregate: 0 },
+                TraceEvent::Dispatch {
+                    from: BlockId(1),
+                    to: None,
+                    aggregate: 0
+                },
             ]
         );
     }
@@ -960,7 +1106,10 @@ mod trace_tests {
             blocks: vec![MetaBlock {
                 members: vec![s0],
                 name: "ms_0".into(),
-                body: vec![GuardedInstr { guard: vec![s0], instr: SimdInstr::Halt }],
+                body: vec![GuardedInstr {
+                    guard: vec![s0],
+                    instr: SimdInstr::Halt,
+                }],
                 dispatch: Dispatch::End,
             }],
             start: BlockId(0),

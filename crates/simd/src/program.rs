@@ -200,7 +200,12 @@ impl SimdProgram {
                     check(*cont)?;
                     check(*barrier)?;
                 }
-                Dispatch::Hashed { hash, targets, bit_of, .. } => {
+                Dispatch::Hashed {
+                    hash,
+                    targets,
+                    bit_of,
+                    ..
+                } => {
                     if hash.keys.len() != targets.len() {
                         return Err(format!("block {i}: keys/targets length mismatch"));
                     }
@@ -244,7 +249,14 @@ mod tests {
     fn instr_costs_follow_model() {
         let c = CostModel::default();
         assert_eq!(SimdInstr::Op(Op::Push(1)).cost(&c), c.stack);
-        assert_eq!(SimdInstr::JumpF { t: StateId(0), f: StateId(1) }.cost(&c), c.int_simple);
+        assert_eq!(
+            SimdInstr::JumpF {
+                t: StateId(0),
+                f: StateId(1)
+            }
+            .cost(&c),
+            c.int_simple
+        );
         assert_eq!(SimdInstr::RetMulti(vec![StateId(0)]).cost(&c), c.control);
     }
 

@@ -40,7 +40,10 @@ const SRC: &str = r#"
 
 fn main() {
     let n_pe = 8;
-    let built = Pipeline::new(SRC).mode(ConvertMode::Base).build().expect("pipeline");
+    let built = Pipeline::new(SRC)
+        .mode(ConvertMode::Base)
+        .build()
+        .expect("pipeline");
 
     println!("=== Meta-state automaton (barrier-constrained, Figure 6 style) ===");
     println!("{}", built.automaton_text());
@@ -69,11 +72,8 @@ fn main() {
     // Verify against the MIMD reference.
     let compiled = msc_lang::compile(SRC).unwrap();
     let cfg = msc_mimd::MimdConfig::spmd(n_pe);
-    let mut mimd = msc_mimd::MimdReference::new(
-        compiled.layout.poly_words,
-        compiled.layout.mono_words,
-        &cfg,
-    );
+    let mut mimd =
+        msc_mimd::MimdReference::new(compiled.layout.poly_words, compiled.layout.mono_words, &cfg);
     mimd.run(&compiled.graph, &cfg).unwrap();
     for pe in 0..n_pe {
         assert_eq!(

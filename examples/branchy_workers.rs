@@ -53,17 +53,26 @@ fn main() {
     // True MIMD reference.
     let compiled = msc_lang::compile(SRC).expect("compiles");
     let mcfg = MimdConfig::spmd(n_pe);
-    let mut mimd =
-        MimdReference::new(compiled.layout.poly_words, compiled.layout.mono_words, &mcfg);
+    let mut mimd = MimdReference::new(
+        compiled.layout.poly_words,
+        compiled.layout.mono_words,
+        &mcfg,
+    );
     let mimd_metrics = mimd.run(&compiled.graph, &mcfg).expect("MIMD runs");
     let ret = compiled.layout.main_ret.unwrap();
 
     // Meta-state conversion, both ways: base (§2.3, fast) and compressed
     // (§2.5, small automaton but wider — "the SIMD implementation will be
     // less efficient").
-    let built = Pipeline::new(SRC).mode(ConvertMode::Base).build().expect("pipeline");
+    let built = Pipeline::new(SRC)
+        .mode(ConvertMode::Base)
+        .build()
+        .expect("pipeline");
     let msc = built.run(n_pe).expect("MSC runs");
-    let built_c = Pipeline::new(SRC).mode(ConvertMode::Compressed).build().expect("pipeline");
+    let built_c = Pipeline::new(SRC)
+        .mode(ConvertMode::Compressed)
+        .build()
+        .expect("pipeline");
     let msc_c = built_c.run(n_pe).expect("compressed MSC runs");
 
     // Interpreter baseline (§1.1).
@@ -75,8 +84,11 @@ fn main() {
         &CostModel::default(),
     )
     .expect("interpreter runs");
-    let image =
-        InterpProgram::flatten(&compiled.graph, compiled.layout.poly_words, compiled.layout.mono_words);
+    let image = InterpProgram::flatten(
+        &compiled.graph,
+        compiled.layout.poly_words,
+        compiled.layout.mono_words,
+    );
 
     println!("PE | kind      | MIMD | MSC  | interp");
     println!("---+-----------+------+------+-------");
@@ -93,7 +105,10 @@ fn main() {
     }
 
     println!("\n                   cycles   per-PE program   meta states");
-    println!("MIMD (ideal):    {:8}   n/a (real MIMD)", mimd_metrics.cycles);
+    println!(
+        "MIMD (ideal):    {:8}   n/a (real MIMD)",
+        mimd_metrics.cycles
+    );
     println!(
         "MSC base:        {:8}   {:3} words        {:4}",
         msc.metrics.cycles,
@@ -119,5 +134,8 @@ fn main() {
         "compression shrinks the automaton {:.0}x but widens meta states (§2.5's trade-off)",
         built.automaton.len() as f64 / built_c.automaton.len() as f64
     );
-    assert!(msc.metrics.cycles < interp_metrics.cycles, "C1 shape: MSC must win");
+    assert!(
+        msc.metrics.cycles < interp_metrics.cycles,
+        "C1 shape: MSC must win"
+    );
 }

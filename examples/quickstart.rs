@@ -27,10 +27,16 @@ fn main() {
     println!("=== MIMDC source ===\n{src}");
 
     // Stage 1+2: front end + meta-state conversion (base algorithm, §2.3).
-    let built = Pipeline::new(src).mode(ConvertMode::Base).build().expect("pipeline");
+    let built = Pipeline::new(src)
+        .mode(ConvertMode::Base)
+        .build()
+        .expect("pipeline");
 
     println!("=== MIMD state graph (Figure 1 shape) ===");
-    println!("{}", msc_ir::render::text(&built.compiled.graph, &built.simd.costs));
+    println!(
+        "{}",
+        msc_ir::render::text(&built.compiled.graph, &built.simd.costs)
+    );
 
     println!("=== Meta-state automaton (Figure 2 shape) ===");
     println!("{}", built.automaton_text());

@@ -36,7 +36,10 @@ const SRC: &str = r#"
 "#;
 
 fn main() {
-    let built = Pipeline::new(SRC).mode(ConvertMode::Compressed).build().expect("pipeline");
+    let built = Pipeline::new(SRC)
+        .mode(ConvertMode::Compressed)
+        .build()
+        .expect("pipeline");
 
     // Show the §2.2 machinery in the MIMD graph: multiway return branches.
     let g = &built.compiled.graph;

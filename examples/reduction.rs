@@ -38,7 +38,10 @@ const SRC: &str = r#"
 
 fn main() {
     let n_pe = 16;
-    let built = Pipeline::new(SRC).mode(ConvertMode::Base).build().expect("pipeline");
+    let built = Pipeline::new(SRC)
+        .mode(ConvertMode::Base)
+        .build()
+        .expect("pipeline");
 
     println!(
         "automaton: {} meta states (barriers keep the space small, §2.6)\n",
@@ -56,11 +59,8 @@ fn main() {
     // Cross-check every PE against the true-MIMD reference.
     let compiled = msc_lang::compile(SRC).unwrap();
     let cfg = msc_mimd::MimdConfig::spmd(n_pe);
-    let mut mimd = msc_mimd::MimdReference::new(
-        compiled.layout.poly_words,
-        compiled.layout.mono_words,
-        &cfg,
-    );
+    let mut mimd =
+        msc_mimd::MimdReference::new(compiled.layout.poly_words, compiled.layout.mono_words, &cfg);
     mimd.run(&compiled.graph, &cfg).unwrap();
     for pe in 0..n_pe {
         assert_eq!(
@@ -76,5 +76,8 @@ fn main() {
         out.metrics.dispatches,
         out.metrics.utilization() * 100.0
     );
-    println!("log-step rounds: {} (⌈log2 {n_pe}⌉ = 4)", (n_pe as f64).log2().ceil());
+    println!(
+        "log-step rounds: {} (⌈log2 {n_pe}⌉ = 4)",
+        (n_pe as f64).log2().ceil()
+    );
 }

@@ -38,7 +38,10 @@ fn main() {
     let n_pe = 8;
     let live = 2; // two coordinators; six PEs idle in the pool
 
-    let built = Pipeline::new(SRC).mode(ConvertMode::Base).build().expect("pipeline");
+    let built = Pipeline::new(SRC)
+        .mode(ConvertMode::Base)
+        .build()
+        .expect("pipeline");
 
     println!("=== Meta-state automaton (spawn arcs take both paths) ===");
     println!("{}", built.automaton_text());
@@ -46,18 +49,34 @@ fn main() {
     let cfg = MachineConfig::with_pool(n_pe, live);
     let out = built.run_with(cfg).expect("run");
 
-    let r = built.compiled.layout.var("r").expect("worker result var").addr;
-    println!("{n_pe} PEs, {live} live coordinators, {} initially idle\n", n_pe - live);
+    let r = built
+        .compiled
+        .layout
+        .var("r")
+        .expect("worker result var")
+        .addr;
+    println!(
+        "{n_pe} PEs, {live} live coordinators, {} initially idle\n",
+        n_pe - live
+    );
     println!("PE | worker result r");
     for pe in 0..n_pe {
         let v = out.machine.poly_at(pe, r);
-        let role = if pe < live { "coordinator" } else if v != 0 { "worker" } else { "unused" };
+        let role = if pe < live {
+            "coordinator"
+        } else if v != 0 {
+            "worker"
+        } else {
+            "unused"
+        };
         println!("{pe:2} | {v:6}  ({role})");
     }
 
     // Four workers ran: seeds 2, 3 (first generation), 12, 11 (second).
-    let results: Vec<i64> =
-        (live..n_pe).map(|pe| out.machine.poly_at(pe, r)).filter(|&v| v != 0).collect();
+    let results: Vec<i64> = (live..n_pe)
+        .map(|pe| out.machine.poly_at(pe, r))
+        .filter(|&v| v != 0)
+        .collect();
     assert_eq!(results.len(), 4, "two coordinators × two spawns");
     println!(
         "\n{} workers completed; {} PEs back in the idle pool; cycles={}",

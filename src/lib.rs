@@ -31,6 +31,7 @@
 pub use msc_codegen as codegen;
 pub use msc_core as core;
 pub use msc_csi as csi;
+pub use msc_engine as engine;
 pub use msc_hash as hash;
 pub use msc_ir as ir;
 pub use msc_lang as lang;
@@ -40,6 +41,10 @@ pub use msc_simd as simd;
 pub use msc_codegen::render::render_mpl;
 pub use msc_codegen::{generate, GenOptions};
 pub use msc_core::{convert, ConvertMode, ConvertOptions, MetaAutomaton, MetaId, TimeSplitOptions};
+pub use msc_engine::{
+    convert_parallel, Artifact, CacheStats, Compiled, Engine, EngineError, EngineOptions, Job,
+    Provenance,
+};
 pub use msc_ir::{CostModel, MimdGraph};
 pub use msc_lang::compile as compile_mimdc;
 pub use msc_mimd::{interpret_on_simd, MimdReference};

@@ -6,6 +6,7 @@ use msc_core::{
     convert_with_stats, ConvertError, ConvertMode, ConvertOptions, ConvertStats, MetaAutomaton,
     TimeSplitOptions,
 };
+use msc_engine::{Compiled, Engine, EngineError, Job};
 use msc_lang::{compile, CompileError, Program};
 use msc_simd::{MachineConfig, Metrics, RunError, SimdMachine, SimdProgram};
 use std::fmt;
@@ -19,6 +20,9 @@ pub enum PipelineError {
     Convert(ConvertError),
     /// SIMD code generation failed.
     Gen(GenError),
+    /// An engine-level failure (timeout or contained panic) from
+    /// [`Pipeline::build_with`].
+    Engine(EngineError),
 }
 
 impl fmt::Display for PipelineError {
@@ -27,6 +31,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Compile(e) => write!(f, "compile: {e}"),
             PipelineError::Convert(e) => write!(f, "convert: {e}"),
             PipelineError::Gen(e) => write!(f, "codegen: {e}"),
+            PipelineError::Engine(e) => write!(f, "engine: {e}"),
         }
     }
 }
@@ -48,6 +53,17 @@ impl From<ConvertError> for PipelineError {
 impl From<GenError> for PipelineError {
     fn from(e: GenError) -> Self {
         PipelineError::Gen(e)
+    }
+}
+
+impl From<EngineError> for PipelineError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Compile(e) => PipelineError::Compile(e),
+            EngineError::Convert(e) => PipelineError::Convert(e),
+            EngineError::Gen(e) => PipelineError::Gen(e),
+            other => PipelineError::Engine(other),
+        }
     }
 }
 
@@ -147,7 +163,41 @@ impl Pipeline {
             compiled.layout.mono_words,
             &self.gen_opts,
         )?;
-        Ok(Built { compiled, automaton, stats, simd })
+        Ok(Built {
+            compiled,
+            automaton,
+            stats,
+            simd,
+        })
+    }
+
+    /// Turn the pipeline into an [`msc_engine::Job`] with the given label,
+    /// for submission to an [`Engine`] (parallel conversion, compile
+    /// cache, batching).
+    pub fn into_job(self, name: impl Into<String>) -> Job {
+        Job {
+            name: name.into(),
+            source: self.src,
+            convert: self.convert_opts,
+            gen: self.gen_opts,
+            optimize: self.optimize,
+            minimize: self.minimize,
+        }
+    }
+
+    /// Run the pipeline through an [`Engine`]: conversion is frontier-
+    /// parallel and the result may be served from the engine's cache. The
+    /// returned [`Compiled`] carries the artifact plus its provenance
+    /// (fresh / memory hit / disk hit). Note the engine canonicalizes the
+    /// automaton (deterministic BFS renumbering), so meta-state *numbering*
+    /// can differ from [`build`](Self::build) even though the structure is
+    /// identical.
+    pub fn build_with(
+        self,
+        engine: &Engine,
+        name: impl Into<String>,
+    ) -> Result<Compiled, PipelineError> {
+        Ok(engine.compile(&self.into_job(name))?)
     }
 }
 

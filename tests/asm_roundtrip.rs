@@ -35,7 +35,10 @@ fn roundtrip_and_compare(src: &str, mode: ConvertMode, n_pe: usize) {
             assert_eq!(m1.poly_at(pe, ret), m2.poly_at(pe, ret), "PE {pe}");
         }
     }
-    assert_eq!(m1.metrics, m2.metrics, "identical programs cost identically");
+    assert_eq!(
+        m1.metrics, m2.metrics,
+        "identical programs cost identically"
+    );
 }
 
 #[test]

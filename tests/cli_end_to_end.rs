@@ -74,12 +74,21 @@ fn every_flag_combination_smoke() {
     let path = write_temp("flags.mimdc", PROG);
     let p = path.to_str().unwrap();
     for mode in ["base", "compressed"] {
-        for extra in [&[][..], &["--optimize"][..], &["--minimize"][..], &["--no-csi"][..], &["--time-split"][..]] {
+        for extra in [
+            &[][..],
+            &["--optimize"][..],
+            &["--minimize"][..],
+            &["--no-csi"][..],
+            &["--time-split"][..],
+        ] {
             let mut a = args(&["run", p, "--pes", "4", "--mode", mode]);
             a.extend(extra.iter().map(|s| s.to_string()));
-            let out = main_with_args(&a)
-                .unwrap_or_else(|e| panic!("mode={mode} extra={extra:?}: {e}"));
-            assert!(out.contains(" 3 | 12"), "mode={mode} extra={extra:?}: {out}");
+            let out =
+                main_with_args(&a).unwrap_or_else(|e| panic!("mode={mode} extra={extra:?}: {e}"));
+            assert!(
+                out.contains(" 3 | 12"),
+                "mode={mode} extra={extra:?}: {out}"
+            );
         }
     }
 }

@@ -31,7 +31,10 @@ pub fn run_reference(src: &str, n_pe: usize) -> ModeResult {
 /// Run `src` through meta-state conversion + the SIMD machine.
 #[allow(dead_code)] // used by most, not all, test binaries
 pub fn run_msc(src: &str, n_pe: usize, mode: ConvertMode) -> ModeResult {
-    let built = Pipeline::new(src).mode(mode).build().expect("pipeline builds");
+    let built = Pipeline::new(src)
+        .mode(mode)
+        .build()
+        .expect("pipeline builds");
     let out = built.run(n_pe).expect("SIMD run succeeds");
     let ret = built.ret_addr().expect("main returns a value");
     ModeResult {
@@ -67,6 +70,12 @@ pub fn assert_all_modes_agree(src: &str, n_pe: usize) {
     let compressed = run_msc(src, n_pe, ConvertMode::Compressed);
     let interp = run_interp(src, n_pe);
     assert_eq!(base.values, reference.values, "base MSC != MIMD reference");
-    assert_eq!(compressed.values, reference.values, "compressed MSC != MIMD reference");
-    assert_eq!(interp.values, reference.values, "interpreter != MIMD reference");
+    assert_eq!(
+        compressed.values, reference.values,
+        "compressed MSC != MIMD reference"
+    );
+    assert_eq!(
+        interp.values, reference.values,
+        "interpreter != MIMD reference"
+    );
 }

@@ -328,5 +328,8 @@ fn time_split_mode_agrees_too() {
     let ret = built.ret_addr().unwrap();
     let values: Vec<i64> = (0..8).map(|pe| out.machine.poly_at(pe, ret)).collect();
     assert_eq!(values, reference.values);
-    assert!(built.stats.splits > 0, "the imbalanced branch should have split");
+    assert!(
+        built.stats.splits > 0,
+        "the imbalanced branch should have split"
+    );
 }

@@ -122,9 +122,7 @@ fn render_stmts(stmts: &[GStmt], indent: usize, loop_depth: usize, out: &mut Str
             }
             GStmt::Loop(k, b) => {
                 let i = format!("t{loop_depth}");
-                out.push_str(&format!(
-                    "{pad}for ({i} = 0; {i} < {k}; {i} += 1) {{\n"
-                ));
+                out.push_str(&format!("{pad}for ({i} = 0; {i} < {k}; {i} += 1) {{\n"));
                 render_stmts(b, indent + 1, loop_depth + 1, out);
                 out.push_str(&format!("{pad}}}\n"));
             }

@@ -76,14 +76,18 @@ fn listing2_executes_correctly_in_every_mode() {
         }
     }
     let got = common::run_reference(LISTING2, 6).values;
-    let want: Vec<i64> =
-        (0..6i64).map(|pe| g(pe % 3) * 1000 + g(pe % 2 + 1)).collect();
+    let want: Vec<i64> = (0..6i64)
+        .map(|pe| g(pe % 3) * 1000 + g(pe % 2 + 1))
+        .collect();
     assert_eq!(got, want);
 }
 
 #[test]
 fn meta_conversion_handles_the_recursive_automaton() {
-    let built = Pipeline::new(LISTING2).mode(ConvertMode::Compressed).build().unwrap();
+    let built = Pipeline::new(LISTING2)
+        .mode(ConvertMode::Compressed)
+        .build()
+        .unwrap();
     assert!(built.automaton.len() >= 2);
     built.automaton.validate().unwrap();
     // The generated program contains RetMulti dispatch instructions.
@@ -153,7 +157,8 @@ fn divergent_recursion_depths() {
     common::assert_all_modes_agree(src, 8);
     let tri = |n: i64| n * (n + 1) / 2;
     let got = common::run_reference(src, 8).values;
-    let want: Vec<i64> =
-        (0..8i64).map(|pe| if pe % 2 == 1 { tri(pe) } else { tri(pe / 2) }).collect();
+    let want: Vec<i64> = (0..8i64)
+        .map(|pe| if pe % 2 == 1 { tri(pe) } else { tri(pe / 2) })
+        .collect();
     assert_eq!(got, want);
 }

@@ -58,7 +58,10 @@ fn figure1_mimd_state_graph() {
 /// the paper uses 0, 2, 6, 9).
 #[test]
 fn figure2_base_meta_state_graph() {
-    let built = Pipeline::new(LISTING4).mode(ConvertMode::Base).build().unwrap();
+    let built = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
     let a = &built.automaton;
     assert_eq!(a.len(), 8);
     for members in [
@@ -71,7 +74,11 @@ fn figure2_base_meta_state_graph() {
         set(&[2, 3]),
         set(&[1, 2, 3]),
     ] {
-        assert!(a.find(&members).is_some(), "missing {members}:\n{}", a.text());
+        assert!(
+            a.find(&members).is_some(),
+            "missing {members}:\n{}",
+            a.text()
+        );
     }
     // Start is {A}; {F} is the only terminal meta state.
     assert_eq!(a.members(a.start), &set(&[0]));
@@ -99,7 +106,11 @@ fn figures3_4_time_splitting() {
     "#;
     let built = Pipeline::new(src)
         .mode(ConvertMode::Base)
-        .time_split(TimeSplitOptions { split_delta: 2, split_percent: 75, max_restarts: 100 })
+        .time_split(TimeSplitOptions {
+            split_delta: 2,
+            split_percent: 75,
+            max_restarts: 100,
+        })
         .build()
         .unwrap();
     assert!(built.stats.splits >= 1, "β must split");
@@ -121,7 +132,10 @@ fn figures3_4_time_splitting() {
 /// unconditional.
 #[test]
 fn figure5_compressed_graph() {
-    let built = Pipeline::new(LISTING4).mode(ConvertMode::Compressed).build().unwrap();
+    let built = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Compressed)
+        .build()
+        .unwrap();
     let a = &built.automaton;
     assert_eq!(a.len(), 2, "{}", a.text());
     assert!(a.is_deterministic());
@@ -140,7 +154,10 @@ fn figure5_compressed_graph() {
 /// with a loop state, and the all-barrier meta state exists.
 #[test]
 fn figure6_barrier_graph() {
-    let built = Pipeline::new(LISTING3).mode(ConvertMode::Base).build().unwrap();
+    let built = Pipeline::new(LISTING3)
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
     let a = &built.automaton;
     assert_eq!(a.len(), 5, "{{A}},{{B}},{{D}},{{B,D}},{{F}}:\n{}", a.text());
     assert!(a.find(&set(&[1, 3])).is_none());
@@ -154,14 +171,23 @@ fn figure6_barrier_graph() {
 /// states, guarded stack code, CSI-shared bodies, hashed switches.
 #[test]
 fn listing5_generated_code_shape() {
-    let built = Pipeline::new(LISTING4).mode(ConvertMode::Base).build().unwrap();
+    let built = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
     let text = built.mpl();
     // Eight meta-state labels.
-    let labels = text.lines().filter(|l| l.starts_with("ms_") && l.ends_with(':')).count();
+    let labels = text
+        .lines()
+        .filter(|l| l.starts_with("ms_") && l.ends_with(':'))
+        .count();
     assert_eq!(labels, 8, "{text}");
     // Per-member guards and shared (multi-bit) guards both present.
     assert!(text.contains("if (pc & BIT("), "{text}");
-    assert!(text.contains("|BIT("), "CSI factoring shows as merged guards: {text}");
+    assert!(
+        text.contains("|BIT("),
+        "CSI factoring shows as merged guards: {text}"
+    );
     // globalor aggregate + hashed switch + goto-style dispatch + exit.
     assert!(text.contains("apc = globalor(pc);"));
     assert!(text.contains("switch ("));
@@ -176,8 +202,14 @@ fn listing5_generated_code_shape() {
 /// (less SIMD-efficient) while shrinking the automaton.
 #[test]
 fn compression_width_tradeoff() {
-    let base = Pipeline::new(LISTING4).mode(ConvertMode::Base).build().unwrap();
-    let comp = Pipeline::new(LISTING4).mode(ConvertMode::Compressed).build().unwrap();
+    let base = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Base)
+        .build()
+        .unwrap();
+    let comp = Pipeline::new(LISTING4)
+        .mode(ConvertMode::Compressed)
+        .build()
+        .unwrap();
     assert!(comp.automaton.len() < base.automaton.len());
     assert!(
         comp.automaton.avg_width() > base.automaton.avg_width(),

@@ -20,8 +20,10 @@ fn spawned_workers_compute() {
     let out = built.run_with(cfg).unwrap();
     let r = built.compiled.layout.var("r").unwrap().addr;
     // Three spawners with seeds 2, 3, 4 → results 5, 10, 17 on recruits.
-    let mut results: Vec<i64> =
-        (0..8).map(|pe| out.machine.poly_at(pe, r)).filter(|&v| v != 0).collect();
+    let mut results: Vec<i64> = (0..8)
+        .map(|pe| out.machine.poly_at(pe, r))
+        .filter(|&v| v != 0)
+        .collect();
     results.sort_unstable();
     assert_eq!(results, vec![5, 10, 17]);
 }
@@ -35,7 +37,10 @@ fn spawn_overflow_reports_cleanly() {
     let built = Pipeline::new(src).mode(ConvertMode::Base).build().unwrap();
     // All PEs live ⇒ no idle pool ⇒ the documented §3.2.5 limit.
     let out = built.run_with(MachineConfig::spmd(4));
-    assert!(matches!(out, Err(RunError::SpawnOverflow { .. })), "{out:?}");
+    assert!(
+        matches!(out, Err(RunError::SpawnOverflow { .. })),
+        "{out:?}"
+    );
 }
 
 #[test]
@@ -89,7 +94,9 @@ fn spawn_child_inherits_parent_poly_memory() {
     machine.poly[0][inh.index as usize] = 37;
     machine.run(&built.simd, &cfg).unwrap();
     let outv = built.compiled.layout.var("out").unwrap().addr;
-    let results: Vec<i64> =
-        (0..4).map(|pe| machine.poly_at(pe, outv)).filter(|&v| v != 0).collect();
+    let results: Vec<i64> = (0..4)
+        .map(|pe| machine.poly_at(pe, outv))
+        .filter(|&v| v != 0)
+        .collect();
     assert_eq!(results, vec![42], "child sees the parent's 37 and adds 5");
 }
