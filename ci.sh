@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, then the tier-1 build + test suite.
+#
+#   ./ci.sh               the full gate (includes compiling the benches)
+#   ./ci.sh bench-smoke   additionally *run* the set benches in their
+#                         --test smoke configuration (small sizes, 2
+#                         samples) to prove the bench harness works
 set -euo pipefail
 cd "$(dirname "$0")"
+
+MODE="${1:-default}"
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -14,5 +21,15 @@ cargo build --release
 
 echo "== tier-1: test =="
 cargo test -q
+
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+if [ "$MODE" = "bench-smoke" ]; then
+    echo "== bench smoke: set_algebra --test =="
+    cargo bench -p msc-bench --bench set_algebra -- --test
+    echo "== bench smoke: subsume_scaling --test =="
+    cargo bench -p msc-bench --bench subsume_scaling -- --test
+fi
 
 echo "CI OK"

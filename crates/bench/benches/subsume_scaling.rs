@@ -1,0 +1,37 @@
+//! Subsumption-pass scaling: time `subsume` on automata of `n`
+//! subset/superset pairs (each pair folds exactly once). The seed's
+//! all-pairs search was O(n² · width); the occurrence-indexed search scans
+//! only the metas containing each candidate's rarest member, so doubling
+//! `n` should roughly double the time, not quadruple it.
+//!
+//! Passing `--test` runs a single small size as a CI smoke check.
+
+use criterion::{BenchmarkId, Criterion};
+use msc_bench::workloads::subset_chain_automaton;
+use msc_core::subsume::subsume;
+use std::hint::black_box;
+
+fn bench_subsume(c: &mut Criterion, sizes: &[usize], samples: usize) {
+    let mut group = c.benchmark_group("subsume_scaling");
+    group.sample_size(samples);
+    for &n in sizes {
+        let auto = subset_chain_automaton(n);
+        group.bench_with_input(BenchmarkId::new("pairs", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut a = auto.clone();
+                let removed = subsume(&mut a);
+                assert_eq!(removed as usize, n);
+                black_box(a.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let sizes: &[usize] = if smoke { &[32] } else { &[64, 128, 256, 512] };
+    let samples = if smoke { 2 } else { 10 };
+    let mut c = Criterion::default();
+    bench_subsume(&mut c, sizes, samples);
+}

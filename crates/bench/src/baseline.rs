@@ -1,0 +1,77 @@
+//! The seed's set representation, kept as a measurement baseline: meta
+//! states as sorted, deduplicated `Vec<u32>`, with two-pointer merge
+//! algebra. The production [`msc_core::StateSet`] replaced this with a
+//! hybrid inline/bitset representation; these routines let the benchmarks
+//! and the `claims` binary quantify what that bought.
+
+/// Sorted-merge union.
+pub fn vec_union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Two-pointer set difference `a ∖ b`.
+pub fn vec_difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Two-pointer subset test.
+pub fn vec_is_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algebra_matches_definitions() {
+        let a = [1u32, 3, 5, 7];
+        let b = [3u32, 4, 5];
+        assert_eq!(vec_union(&a, &b), vec![1, 3, 4, 5, 7]);
+        assert_eq!(vec_difference(&a, &b), vec![1, 7]);
+        assert!(vec_is_subset(&[3, 5], &a));
+        assert!(!vec_is_subset(&[3, 4], &a));
+        assert!(vec_is_subset(&[], &a));
+    }
+}

@@ -481,11 +481,137 @@ fn a4() {
     println!("   hashing, which the generated-code cost model prices identically.\n");
 }
 
+/// Best-of-3 per-iteration time of `f`, auto-scaled to ~20 ms per sample.
+/// The returned `usize` is folded into a sink so the work cannot be
+/// optimized away.
+fn time_ns(mut f: impl FnMut() -> usize) -> f64 {
+    use std::time::Instant;
+    let mut sink = 0usize;
+    let t0 = Instant::now();
+    sink ^= f();
+    let one = t0.elapsed().as_nanos().max(1);
+    let iters = (20_000_000u128 / one).clamp(8, 1_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            sink ^= f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+fn setops() {
+    use msc_bench::baseline::{vec_difference, vec_is_subset, vec_union};
+    use msc_core::StateSet;
+    use msc_ir::StateId;
+
+    println!("== SETOPS: hybrid StateSet vs the seed's sorted-vec representation ==");
+    println!("   (writes the committed baseline BENCH_setops.json)\n");
+    let to_set = |v: &[u32]| -> StateSet { StateSet::from_iter(v.iter().map(|&x| StateId(x))) };
+
+    let mut json = String::from("{\n");
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p msc-bench --bin claims -- setops\",\n",
+    );
+    json.push_str("  \"units\": \"ns per operation, best of 3 samples\",\n");
+    json.push_str("  \"workloads\": [\n");
+    println!("size | op         | sorted-vec ns | hybrid ns | speedup");
+    for (wi, &n) in [64usize, 256, 1024].iter().enumerate() {
+        let (va, vb) = overlapping_members(n);
+        let (sa, sb) = (to_set(&va), to_set(&vb));
+        let vsub: Vec<u32> = va.iter().copied().step_by(2).collect();
+        let ssub = to_set(&vsub);
+        let probes: Vec<u32> = (0..16).map(|i| (i * 7) % (4 * n as u32)).collect();
+
+        let ops: [(&str, f64, f64); 4] = [
+            (
+                "union",
+                time_ns(|| vec_union(&va, &vb).len()),
+                time_ns(|| sa.union(&sb).len()),
+            ),
+            (
+                "difference",
+                time_ns(|| vec_difference(&va, &vb).len()),
+                time_ns(|| sa.difference(&sb).len()),
+            ),
+            (
+                "is_subset",
+                time_ns(|| usize::from(vec_is_subset(&vsub, &va))),
+                time_ns(|| usize::from(ssub.is_subset(&sa))),
+            ),
+            (
+                "contains",
+                time_ns(|| {
+                    probes
+                        .iter()
+                        .filter(|&&p| va.binary_search(&p).is_ok())
+                        .count()
+                }),
+                time_ns(|| probes.iter().filter(|&&p| sa.contains(StateId(p))).count()),
+            ),
+        ];
+        json.push_str(&format!("    {{\"size\": {n}"));
+        for (name, naive, hybrid) in ops {
+            let speedup = naive / hybrid;
+            println!("{n:4} | {name:10} | {naive:13.1} | {hybrid:9.1} | {speedup:6.2}x");
+            json.push_str(&format!(
+                ", \"{name}_baseline_ns\": {naive:.1}, \"{name}_hybrid_ns\": {hybrid:.1}, \"{name}_speedup\": {speedup:.2}"
+            ));
+        }
+        json.push_str(if wi == 2 { "}\n" } else { "},\n" });
+    }
+    json.push_str("  ],\n");
+
+    println!("\n   subsumption scaling (n subset/superset pairs, each folds once):");
+    println!("   pairs | ns/pass | growth vs previous (quadratic would be ~4x)");
+    let sizes = [64usize, 128, 256, 512];
+    let mut times = Vec::new();
+    for &n in &sizes {
+        let auto = subset_chain_automaton(n);
+        let ns = time_ns(|| {
+            let mut a = auto.clone();
+            msc_core::subsume::subsume(&mut a);
+            a.len()
+        });
+        let growth = times
+            .last()
+            .map(|&p: &f64| format!("{:.2}x", ns / p))
+            .unwrap_or_else(|| "-".into());
+        println!("   {n:5} | {ns:11.0} | {growth}");
+        times.push(ns);
+    }
+    json.push_str("  \"subsume\": {\n    \"pairs\": [64, 128, 256, 512],\n    \"ns\": [");
+    json.push_str(
+        &times
+            .iter()
+            .map(|t| format!("{t:.0}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n    \"growth_ratios\": [");
+    json.push_str(
+        &times
+            .windows(2)
+            .map(|w| format!("{:.2}", w[1] / w[0]))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n    \"quadratic_growth_would_be\": 4.0\n  }\n}\n");
+
+    std::fs::write("BENCH_setops.json", &json).expect("write BENCH_setops.json");
+    println!("\n   wrote BENCH_setops.json");
+    println!("   shape check: union/is_subset speedups reach >=2x from the 256-state");
+    println!("   workload up, and subsume growth ratios stay near 2x per doubling\n");
+}
+
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
     let all = which.is_empty();
     let want = |k: &str| all || which.iter().any(|w| w == k);
-    let claims: [(&str, fn()); 14] = [
+    let claims: [(&str, fn()); 15] = [
         ("c1", c1),
         ("c2", c2),
         ("c3", c3),
@@ -500,6 +626,7 @@ fn main() {
         ("a2", a2),
         ("a3", a3),
         ("a4", a4),
+        ("setops", setops),
     ];
     for (k, f) in claims {
         if want(k) {

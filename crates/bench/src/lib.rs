@@ -4,6 +4,7 @@
 //! regeneration binaries (`figures`, `claims`) and the Criterion benches.
 //! EXPERIMENTS.md maps every artifact and claim of the paper to these.
 
+pub mod baseline;
 pub mod measure;
 pub mod workloads;
 

@@ -289,7 +289,7 @@ impl MetaAutomaton {
         }
         let mut seen = std::collections::HashSet::new();
         for set in &self.sets {
-            if !seen.insert(set.clone()) {
+            if !seen.insert(set) {
                 return Err(format!("duplicate meta state {set}"));
             }
         }

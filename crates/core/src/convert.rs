@@ -23,9 +23,9 @@
 //!   barrier.
 
 use crate::automaton::{MetaAutomaton, MetaId};
-use crate::stateset::{SetArena, SetId, StateSet};
+use crate::stateset::{fx_hash, SetArena, SetId, StateSet};
 use msc_ir::graph::GraphError;
-use msc_ir::util::FxHashSet;
+use msc_ir::util::{FxHashMap, FxHashSet};
 use msc_ir::{CostModel, MimdGraph, StateId, Terminator};
 use std::collections::VecDeque;
 use std::fmt;
@@ -290,15 +290,15 @@ pub fn convert_with_stats(
             &mut in_worklist,
         );
 
+        let mut scratch = SuccScratch::default();
         while let Some(m) = worklist.pop_front() {
             in_worklist[m.idx()] = false;
-            let members = arena.get(sets_in_order[m.idx()]).clone();
-            let latent = latents[m.idx()].clone();
 
             // §2.4: "It would be invoked on each meta state as it is
             // created"; any split restarts the construction.
             if let Some(ts) = &opts.time_split {
-                let did = time_split_meta(&mut g, &members, ts, &opts.costs, &mut stats.splits);
+                let members = arena.get(sets_in_order[m.idx()]);
+                let did = time_split_meta(&mut g, members, ts, &opts.costs, &mut stats.splits);
                 if did {
                     stats.restarts += 1;
                     if stats.restarts > max_restarts {
@@ -310,8 +310,16 @@ pub fn convert_with_stats(
                 }
             }
 
-            let targets = successor_sets(&g, &members, &latent, opts, &mut stats)?;
+            let targets = successor_sets(
+                &g,
+                arena.get(sets_in_order[m.idx()]),
+                &latents[m.idx()],
+                opts,
+                &mut stats,
+                &mut scratch,
+            )?;
             let mut out: Vec<MetaId> = Vec::with_capacity(targets.len());
+            let mut out_seen: FxHashSet<MetaId> = FxHashSet::default();
             for (t, l) in targets {
                 let id = intern(
                     t,
@@ -324,7 +332,7 @@ pub fn convert_with_stats(
                     &mut worklist,
                     &mut in_worklist,
                 );
-                if !out.contains(&id) {
+                if out_seen.insert(id) {
                     out.push(id);
                 }
                 if sets_in_order.len() > opts.max_meta_states {
@@ -368,7 +376,8 @@ pub fn expand_frontier(
     opts: &ConvertOptions,
 ) -> Result<(Vec<(StateSet, StateSet)>, u64), ConvertError> {
     let mut stats = ConvertStats::default();
-    let targets = successor_sets(graph, members, latent, opts, &mut stats)?;
+    let mut scratch = SuccScratch::default();
+    let targets = successor_sets(graph, members, latent, opts, &mut stats, &mut scratch)?;
     Ok((targets, stats.successor_sets_enumerated))
 }
 
@@ -392,6 +401,22 @@ pub fn barrier_sync(graph: &MimdGraph, set: StateSet) -> StateSet {
     }
 }
 
+/// Reusable buffers for [`successor_sets`]: the partial-union DP vectors,
+/// a hash → index dedup table, and a memo of each member's successor
+/// choices (valid for one graph, i.e. one time-split restart). Reusing
+/// them across the whole worklist keeps the hot loop free of per-meta
+/// allocations once the buffers are warm.
+#[derive(Default)]
+struct SuccScratch {
+    acc: Vec<StateSet>,
+    next: Vec<StateSet>,
+    /// Fx hash of a candidate set → indices of sets with that hash (into
+    /// `next` during the DP, into `out` during the barrier pass).
+    dedup: FxHashMap<u64, Vec<u32>>,
+    /// Memoized [`member_choices`] keyed by MIMD state id.
+    choices: FxHashMap<u32, Vec<StateSet>>,
+}
+
 /// Enumerate the successor meta states of one meta state, per the paper's
 /// `reach` routine (base or compressed variant), then push each through
 /// `barrier_sync` (§2.6). Returns `(visible members, latent waits)` pairs:
@@ -404,20 +429,35 @@ fn successor_sets(
     latent: &StateSet,
     opts: &ConvertOptions,
     stats: &mut ConvertStats,
+    scratch: &mut SuccScratch,
 ) -> Result<Vec<(StateSet, StateSet)>, ConvertError> {
+    let SuccScratch {
+        acc,
+        next,
+        dedup,
+        choices: choices_memo,
+    } = scratch;
     // DP over members: the set of achievable partial unions.
-    let mut acc: Vec<StateSet> = vec![StateSet::empty()];
+    acc.clear();
+    acc.push(StateSet::empty());
     for m in members.iter() {
-        let choices = member_choices(graph, m, opts)?;
+        let choices: &Vec<StateSet> = match choices_memo.entry(m.0) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(member_choices(graph, m, opts)?)
+            }
+        };
         if choices.len() == 1 && choices[0].is_empty() {
             continue; // Halt member contributes nothing.
         }
-        let mut next: Vec<StateSet> = Vec::with_capacity(acc.len() * choices.len());
-        let mut seen: FxHashSet<StateSet> = FxHashSet::default();
-        for u in &acc {
-            for c in &choices {
+        next.clear();
+        dedup.clear();
+        for u in acc.iter() {
+            for c in choices {
                 let t = u.union(c);
-                if seen.insert(t.clone()) {
+                let bucket = dedup.entry(fx_hash(&t)).or_default();
+                if !bucket.iter().any(|&i| next[i as usize] == t) {
+                    bucket.push(next.len() as u32);
                     next.push(t);
                 }
             }
@@ -428,7 +468,7 @@ fn successor_sets(
                 });
             }
         }
-        acc = next;
+        std::mem::swap(acc, next);
     }
     stats.successor_sets_enumerated += acc.len() as u64;
 
@@ -436,16 +476,18 @@ fn successor_sets(
     // visible set (merging latents), and drop the empty set (every member
     // halted and nothing lingers — a terminal meta state, §3.2.1).
     let mut out: Vec<(StateSet, StateSet)> = Vec::with_capacity(acc.len());
-    let mut index_of: FxHashSet<StateSet> = FxHashSet::default();
+    dedup.clear();
     let mut had_barrier_filter = false;
     let mut push = |v: StateSet, l: StateSet, out: &mut Vec<(StateSet, StateSet)>| {
-        if index_of.insert(v.clone()) {
+        let bucket = dedup.entry(fx_hash(&v)).or_default();
+        if let Some(&i) = bucket.iter().find(|&&i| out[i as usize].0 == v) {
+            out[i as usize].1 = out[i as usize].1.union(&l);
+        } else {
+            bucket.push(out.len() as u32);
             out.push((v, l));
-        } else if let Some(entry) = out.iter_mut().find(|(ev, _)| *ev == v) {
-            entry.1 = entry.1.union(&l);
         }
     };
-    for t in acc {
+    for t in acc.drain(..) {
         let t_all = t.union(latent);
         if t_all.is_empty() {
             continue;

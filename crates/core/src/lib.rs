@@ -24,4 +24,4 @@ pub use convert::{
     apply_barrier, barrier_sync, convert, convert_with_stats, expand_frontier, ConvertError,
     ConvertMode, ConvertOptions, ConvertStats, TimeSplitOptions,
 };
-pub use stateset::{SetArena, SetId, StateSet};
+pub use stateset::{fx_hash, SetArena, SetId, StateSet};

@@ -3,25 +3,118 @@
 //! A meta state *is* a set of MIMD states (§1.2: "it is also possible to
 //! view the set of processor states at a particular time as \[a\] single,
 //! aggregate, 'Meta State'"). The converter manipulates huge numbers of
-//! these sets, so they are interned in a [`SetArena`]: each distinct set is
-//! stored once as a sorted, deduplicated `Vec<u32>` and referred to by a
-//! compact [`SetId`] handle. Sorted vectors (rather than bitsets) were
-//! chosen because time splitting (§2.4) grows the MIMD state id space
-//! dynamically, and because typical meta states are sparse subsets of a
-//! possibly large state space.
+//! these sets — §2.3's base construction unions, hashes, and interns one
+//! candidate set per successor choice, up to 3ⁿ per meta state — so the
+//! representation is a hybrid tuned for that workload:
+//!
+//! * **Small** (≤ [`SMALL_MAX`] members): the ids live inline in a fixed
+//!   array, no heap allocation. Typical meta states are sparse, so this is
+//!   the common case on real programs.
+//! * **Bits** (> [`SMALL_MAX`] members): a dense `Vec<u64>` bitset with
+//!   trailing zero words trimmed. `union` / `difference` / `is_subset` run
+//!   word-parallel (64 members per operation), which is what keeps the
+//!   state-explosion workloads at memory bandwidth.
+//!
+//! Membership count is cached in both variants, so [`StateSet::len`] is
+//! O(1). The representation is **canonical** — a set has ≤ `SMALL_MAX`
+//! members if and only if it is `Small`, every operation re-normalizes,
+//! and unused inline slots are zeroed — so structural equality and hashing
+//! never need to compare across variants. Hash stability matters beyond
+//! this crate: the parallel engine shards its interner by the set's Fx
+//! hash, and identical hashing on every shard (and every thread) is what
+//! keeps its output bit-identical to the sequential converter.
+//!
+//! Sets are interned in a [`SetArena`]: each distinct set is stored once
+//! and referred to by a compact [`SetId`] handle. Dense bitsets cope fine
+//! with time splitting (§2.4) growing the MIMD state id space dynamically:
+//! ids grow by appending states, so the word vector grows at the tail.
 
-use msc_ir::util::FxHashMap;
+use msc_ir::util::{FxHashMap, FxHasher};
 use msc_ir::StateId;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-/// A sorted, deduplicated set of MIMD state ids: one meta state's members.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct StateSet(Vec<u32>);
+/// Largest member count stored inline (spill threshold of the hybrid).
+const SMALL_MAX: usize = 4;
+
+/// Canonical storage: `Small` iff the set has ≤ [`SMALL_MAX`] members.
+/// `Small` keeps members sorted ascending with unused slots zeroed (so the
+/// derived equality is structural equality); `Bits` keeps `len` cached and
+/// the last word non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    Small { buf: [u32; SMALL_MAX], len: u8 },
+    Bits { len: u32, words: Vec<u64> },
+}
+
+/// A set of MIMD state ids: one meta state's members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSet(Repr);
+
+impl Default for StateSet {
+    fn default() -> Self {
+        StateSet::empty()
+    }
+}
+
+/// Build the canonical representation from a sorted, deduplicated slice.
+fn from_sorted(v: &[u32]) -> Repr {
+    if v.len() <= SMALL_MAX {
+        let mut buf = [0u32; SMALL_MAX];
+        buf[..v.len()].copy_from_slice(v);
+        Repr::Small {
+            buf,
+            len: v.len() as u8,
+        }
+    } else {
+        let n_words = (*v.last().unwrap() as usize >> 6) + 1;
+        let mut words = vec![0u64; n_words];
+        for &x in v {
+            words[(x >> 6) as usize] |= 1u64 << (x & 63);
+        }
+        Repr::Bits {
+            len: v.len() as u32,
+            words,
+        }
+    }
+}
+
+/// Re-normalize a word vector whose population is `len`: spill back to
+/// `Small` when it shrank to the inline range, otherwise trim trailing
+/// zero words.
+fn normalize_bits(len: u32, mut words: Vec<u64>) -> Repr {
+    if len as usize <= SMALL_MAX {
+        let mut buf = [0u32; SMALL_MAX];
+        let mut n = 0usize;
+        for (wi, &w) in words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                buf[n] = (wi as u32) << 6 | w.trailing_zeros();
+                w &= w - 1;
+                n += 1;
+            }
+        }
+        debug_assert_eq!(n, len as usize);
+        Repr::Small {
+            buf,
+            len: len as u8,
+        }
+    } else {
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        Repr::Bits { len, words }
+    }
+}
 
 impl StateSet {
     /// The empty set.
     pub fn empty() -> Self {
-        StateSet(Vec::new())
+        StateSet(Repr::Small {
+            buf: [0; SMALL_MAX],
+            len: 0,
+        })
     }
 
     /// Build from an arbitrary iterator of state ids (sorts and dedups).
@@ -30,128 +123,354 @@ impl StateSet {
         let mut v: Vec<u32> = iter.into_iter().map(|s| s.0).collect();
         v.sort_unstable();
         v.dedup();
-        StateSet(v)
+        StateSet(from_sorted(&v))
     }
 
     /// A singleton set.
     pub fn singleton(s: StateId) -> Self {
-        StateSet(vec![s.0])
+        let mut buf = [0u32; SMALL_MAX];
+        buf[0] = s.0;
+        StateSet(Repr::Small { buf, len: 1 })
     }
 
     /// Number of member MIMD states (the meta state's *width*, which §2.5
-    /// notes governs SIMD efficiency).
+    /// notes governs SIMD efficiency). O(1): cached in both variants.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Small { len, .. } => *len as usize,
+            Repr::Bits { len, .. } => *len as usize,
+        }
     }
 
     /// True when the set has no members (program termination).
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
-    /// Membership test (binary search).
+    /// Membership test: inline scan or single bit probe.
     pub fn contains(&self, s: StateId) -> bool {
-        self.0.binary_search(&s.0).is_ok()
+        match &self.0 {
+            Repr::Small { buf, len } => buf[..*len as usize].contains(&s.0),
+            Repr::Bits { words, .. } => {
+                let wi = (s.0 >> 6) as usize;
+                wi < words.len() && words[wi] & (1u64 << (s.0 & 63)) != 0
+            }
+        }
     }
 
     /// Iterate members in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
-        self.0.iter().map(|&x| StateId(x))
+    pub fn iter(&self) -> Members<'_> {
+        Members(match &self.0 {
+            Repr::Small { buf, len } => MembersInner::Small(buf[..*len as usize].iter()),
+            Repr::Bits { words, .. } => MembersInner::Bits {
+                words,
+                wi: 0,
+                cur: words.first().copied().unwrap_or(0),
+            },
+        })
     }
 
-    /// Set union (sorted merge).
+    /// Members as a freshly allocated sorted vector (tests, rendering).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().map(|s| s.0).collect()
+    }
+
+    /// Set union. Small∪Small is a bounded merge; anything involving a
+    /// bitset is a word-parallel OR.
     pub fn union(&self, other: &StateSet) -> StateSet {
-        let (a, b) = (&self.0, &other.0);
-        let mut out = Vec::with_capacity(a.len() + b.len());
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i]);
+        match (&self.0, &other.0) {
+            (Repr::Small { buf: a, len: la }, Repr::Small { buf: b, len: lb }) => {
+                let (a, b) = (&a[..*la as usize], &b[..*lb as usize]);
+                let mut out = [0u32; 2 * SMALL_MAX];
+                let (mut i, mut j, mut n) = (0, 0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        Ordering::Less => {
+                            out[n] = a[i];
+                            i += 1;
+                        }
+                        Ordering::Greater => {
+                            out[n] = b[j];
+                            j += 1;
+                        }
+                        Ordering::Equal => {
+                            out[n] = a[i];
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                    n += 1;
+                }
+                while i < a.len() {
+                    out[n] = a[i];
                     i += 1;
+                    n += 1;
                 }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
+                while j < b.len() {
+                    out[n] = b[j];
                     j += 1;
+                    n += 1;
                 }
-                std::cmp::Ordering::Equal => {
-                    out.push(a[i]);
-                    i += 1;
-                    j += 1;
+                StateSet(from_sorted(&out[..n]))
+            }
+            (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
+                let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                let mut words = long.clone();
+                let mut len = 0u32;
+                for (w, &s) in words.iter_mut().zip(short.iter()) {
+                    *w |= s;
                 }
+                for w in &words {
+                    len += w.count_ones();
+                }
+                // A union with a bitset operand has > SMALL_MAX members.
+                StateSet(Repr::Bits { len, words })
+            }
+            (Repr::Small { buf, len }, Repr::Bits { .. }) => {
+                other.union_with_small(&buf[..*len as usize])
+            }
+            (Repr::Bits { .. }, Repr::Small { buf, len }) => {
+                self.union_with_small(&buf[..*len as usize])
             }
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        StateSet(out)
+    }
+
+    /// `self` must be `Bits`; OR in a short sorted member list.
+    fn union_with_small(&self, small: &[u32]) -> StateSet {
+        let Repr::Bits { len, words } = &self.0 else {
+            unreachable!("caller checked the variant");
+        };
+        let mut words = words.clone();
+        let mut len = *len;
+        for &x in small {
+            let wi = (x >> 6) as usize;
+            if wi >= words.len() {
+                words.resize(wi + 1, 0);
+            }
+            let bit = 1u64 << (x & 63);
+            if words[wi] & bit == 0 {
+                words[wi] |= bit;
+                len += 1;
+            }
+        }
+        StateSet(Repr::Bits { len, words })
     }
 
     /// In-place union with a single element.
     pub fn insert(&mut self, s: StateId) {
-        if let Err(pos) = self.0.binary_search(&s.0) {
-            self.0.insert(pos, s.0);
+        match &mut self.0 {
+            Repr::Small { buf, len } => {
+                let n = *len as usize;
+                let pos = buf[..n].partition_point(|&x| x < s.0);
+                if pos < n && buf[pos] == s.0 {
+                    return;
+                }
+                if n < SMALL_MAX {
+                    buf.copy_within(pos..n, pos + 1);
+                    buf[pos] = s.0;
+                    *len += 1;
+                } else {
+                    // Spill: 5 members now.
+                    let mut v = [0u32; SMALL_MAX + 1];
+                    v[..pos].copy_from_slice(&buf[..pos]);
+                    v[pos] = s.0;
+                    v[pos + 1..].copy_from_slice(&buf[pos..]);
+                    self.0 = from_sorted(&v);
+                }
+            }
+            Repr::Bits { len, words } => {
+                let wi = (s.0 >> 6) as usize;
+                if wi >= words.len() {
+                    words.resize(wi + 1, 0);
+                }
+                let bit = 1u64 << (s.0 & 63);
+                if words[wi] & bit == 0 {
+                    words[wi] |= bit;
+                    *len += 1;
+                }
+            }
         }
     }
 
-    /// Set difference `self \ other`.
+    /// Set difference `self \ other` (word-parallel AND-NOT on bitsets).
     pub fn difference(&self, other: &StateSet) -> StateSet {
-        StateSet(
-            self.0
-                .iter()
-                .copied()
-                .filter(|x| !other.contains(StateId(*x)))
-                .collect(),
-        )
+        match (&self.0, &other.0) {
+            (Repr::Small { buf, len }, _) => {
+                let mut out = [0u32; SMALL_MAX];
+                let mut n = 0;
+                for &x in &buf[..*len as usize] {
+                    if !other.contains(StateId(x)) {
+                        out[n] = x;
+                        n += 1;
+                    }
+                }
+                StateSet(from_sorted(&out[..n]))
+            }
+            (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
+                let mut words = a.clone();
+                let mut len = 0u32;
+                for (w, &s) in words.iter_mut().zip(b.iter()) {
+                    *w &= !s;
+                }
+                for w in &words {
+                    len += w.count_ones();
+                }
+                StateSet(normalize_bits(len, words))
+            }
+            (Repr::Bits { words, .. }, Repr::Small { buf, len: lb }) => {
+                let mut words = words.clone();
+                for &x in &buf[..*lb as usize] {
+                    let wi = (x >> 6) as usize;
+                    if wi < words.len() {
+                        words[wi] &= !(1u64 << (x & 63));
+                    }
+                }
+                let len = words.iter().map(|w| w.count_ones()).sum();
+                StateSet(normalize_bits(len, words))
+            }
+        }
     }
 
     /// Members satisfying `pred` (e.g. "is a barrier wait state", §2.6).
     pub fn filter(&self, mut pred: impl FnMut(StateId) -> bool) -> StateSet {
-        StateSet(
-            self.0
-                .iter()
-                .copied()
-                .filter(|&x| pred(StateId(x)))
-                .collect(),
-        )
+        match &self.0 {
+            Repr::Small { buf, len } => {
+                let mut out = [0u32; SMALL_MAX];
+                let mut n = 0;
+                for &x in &buf[..*len as usize] {
+                    if pred(StateId(x)) {
+                        out[n] = x;
+                        n += 1;
+                    }
+                }
+                StateSet(from_sorted(&out[..n]))
+            }
+            Repr::Bits { words, .. } => {
+                let mut words = words.clone();
+                let mut len = 0u32;
+                for (wi, w) in words.iter_mut().enumerate() {
+                    let mut probe = *w;
+                    while probe != 0 {
+                        let bit = probe & probe.wrapping_neg();
+                        if !pred(StateId((wi as u32) << 6 | bit.trailing_zeros())) {
+                            *w &= !bit;
+                        }
+                        probe &= probe - 1;
+                    }
+                    len += w.count_ones();
+                }
+                StateSet(normalize_bits(len, words))
+            }
+        }
     }
 
-    /// True when every member of `self` is in `other` (linear merge).
+    /// True when every member of `self` is in `other` (word-parallel on
+    /// bitset pairs).
     pub fn is_subset(&self, other: &StateSet) -> bool {
-        if self.0.len() > other.0.len() {
+        if self.len() > other.len() {
             return false;
         }
-        let mut j = 0;
-        for &x in &self.0 {
-            while j < other.0.len() && other.0[j] < x {
-                j += 1;
+        match (&self.0, &other.0) {
+            (Repr::Small { buf, len }, _) => buf[..*len as usize]
+                .iter()
+                .all(|&x| other.contains(StateId(x))),
+            (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
+                // Trailing words are trimmed, so extra words of `a` would
+                // hold members `b` lacks.
+                a.len() <= b.len() && a.iter().zip(b.iter()).all(|(&x, &y)| x & !y == 0)
             }
-            if j >= other.0.len() || other.0[j] != x {
-                return false;
-            }
-            j += 1;
+            // A bitset has > SMALL_MAX members; the length check above
+            // already rejected it against any Small set.
+            (Repr::Bits { .. }, Repr::Small { .. }) => unreachable!("len check rejects Bits⊆Small"),
         }
-        true
     }
 
     /// True when `self ⊂ other` strictly.
     pub fn is_strict_subset(&self, other: &StateSet) -> bool {
-        self.0.len() < other.0.len() && self.is_subset(other)
+        self.len() < other.len() && self.is_subset(other)
     }
+}
 
-    /// The raw sorted member ids.
-    pub fn as_slice(&self) -> &[u32] {
-        &self.0
+/// Iterator over a set's members in ascending order.
+pub struct Members<'a>(MembersInner<'a>);
+
+enum MembersInner<'a> {
+    Small(std::slice::Iter<'a, u32>),
+    Bits {
+        words: &'a [u64],
+        wi: usize,
+        cur: u64,
+    },
+}
+
+impl Iterator for Members<'_> {
+    type Item = StateId;
+
+    fn next(&mut self) -> Option<StateId> {
+        match &mut self.0 {
+            MembersInner::Small(it) => it.next().map(|&x| StateId(x)),
+            MembersInner::Bits { words, wi, cur } => {
+                while *cur == 0 {
+                    *wi += 1;
+                    *cur = *words.get(*wi)?;
+                }
+                let bit = cur.trailing_zeros();
+                *cur &= *cur - 1;
+                Some(StateId((*wi as u32) << 6 | bit))
+            }
+        }
+    }
+}
+
+impl Hash for StateSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The representation is canonical, so per-variant hashing is
+        // consistent: equal sets are always the same variant with the same
+        // payload. Both arms hash whole 64-bit words.
+        match &self.0 {
+            Repr::Small { buf, len } => {
+                state.write_u64((buf[0] as u64) | (buf[1] as u64) << 32);
+                state.write_u64((buf[2] as u64) | (buf[3] as u64) << 32);
+                state.write_u8(*len);
+            }
+            Repr::Bits { len, words } => {
+                for &w in words {
+                    state.write_u64(w);
+                }
+                state.write_u32(*len);
+            }
+        }
+    }
+}
+
+impl PartialOrd for StateSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StateSet {
+    /// Lexicographic over the ascending member sequence — identical to the
+    /// former sorted-`Vec<u32>` ordering, which test expectations and the
+    /// deterministic successor orderings rely on.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (&self.0, &other.0) {
+            (Repr::Small { buf: a, len: la }, Repr::Small { buf: b, len: lb }) => {
+                a[..*la as usize].cmp(&b[..*lb as usize])
+            }
+            _ => self.iter().cmp(other.iter()),
+        }
     }
 }
 
 impl fmt::Display for StateSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, x) in self.0.iter().enumerate() {
+        for (i, x) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{x}")?;
+            write!(f, "{}", x.0)?;
         }
         write!(f, "}}")
     }
@@ -161,6 +480,14 @@ impl FromIterator<StateId> for StateSet {
     fn from_iter<T: IntoIterator<Item = StateId>>(iter: T) -> Self {
         StateSet::from_iter(iter)
     }
+}
+
+/// The set's Fx hash — the key both the arena and the engine's sharded
+/// interner bucket by, so a set hashes identically everywhere.
+pub fn fx_hash(set: &StateSet) -> u64 {
+    let mut h = FxHasher::default();
+    set.hash(&mut h);
+    h.finish()
 }
 
 /// Interned handle to a [`StateSet`] inside a [`SetArena`].
@@ -175,10 +502,15 @@ impl SetId {
 }
 
 /// Interning arena: each distinct [`StateSet`] is stored exactly once.
+///
+/// The lookup side maps the set's Fx hash to the (almost always one)
+/// interned ids with that hash and compares against the slab, so a lookup
+/// hit allocates nothing and a miss *moves* the set into the slab instead
+/// of cloning it.
 #[derive(Debug, Default, Clone)]
 pub struct SetArena {
     sets: Vec<StateSet>,
-    lookup: FxHashMap<StateSet, SetId>,
+    lookup: FxHashMap<u64, Vec<SetId>>,
 }
 
 impl SetArena {
@@ -189,12 +521,14 @@ impl SetArena {
 
     /// Intern a set, returning its stable handle.
     pub fn intern(&mut self, set: StateSet) -> SetId {
-        if let Some(&id) = self.lookup.get(&set) {
+        let hash = fx_hash(&set);
+        let bucket = self.lookup.entry(hash).or_default();
+        if let Some(&id) = bucket.iter().find(|id| self.sets[id.idx()] == set) {
             return id;
         }
         let id = SetId(self.sets.len() as u32);
-        self.sets.push(set.clone());
-        self.lookup.insert(set, id);
+        self.sets.push(set);
+        bucket.push(id);
         id
     }
 
@@ -224,24 +558,24 @@ mod tests {
 
     #[test]
     fn from_iter_sorts_and_dedups() {
-        assert_eq!(set(&[3, 1, 2, 1, 3]).as_slice(), &[1, 2, 3]);
+        assert_eq!(set(&[3, 1, 2, 1, 3]).to_vec(), &[1, 2, 3]);
     }
 
     #[test]
     fn union_is_sorted_merge() {
         assert_eq!(
-            set(&[1, 3, 5]).union(&set(&[2, 3, 6])).as_slice(),
+            set(&[1, 3, 5]).union(&set(&[2, 3, 6])).to_vec(),
             &[1, 2, 3, 5, 6]
         );
-        assert_eq!(set(&[]).union(&set(&[2])).as_slice(), &[2]);
-        assert_eq!(set(&[2]).union(&set(&[])).as_slice(), &[2]);
+        assert_eq!(set(&[]).union(&set(&[2])).to_vec(), &[2]);
+        assert_eq!(set(&[2]).union(&set(&[])).to_vec(), &[2]);
     }
 
     #[test]
     fn difference_removes_members() {
-        assert_eq!(set(&[1, 2, 3]).difference(&set(&[2])).as_slice(), &[1, 3]);
+        assert_eq!(set(&[1, 2, 3]).difference(&set(&[2])).to_vec(), &[1, 3]);
         assert_eq!(
-            set(&[1, 2]).difference(&set(&[1, 2])).as_slice(),
+            set(&[1, 2]).difference(&set(&[1, 2])).to_vec(),
             &[] as &[u32]
         );
     }
@@ -261,13 +595,71 @@ mod tests {
         let mut s = set(&[1, 5]);
         s.insert(StateId(3));
         s.insert(StateId(3));
-        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.to_vec(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn insert_spills_small_to_bits_and_stays_canonical() {
+        let mut s = set(&[1, 3, 5, 7]);
+        s.insert(StateId(200));
+        assert_eq!(s.to_vec(), &[1, 3, 5, 7, 200]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s, set(&[200, 7, 5, 3, 1]), "spilled set compares equal");
+        s.insert(StateId(200));
+        assert_eq!(s.len(), 5, "re-insert is a no-op");
+    }
+
+    #[test]
+    fn shrinking_bits_normalizes_back_to_small() {
+        let big = set(&[1, 2, 3, 4, 5, 6, 700]);
+        let small = big.difference(&set(&[2, 4, 6, 700]));
+        assert_eq!(small.to_vec(), &[1, 3, 5]);
+        // Canonical: must equal (and hash like) a directly-built small set.
+        let direct = set(&[1, 3, 5]);
+        assert_eq!(small, direct);
+        assert_eq!(fx_hash(&small), fx_hash(&direct));
+    }
+
+    #[test]
+    fn wide_sparse_sets_work() {
+        let s = set(&[0, 63, 64, 127, 128, 1000]);
+        assert_eq!(s.len(), 6);
+        assert!(s.contains(StateId(1000)));
+        assert!(!s.contains(StateId(999)));
+        assert!(!s.contains(StateId(4096)), "beyond the last word");
+        assert_eq!(s.to_vec(), &[0, 63, 64, 127, 128, 1000]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_over_members() {
+        // Same ordering the former sorted-Vec derive produced.
+        let mut v = vec![
+            set(&[2, 3]),
+            set(&[1, 2, 3, 4, 5]),
+            set(&[1]),
+            set(&[1, 2, 3, 4, 6]),
+            set(&[]),
+            set(&[2]),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                set(&[]),
+                set(&[1]),
+                set(&[1, 2, 3, 4, 5]),
+                set(&[1, 2, 3, 4, 6]),
+                set(&[2]),
+                set(&[2, 3]),
+            ]
+        );
     }
 
     #[test]
     fn display_matches_paper_notation() {
         assert_eq!(set(&[2, 6, 9]).to_string(), "{2,6,9}");
         assert_eq!(StateSet::empty().to_string(), "{}");
+        assert_eq!(set(&[1, 2, 3, 4, 5]).to_string(), "{1,2,3,4,5}");
     }
 
     #[test]
@@ -279,7 +671,7 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(arena.len(), 2);
-        assert_eq!(arena.get(a).as_slice(), &[1, 2]);
+        assert_eq!(arena.get(a).to_vec(), &[1, 2]);
     }
 }
 
@@ -288,8 +680,9 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Mixed-density sets: small inline ones and ones that spill to words.
     fn arb_set() -> impl Strategy<Value = StateSet> {
-        prop::collection::vec(0u32..24, 0..10)
+        prop::collection::vec(0u32..96, 0..14)
             .prop_map(|v| StateSet::from_iter(v.into_iter().map(StateId)))
     }
 
@@ -314,7 +707,7 @@ mod proptests {
 
         /// Membership agrees with construction.
         #[test]
-        fn contains_matches(v in prop::collection::vec(0u32..24, 0..10), probe in 0u32..24) {
+        fn contains_matches(v in prop::collection::vec(0u32..96, 0..14), probe in 0u32..96) {
             let s = StateSet::from_iter(v.iter().copied().map(StateId));
             prop_assert_eq!(s.contains(StateId(probe)), v.contains(&probe));
         }
@@ -329,7 +722,41 @@ mod proptests {
             }
         }
 
-        /// Interning is injective: same handle iff same set.
+        /// Every operation agrees with a model over sorted vectors, the
+        /// cached length agrees with iteration, equal sets hash equal, and
+        /// ordering matches the vector ordering.
+        #[test]
+        fn operations_match_sorted_vec_model(
+            va in prop::collection::vec(0u32..96, 0..14),
+            vb in prop::collection::vec(0u32..96, 0..14),
+        ) {
+            let model = |v: &[u32]| {
+                let mut m = v.to_vec();
+                m.sort_unstable();
+                m.dedup();
+                m
+            };
+            let (ma, mb) = (model(&va), model(&vb));
+            let (a, b) = (
+                StateSet::from_iter(va.iter().copied().map(StateId)),
+                StateSet::from_iter(vb.iter().copied().map(StateId)),
+            );
+            let m_union: Vec<u32> = model(&[ma.clone(), mb.clone()].concat());
+            prop_assert_eq!(a.union(&b).to_vec(), m_union);
+            let m_diff: Vec<u32> = ma.iter().copied().filter(|x| !mb.contains(x)).collect();
+            prop_assert_eq!(a.difference(&b).to_vec(), m_diff);
+            prop_assert_eq!(a.is_subset(&b), ma.iter().all(|x| mb.contains(x)));
+            prop_assert_eq!(a.len(), ma.len());
+            prop_assert_eq!(a.iter().count(), ma.len());
+            prop_assert_eq!(a.cmp(&b), ma.cmp(&mb));
+            if ma == mb {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(fx_hash(&a), fx_hash(&b));
+            }
+        }
+
+        /// Interning is injective: same handle iff same set. A hit must
+        /// also work through the hash-bucket path for spilled sets.
         #[test]
         fn intern_injective(sets in prop::collection::vec(arb_set(), 1..12)) {
             let mut arena = SetArena::new();

@@ -13,10 +13,18 @@
 //! contains non-barrier members would let PEs run past the barrier early.
 
 use crate::automaton::{MetaAutomaton, MetaId};
+use msc_ir::util::FxHashSet;
 
 /// Fold strict-subset meta states into supersets. Returns the number of
 /// meta states removed. The automaton is rebuilt with dense ids; the start
 /// state is remapped if it was folded.
+///
+/// The superset search uses an inverted index (MIMD state → metas whose
+/// set contains it): any superset of meta `i` must appear on the
+/// occurrence list of *every* member of `i`, so it suffices to scan the
+/// shortest such list — the one of `i`'s rarest member — instead of all n
+/// metas. Combined with the word-wise `is_strict_subset`, this takes the
+/// pass from O(n² · width) to roughly O(n · rarest-occurrence · words).
 pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
     let n = auto.sets.len();
     if n == 0 {
@@ -28,33 +36,65 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
         .map(|s| !s.is_empty() && s.iter().all(|m| auto.graph.state(m).barrier))
         .collect();
 
-    // For determinism, fold each subset into the *largest* superset
-    // (ties broken by lowest id).
-    let mut remap: Vec<MetaId> = (0..n as u32).map(MetaId).collect();
-    // Order candidates by descending size so the chosen superset is itself
-    // maximal (never remapped onward except through chains we resolve below).
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(auto.sets[i].len()));
+    // Occurrence lists over fold-eligible metas only (barrier-only metas
+    // are neither folded nor folded into, so they stay out of the index).
+    let max_state = auto
+        .sets
+        .iter()
+        .flat_map(|s| s.iter())
+        .map(|s| s.idx())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut containing: Vec<Vec<u32>> = vec![Vec::new(); max_state];
+    for (i, s) in auto.sets.iter().enumerate() {
+        if barrier_only[i] {
+            continue;
+        }
+        for m in s.iter() {
+            containing[m.idx()].push(i as u32);
+        }
+    }
 
-    for &i in &order {
+    // For determinism, fold each subset into the *largest* superset
+    // (ties broken by lowest id). The winner is a unique argmax over
+    // (len, Reverse(id)), so the candidate scan order is irrelevant.
+    let mut remap: Vec<MetaId> = (0..n as u32).map(MetaId).collect();
+    let order: Vec<usize> = (0..n).collect();
+
+    for i in 0..n {
         if barrier_only[i] {
             continue;
         }
         let mut best: Option<usize> = None;
-        for &j in &order {
-            if j == i || barrier_only[j] {
-                continue;
+        let consider = |j: usize, best: &mut Option<usize>| {
+            if j == i || barrier_only[j] || !auto.sets[i].is_strict_subset(&auto.sets[j]) {
+                return;
             }
-            if auto.sets[i].is_strict_subset(&auto.sets[j]) {
-                let better = match best {
-                    None => true,
-                    Some(b) => {
-                        (auto.sets[j].len(), std::cmp::Reverse(j))
-                            > (auto.sets[b].len(), std::cmp::Reverse(b))
-                    }
-                };
-                if better {
-                    best = Some(j);
+            let better = match *best {
+                None => true,
+                Some(b) => {
+                    (auto.sets[j].len(), std::cmp::Reverse(j))
+                        > (auto.sets[b].len(), std::cmp::Reverse(b))
+                }
+            };
+            if better {
+                *best = Some(j);
+            }
+        };
+        let rarest = auto.sets[i]
+            .iter()
+            .min_by_key(|m| containing[m.idx()].len());
+        match rarest {
+            Some(m) => {
+                for &j in &containing[m.idx()] {
+                    consider(j as usize, &mut best);
+                }
+            }
+            // The empty set is a strict subset of everything; fall back to
+            // a full scan.
+            None => {
+                for &j in &order {
+                    consider(j, &mut best);
                 }
             }
         }
@@ -101,9 +141,10 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
     for &i in &kept {
         sets.push(auto.sets[i].clone());
         let mut out: Vec<MetaId> = Vec::new();
+        let mut seen: FxHashSet<MetaId> = FxHashSet::default();
         for &s in &auto.succs[i] {
             let t = map(s);
-            if !out.contains(&t) {
+            if seen.insert(t) {
                 out.push(t);
             }
         }

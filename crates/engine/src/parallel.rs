@@ -37,14 +37,13 @@
 //! converter.
 
 use msc_core::{
-    apply_barrier, convert_with_stats, expand_frontier, subsume::subsume, ConvertError,
+    apply_barrier, convert_with_stats, expand_frontier, fx_hash, subsume::subsume, ConvertError,
     ConvertOptions, ConvertStats, MetaAutomaton, MetaId, StateSet,
 };
-use msc_ir::util::{FxHashMap, FxHasher};
+use msc_ir::util::{FxHashMap, FxHashSet};
 use msc_ir::MimdGraph;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -179,9 +178,15 @@ impl Drop for TaskGuard<'_> {
 }
 
 /// The sharded interner plus the record slab.
+///
+/// Each shard maps the member set's Fx hash to the interned ids carrying
+/// that hash (almost always exactly one); equality is checked against the
+/// slab records. This keeps the member set stored once — in the record —
+/// so an intern hit allocates nothing and a miss *moves* the set in. The
+/// shard index is derived from the same hash, so identical sets land on
+/// the same shard on every thread.
 struct Interner {
-    /// `members -> global id`, sharded by the set's Fx hash.
-    shards: Vec<Mutex<FxHashMap<StateSet, u32>>>,
+    shards: Vec<Mutex<FxHashMap<u64, Vec<u32>>>>,
     /// Records addressed by global id (creation order).
     slab: RwLock<Vec<Arc<Record>>>,
 }
@@ -196,12 +201,6 @@ impl Interner {
         }
     }
 
-    fn shard_of(&self, set: &StateSet) -> usize {
-        let mut h = FxHasher::default();
-        set.hash(&mut h);
-        (h.finish() as usize) & (self.shards.len() - 1)
-    }
-
     fn resolve(&self, id: u32) -> Arc<Record> {
         Arc::clone(&self.slab.read()[id as usize])
     }
@@ -214,9 +213,17 @@ impl Interner {
     /// member set is new, otherwise widen the existing record's latent set,
     /// re-enqueueing it if the widening invalidated published successors.
     fn intern(&self, members: StateSet, latent: StateSet, queue: &WorkQueue) -> u32 {
-        let shard = self.shard_of(&members);
+        let hash = fx_hash(&members);
+        let shard = (hash as usize) & (self.shards.len() - 1);
         let mut map = self.shards[shard].lock();
-        if let Some(&id) = map.get(&members) {
+        let hit = map.get(&hash).and_then(|bucket| {
+            let slab = self.slab.read();
+            bucket
+                .iter()
+                .copied()
+                .find(|&id| slab[id as usize].members == members)
+        });
+        if let Some(id) = hit {
             drop(map);
             let rec = self.resolve(id);
             let mut st = rec.state.lock();
@@ -237,7 +244,7 @@ impl Interner {
         let mut slab = self.slab.write();
         let id = slab.len() as u32;
         slab.push(Arc::new(Record {
-            members: members.clone(),
+            members,
             state: Mutex::new(RecordState {
                 latent,
                 version: 0,
@@ -246,7 +253,7 @@ impl Interner {
             succs: Mutex::new(Vec::new()),
         }));
         drop(slab);
-        map.insert(members, id);
+        map.entry(hash).or_default().push(id);
         drop(map);
         queue.push(id);
         id
@@ -336,9 +343,10 @@ pub fn convert_parallel_deadline(
                     };
                     enumerated.fetch_add(n_enum, Ordering::Relaxed);
                     let mut out: Vec<u32> = Vec::with_capacity(targets.len());
+                    let mut out_seen: FxHashSet<u32> = FxHashSet::default();
                     for (t, l) in targets {
                         let sid = interner.intern(t, l, &queue);
-                        if !out.contains(&sid) {
+                        if out_seen.insert(sid) {
                             out.push(sid);
                         }
                     }

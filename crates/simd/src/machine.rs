@@ -243,6 +243,20 @@ pub struct SimdMachine {
     pub visits: Vec<u64>,
     /// Recorded events, when tracing is enabled.
     pub trace: Vec<TraceEvent>,
+    // Incremental dispatch bookkeeping (rebuilt from `pc` at the start of
+    // every `run`, then maintained per changed PE at each commit — the
+    // dispatch hot path must not rescan all N PEs every cycle):
+    /// Count of live (non-idle) PEs; equals `pc.iter().flatten().count()`.
+    live: usize,
+    /// PEs per MIMD state, indexed by state id (grown on demand). A state
+    /// is occupied iff its count is non-zero — this is what the `globalor`
+    /// aggregate and the all-at-barrier check iterate instead of `pc`.
+    occupancy: Vec<u32>,
+    /// Shadow `pc` buffer, equal to `pc` between blocks; control
+    /// instructions write it during a body, the commit folds it back.
+    shadow_pc: Vec<Option<StateId>>,
+    /// PEs whose shadow pc was written this block (may hold duplicates).
+    dirty: Vec<usize>,
 }
 
 impl SimdMachine {
@@ -253,7 +267,7 @@ impl SimdMachine {
         for slot in pc.iter_mut().take(config.active_at_start) {
             *slot = Some(program.start_state);
         }
-        SimdMachine {
+        let mut machine = SimdMachine {
             n_pe: n,
             poly: vec![vec![0; program.poly_words as usize]; n],
             mono: vec![0; program.mono_words as usize],
@@ -263,7 +277,34 @@ impl SimdMachine {
             metrics: Metrics::default(),
             visits: vec![0; program.blocks.len()],
             trace: Vec::new(),
+            live: 0,
+            occupancy: Vec::new(),
+            shadow_pc: Vec::new(),
+            dirty: Vec::new(),
+        };
+        machine.rebuild_counters();
+        machine
+    }
+
+    /// Rebuild the incremental dispatch bookkeeping from `pc`. `pc` is a
+    /// public field, so `run` cannot assume it is unchanged since `new`.
+    fn rebuild_counters(&mut self) {
+        self.live = self.pc.iter().filter(|p| p.is_some()).count();
+        self.occupancy.clear();
+        for i in 0..self.pc.len() {
+            if let Some(s) = self.pc[i] {
+                Self::bump(&mut self.occupancy, s);
+            }
         }
+        self.shadow_pc.clone_from(&self.pc);
+        self.dirty.clear();
+    }
+
+    fn bump(occupancy: &mut Vec<u32>, s: StateId) {
+        if s.idx() >= occupancy.len() {
+            occupancy.resize(s.idx() + 1, 0);
+        }
+        occupancy[s.idx()] += 1;
     }
 
     /// Read PE `pe`'s poly word at `addr` (testing/inspection aid).
@@ -288,8 +329,9 @@ impl SimdMachine {
     ) -> Result<Metrics, RunError> {
         let costs = &program.costs;
         let mut cur = program.start;
+        self.rebuild_counters();
         // All PEs already idle? Nothing to run.
-        if self.pc.iter().all(|p| p.is_none()) {
+        if self.live == 0 {
             return Ok(self.metrics);
         }
         loop {
@@ -301,7 +343,9 @@ impl SimdMachine {
             let block = program.block(cur);
             self.visits[cur.idx()] += 1;
 
-            let live: usize = self.pc.iter().filter(|p| p.is_some()).count();
+            // Maintained incrementally at each commit; constant during the
+            // body since control writes land in the shadow buffer.
+            let live = self.live;
             if config.trace {
                 self.trace.push(TraceEvent::EnterBlock {
                     block: cur,
@@ -309,8 +353,11 @@ impl SimdMachine {
                     at_cycle: self.metrics.cycles,
                 });
             }
-            let entry_pc: Vec<Option<StateId>> = self.pc.clone();
-            let mut next_pc = entry_pc.clone();
+            // Guards read `self.pc` (block-entry values); control writes go
+            // to the shadow buffer, taken out of `self` so `exec` can hold
+            // it alongside `&mut self`.
+            let mut next_pc = std::mem::take(&mut self.shadow_pc);
+            let mut dirty = std::mem::take(&mut self.dirty);
             let mut last_guard: Option<&[StateId]> = None;
 
             for gi in &block.body {
@@ -327,15 +374,35 @@ impl SimdMachine {
                     last_guard = Some(gi.guard.as_slice());
                 }
                 let enabled: Vec<usize> = (0..self.n_pe)
-                    .filter(|&pe| entry_pc[pe].map(|s| gi.enables(s)).unwrap_or(false))
+                    .filter(|&pe| self.pc[pe].map(|s| gi.enables(s)).unwrap_or(false))
                     .collect();
                 self.metrics.enabled_pe_cycles += enabled.len() as u64 * cost;
                 self.metrics.live_pe_cycles += live as u64 * cost;
-                self.exec(&gi.instr, &enabled, &mut next_pc, cur)?;
+                self.exec(&gi.instr, &enabled, &mut next_pc, &mut dirty, cur)?;
             }
 
-            // Commit the shadow pcs.
-            self.pc = next_pc;
+            // Commit the shadow pcs, updating the live count and the state
+            // occupancy only for PEs whose pc actually changed.
+            for &pe in &dirty {
+                let (old, new) = (self.pc[pe], next_pc[pe]);
+                if old == new {
+                    continue; // duplicate dirty entry or no-op write
+                }
+                if let Some(s) = old {
+                    self.occupancy[s.idx()] -= 1;
+                    self.live -= 1;
+                }
+                if let Some(s) = new {
+                    Self::bump(&mut self.occupancy, s);
+                    self.live += 1;
+                }
+                self.pc[pe] = new;
+            }
+            dirty.clear();
+            // `pc == next_pc` again (every divergence was just committed),
+            // so the buffer is ready for the next block.
+            self.shadow_pc = next_pc;
+            self.dirty = dirty;
 
             // Dispatch (§3.2): a single exit arc is a plain goto
             // (§3.2.2, one cheap cycle); multiway exits pay the
@@ -350,7 +417,7 @@ impl SimdMachine {
             self.metrics.dispatch_cycles += dcost;
             self.metrics.dispatches += 1;
 
-            if self.pc.iter().all(|p| p.is_none()) {
+            if self.live == 0 {
                 if config.trace {
                     self.trace.push(TraceEvent::Dispatch {
                         from: cur,
@@ -372,11 +439,10 @@ impl SimdMachine {
                 }
                 Dispatch::Direct(t) => *t,
                 Dispatch::DirectWithBarrier { cont, barrier } => {
+                    let members = &program.block(*barrier).members;
                     let all_at_barrier = self
-                        .pc
-                        .iter()
-                        .flatten()
-                        .all(|s| program.block(*barrier).members.binary_search(s).is_ok());
+                        .occupied_states()
+                        .all(|s| members.binary_search(&s).is_ok());
                     if all_at_barrier {
                         *barrier
                     } else {
@@ -389,16 +455,17 @@ impl SimdMachine {
                     hash,
                     targets,
                 } => {
-                    // globalor of live pc bits.
+                    // globalor of live pc bits — one lookup per occupied
+                    // state, not per PE.
                     let mut aggregate = 0u64;
-                    for s in self.pc.iter().flatten() {
+                    for s in self.occupied_states() {
                         let bit = bit_of
                             .iter()
-                            .find(|(st, _)| st == s)
+                            .find(|(st, _)| *st == s)
                             .map(|(_, b)| *b)
                             .ok_or(RunError::UnmappedState {
                                 block: cur,
-                                state: *s,
+                                state: s,
                             })?;
                         aggregate |= 1 << bit;
                     }
@@ -426,11 +493,21 @@ impl SimdMachine {
         }
     }
 
+    /// States with at least one PE in them, ascending.
+    fn occupied_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, _)| StateId(s as u32))
+    }
+
     fn exec(
         &mut self,
         instr: &SimdInstr,
         enabled: &[usize],
         next_pc: &mut [Option<StateId>],
+        dirty: &mut Vec<usize>,
         block: BlockId,
     ) -> Result<(), RunError> {
         match instr {
@@ -439,18 +516,21 @@ impl SimdMachine {
                 for &pe in enabled {
                     let c = self.pop(pe)?;
                     next_pc[pe] = Some(if c != 0 { *t } else { *f });
+                    dirty.push(pe);
                 }
                 Ok(())
             }
             SimdInstr::SetPc(s) => {
                 for &pe in enabled {
                     next_pc[pe] = Some(*s);
+                    dirty.push(pe);
                 }
                 Ok(())
             }
             SimdInstr::Halt => {
                 for &pe in enabled {
                     next_pc[pe] = None;
+                    dirty.push(pe);
                     self.stack[pe].clear();
                     self.ret_stack[pe].clear();
                 }
@@ -463,6 +543,7 @@ impl SimdMachine {
                         .get(sel as usize)
                         .ok_or(RunError::BadSelector { pe, selector: sel })?;
                     next_pc[pe] = Some(*t);
+                    dirty.push(pe);
                 }
                 Ok(())
             }
@@ -488,6 +569,8 @@ impl SimdMachine {
                     self.ret_stack[recruit].clear();
                     next_pc[recruit] = Some(*child);
                     next_pc[pe] = Some(*next);
+                    dirty.push(recruit);
+                    dirty.push(pe);
                 }
                 Ok(())
             }
@@ -973,6 +1056,30 @@ mod tests {
             m.run(&p, &cfg),
             Err(RunError::SpawnOverflow { .. })
         ));
+    }
+
+    #[test]
+    fn incremental_counters_match_rescan() {
+        // After a run with divergence and halts, the incrementally
+        // maintained live count and occupancy table must agree with a
+        // from-scratch rescan of `pc`.
+        let p = trivial_program();
+        let cfg = MachineConfig::spmd(8);
+        let mut m = SimdMachine::new(&p, &cfg);
+        m.run(&p, &cfg).unwrap();
+        assert_eq!(m.live, m.pc.iter().filter(|x| x.is_some()).count());
+        let mut occ = vec![0u32; m.occupancy.len()];
+        for s in m.pc.iter().flatten() {
+            occ[s.idx()] += 1;
+        }
+        assert_eq!(m.occupancy, occ);
+        // And the bookkeeping survives an external pc reset + rerun.
+        for slot in m.pc.iter_mut() {
+            *slot = Some(StateId(0));
+        }
+        m.run(&p, &cfg).unwrap();
+        assert_eq!(m.live, 0);
+        assert!(m.occupancy.iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -64,11 +64,15 @@ fn arb_graph() -> impl Strategy<Value = MimdGraph> {
     })
 }
 
-fn check_graph(g: &MimdGraph, opts: &ConvertOptions) -> Result<(), TestCaseError> {
+fn check_graph(
+    g: &MimdGraph,
+    opts: &ConvertOptions,
+    check_stats: bool,
+) -> Result<(), TestCaseError> {
     // Guard-limited graphs are fine as long as every path agrees on the
     // error; skip those cases (they are exercised by unit tests).
-    let seq = match convert_parallel(g, opts, 1) {
-        Ok((a, _)) => a,
+    let (seq, seq_stats) = match convert_parallel(g, opts, 1) {
+        Ok(r) => r,
         Err(_) => return Ok(()),
     };
     prop_assert!(
@@ -77,7 +81,7 @@ fn check_graph(g: &MimdGraph, opts: &ConvertOptions) -> Result<(), TestCaseError
         seq.validate()
     );
     for threads in [2usize, 4, 8] {
-        let (par, _) = convert_parallel(g, opts, threads).map_err(|e| {
+        let (par, par_stats) = convert_parallel(g, opts, threads).map_err(|e| {
             TestCaseError::fail(format!("parallel failed where sequential ok: {e}"))
         })?;
         prop_assert_eq!(&par.sets, &seq.sets, "sets differ at {} threads", threads);
@@ -88,13 +92,24 @@ fn check_graph(g: &MimdGraph, opts: &ConvertOptions) -> Result<(), TestCaseError
             threads
         );
         prop_assert_eq!(par.start, seq.start);
+        if check_stats {
+            // With barriers ignored there is no latent widening, so each
+            // meta state is expanded exactly once on every path and the
+            // enumeration counter is thread-count invariant.
+            prop_assert_eq!(
+                par_stats.successor_sets_enumerated,
+                seq_stats.successor_sets_enumerated,
+                "enumeration count differs at {} threads",
+                threads
+            );
+        }
     }
     // Without subsumption the engine's normal form is exactly the core
     // converter's automaton pruned of unreachable states (latent widening
     // can orphan earlier-interned sets in the core converter too) and
     // canonicalized.
     if !opts.subsumption {
-        let (mut core, _) = convert_with_stats(g, opts)
+        let (mut core, core_stats) = convert_with_stats(g, opts)
             .map_err(|e| TestCaseError::fail(format!("core failed where engine ok: {e}")))?;
         core.prune_unreachable();
         core.canonicalize();
@@ -104,6 +119,13 @@ fn check_graph(g: &MimdGraph, opts: &ConvertOptions) -> Result<(), TestCaseError
             "engine normal form is not canonicalized core"
         );
         prop_assert_eq!(&seq.succs, &core.succs);
+        if check_stats {
+            prop_assert_eq!(
+                core_stats.successor_sets_enumerated,
+                seq_stats.successor_sets_enumerated,
+                "engine enumeration count differs from sequential core"
+            );
+        }
     }
     Ok(())
 }
@@ -114,13 +136,13 @@ proptest! {
     #[test]
     fn parallel_equals_sequential_base(g in arb_graph()) {
         let opts = ConvertOptions { max_meta_states: 4096, max_successor_sets: 1 << 12, ..ConvertOptions::base() };
-        check_graph(&g, &opts)?;
+        check_graph(&g, &opts, false)?;
     }
 
     #[test]
     fn parallel_equals_sequential_compressed(g in arb_graph()) {
         let opts = ConvertOptions { max_meta_states: 4096, ..ConvertOptions::compressed() };
-        check_graph(&g, &opts)?;
+        check_graph(&g, &opts, false)?;
     }
 
     #[test]
@@ -131,7 +153,7 @@ proptest! {
             max_successor_sets: 1 << 12,
             ..ConvertOptions::base()
         };
-        check_graph(&g, &opts)?;
+        check_graph(&g, &opts, true)?;
     }
 }
 

@@ -1,0 +1,119 @@
+//! Regression pin for the SIMD machine's execution accounting.
+//!
+//! The dispatch hot path maintains the live-PE count and the per-state
+//! occupancy table incrementally (updated only for PEs whose `pc` actually
+//! changed) instead of rescanning every PE each cycle. These tests pin the
+//! full [`Metrics`] struct and the trace shape against values captured
+//! from the straightforward rescan-everything implementation, so any drift
+//! in the incremental bookkeeping shows up as a hard failure.
+
+use metastate::simd::MachineConfig;
+use metastate::{ConvertMode, Pipeline};
+
+/// Divergent per-PE work: exercises `Hashed` dispatch (multiway exits,
+/// aggregate keys built from the per-state occupancy) on every iteration.
+fn branchy_src() -> String {
+    let mut body = String::new();
+    for k in 0..3 {
+        if k < 2 {
+            body.push_str(&format!("        if (kind == {k}) {{\n"));
+        } else {
+            body.push_str("        {\n");
+        }
+        body.push_str(&format!(
+            "            for (i = 0; i < pe_id() % 4 + {}; i += 1) {{ acc += i * {}; }}\n",
+            k + 1,
+            k + 3
+        ));
+        if k < 2 {
+            body.push_str("        } else\n");
+        } else {
+            body.push_str("        }\n");
+        }
+    }
+    format!(
+        "main() {{\n    poly int kind, i, acc = 0;\n        kind = pe_id() % 3;\n{body}    return(acc);\n}}\n"
+    )
+}
+
+/// Barrier-phased work: exercises the §3.2.4 barrier adjustment of the
+/// aggregate key and the all-at-barrier check.
+fn barrier_src() -> String {
+    let mut body = String::new();
+    for p in 0..2 {
+        body.push_str(&format!(
+            "    for (i = 0; i < pe_id() % 3 + 1; i += 1) {{ acc += {}; }}\n    wait;\n",
+            p + 1
+        ));
+    }
+    format!("main() {{\n    poly int i, acc = 0;\n{body}    return(acc);\n}}\n")
+}
+
+fn run(src: &str, mode: ConvertMode, n_pe: usize) -> (metastate::simd::Metrics, usize, u64) {
+    let built = Pipeline::new(src).mode(mode).build().unwrap();
+    let cfg = MachineConfig::spmd(n_pe).with_trace();
+    let mut machine = metastate::SimdMachine::new(&built.simd, &cfg);
+    let metrics = machine.run(&built.simd, &cfg).unwrap();
+    let visits: u64 = machine.visits.iter().sum();
+    (metrics, machine.trace.len(), visits)
+}
+
+#[test]
+fn branchy_base_mode_metrics_unchanged() {
+    let (m, trace_len, visits) = run(&branchy_src(), ConvertMode::Base, 8);
+    assert_eq!(m.cycles, 501, "PIN cycles");
+    assert_eq!(m.body_cycles, 358, "PIN body");
+    assert_eq!(m.guard_cycles, 78, "PIN guard");
+    assert_eq!(m.dispatch_cycles, 65, "PIN dispatch");
+    assert_eq!(m.issues, 172, "PIN issues");
+    assert_eq!(m.dispatches, 9, "PIN dispatches");
+    assert_eq!(m.enabled_pe_cycles, 1639, "PIN enabled");
+    assert_eq!(m.live_pe_cycles, 2351, "PIN live");
+    assert_eq!(trace_len, 18, "PIN trace_len");
+    assert_eq!(visits, 9, "PIN visits");
+}
+
+#[test]
+fn branchy_compressed_mode_metrics_unchanged() {
+    let (m, trace_len, visits) = run(&branchy_src(), ConvertMode::Compressed, 8);
+    assert_eq!(m.cycles, 526, "PIN cycles");
+    assert_eq!(m.body_cycles, 416, "PIN body");
+    assert_eq!(m.guard_cycles, 101, "PIN guard");
+    assert_eq!(m.dispatch_cycles, 9, "PIN dispatch");
+    assert_eq!(m.issues, 205, "PIN issues");
+    assert_eq!(m.dispatches, 9, "PIN dispatches");
+    assert_eq!(m.enabled_pe_cycles, 1639, "PIN enabled");
+    assert_eq!(m.live_pe_cycles, 2512, "PIN live");
+    assert_eq!(trace_len, 18, "PIN trace_len");
+    assert_eq!(visits, 9, "PIN visits");
+}
+
+#[test]
+fn barrier_base_mode_metrics_unchanged() {
+    let (m, trace_len, visits) = run(&barrier_src(), ConvertMode::Base, 6);
+    assert_eq!(m.cycles, 352, "PIN cycles");
+    assert_eq!(m.body_cycles, 278, "PIN body");
+    assert_eq!(m.guard_cycles, 9, "PIN guard");
+    assert_eq!(m.dispatch_cycles, 65, "PIN dispatch");
+    assert_eq!(m.issues, 121, "PIN issues");
+    assert_eq!(m.dispatches, 9, "PIN dispatches");
+    assert_eq!(m.enabled_pe_cycles, 1236, "PIN enabled");
+    assert_eq!(m.live_pe_cycles, 1668, "PIN live");
+    assert_eq!(trace_len, 18, "PIN trace_len");
+    assert_eq!(visits, 9, "PIN visits");
+}
+
+#[test]
+fn barrier_compressed_mode_metrics_unchanged() {
+    let (m, trace_len, visits) = run(&barrier_src(), ConvertMode::Compressed, 6);
+    assert_eq!(m.cycles, 352, "PIN cycles");
+    assert_eq!(m.body_cycles, 278, "PIN body");
+    assert_eq!(m.guard_cycles, 9, "PIN guard");
+    assert_eq!(m.dispatch_cycles, 65, "PIN dispatch");
+    assert_eq!(m.issues, 121, "PIN issues");
+    assert_eq!(m.dispatches, 9, "PIN dispatches");
+    assert_eq!(m.enabled_pe_cycles, 1236, "PIN enabled");
+    assert_eq!(m.live_pe_cycles, 1668, "PIN live");
+    assert_eq!(trace_len, 18, "PIN trace_len");
+    assert_eq!(visits, 9, "PIN visits");
+}
