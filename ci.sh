@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, then the tier-1 build + test suite.
+# CI gate: formatting, lints, docs, then the tier-1 build + test suite.
+# This script is the single source of truth — .github/workflows/ci.yml
+# just runs it.
 #
 #   ./ci.sh               the full gate (includes compiling the benches)
 #   ./ci.sh bench-smoke   additionally *run* the set benches in their
 #                         --test smoke configuration (small sizes, 2
-#                         samples) to prove the bench harness works
+#                         samples) and the bench-regression gate, which
+#                         re-measures the setops speedups and fails if
+#                         they fall >30% below BENCH_setops.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,6 +19,9 @@ cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "== tier-1: build --release =="
 cargo build --release
@@ -30,6 +37,10 @@ if [ "$MODE" = "bench-smoke" ]; then
     cargo bench -p msc-bench --bench set_algebra -- --test
     echo "== bench smoke: subsume_scaling --test =="
     cargo bench -p msc-bench --bench subsume_scaling -- --test
+    echo "== bench smoke: obs_overhead --test =="
+    cargo bench -p msc-bench --bench obs_overhead -- --test
+    echo "== bench regression gate: setops --check =="
+    cargo run --release -p msc-bench --bin claims -- setops --check
 fi
 
 echo "CI OK"

@@ -1,0 +1,104 @@
+//! Observability overhead gate: with no subscriber installed, the
+//! instrumented converter must stay within 2% of an uninstrumented
+//! baseline (DESIGN.md §10). There is no uninstrumented build to race
+//! against in one binary, so the bench bounds the overhead directly:
+//!
+//! 1. measure one conversion of the state-explosion workload with obs
+//!    fully disabled (the shipping configuration),
+//! 2. measure the per-call cost of a disabled emit — one relaxed atomic
+//!    load and a branch,
+//! 3. count how many events the same conversion emits when a subscriber
+//!    *is* installed (an upper bound on the disabled-path checks, since
+//!    the batched hot-loop sites gate several emits behind one check),
+//!
+//! and report `events x per-call cost` as a fraction of the conversion
+//! time. The bench asserts that bound is under 2%. It also times the
+//! subscriber-installed conversion so the real cost of turning tracing
+//! on is visible in the same table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msc_bench::workloads::branch_chain_graph;
+use msc_core::{convert_with_stats, ConvertOptions};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Best-of-5 per-iteration nanoseconds, auto-scaled like claims.rs.
+fn time_ns(mut f: impl FnMut() -> usize) -> f64 {
+    let mut sink = 0usize;
+    let t0 = Instant::now();
+    sink ^= f();
+    let one = t0.elapsed().as_nanos().max(1);
+    let iters = (50_000_000u128 / one).clamp(4, 2_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            sink ^= f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    black_box(sink);
+    best
+}
+
+/// Subscriber that only counts how many events reach it.
+struct EventCounter(AtomicU64);
+
+impl msc_obs::Subscriber for EventCounter {
+    fn event(&self, _: &msc_obs::Event) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let g = branch_chain_graph(12);
+    let opts = ConvertOptions::base();
+    let convert_len = || convert_with_stats(&g, &opts).unwrap().0.len();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("convert_no_subscriber", |b| {
+        b.iter(|| black_box(convert_len()))
+    });
+    group.bench_function("disabled_count_call", |b| {
+        b.iter(|| msc_obs::count("bench.disabled_probe", 1))
+    });
+
+    // How many events does one conversion emit with tracing on? Each
+    // instrumentation site performs at most one enabled() check per
+    // event it would emit, so this bounds the disabled-path work.
+    let counter = Arc::new(EventCounter(AtomicU64::new(0)));
+    let events = {
+        let _guard = msc_obs::install(counter.clone());
+        black_box(convert_len());
+        counter.0.load(Ordering::Relaxed)
+    };
+
+    {
+        let _guard = msc_obs::install(Arc::new(EventCounter(AtomicU64::new(0))));
+        group.bench_function("convert_counting_subscriber", |b| {
+            b.iter(|| black_box(convert_len()))
+        });
+    }
+    group.finish();
+
+    let convert_ns = time_ns(convert_len);
+    let per_call_ns = time_ns(|| {
+        msc_obs::count("bench.disabled_probe", 1);
+        0
+    });
+    let bound_pct = events as f64 * per_call_ns / convert_ns * 100.0;
+    println!(
+        "\nobs overhead bound: {events} events x {per_call_ns:.2} ns disabled check \
+         / {convert_ns:.0} ns conversion = {bound_pct:.3}% (gate: <= 2%)"
+    );
+    assert!(
+        bound_pct <= 2.0,
+        "disabled-observability overhead bound {bound_pct:.3}% exceeds the 2% budget"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

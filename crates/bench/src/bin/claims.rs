@@ -607,8 +607,76 @@ fn setops() {
     println!("   workload up, and subsume growth ratios stay near 2x per doubling\n");
 }
 
+/// `claims -- setops --check`: re-measure the union / is_subset speedups
+/// and gate them against the committed `BENCH_setops.json`. Prints the
+/// measurements either way; returns false (→ nonzero exit) if any speedup
+/// regressed more than 30% below its committed value.
+fn setops_check() -> bool {
+    use msc_bench::baseline::{vec_is_subset, vec_union};
+    use msc_bench::regression::{check_speedups, parse_setops_baseline};
+    use msc_core::StateSet;
+    use msc_ir::StateId;
+
+    println!("== SETOPS --check: regression gate vs committed BENCH_setops.json ==\n");
+    let text = match std::fs::read_to_string("BENCH_setops.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read BENCH_setops.json: {e}");
+            return false;
+        }
+    };
+    let baseline = parse_setops_baseline(&text);
+    if baseline.is_empty() {
+        eprintln!("BENCH_setops.json contains no workload baselines");
+        return false;
+    }
+
+    let to_set = |v: &[u32]| -> StateSet { StateSet::from_iter(v.iter().map(|&x| StateId(x))) };
+    let mut measured = Vec::new();
+    println!("size | union speedup (committed) | is_subset speedup (committed)");
+    for b in &baseline {
+        let n = b.size;
+        let (va, vb) = overlapping_members(n);
+        let (sa, sb) = (to_set(&va), to_set(&vb));
+        let vsub: Vec<u32> = va.iter().copied().step_by(2).collect();
+        let ssub = to_set(&vsub);
+        let union_speedup = time_ns(|| vec_union(&va, &vb).len()) / time_ns(|| sa.union(&sb).len());
+        let subset_speedup = time_ns(|| usize::from(vec_is_subset(&vsub, &va)))
+            / time_ns(|| usize::from(ssub.is_subset(&sa)));
+        println!(
+            "{n:4} | {union_speedup:13.2}x ({:6.2}x) | {subset_speedup:17.2}x ({:6.2}x)",
+            b.union_speedup, b.is_subset_speedup
+        );
+        measured.push((n, union_speedup, subset_speedup));
+    }
+
+    let failures = check_speedups(&baseline, &measured, 0.30);
+    for f in &failures {
+        eprintln!("REGRESSION: {f}");
+    }
+    if failures.is_empty() {
+        println!("\nbench regression gate OK (30% tolerance)");
+        true
+    } else {
+        eprintln!(
+            "\nbench regression gate FAILED: {} regression(s)",
+            failures.len()
+        );
+        false
+    }
+}
+
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = std::env::args().skip(1).collect();
+    let check = which.iter().any(|w| w == "--check");
+    which.retain(|w| w != "--check");
+    if check {
+        // --check only gates setops; other claim names are ignored here.
+        if !setops_check() {
+            std::process::exit(1);
+        }
+        return;
+    }
     let all = which.is_empty();
     let want = |k: &str| all || which.iter().any(|w| w == k);
     let claims: [(&str, fn()); 15] = [

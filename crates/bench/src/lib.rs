@@ -6,6 +6,7 @@
 
 pub mod baseline;
 pub mod measure;
+pub mod regression;
 pub mod workloads;
 
 pub use measure::{measure_interp, measure_msc, measure_reference, Measurement};

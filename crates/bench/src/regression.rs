@@ -1,0 +1,147 @@
+//! Bench-regression gate over the committed `BENCH_setops.json` baseline.
+//!
+//! `claims -- setops --check` re-measures the set-operation speedups and
+//! calls [`check_speedups`]; any union / is_subset speedup more than the
+//! tolerance below the committed number fails the claims binary with a
+//! nonzero exit, which `ci.sh bench-smoke` turns into a red build.
+//!
+//! The parser is a dependency-free string scan (this repo has no serde):
+//! it only needs the `size`, `union_speedup`, and `is_subset_speedup`
+//! numbers out of the flat per-workload objects `setops()` writes, and it
+//! tolerates reformatting as long as those keys survive.
+
+/// The committed speedups for one workload size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadBaseline {
+    pub size: usize,
+    pub union_speedup: f64,
+    pub is_subset_speedup: f64,
+}
+
+/// Scan `obj` for `"key": <number>` and parse the number. Returns `None`
+/// when the key is absent or the value is not numeric.
+pub fn extract_number(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pull the per-size speedup baselines out of `BENCH_setops.json` text.
+/// Objects that lack any of the three keys (e.g. the `subsume` section)
+/// are skipped, so the result is exactly the `workloads` array.
+pub fn parse_setops_baseline(json: &str) -> Vec<WorkloadBaseline> {
+    json.split('{')
+        .filter_map(|chunk| {
+            Some(WorkloadBaseline {
+                size: extract_number(chunk, "size")? as usize,
+                union_speedup: extract_number(chunk, "union_speedup")?,
+                is_subset_speedup: extract_number(chunk, "is_subset_speedup")?,
+            })
+        })
+        .collect()
+}
+
+/// Compare re-measured speedups `(size, union, is_subset)` against the
+/// committed baseline. A measurement may fall up to `max_regression`
+/// (e.g. `0.30` = 30%) below the committed speedup before it counts as a
+/// regression; running faster than the baseline is always fine. Returns
+/// one human-readable line per failure — empty means the gate passes.
+pub fn check_speedups(
+    baseline: &[WorkloadBaseline],
+    measured: &[(usize, f64, f64)],
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in baseline {
+        let Some(&(_, m_union, m_subset)) = measured.iter().find(|(s, _, _)| *s == b.size) else {
+            failures.push(format!(
+                "size {}: baseline present but not re-measured",
+                b.size
+            ));
+            continue;
+        };
+        for (op, committed, got) in [
+            ("union", b.union_speedup, m_union),
+            ("is_subset", b.is_subset_speedup, m_subset),
+        ] {
+            let floor = committed * (1.0 - max_regression);
+            if got < floor {
+                failures.push(format!(
+                    "size {}: {op} speedup {got:.2}x fell below the {floor:.2}x floor \
+                     (committed {committed:.2}x, tolerance {:.0}%)",
+                    b.size,
+                    max_regression * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COMMITTED: &str = include_str!("../../../BENCH_setops.json");
+
+    #[test]
+    fn parses_the_committed_baseline() {
+        let b = parse_setops_baseline(COMMITTED);
+        assert_eq!(b.len(), 3, "{b:?}");
+        assert_eq!(
+            b.iter().map(|w| w.size).collect::<Vec<_>>(),
+            vec![64, 256, 1024]
+        );
+        for w in &b {
+            assert!(w.union_speedup > 1.0, "{w:?}");
+            assert!(w.is_subset_speedup > 1.0, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn matching_measurements_pass() {
+        let b = parse_setops_baseline(COMMITTED);
+        let measured: Vec<(usize, f64, f64)> = b
+            .iter()
+            .map(|w| (w.size, w.union_speedup, w.is_subset_speedup))
+            .collect();
+        assert!(check_speedups(&b, &measured, 0.30).is_empty());
+    }
+
+    #[test]
+    fn inflated_baseline_fails_check() {
+        // The negative test for the CI gate: if someone doubles the
+        // committed speedups, re-measuring the honest values must fail.
+        let mut b = parse_setops_baseline(COMMITTED);
+        let honest: Vec<(usize, f64, f64)> = b
+            .iter()
+            .map(|w| (w.size, w.union_speedup, w.is_subset_speedup))
+            .collect();
+        for w in &mut b {
+            w.union_speedup *= 2.0;
+            w.is_subset_speedup *= 2.0;
+        }
+        let failures = check_speedups(&b, &honest, 0.30);
+        assert_eq!(failures.len(), 6, "{failures:?}");
+        assert!(failures[0].contains("union"), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_size_is_a_failure() {
+        let b = parse_setops_baseline(COMMITTED);
+        let failures = check_speedups(&b, &[], 0.30);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+    }
+
+    #[test]
+    fn extract_number_handles_scientific_and_negatives() {
+        assert_eq!(extract_number("{\"x\": -1.5e2}", "x"), Some(-150.0));
+        assert_eq!(extract_number("{\"x\": 37.21,", "x"), Some(37.21));
+        assert_eq!(extract_number("{\"y\": 1}", "x"), None);
+        assert_eq!(extract_number("{\"x\": \"nope\"}", "x"), None);
+    }
+}

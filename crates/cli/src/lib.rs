@@ -32,6 +32,7 @@ use metastate::{ConvertMode, Engine, EngineOptions, Pipeline, Provenance, TimeSp
 use msc_ir::CostModel;
 use msc_simd::MachineConfig;
 use std::fmt;
+use std::sync::Arc;
 
 /// What `mscc build --emit` prints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +108,12 @@ pub struct CommonOpts {
     /// Append the stats block to build/batch output (routes through the
     /// engine).
     pub stats: bool,
+    /// Stream structured observability events (spans, counters, samples)
+    /// to this JSONL file for the duration of the command.
+    pub trace_out: Option<String>,
+    /// Append the end-of-run metrics summary table (aggregated from the
+    /// same event stream).
+    pub metrics: bool,
 }
 
 impl CommonOpts {
@@ -127,6 +134,8 @@ impl Default for CommonOpts {
             jobs: 1,
             cache: None,
             stats: false,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
@@ -167,6 +176,11 @@ ENGINE FLAGS (build and batch):
                            source + options reload instead of recompiling
   --stats                  append meta-state counts, conversion counters,
                            per-phase timings, and cache hit/miss counters
+
+OBSERVABILITY FLAGS (all commands):
+  --trace-out FILE         stream structured events (spans, counters,
+                           samples) as JSON lines to FILE
+  --metrics                append an end-of-run metrics summary table
 ";
 
 /// Parse an argument vector (without the program name).
@@ -246,6 +260,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         opts.cache = Some(v.clone());
                     }
                     "--stats" => opts.stats = true,
+                    "--trace-out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--trace-out needs a file path".into()))?;
+                        opts.trace_out = Some(v.clone());
+                    }
+                    "--metrics" => opts.metrics = true,
                     other if !other.starts_with('-') && (cmd == "batch" || files.is_empty()) => {
                         files.push(other.to_string());
                     }
@@ -392,6 +413,74 @@ fn classic_built(src: &str, opts: &CommonOpts) -> Result<metastate::Built, CliEr
         .map_err(|e| CliError(e.to_string()))
 }
 
+/// Observability wiring for one CLI invocation: installs the subscribers
+/// the flags ask for (a metrics [`msc_obs::Registry`] for `--metrics`, a
+/// [`msc_obs::JsonlSink`] for `--trace-out`, fanned out when both) for the
+/// duration of the command. Exactly one session is installed per
+/// invocation — nesting would deadlock on the obs install lock, so
+/// [`execute_batch`] owns the session for batches and
+/// [`execute_on_source`] owns it for build/run.
+struct ObsSession {
+    registry: Option<Arc<msc_obs::Registry>>,
+    sink: Option<Arc<msc_obs::JsonlSink<std::fs::File>>>,
+    guard: msc_obs::InstallGuard,
+}
+
+impl ObsSession {
+    /// Start a session if the options ask for one; `None` means the
+    /// command runs with observability fully disabled (the zero-cost
+    /// path).
+    fn start(opts: &CommonOpts) -> Result<Option<ObsSession>, CliError> {
+        if !opts.metrics && opts.trace_out.is_none() {
+            return Ok(None);
+        }
+        let registry = if opts.metrics {
+            Some(Arc::new(msc_obs::Registry::new()))
+        } else {
+            None
+        };
+        let sink = match &opts.trace_out {
+            Some(path) => {
+                Some(Arc::new(msc_obs::JsonlSink::create(path).map_err(|e| {
+                    CliError(format!("cannot open trace file {path}: {e}"))
+                })?))
+            }
+            None => None,
+        };
+        let mut subs: Vec<Arc<dyn msc_obs::Subscriber>> = Vec::new();
+        if let Some(r) = &registry {
+            subs.push(r.clone());
+        }
+        if let Some(s) = &sink {
+            subs.push(s.clone());
+        }
+        let guard = if subs.len() == 1 {
+            msc_obs::install(subs.pop().expect("one subscriber"))
+        } else {
+            msc_obs::install(Arc::new(msc_obs::Fanout::new(subs)))
+        };
+        Ok(Some(ObsSession {
+            registry,
+            sink,
+            guard,
+        }))
+    }
+
+    /// Uninstall the subscribers, flush the trace file, and return the
+    /// rendered metrics table (empty when `--metrics` was not given).
+    fn finish(self) -> Result<String, CliError> {
+        drop(self.guard);
+        if let Some(sink) = &self.sink {
+            sink.flush()
+                .map_err(|e| CliError(format!("cannot flush trace file: {e}")))?;
+        }
+        Ok(self
+            .registry
+            .map(|r| r.snapshot().render_table())
+            .unwrap_or_default())
+    }
+}
+
 /// `mscc batch`: compile `(name, source)` pairs over the engine's worker
 /// pool; each file reports success or its own error. Returns the report
 /// and the number of files that failed (so the driver can exit nonzero
@@ -400,6 +489,7 @@ pub fn execute_batch(
     sources: &[(String, String)],
     opts: &CommonOpts,
 ) -> Result<(String, usize), CliError> {
+    let session = ObsSession::start(opts)?;
     let engine = engine_for(opts);
     let jobs: Vec<metastate::Job> = sources
         .iter()
@@ -436,6 +526,9 @@ pub fn execute_batch(
         ));
     }
     text.push('\n');
+    if let Some(session) = session {
+        text.push_str(&session.finish()?);
+    }
     Ok((text, results.len() - ok))
 }
 
@@ -447,10 +540,26 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
         Command::Help => Ok(USAGE.to_string()),
         Command::Batch { files, opts } => {
             // Testing convenience: every file gets the same source text.
+            // (`execute_batch` owns the obs session for batches.)
             let sources: Vec<(String, String)> =
                 files.iter().map(|f| (f.clone(), src.to_string())).collect();
             execute_batch(&sources, opts).map(|(text, _)| text)
         }
+        Command::Build { opts, .. } | Command::Run { opts, .. } => {
+            let session = ObsSession::start(opts)?;
+            let mut text = execute_build_or_run(cmd, src)?;
+            if let Some(session) = session {
+                text.push_str(&session.finish()?);
+            }
+            Ok(text)
+        }
+    }
+}
+
+/// The build/run arms of [`execute_on_source`], split out so the caller
+/// can bracket them with an [`ObsSession`] and append the metrics table.
+fn execute_build_or_run(cmd: &Command, src: &str) -> Result<String, CliError> {
+    match cmd {
         Command::Build { file, emit, opts } => {
             if opts.wants_engine() {
                 return execute_build_engine(file, emit, opts, src);
@@ -567,6 +676,7 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
             }
             Ok(text)
         }
+        Command::Help | Command::Batch { .. } => unreachable!("handled by execute_on_source"),
     }
 }
 
@@ -886,5 +996,64 @@ mod tests {
         };
         let err = execute_on_source(&cmd, "main() { y = 1; }").unwrap_err();
         assert!(err.0.contains("undeclared"), "{err}");
+    }
+
+    #[test]
+    fn parse_obs_flags() {
+        let cmd = parse_args(&args("build foo.mimdc --metrics --trace-out t.jsonl")).unwrap();
+        let Command::Build { opts, .. } = cmd else {
+            panic!()
+        };
+        assert!(opts.metrics);
+        assert_eq!(opts.trace_out.as_deref(), Some("t.jsonl"));
+        assert!(parse_args(&args("build foo.mimdc --trace-out")).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_appends_table() {
+        let cmd = parse_args(&args("build foo.mimdc --metrics")).unwrap();
+        let out = execute_on_source(&cmd, PROG).unwrap();
+        // The classic build path runs instrumented conversion, so the
+        // summary table must show at least the conversion span.
+        assert!(out.contains("-- metrics --"), "{out}");
+        assert!(out.contains("convert.run"), "{out}");
+        // Without the flag no table appears.
+        let cmd = parse_args(&args("build foo.mimdc")).unwrap();
+        let out = execute_on_source(&cmd, PROG).unwrap();
+        assert!(!out.contains("-- metrics --"), "{out}");
+    }
+
+    #[test]
+    fn batch_metrics_table_covers_cache_and_convert() {
+        let cmd = parse_args(&args("batch a.mimdc b.mimdc --jobs 2 --metrics")).unwrap();
+        let out = execute_on_source(&cmd, PROG).unwrap();
+        assert!(out.contains("-- metrics --"), "{out}");
+        // Identical sources: the first compile misses, the second hits.
+        assert!(out.contains("cache.hit"), "{out}");
+        assert!(out.contains("cache.miss"), "{out}");
+        assert!(out.contains("convert.run"), "{out}");
+    }
+
+    #[test]
+    fn trace_out_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join(format!("mscc_trace_{}.jsonl", std::process::id()));
+        let cmd = parse_args(&args(&format!(
+            "build foo.mimdc --trace-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let out = execute_on_source(&cmd, PROG).unwrap();
+        assert!(!out.contains("-- metrics --"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut parsed = 0usize;
+        for line in text.lines() {
+            assert!(
+                msc_obs::jsonl::parse_line(line).is_some(),
+                "unparseable trace line: {line}"
+            );
+            parsed += 1;
+        }
+        assert!(parsed > 0, "trace file is empty");
+        std::fs::remove_file(&path).ok();
     }
 }

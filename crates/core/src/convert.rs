@@ -214,6 +214,7 @@ pub fn convert_with_stats(
     graph: &MimdGraph,
     opts: &ConvertOptions,
 ) -> Result<(MetaAutomaton, ConvertStats), ConvertError> {
+    let _span = msc_obs::span("convert.run");
     graph.validate()?;
     let mut g = graph.clone();
     let mut stats = ConvertStats::default();
@@ -293,6 +294,7 @@ pub fn convert_with_stats(
         let mut scratch = SuccScratch::default();
         while let Some(m) = worklist.pop_front() {
             in_worklist[m.idx()] = false;
+            msc_obs::value("convert.worklist_depth", worklist.len() as u64);
 
             // §2.4: "It would be invoked on each meta state as it is
             // created"; any split restarts the construction.
@@ -440,10 +442,15 @@ fn successor_sets(
     // DP over members: the set of achievable partial unions.
     acc.clear();
     acc.push(StateSet::empty());
+    let (mut memo_hits, mut memo_misses) = (0u64, 0u64);
     for m in members.iter() {
         let choices: &Vec<StateSet> = match choices_memo.entry(m.0) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Occupied(e) => {
+                memo_hits += 1;
+                e.into_mut()
+            }
             std::collections::hash_map::Entry::Vacant(e) => {
+                memo_misses += 1;
                 e.insert(member_choices(graph, m, opts)?)
             }
         };
@@ -471,6 +478,11 @@ fn successor_sets(
         std::mem::swap(acc, next);
     }
     stats.successor_sets_enumerated += acc.len() as u64;
+    if msc_obs::enabled() {
+        msc_obs::count("convert.memo_hit", memo_hits);
+        msc_obs::count("convert.memo_miss", memo_misses);
+        msc_obs::value("convert.fanout", acc.len() as u64);
+    }
 
     // Re-inject inherited latent waits, apply barrier filtering, dedupe by
     // visible set (merging latents), and drop the empty set (every member

@@ -7,10 +7,10 @@
 //! candidate set per successor choice, up to 3ⁿ per meta state — so the
 //! representation is a hybrid tuned for that workload:
 //!
-//! * **Small** (≤ [`SMALL_MAX`] members): the ids live inline in a fixed
+//! * **Small** (≤ `SMALL_MAX` members): the ids live inline in a fixed
 //!   array, no heap allocation. Typical meta states are sparse, so this is
 //!   the common case on real programs.
-//! * **Bits** (> [`SMALL_MAX`] members): a dense `Vec<u64>` bitset with
+//! * **Bits** (> `SMALL_MAX` members): a dense `Vec<u64>` bitset with
 //!   trailing zero words trimmed. `union` / `difference` / `is_subset` run
 //!   word-parallel (64 members per operation), which is what keeps the
 //!   state-explosion workloads at memory bandwidth.

@@ -60,6 +60,7 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
     // (len, Reverse(id)), so the candidate scan order is irrelevant.
     let mut remap: Vec<MetaId> = (0..n as u32).map(MetaId).collect();
     let order: Vec<usize> = (0..n).collect();
+    let mut candidate_scans = 0u64;
 
     for i in 0..n {
         if barrier_only[i] {
@@ -86,6 +87,7 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
             .min_by_key(|m| containing[m.idx()].len());
         match rarest {
             Some(m) => {
+                candidate_scans += containing[m.idx()].len() as u64;
                 for &j in &containing[m.idx()] {
                     consider(j as usize, &mut best);
                 }
@@ -93,6 +95,7 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
             // The empty set is a strict subset of everything; fall back to
             // a full scan.
             None => {
+                candidate_scans += order.len() as u64;
                 for &j in &order {
                     consider(j, &mut best);
                 }
@@ -117,9 +120,12 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
         i
     }
 
+    msc_obs::count("subsume.candidate_scans", candidate_scans);
+
     let removed = (0..n)
         .filter(|&i| resolve(&remap, MetaId(i as u32)).idx() != i)
         .count() as u32;
+    msc_obs::count("subsume.folded", removed as u64);
     if removed == 0 {
         return 0;
     }

@@ -208,6 +208,7 @@ impl CompileCache {
             if let Some(e) = inner.map.get_mut(&key) {
                 e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                msc_obs::count("cache.hit", 1);
                 return Some((Arc::clone(&e.artifact), CacheLayer::Memory));
             }
         }
@@ -215,17 +216,20 @@ impl CompileCache {
             if let Some(artifact) = read_disk_artifact(&disk_path(dir, key), costs) {
                 let artifact = Arc::new(artifact);
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                msc_obs::count("cache.disk_hit", 1);
                 self.put_memory(key, Arc::clone(&artifact));
                 return Some((artifact, CacheLayer::Disk));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        msc_obs::count("cache.miss", 1);
         None
     }
 
     /// Insert a freshly compiled artifact into both layers.
     pub fn insert(&self, key: CacheKey, artifact: Arc<Artifact>) {
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        msc_obs::count("cache.insert", 1);
         if let Some(dir) = &self.disk_dir {
             // Best effort: a full disk or read-only dir must not fail the
             // compile that produced the artifact. Write to a unique temp
@@ -242,7 +246,9 @@ impl CompileCache {
                 TMP_SEQ.fetch_add(1, Ordering::Relaxed)
             ));
             if std::fs::write(&tmp, write_disk_artifact(key, &artifact)).is_ok() {
-                if std::fs::rename(&tmp, disk_path(dir, key)).is_err() {
+                if std::fs::rename(&tmp, disk_path(dir, key)).is_ok() {
+                    msc_obs::count("cache.disk_write", 1);
+                } else {
                     let _ = std::fs::remove_file(&tmp);
                 }
             } else {
@@ -298,6 +304,7 @@ impl CompileCache {
                 .expect("non-empty map has a minimum");
             inner.map.remove(&victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            msc_obs::count("cache.evict", 1);
         }
     }
 }
@@ -534,6 +541,41 @@ mod tests {
         // Second lookup is served from memory (promotion happened).
         let (_, layer) = cache.lookup(key, &c.costs).expect("memory hit");
         assert_eq!(layer, CacheLayer::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_disk_artifact_degrades_to_miss() {
+        // A real artifact cut off mid-file (torn write, full disk, manual
+        // meddling) must read back as a miss, never a panic.
+        let (c, g) = opts();
+        let dir =
+            std::env::temp_dir().join(format!("msc-engine-cache-truncated-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = cache_key("truncated", &c, &g, false, false);
+        {
+            let cache = CompileCache::new(4, Some(dir.clone()));
+            cache.insert(key, dummy_artifact(0));
+        }
+        let path = disk_path(&dir, key);
+        let full = std::fs::read(&path).unwrap();
+        // Probe representative cuts that each lose real content: inside
+        // the header, and mid automaton/asm. (Cutting only the final
+        // newline loses nothing and may legitimately still parse.)
+        for cut in [1, 16, full.len() / 3, full.len() / 2, full.len() * 3 / 4] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let cache = CompileCache::new(4, Some(dir.clone()));
+            assert!(
+                cache.lookup(key, &c.costs).is_none(),
+                "truncation at {cut}/{} bytes must be a miss",
+                full.len()
+            );
+            assert_eq!(cache.stats().misses, 1);
+        }
+        // Arbitrary garbage bytes (not even UTF-8) likewise.
+        std::fs::write(&path, [0xff, 0x00, 0xfe, 0x80, 0x80]).unwrap();
+        let cache = CompileCache::new(4, Some(dir.clone()));
+        assert!(cache.lookup(key, &c.costs).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

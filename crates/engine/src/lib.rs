@@ -140,6 +140,19 @@ pub struct Compiled {
     pub provenance: Provenance,
 }
 
+/// One slot of [`Engine::compile_many_with_metrics`]: the job's outcome
+/// plus a per-job metrics bundle (cache provenance, conversion counters,
+/// phase timings, failure flags) assembled by the engine regardless of
+/// whether a global [`msc_obs`] subscriber is installed.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The job's result — identical to the matching
+    /// [`Engine::compile_many`] slot.
+    pub result: Result<Compiled, EngineError>,
+    /// Metrics for this job alone.
+    pub metrics: msc_obs::MetricsSnapshot,
+}
+
 /// Failures of [`Engine::compile`] / one slot of [`Engine::compile_many`].
 #[derive(Debug)]
 pub enum EngineError {
@@ -269,13 +282,26 @@ impl Engine {
     /// among concurrent jobs); each slot carries its own job's outcome —
     /// an error or panic in one job never affects its neighbours.
     pub fn compile_many(&self, jobs: &[Job]) -> Vec<Result<Compiled, EngineError>> {
+        self.compile_many_with_metrics(jobs)
+            .into_iter()
+            .map(|o| o.result)
+            .collect()
+    }
+
+    /// [`compile_many`](Self::compile_many), additionally returning a
+    /// per-job [`msc_obs::MetricsSnapshot`] alongside each result. A job
+    /// that panics is contained to its slot and shows up with an
+    /// `engine.job_failed` (and `engine.job_panicked`) count instead of
+    /// poisoning the pool; the same counters are emitted to the global
+    /// [`msc_obs`] subscriber when one is installed.
+    pub fn compile_many_with_metrics(&self, jobs: &[Job]) -> Vec<BatchOutcome> {
         if jobs.is_empty() {
             return Vec::new();
         }
         let pool = self.threads().min(jobs.len()).max(1);
         let per_job_threads = (self.threads() / pool).max(1);
         let next = AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<Result<Compiled, EngineError>>>> =
+        let results: Vec<parking_lot::Mutex<Option<BatchOutcome>>> =
             jobs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
         crossbeam::thread::scope(|s| {
             for _ in 0..pool {
@@ -285,16 +311,21 @@ impl Engine {
                         return;
                     }
                     let job = &jobs[i];
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
                         self.compile_with_threads(job, per_job_threads)
                     }))
                     .unwrap_or_else(|payload| {
+                        msc_obs::count("engine.job_panicked", 1);
                         Err(EngineError::Panicked {
                             job: job.name.clone(),
                             message: panic_message(payload.as_ref()),
                         })
                     });
-                    *results[i].lock() = Some(outcome);
+                    if result.is_err() {
+                        msc_obs::count("engine.job_failed", 1);
+                    }
+                    let metrics = job_metrics(&result);
+                    *results[i].lock() = Some(BatchOutcome { result, metrics });
                 });
             }
         })
@@ -306,6 +337,12 @@ impl Engine {
     }
 
     fn compile_with_threads(&self, job: &Job, threads: usize) -> Result<Compiled, EngineError> {
+        // Deliberate panic site for the batch isolation tests: no natural
+        // input panics the pipeline, so the tests opt in by job name.
+        #[cfg(test)]
+        if job.name == "__panic_for_test__" {
+            panic!("injected test panic");
+        }
         let key = cache_key(
             &job.source,
             &job.convert,
@@ -385,6 +422,63 @@ impl Engine {
             provenance: Provenance::Fresh,
         })
     }
+}
+
+/// Assemble a job's private metrics bundle from data the engine already
+/// holds: cache provenance, the artifact's conversion counters, and the
+/// phase timings of the compile that produced it. Failures are flagged
+/// with `engine.job_failed` / `engine.job_panicked` counts.
+fn job_metrics(result: &Result<Compiled, EngineError>) -> msc_obs::MetricsSnapshot {
+    use msc_obs::Event;
+    let reg = msc_obs::Registry::new();
+    match result {
+        Ok(c) => {
+            let provenance = match c.provenance {
+                Provenance::Fresh => "cache.miss",
+                Provenance::Memory => "cache.hit",
+                Provenance::Disk => "cache.disk_hit",
+            };
+            reg.record(&Event::Count {
+                name: provenance,
+                delta: 1,
+            });
+            let s = &c.artifact.stats;
+            for (name, v) in [
+                ("convert.restarts", s.restarts as u64),
+                ("convert.splits", s.splits as u64),
+                ("convert.subsumed", s.subsumed as u64),
+                ("convert.successor_sets", s.successor_sets_enumerated),
+            ] {
+                reg.record(&Event::Count { name, delta: v });
+            }
+            if c.provenance == Provenance::Fresh {
+                let t = &c.artifact.timings;
+                for (name, d) in [
+                    ("engine.phase.compile", t.compile),
+                    ("engine.phase.convert", t.convert),
+                    ("engine.phase.codegen", t.codegen),
+                ] {
+                    reg.record(&Event::Span {
+                        name,
+                        nanos: d.as_nanos() as u64,
+                    });
+                }
+            }
+        }
+        Err(e) => {
+            reg.record(&Event::Count {
+                name: "engine.job_failed",
+                delta: 1,
+            });
+            if matches!(e, EngineError::Panicked { .. }) {
+                reg.record(&Event::Count {
+                    name: "engine.job_panicked",
+                    delta: 1,
+                });
+            }
+        }
+    }
+    reg.snapshot()
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -480,6 +574,46 @@ mod tests {
         for r in &results {
             assert_eq!(r.as_ref().unwrap().artifact.automaton_text, a0);
         }
+    }
+
+    #[test]
+    fn batch_panic_isolated_and_emits_job_failed_metric() {
+        let registry = Arc::new(msc_obs::Registry::new());
+        let outcomes = {
+            let _guard = msc_obs::install(registry.clone());
+            let engine = Engine::new(EngineOptions {
+                threads: 4,
+                ..EngineOptions::default()
+            });
+            let jobs = vec![
+                Job::new("good-1", PROG),
+                Job::new("__panic_for_test__", PROG),
+                Job::new("good-2", "main() { poly int v; v = 3; return(v); }"),
+            ];
+            engine.compile_many_with_metrics(&jobs)
+        };
+        // The panicking job is contained to its slot...
+        assert!(outcomes[0].result.is_ok());
+        assert!(
+            matches!(&outcomes[1].result, Err(EngineError::Panicked { job, .. })
+                if job == "__panic_for_test__")
+        );
+        assert!(outcomes[2].result.is_ok());
+        // ...and flagged in its own metrics bundle, not its neighbours'.
+        assert_eq!(outcomes[1].metrics.counter("engine.job_failed"), 1);
+        assert_eq!(outcomes[1].metrics.counter("engine.job_panicked"), 1);
+        assert_eq!(outcomes[0].metrics.counter("engine.job_failed"), 0);
+        assert_eq!(
+            outcomes[0].metrics.counter("cache.miss"),
+            1,
+            "fresh compile"
+        );
+        assert!(outcomes[0].metrics.span("engine.phase.convert").is_some());
+        // The global subscriber saw the failure too (>=: other tests in
+        // this process may run failing batches concurrently).
+        let snap = registry.snapshot();
+        assert!(snap.counter("engine.job_failed") >= 1);
+        assert!(snap.counter("engine.job_panicked") >= 1);
     }
 
     #[test]

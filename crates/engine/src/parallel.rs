@@ -215,7 +215,17 @@ impl Interner {
     fn intern(&self, members: StateSet, latent: StateSet, queue: &WorkQueue) -> u32 {
         let hash = fx_hash(&members);
         let shard = (hash as usize) & (self.shards.len() - 1);
-        let mut map = self.shards[shard].lock();
+        // Uncontended shards take the fast path; a failed try_lock means
+        // another worker holds this shard right now — that is the
+        // contention signal the `engine.shard_contention` counter tracks.
+        let mut map = match self.shards[shard].try_lock() {
+            Some(g) => g,
+            None => {
+                msc_obs::count("engine.shard_contention", 1);
+                self.shards[shard].lock()
+            }
+        };
+        msc_obs::count("engine.intern", 1);
         let hit = map.get(&hash).and_then(|bucket| {
             let slab = self.slab.read();
             bucket
@@ -318,6 +328,9 @@ pub fn convert_parallel_deadline(
     let scope_result = crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| {
+                // One span per worker covering its whole steal/expand/intern
+                // loop; total across workers ≈ pool busy time.
+                let _worker_span = msc_obs::span("engine.worker");
                 while let Some(id) = queue.pop() {
                     // Dropped at the end of each iteration — and on panic,
                     // where it also stops the queue so the pool unwinds
@@ -342,6 +355,7 @@ pub fn convert_parallel_deadline(
                         }
                     };
                     enumerated.fetch_add(n_enum, Ordering::Relaxed);
+                    msc_obs::count("engine.expand", 1);
                     let mut out: Vec<u32> = Vec::with_capacity(targets.len());
                     let mut out_seen: FxHashSet<u32> = FxHashSet::default();
                     for (t, l) in targets {
@@ -365,10 +379,13 @@ pub fn convert_parallel_deadline(
                     let mut st = rec.state.lock();
                     if st.version == version {
                         *rec.succs.lock() = out;
-                    } else if !st.queued {
-                        st.queued = true;
-                        drop(st);
-                        queue.push(id);
+                    } else {
+                        msc_obs::count("engine.stale_requeue", 1);
+                        if !st.queued {
+                            st.queued = true;
+                            drop(st);
+                            queue.push(id);
+                        }
                     }
                 }
             });

@@ -1,0 +1,284 @@
+//! JSONL sink: one JSON object per event, one event per line.
+//!
+//! The format is deliberately flat so that any log tooling (or `jq`) can
+//! slice it without a schema:
+//!
+//! ```json
+//! {"kind":"count","name":"cache.hit","delta":1}
+//! {"kind":"value","name":"simd.dispatch_live","index":3,"value":12}
+//! {"kind":"span","name":"convert.run","nanos":48211}
+//! ```
+//!
+//! Serialization is dependency-free; metric names are `&'static str`
+//! identifiers from the emitting crates (dotted lowercase ASCII), but the
+//! writer still escapes them defensively. [`parse_line`] is the matching
+//! reader used by tests and the `--trace-out` verification tooling.
+
+use crate::{Event, Subscriber};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A [`Subscriber`] that streams events to a writer as JSON lines.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<BufWriter<W>>,
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncating) `path` and stream events to it.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Stream events to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    /// Flush buffered lines to the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .flush()
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonlSink<W> {
+    fn event(&self, event: &Event) {
+        let mut line = String::with_capacity(64);
+        render_line(event, &mut line);
+        let mut w = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        // An unwritable sink must not take the pipeline down with it.
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+fn render_line(event: &Event, out: &mut String) {
+    use std::fmt::Write as _;
+    match *event {
+        Event::Count { name, delta } => {
+            out.push_str("{\"kind\":\"count\",\"name\":\"");
+            escape_into(name, out);
+            let _ = writeln!(out, "\",\"delta\":{delta}}}");
+        }
+        Event::Value { name, index, value } => {
+            out.push_str("{\"kind\":\"value\",\"name\":\"");
+            escape_into(name, out);
+            let _ = writeln!(out, "\",\"index\":{index},\"value\":{value}}}");
+        }
+        Event::Span { name, nanos } => {
+            out.push_str("{\"kind\":\"span\",\"name\":\"");
+            escape_into(name, out);
+            let _ = writeln!(out, "\",\"nanos\":{nanos}}}");
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A parsed JSONL trace line — [`Event`] with an owned name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceLine {
+    /// A `count` line.
+    Count {
+        /// Metric name.
+        name: String,
+        /// Increment.
+        delta: u64,
+    },
+    /// A `value` line.
+    Value {
+        /// Metric name.
+        name: String,
+        /// Sub-series index.
+        index: u64,
+        /// Sampled value.
+        value: u64,
+    },
+    /// A `span` line.
+    Span {
+        /// Span name.
+        name: String,
+        /// Duration in nanoseconds.
+        nanos: u64,
+    },
+}
+
+impl TraceLine {
+    /// The metric name, whatever the variant.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceLine::Count { name, .. }
+            | TraceLine::Value { name, .. }
+            | TraceLine::Span { name, .. } => name,
+        }
+    }
+}
+
+/// Parse one line previously written by [`JsonlSink`]. Returns `None` for
+/// blank lines or lines that do not match the sink's output shape (this is
+/// a reader for our own writer, not a general JSON parser).
+pub fn parse_line(line: &str) -> Option<TraceLine> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let kind = extract_str(line, "kind")?;
+    let name = extract_str(line, "name")?;
+    match kind.as_str() {
+        "count" => Some(TraceLine::Count {
+            name,
+            delta: extract_u64(line, "delta")?,
+        }),
+        "value" => Some(TraceLine::Value {
+            name,
+            index: extract_u64(line, "index")?,
+            value: extract_u64(line, "value")?,
+        }),
+        "span" => Some(TraceLine::Span {
+            name,
+            nanos: extract_u64(line, "nanos")?,
+        }),
+        _ => None,
+    }
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_variants() {
+        let events = [
+            Event::Count {
+                name: "cache.hit",
+                delta: 3,
+            },
+            Event::Value {
+                name: "simd.dispatch_live",
+                index: 7,
+                value: 12,
+            },
+            Event::Span {
+                name: "convert.run",
+                nanos: 48211,
+            },
+        ];
+        let sink = JsonlSink::new(Vec::new());
+        for e in &events {
+            sink.event(e);
+        }
+        sink.flush().unwrap();
+        let bytes = std::mem::replace(
+            &mut *sink.writer.lock().unwrap(),
+            BufWriter::new(Vec::new()),
+        )
+        .into_inner()
+        .unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<TraceLine> = text.lines().filter_map(parse_line).collect();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(
+            parsed[0],
+            TraceLine::Count {
+                name: "cache.hit".into(),
+                delta: 3
+            }
+        );
+        assert_eq!(
+            parsed[1],
+            TraceLine::Value {
+                name: "simd.dispatch_live".into(),
+                index: 7,
+                value: 12
+            }
+        );
+        assert_eq!(
+            parsed[2],
+            TraceLine::Span {
+                name: "convert.run".into(),
+                nanos: 48211
+            }
+        );
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let mut line = String::new();
+        render_line(
+            &Event::Count {
+                name: "weird\"name\\with\tcontrol",
+                delta: 1,
+            },
+            &mut line,
+        );
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.name(), "weird\"name\\with\tcontrol");
+    }
+
+    #[test]
+    fn garbage_lines_are_none() {
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("not json"), None);
+        assert_eq!(parse_line("{\"kind\":\"count\"}"), None);
+        assert_eq!(parse_line("{\"kind\":\"other\",\"name\":\"x\"}"), None);
+    }
+}

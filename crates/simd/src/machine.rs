@@ -346,6 +346,10 @@ impl SimdMachine {
             // Maintained incrementally at each commit; constant during the
             // body since control writes land in the shadow buffer.
             let live = self.live;
+            // Per-meta-state live-PE histogram: the sample index carries
+            // the block id, so a JSONL trace can be sliced per block while
+            // the registry aggregates the overall distribution.
+            msc_obs::sample("simd.block_live", cur.idx() as u64, live as u64);
             if config.trace {
                 self.trace.push(TraceEvent::EnterBlock {
                     block: cur,
@@ -416,6 +420,10 @@ impl SimdMachine {
             self.metrics.cycles += dcost;
             self.metrics.dispatch_cycles += dcost;
             self.metrics.dispatches += 1;
+            if msc_obs::enabled() {
+                let occupied = self.occupancy.iter().filter(|&&c| c > 0).count();
+                msc_obs::sample("simd.dispatch_occupancy", cur.idx() as u64, occupied as u64);
+            }
 
             if self.live == 0 {
                 if config.trace {

@@ -1,0 +1,123 @@
+//! End-to-end observability pin: a batch run with a JSONL trace
+//! subscriber installed must produce parseable lines whose cache
+//! hit/miss totals equal the engine's own [`metastate::CacheStats`]
+//! counters. This is the contract that makes the trace trustworthy —
+//! the event stream and the stats block are two views of one run.
+//!
+//! This file is its own test binary (and so its own process), which is
+//! what makes installing the global subscriber here safe: no other
+//! test can observe or perturb it.
+
+use metastate::{Engine, EngineOptions, Job};
+use msc_obs::jsonl::{parse_line, TraceLine};
+use std::sync::Arc;
+
+const PROG_A: &str = "main() { poly int x; x = pe_id() * 2 + 1; return(x); }";
+const PROG_B: &str = r#"
+    main() {
+        poly int x, acc = 0;
+        x = pe_id() % 4;
+        while (x > 0) { acc += x; x -= 1; }
+        return(acc);
+    }
+"#;
+
+#[test]
+fn jsonl_trace_totals_match_cache_stats() {
+    let dir = std::env::temp_dir().join(format!("msc_obs_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("batch.jsonl");
+
+    let sink = Arc::new(msc_obs::JsonlSink::create(&trace_path).unwrap());
+    let guard = msc_obs::install(sink.clone());
+
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        cache_capacity: 8,
+        ..EngineOptions::default()
+    });
+    // a and c share a source: one miss then one memory hit; b is a
+    // second distinct miss.
+    let jobs = vec![
+        Job::new("a.mimdc", PROG_A),
+        Job::new("b.mimdc", PROG_B),
+        Job::new("c.mimdc", PROG_A),
+    ];
+    let results = engine.compile_many(&jobs);
+    assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits + stats.disk_hits, 1, "{stats:?}");
+    assert_eq!(stats.misses, 2, "{stats:?}");
+
+    drop(guard);
+    sink.flush().unwrap();
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let (mut hits, mut disk_hits, mut misses, mut parsed) = (0u64, 0u64, 0u64, 0usize);
+    for line in text.lines() {
+        let ev = parse_line(line).unwrap_or_else(|| panic!("unparseable trace line: {line}"));
+        parsed += 1;
+        if let TraceLine::Count { name, delta } = ev {
+            match name.as_str() {
+                "cache.hit" => hits += delta,
+                "cache.disk_hit" => disk_hits += delta,
+                "cache.miss" => misses += delta,
+                _ => {}
+            }
+        }
+    }
+    assert!(parsed > 0, "trace file is empty");
+    assert_eq!(hits, stats.hits, "trace cache.hit total != CacheStats.hits");
+    assert_eq!(
+        disk_hits, stats.disk_hits,
+        "trace cache.disk_hit total != CacheStats.disk_hits"
+    );
+    assert_eq!(
+        misses, stats.misses,
+        "trace cache.miss total != CacheStats.misses"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_batch_trace_and_metrics_agree() {
+    // The same pin through the CLI surface: --trace-out + --metrics on a
+    // batch, then cross-check the JSONL totals against the rendered
+    // stats line. (Serialized against the test above by the obs install
+    // lock, so the two subscribers never interleave.)
+    let dir = std::env::temp_dir().join(format!("msc_obs_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("cli.jsonl");
+
+    let opts = msc_cli::CommonOpts {
+        jobs: 2,
+        stats: true,
+        trace_out: Some(trace_path.display().to_string()),
+        metrics: true,
+        ..msc_cli::CommonOpts::default()
+    };
+    let sources = vec![
+        ("a.mimdc".to_string(), PROG_A.to_string()),
+        ("b.mimdc".to_string(), PROG_A.to_string()),
+    ];
+    let (out, failed) = msc_cli::execute_batch(&sources, &opts).unwrap();
+    assert_eq!(failed, 0, "{out}");
+    assert!(out.contains("-- metrics --"), "{out}");
+    assert!(out.contains("1 memory hits"), "{out}");
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for line in text.lines() {
+        match parse_line(line) {
+            Some(TraceLine::Count { name, delta }) if name == "cache.hit" => hits += delta,
+            Some(TraceLine::Count { name, delta }) if name == "cache.miss" => misses += delta,
+            Some(_) => {}
+            None => panic!("unparseable trace line: {line}"),
+        }
+    }
+    assert_eq!(hits, 1, "identical second source must hit the memory cache");
+    assert_eq!(misses, 1, "first compile of the shared source must miss");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
