@@ -9,6 +9,10 @@
 #                         samples) and the bench-regression gate, which
 #                         re-measures the setops speedups and fails if
 #                         they fall >30% below BENCH_setops.json
+#   ./ci.sh serve-smoke   additionally boot the real `mscc serve` daemon
+#                         on a random port, drive every endpoint over TCP
+#                         with `loadgen --smoke`, and check that SIGINT
+#                         drains it cleanly
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -41,6 +45,19 @@ if [ "$MODE" = "bench-smoke" ]; then
     cargo bench -p msc-bench --bench obs_overhead -- --test
     echo "== bench regression gate: setops --check =="
     cargo run --release -p msc-bench --bin claims -- setops --check
+fi
+
+if [ "$MODE" = "serve-smoke" ]; then
+    PORT=$(( 20000 + RANDOM % 20000 ))
+    echo "== serve smoke: mscc serve on 127.0.0.1:${PORT} =="
+    ./target/release/mscc serve --addr "127.0.0.1:${PORT}" --workers 4 &
+    SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+    ./target/release/loadgen --smoke --addr "127.0.0.1:${PORT}"
+    echo "== serve smoke: SIGINT drains the daemon =="
+    kill -INT "$SERVE_PID"
+    wait "$SERVE_PID"
+    trap - EXIT
 fi
 
 echo "CI OK"

@@ -1,0 +1,403 @@
+//! Load generator for the msc-serve daemon.
+//!
+//! Hammers a daemon over real sockets with a mixed workload (~90%
+//! cache-hit compiles from a small source pool, ~10% never-seen-before
+//! sources) and reports throughput and latency percentiles, then fires
+//! a burst of identical cold requests to verify that coalescing +
+//! caching perform **exactly one** compilation for the whole burst.
+//! Results go to `BENCH_serve.json` (committed as the baseline).
+//!
+//! ```text
+//! cargo run --release -p msc-bench --bin loadgen               # in-process daemon
+//! cargo run --release -p msc-bench --bin loadgen -- --addr 127.0.0.1:7643
+//! cargo run --release -p msc-bench --bin loadgen -- --smoke --addr HOST:PORT
+//! ```
+//!
+//! `--smoke` is the CI mode: wait for `/healthz`, touch every endpoint
+//! once, exit 0/1. No load, no output file.
+
+use msc_obs::json::Json;
+use msc_serve::client::Client;
+use msc_serve::{ServeOptions, Server, ServerHandle};
+use std::time::{Duration, Instant};
+
+const HIT_POOL: [&str; 4] = [
+    "main() { poly int x; x = pe_id() * 2 + 1; return(x); }",
+    "main() { poly int x, acc = 0; x = pe_id() % 4; while (x > 0) { acc += x; x -= 1; } return(acc); }",
+    "main() { poly int v; v = 3; if (pe_id() % 2) { v = v + 1; } else { v = v + 2; } return(v); }",
+    "main() { mono int total = 0; poly int x; x = pe_id(); total += x; return(x + total); }",
+];
+
+fn miss_source(salt: u64) -> String {
+    format!(
+        "main() {{ poly int x, acc = {salt}; x = pe_id() % 3; \
+         while (x > 0) {{ acc += x; x -= 1; }} return(acc); }}"
+    )
+}
+
+fn compile_body(source: &str) -> String {
+    Json::obj(vec![("source", Json::from(source))]).render()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn wait_healthy(addr: &str, budget: Duration) -> bool {
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline {
+        if let Ok(mut c) = Client::connect_with_timeout(addr, Duration::from_secs(2)) {
+            if c.get("/healthz").map(|r| r.status == 200).unwrap_or(false) {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+fn counter(addr: &str, name: &str) -> u64 {
+    let mut c = Client::connect(addr).expect("connect for /metrics");
+    let v = c
+        .get("/metrics")
+        .expect("/metrics")
+        .json()
+        .expect("metrics JSON");
+    v.get("counters")
+        .and_then(|cs| cs.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn smoke(addr: &str) -> bool {
+    let mut ok = true;
+    let mut check = |label: &str, pass: bool| {
+        println!("  {} {label}", if pass { "ok " } else { "FAIL" });
+        ok &= pass;
+    };
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL connect: {e}");
+            return false;
+        }
+    };
+    check(
+        "GET /healthz",
+        c.get("/healthz").map(|r| r.status == 200).unwrap_or(false),
+    );
+    let body = compile_body(HIT_POOL[0]);
+    check(
+        "POST /compile",
+        c.request("POST", "/compile", Some(&body))
+            .map(|r| r.status == 200)
+            .unwrap_or(false),
+    );
+    let run_body = Json::obj(vec![
+        ("source", Json::from(HIT_POOL[0])),
+        ("pes", Json::from(4u64)),
+    ])
+    .render();
+    let run_ok = c
+        .request("POST", "/run", Some(&run_body))
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| r.json())
+        .and_then(|v| v.get("results").and_then(|a| a.as_arr().map(|s| s.len())))
+        == Some(4);
+    check("POST /run returns 4 PE results", run_ok);
+    let batch_body = format!(
+        "{{\"jobs\":[{},{}]}}",
+        compile_body(HIT_POOL[1]),
+        compile_body(HIT_POOL[2])
+    );
+    check(
+        "POST /batch",
+        c.request("POST", "/batch", Some(&batch_body))
+            .map(|r| r.status == 200)
+            .unwrap_or(false),
+    );
+    check(
+        "GET /metrics shows serve.requests",
+        counter(addr, "serve.requests") >= 1,
+    );
+    check(
+        "bad request answered with 4xx",
+        c.request("POST", "/compile", Some("not json"))
+            .map(|r| (400..500).contains(&r.status))
+            .unwrap_or(false),
+    );
+    ok
+}
+
+/// The coalesce burst: `n` concurrent identical cold compiles must cost
+/// exactly one compilation (one `cache.miss`), the rest splitting into
+/// `engine.coalesced` + `cache.hit`.
+fn coalesce_burst(addr: &str, n: usize) -> (u64, u64) {
+    let miss_before = counter(addr, "cache.miss");
+    let source = miss_source(999_999_983);
+    let body = compile_body(&source);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let body = &body;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("burst connect");
+                    let r = c
+                        .request("POST", "/compile", Some(body))
+                        .expect("burst request");
+                    assert_eq!(r.status, 200, "burst request failed: {}", r.body);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("burst client");
+        }
+    });
+    let compilations = counter(addr, "cache.miss") - miss_before;
+    let coalesced = counter(addr, "engine.coalesced");
+    (compilations, coalesced)
+}
+
+struct LoadReport {
+    requests: u64,
+    errors: u64,
+    elapsed: Duration,
+    latencies: Vec<u64>,
+}
+
+fn load_phase(addr: &str, clients: usize, duration: Duration) -> LoadReport {
+    let t0 = Instant::now();
+    let per_client: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("client connect");
+                    let (mut n, mut errors) = (0u64, 0u64);
+                    let mut lat = Vec::with_capacity(4096);
+                    let deadline = Instant::now() + duration;
+                    while Instant::now() < deadline {
+                        // ~10% of requests are never-seen sources (cache
+                        // misses); the rest rotate through the hit pool.
+                        let body = if n % 10 == 9 {
+                            compile_body(&miss_source(i as u64 * 1_000_000 + n))
+                        } else {
+                            compile_body(HIT_POOL[(n % 4) as usize])
+                        };
+                        let t = Instant::now();
+                        match c.request("POST", "/compile", Some(&body)) {
+                            Ok(r) if r.status == 200 => lat.push(t.elapsed().as_nanos() as u64),
+                            Ok(_) | Err(_) => {
+                                errors += 1;
+                                // The connection may be gone after an error.
+                                c = Client::connect(addr).expect("client reconnect");
+                            }
+                        }
+                        n += 1;
+                    }
+                    (n, errors, lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let mut latencies = Vec::new();
+    let (mut requests, mut errors) = (0, 0);
+    for (n, e, l) in per_client {
+        requests += n;
+        errors += e;
+        latencies.extend(l);
+    }
+    latencies.sort_unstable();
+    LoadReport {
+        requests,
+        errors,
+        elapsed,
+        latencies,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut clients = 8usize;
+    let mut duration_ms = 2_000u64;
+    let mut smoke_mode = false;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().expect("--addr needs HOST:PORT").clone()),
+            "--clients" => {
+                clients = it
+                    .next()
+                    .expect("--clients N")
+                    .parse()
+                    .expect("client count")
+            }
+            "--duration-ms" => {
+                duration_ms = it
+                    .next()
+                    .expect("--duration-ms N")
+                    .parse()
+                    .expect("duration")
+            }
+            "--smoke" => smoke_mode = true,
+            "--out" => out = it.next().expect("--out FILE").clone(),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // No --addr: spin up an in-process daemon on an ephemeral port. One
+    // worker per client plus burst headroom: a keep-alive connection
+    // holds its worker, so fewer workers than clients starves the rest.
+    let mut handle: Option<ServerHandle> = None;
+    let addr = addr.unwrap_or_else(|| {
+        let h = Server::start(ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            queue_depth: 256,
+            workers: clients + 17,
+            ..ServeOptions::default()
+        })
+        .expect("start in-process daemon");
+        let a = h.local_addr().to_string();
+        handle = Some(h);
+        a
+    });
+
+    if !wait_healthy(&addr, Duration::from_secs(10)) {
+        eprintln!("loadgen: daemon at {addr} never became healthy");
+        std::process::exit(1);
+    }
+
+    if smoke_mode {
+        println!("== loadgen --smoke against {addr} ==");
+        let ok = smoke(&addr);
+        if let Some(h) = handle {
+            h.shutdown();
+        }
+        println!("loadgen: smoke {}", if ok { "OK" } else { "FAILED" });
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    println!("== loadgen: {clients} clients x {duration_ms}ms against {addr} ==");
+    // Warm the cache so the measured phase is the advertised ~90% hit mix.
+    {
+        let mut c = Client::connect(&addr).expect("warmup connect");
+        for src in HIT_POOL {
+            let r = c
+                .request("POST", "/compile", Some(&compile_body(src)))
+                .expect("warmup compile");
+            assert_eq!(r.status, 200, "warmup failed: {}", r.body);
+        }
+    }
+
+    let report = load_phase(&addr, clients, Duration::from_millis(duration_ms));
+    let throughput = report.requests as f64 / report.elapsed.as_secs_f64();
+    let (p50, p90, p99) = (
+        percentile(&report.latencies, 50.0),
+        percentile(&report.latencies, 90.0),
+        percentile(&report.latencies, 99.0),
+    );
+    println!(
+        "requests: {} ({} errors) in {:.2}s -> {:.0} req/s",
+        report.requests,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+        throughput
+    );
+    println!(
+        "latency: p50 {:.3}ms  p90 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        p50 as f64 / 1e6,
+        p90 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        report.latencies.last().copied().unwrap_or(0) as f64 / 1e6
+    );
+
+    const BURST: usize = 16;
+    let (compilations, coalesced) = coalesce_burst(&addr, BURST);
+    println!(
+        "coalesce burst: {BURST} identical cold requests -> {compilations} compilation(s), \
+         engine.coalesced total {coalesced}"
+    );
+    let shed = counter(&addr, "serve.shed");
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    let json = Json::obj(vec![
+        (
+            "generated_by",
+            Json::from("cargo run --release -p msc-bench --bin loadgen"),
+        ),
+        (
+            "workload",
+            Json::from("POST /compile, ~90% warm-cache pool of 4 sources, ~10% unique sources"),
+        ),
+        ("clients", Json::from(clients)),
+        ("duration_ms", Json::from(duration_ms)),
+        ("requests", Json::from(report.requests)),
+        ("errors", Json::from(report.errors)),
+        ("shed", Json::from(shed)),
+        ("throughput_rps", Json::from(throughput)),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("p50", Json::from(p50 as f64 / 1e6)),
+                ("p90", Json::from(p90 as f64 / 1e6)),
+                ("p99", Json::from(p99 as f64 / 1e6)),
+                (
+                    "max",
+                    Json::from(report.latencies.last().copied().unwrap_or(0) as f64 / 1e6),
+                ),
+            ]),
+        ),
+        (
+            "coalesce_burst",
+            Json::obj(vec![
+                ("requests", Json::from(BURST)),
+                ("compilations", Json::from(compilations)),
+            ]),
+        ),
+        (
+            "targets",
+            Json::obj(vec![
+                ("throughput_rps_min", Json::from(5_000u64)),
+                ("p99_ms_max", Json::from(50u64)),
+                ("burst_compilations", Json::from(1u64)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, json.render() + "\n").expect("write BENCH_serve.json");
+    println!("wrote {out}");
+
+    let mut failed = false;
+    if compilations != 1 {
+        eprintln!(
+            "FAIL: burst of {BURST} identical requests cost {compilations} compilations (want 1)"
+        );
+        failed = true;
+    }
+    if report.errors > 0 {
+        eprintln!("FAIL: {} request errors under load", report.errors);
+        failed = true;
+    }
+    if throughput < 5_000.0 {
+        eprintln!("WARN: throughput {throughput:.0} req/s below the 5k target on this machine");
+    }
+    if p99 as f64 / 1e6 > 50.0 {
+        eprintln!(
+            "WARN: p99 {:.3}ms above the 50ms target on this machine",
+            p99 as f64 / 1e6
+        );
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -83,6 +83,17 @@ pub enum Command {
         /// Common options.
         opts: CommonOpts,
     },
+    /// `mscc serve`: run the compile-and-run daemon until SIGINT/SIGTERM.
+    Serve {
+        /// Bind address (port 0 = ephemeral).
+        addr: String,
+        /// Worker threads (0 = all cores).
+        workers: usize,
+        /// Admission queue depth (beyond it requests are shed with 503).
+        queue_depth: usize,
+        /// Disk cache directory.
+        cache: Option<String>,
+    },
     /// `mscc help` / `-h` / `--help`.
     Help,
 }
@@ -160,6 +171,7 @@ USAGE:
   mscc build <FILE>    [--emit automaton|mpl|dot|graph|asm] [common flags] [engine flags]
   mscc batch <FILE>... [common flags] [engine flags]
   mscc run   <FILE>    [--pes N] [--pool N] [--compare] [--trace] [common flags]
+  mscc serve           [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache DIR]
   mscc help
 
 COMMON FLAGS:
@@ -176,6 +188,13 @@ ENGINE FLAGS (build and batch):
                            source + options reload instead of recompiling
   --stats                  append meta-state counts, conversion counters,
                            per-phase timings, and cache hit/miss counters
+
+SERVE FLAGS:
+  --addr HOST:PORT         bind address (default 127.0.0.1:7643; port 0 = ephemeral)
+  --workers N              connection worker threads (default: all cores)
+  --queue-depth N          admission queue depth; beyond it requests are
+                           shed with 503 + Retry-After (default 64)
+  --cache DIR              on-disk compile cache shared across restarts
 
 OBSERVABILITY FLAGS (all commands):
   --trace-out FILE         stream structured events (spans, counters,
@@ -293,6 +312,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 },
             })
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:7643".to_string();
+            let mut workers = 0usize;
+            let mut queue_depth = 64usize;
+            let mut cache: Option<String> = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => {
+                        addr = it
+                            .next()
+                            .ok_or_else(|| CliError("--addr needs HOST:PORT".into()))?
+                            .clone();
+                    }
+                    "--workers" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--workers needs a value".into()))?;
+                        workers = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad worker count `{v}`")))?;
+                    }
+                    "--queue-depth" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--queue-depth needs a value".into()))?;
+                        queue_depth = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad queue depth `{v}`")))?;
+                    }
+                    "--cache" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--cache needs a directory".into()))?;
+                        cache = Some(v.clone());
+                    }
+                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                cache,
+            })
+        }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
 }
@@ -351,8 +415,13 @@ fn stats_block(artifact: &metastate::Artifact, provenance: Provenance, engine: &
         t.compile, t.convert, t.codegen
     ));
     out.push_str(&format!(
-        "cache: {} memory hits, {} disk hits, {} misses, {} insertions, {} evictions\n",
-        c.hits, c.disk_hits, c.misses, c.insertions, c.evictions
+        "cache: {} memory hits, {} disk hits, {} misses, {} coalesced, {} insertions, {} evictions\n",
+        c.hits,
+        c.disk_hits,
+        c.misses,
+        engine.coalesced(),
+        c.insertions,
+        c.evictions
     ));
     out.push_str(&format!("threads: {}\n", engine.threads()));
     out
@@ -521,8 +590,11 @@ pub fn execute_batch(
     if opts.stats {
         let c = engine.cache_stats();
         text.push_str(&format!(
-            "; cache: {} memory hits, {} disk hits, {} misses",
-            c.hits, c.disk_hits, c.misses
+            "; cache: {} memory hits, {} disk hits, {} misses, {} coalesced",
+            c.hits,
+            c.disk_hits,
+            c.misses,
+            engine.coalesced()
         ));
     }
     text.push('\n');
@@ -545,6 +617,9 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
                 files.iter().map(|f| (f.clone(), src.to_string())).collect();
             execute_batch(&sources, opts).map(|(text, _)| text)
         }
+        Command::Serve { .. } => Err(CliError(
+            "serve is a long-running daemon; it is driven by main_with_args".into(),
+        )),
         Command::Build { opts, .. } | Command::Run { opts, .. } => {
             let session = ObsSession::start(opts)?;
             let mut text = execute_build_or_run(cmd, src)?;
@@ -676,7 +751,9 @@ fn execute_build_or_run(cmd: &Command, src: &str) -> Result<String, CliError> {
             }
             Ok(text)
         }
-        Command::Help | Command::Batch { .. } => unreachable!("handled by execute_on_source"),
+        Command::Help | Command::Batch { .. } | Command::Serve { .. } => {
+            unreachable!("handled by execute_on_source")
+        }
     }
 }
 
@@ -688,6 +765,25 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
     };
     match &cmd {
         Command::Help => execute_on_source(&cmd, ""),
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            cache,
+        } => {
+            let handle = msc_serve::Server::start(msc_serve::ServeOptions {
+                addr: addr.clone(),
+                workers: *workers,
+                queue_depth: *queue_depth,
+                cache_dir: cache.as_ref().map(std::path::PathBuf::from),
+                ..msc_serve::ServeOptions::default()
+            })
+            .map_err(|e| CliError(format!("cannot start daemon on {addr}: {e}")))?;
+            // Announce before blocking so scripts can find the port.
+            println!("msc-serve listening on {}", handle.local_addr());
+            msc_serve::run_until_signal(handle);
+            Ok("msc-serve: drained and stopped\n".to_string())
+        }
         Command::Batch { files, opts } => {
             let sources = files
                 .iter()
@@ -716,6 +812,25 @@ mod tests {
     }
 
     const PROG: &str = "main() { poly int x; x = pe_id() * 2 + 1; return(x); }";
+
+    #[test]
+    fn parse_serve_flags() {
+        let cmd = parse_args(&args(
+            "serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 --cache /tmp/c",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_depth: 4,
+                cache: Some("/tmp/c".into()),
+            }
+        );
+        assert!(parse_args(&args("serve --workers")).is_err());
+        assert!(parse_args(&args("serve extra.mimdc")).is_err());
+    }
 
     #[test]
     fn parse_build_defaults() {

@@ -201,6 +201,19 @@ impl CompileCache {
     /// Look up `key`, consulting memory then disk. `costs` is needed to
     /// reparse a disk artifact's assembly (the key already pins it).
     pub fn lookup(&self, key: CacheKey, costs: &CostModel) -> Option<(Arc<Artifact>, CacheLayer)> {
+        let hit = self.probe(key, costs);
+        if hit.is_none() {
+            self.note_miss();
+        }
+        hit
+    }
+
+    /// [`lookup`](Self::lookup) without recording a miss (hits are still
+    /// counted). The engine's singleflight layer probes first and only
+    /// charges a miss to the one request that actually compiles, so a
+    /// burst of N identical requests reads as 1 miss + N−1 hits/coalesced
+    /// rather than N misses.
+    pub fn probe(&self, key: CacheKey, costs: &CostModel) -> Option<(Arc<Artifact>, CacheLayer)> {
         {
             let mut inner = self.inner.lock();
             inner.tick += 1;
@@ -221,9 +234,14 @@ impl CompileCache {
                 return Some((artifact, CacheLayer::Disk));
             }
         }
+        None
+    }
+
+    /// Record one miss. Paired with [`probe`](Self::probe): the
+    /// singleflight leader calls this exactly once per coalesced group.
+    pub fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         msc_obs::count("cache.miss", 1);
-        None
     }
 
     /// Insert a freshly compiled artifact into both layers.

@@ -37,10 +37,11 @@ use msc_codegen::{generate, GenError, GenOptions};
 use msc_core::{ConvertError, ConvertOptions, ConvertStats, MetaAutomaton};
 use msc_lang::{compile, CompileError, Program};
 use msc_simd::SimdProgram;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Wall-clock cost of each pipeline phase of one fresh compile.
@@ -119,6 +120,10 @@ pub enum Provenance {
     Memory,
     /// Reloaded from the on-disk cache.
     Disk,
+    /// Coalesced onto a concurrent identical compile (singleflight): this
+    /// request waited for the in-flight compilation and shares its
+    /// artifact.
+    Coalesced,
 }
 
 impl std::fmt::Display for Provenance {
@@ -127,6 +132,7 @@ impl std::fmt::Display for Provenance {
             Provenance::Fresh => write!(f, "fresh compile"),
             Provenance::Memory => write!(f, "cache hit (memory)"),
             Provenance::Disk => write!(f, "cache hit (disk)"),
+            Provenance::Coalesced => write!(f, "coalesced (shared in-flight compile)"),
         }
     }
 }
@@ -176,6 +182,15 @@ pub enum EngineError {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// This request coalesced onto a concurrent identical compile, and
+    /// that shared compile failed. The message is the leader's rendered
+    /// error (the leader's own slot carries the structured one).
+    CoalescedFailed {
+        /// The job's label.
+        job: String,
+        /// The shared compile's failure, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -189,6 +204,12 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Panicked { job, message } => {
                 write!(f, "job `{job}` panicked: {message}")
+            }
+            EngineError::CoalescedFailed { job, message } => {
+                write!(
+                    f,
+                    "job `{job}` coalesced onto a compile that failed: {message}"
+                )
             }
         }
     }
@@ -233,11 +254,67 @@ impl Default for EngineOptions {
     }
 }
 
+/// One in-flight compilation that concurrent identical requests share.
+/// The leader publishes its outcome into `slot` and notifies; followers
+/// wait on the condvar. Errors cross as rendered strings because the
+/// structured error types are not `Clone`.
+#[derive(Default)]
+struct Inflight {
+    slot: Mutex<Option<Result<Arc<Artifact>, String>>>,
+    done: Condvar,
+}
+
+impl Inflight {
+    fn publish(&self, result: Result<Arc<Artifact>, String>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<Artifact>, String> {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Removes the in-flight entry and unblocks followers no matter how the
+/// leader exits — including by panic, where the followers see an error
+/// instead of waiting forever.
+struct LeaderGuard<'a> {
+    engine: &'a Engine,
+    key: CacheKey,
+    inflight: Arc<Inflight>,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        self.engine
+            .inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.key);
+        // No-op if the leader already published; otherwise (panic unwind)
+        // fail the followers cleanly.
+        self.inflight
+            .publish(Err("shared in-flight compile panicked".to_string()));
+    }
+}
+
 /// The compilation service: parallel conversion + cache + batch driver.
 pub struct Engine {
     opts: EngineOptions,
     cache: CompileCache,
     jobs_compiled: AtomicU64,
+    coalesced: AtomicU64,
+    /// Singleflight table: cache key → the in-flight compile to join.
+    inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
 }
 
 impl Engine {
@@ -248,6 +325,8 @@ impl Engine {
             opts,
             cache,
             jobs_compiled: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -270,6 +349,12 @@ impl Engine {
     /// Jobs compiled from scratch (cache hits excluded).
     pub fn jobs_compiled(&self) -> u64 {
         self.jobs_compiled.load(Ordering::Relaxed)
+    }
+
+    /// Requests that coalesced onto a concurrent identical compile
+    /// instead of compiling or hitting the cache themselves.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
     }
 
     /// Compile one job, using every engine thread for the conversion.
@@ -350,15 +435,93 @@ impl Engine {
             job.optimize,
             job.minimize,
         );
-        if let Some((artifact, layer)) = self.cache.lookup(key, &job.gen.costs) {
-            let provenance = match layer {
+        let as_hit = |(artifact, layer): (Arc<Artifact>, CacheLayer)| Compiled {
+            artifact,
+            provenance: match layer {
                 CacheLayer::Memory => Provenance::Memory,
                 CacheLayer::Disk => Provenance::Disk,
+            },
+        };
+        if let Some(hit) = self.cache.probe(key, &job.gen.costs) {
+            return Ok(as_hit(hit));
+        }
+        // Singleflight: elect a leader under the in-flight table lock.
+        // The cache is re-probed under the same lock because a leader
+        // inserts its artifact into the cache *before* removing its
+        // in-flight entry — so every concurrent identical request either
+        // sees the entry (and coalesces) or sees the cache hit; exactly
+        // one request per key ever compiles.
+        let inflight = {
+            let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(hit) = self.cache.probe(key, &job.gen.costs) {
+                return Ok(as_hit(hit));
+            }
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => Some(Arc::clone(e.get())),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Arc::new(Inflight::default()));
+                    None
+                }
+            }
+        };
+        if let Some(inflight) = inflight {
+            // Follower: wait for the leader's outcome and share it.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            msc_obs::count("engine.coalesced", 1);
+            return match inflight.wait() {
+                Ok(artifact) => Ok(Compiled {
+                    artifact,
+                    provenance: Provenance::Coalesced,
+                }),
+                Err(message) => Err(EngineError::CoalescedFailed {
+                    job: job.name.clone(),
+                    message,
+                }),
             };
-            return Ok(Compiled {
-                artifact,
-                provenance,
-            });
+        }
+        // Leader: this request is the one that compiles (and the one that
+        // counts the miss for the whole coalesced group).
+        self.cache.note_miss();
+        let inflight = Arc::clone(
+            self.inflight
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(&key)
+                .expect("leader's in-flight entry is present until its guard drops"),
+        );
+        let guard = LeaderGuard {
+            engine: self,
+            key,
+            inflight,
+        };
+        let result = self.compile_fresh(job, key, threads);
+        guard.inflight.publish(match &result {
+            Ok(c) => Ok(Arc::clone(&c.artifact)),
+            Err(e) => Err(e.to_string()),
+        });
+        drop(guard);
+        result
+    }
+
+    /// The actual pipeline run for a cache-missed job. Inserts the
+    /// artifact into the cache on success.
+    fn compile_fresh(
+        &self,
+        job: &Job,
+        key: CacheKey,
+        threads: usize,
+    ) -> Result<Compiled, EngineError> {
+        // Deliberate slow/panic sites for the singleflight tests:
+        // overlapping identical jobs need a compile that reliably outlives
+        // the followers' arrival.
+        #[cfg(test)]
+        if job.name.starts_with("__slow_for_test__") {
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        #[cfg(test)]
+        if job.name.starts_with("__panic_in_flight_for_test__") {
+            std::thread::sleep(Duration::from_millis(150));
+            panic!("injected in-flight test panic");
         }
         let deadline = self.opts.job_timeout.map(|t| Instant::now() + t);
         let timed_out = || EngineError::TimedOut {
@@ -437,6 +600,7 @@ fn job_metrics(result: &Result<Compiled, EngineError>) -> msc_obs::MetricsSnapsh
                 Provenance::Fresh => "cache.miss",
                 Provenance::Memory => "cache.hit",
                 Provenance::Disk => "cache.disk_hit",
+                Provenance::Coalesced => "engine.coalesced",
             };
             reg.record(&Event::Count {
                 name: provenance,
@@ -624,5 +788,111 @@ mod tests {
         });
         let err = engine.compile(&Job::new("t", PROG)).unwrap_err();
         assert!(matches!(err, EngineError::TimedOut { .. }), "{err:?}");
+    }
+
+    /// Start a leader compiling `job` (whose `__slow_for_test__` /
+    /// `__panic_in_flight_for_test__` name keeps it in flight for
+    /// ~150ms), give it `lead_ms` of head start, then run `followers`
+    /// concurrent identical requests. Returns (leader result, follower
+    /// results); the head start guarantees the followers arrive while
+    /// the leader's in-flight entry is registered.
+    type LeaderOutcome = std::thread::Result<Result<Compiled, EngineError>>;
+
+    fn race_identical(
+        engine: &Engine,
+        job: &Job,
+        followers: usize,
+    ) -> (LeaderOutcome, Vec<Result<Compiled, EngineError>>) {
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| catch_unwind(AssertUnwindSafe(|| engine.compile(job))));
+            std::thread::sleep(Duration::from_millis(40));
+            let handles: Vec<_> = (0..followers)
+                .map(|_| s.spawn(|| engine.compile(job)))
+                .collect();
+            let follower_results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (leader.join().unwrap(), follower_results)
+        })
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_compile_exactly_once() {
+        let registry = Arc::new(msc_obs::Registry::new());
+        let _guard = msc_obs::install(registry.clone());
+        let engine = Engine::new(EngineOptions {
+            threads: 2,
+            ..EngineOptions::default()
+        });
+        let job = Job::new("__slow_for_test__ok", PROG);
+        let (leader, followers) = race_identical(&engine, &job, 3);
+        let leader = leader.expect("slow leader does not panic").unwrap();
+        assert_eq!(leader.provenance, Provenance::Fresh);
+        for f in &followers {
+            let f = f.as_ref().unwrap();
+            assert_eq!(f.provenance, Provenance::Coalesced);
+            assert!(
+                Arc::ptr_eq(&leader.artifact, &f.artifact),
+                "coalesced requests share the leader's artifact"
+            );
+        }
+        assert_eq!(engine.jobs_compiled(), 1, "the burst compiled exactly once");
+        assert_eq!(engine.coalesced(), 3);
+        let s = engine.cache_stats();
+        assert_eq!(
+            (s.misses, s.hits, s.insertions),
+            (1, 0, 1),
+            "one miss for the whole group: {s:?}"
+        );
+        assert_eq!(registry.snapshot().counter("engine.coalesced"), 3);
+        // After the flight lands, the same job is an ordinary memory hit.
+        assert_eq!(engine.compile(&job).unwrap().provenance, Provenance::Memory);
+    }
+
+    #[test]
+    fn coalesced_requests_share_the_leaders_failure() {
+        let engine = Engine::new(EngineOptions::default());
+        // Slow so the follower reliably coalesces; bad source so the
+        // leader's compile fails after the flight is joined.
+        let job = Job::new("__slow_for_test__bad", "main() { y = 1; }");
+        let (leader, followers) = race_identical(&engine, &job, 1);
+        let leader_err = leader.expect("slow leader does not panic").unwrap_err();
+        assert!(
+            matches!(leader_err, EngineError::Compile(_)),
+            "{leader_err:?}"
+        );
+        match &followers[0] {
+            Err(EngineError::CoalescedFailed { job, message }) => {
+                assert_eq!(job, "__slow_for_test__bad");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected CoalescedFailed, got {other:?}"),
+        }
+        // A failed flight caches nothing and leaves nothing in flight:
+        // the next identical request compiles (and fails) on its own.
+        assert_eq!(engine.cache_stats().insertions, 0);
+        assert!(engine.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn panicking_leader_releases_its_followers() {
+        let engine = Engine::new(EngineOptions::default());
+        let job = Job::new("__panic_in_flight_for_test__", PROG);
+        let (leader, followers) = race_identical(&engine, &job, 1);
+        assert!(leader.is_err(), "leader panics mid-flight");
+        match &followers[0] {
+            Err(EngineError::CoalescedFailed { message, .. }) => {
+                assert!(
+                    message.contains("panicked"),
+                    "guard publishes the panic: {message}"
+                );
+            }
+            other => panic!("expected CoalescedFailed, got {other:?}"),
+        }
+        assert!(
+            engine.inflight.lock().unwrap().is_empty(),
+            "the leader's guard cleans up even on panic"
+        );
+        // The engine is still fully usable afterwards.
+        let ok = engine.compile(&Job::new("after", PROG)).unwrap();
+        assert_eq!(ok.provenance, Provenance::Fresh);
     }
 }

@@ -11,9 +11,12 @@
 //!
 //! Serialization is dependency-free; metric names are `&'static str`
 //! identifiers from the emitting crates (dotted lowercase ASCII), but the
-//! writer still escapes them defensively. [`parse_line`] is the matching
-//! reader used by tests and the `--trace-out` verification tooling.
+//! writer still escapes them defensively (via the shared
+//! [`json`] escaper). [`parse_line`] is the matching reader
+//! used by tests and the `--trace-out` verification tooling; it is a thin
+//! shim over the full [`json::parse`].
 
+use crate::json::{self, escape_into};
 use crate::{Event, Subscriber};
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -85,20 +88,6 @@ fn render_line(event: &Event, out: &mut String) {
     }
 }
 
-fn escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                use std::fmt::Write as _;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-}
-
 /// A parsed JSONL trace line — [`Event`] with an owned name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceLine {
@@ -139,66 +128,34 @@ impl TraceLine {
 }
 
 /// Parse one line previously written by [`JsonlSink`]. Returns `None` for
-/// blank lines or lines that do not match the sink's output shape (this is
-/// a reader for our own writer, not a general JSON parser).
+/// blank lines or lines that do not match the sink's output shape. Built
+/// on the shared [`json`] parser, so any valid JSON spelling
+/// of the schema is accepted, not just the sink's exact byte layout.
 pub fn parse_line(line: &str) -> Option<TraceLine> {
     let line = line.trim();
     if line.is_empty() {
         return None;
     }
-    let kind = extract_str(line, "kind")?;
-    let name = extract_str(line, "name")?;
-    match kind.as_str() {
+    let v = json::parse(line).ok()?;
+    let kind = v.get("kind")?.as_str()?;
+    let name = v.get("name")?.as_str()?.to_string();
+    let field = |key: &str| v.get(key)?.as_u64();
+    match kind {
         "count" => Some(TraceLine::Count {
             name,
-            delta: extract_u64(line, "delta")?,
+            delta: field("delta")?,
         }),
         "value" => Some(TraceLine::Value {
             name,
-            index: extract_u64(line, "index")?,
-            value: extract_u64(line, "value")?,
+            index: field("index")?,
+            value: field("value")?,
         }),
         "span" => Some(TraceLine::Span {
             name,
-            nanos: extract_u64(line, "nanos")?,
+            nanos: field("nanos")?,
         }),
         _ => None,
     }
-}
-
-fn extract_str(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":\"");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                'u' => {
-                    let hex: String = chars.by_ref().take(4).collect();
-                    let code = u32::from_str_radix(&hex, 16).ok()?;
-                    out.push(char::from_u32(code)?);
-                }
-                other => out.push(other),
-            },
-            c => out.push(c),
-        }
-    }
-    None
-}
-
-fn extract_u64(line: &str, key: &str) -> Option<u64> {
-    let pat = format!("\"{key}\":");
-    let start = line.find(&pat)? + pat.len();
-    let digits: String = line[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect();
-    digits.parse().ok()
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@
 //! row in DESIGN.md §10's schema table — the registry and sinks pick up
 //! new names automatically.
 
+pub mod json;
 pub mod jsonl;
 
 pub use jsonl::JsonlSink;

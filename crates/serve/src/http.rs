@@ -1,0 +1,434 @@
+//! A deliberately small HTTP/1.1 server-side parser with hard limits.
+//!
+//! The daemon only speaks enough HTTP for its five endpoints, so the
+//! parser is hand-rolled rather than pulled in as a dependency — but it
+//! is written defensively: every dimension of a request (request-line
+//! length, header count and size, body size, read pacing) has an explicit
+//! bound, and exceeding a bound is a typed [`HttpError`] that renders as
+//! a 4xx response. Malformed or hostile input must never panic a worker;
+//! it produces an error response and the connection is dropped.
+
+use std::io::{BufRead, ErrorKind, Write};
+
+/// Hard bounds on what a single request may look like.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Longest accepted request line (method + path + version), bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, bytes.
+    pub max_header_line: usize,
+    /// Most headers accepted on one request.
+    pub max_header_count: usize,
+    /// Largest accepted body, bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_header_count: 64,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/compile`.
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Everything that turns into a non-200 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400 — syntactically broken request or body.
+    BadRequest(String),
+    /// 404 — no such endpoint.
+    NotFound,
+    /// 405 — endpoint exists, method does not.
+    MethodNotAllowed,
+    /// 408 — the client paced bytes slower than the socket timeout.
+    Timeout,
+    /// 411 — a body-bearing method without `Content-Length`.
+    LengthRequired,
+    /// 413 — declared body larger than [`Limits::max_body`].
+    PayloadTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// 415 — body present but not `application/json`.
+    UnsupportedMediaType,
+    /// 422 — well-formed request the pipeline rejected (compile error,
+    /// conversion explosion, watchdog, ...).
+    Unprocessable(String),
+    /// 431 — header section exceeds the configured bounds.
+    HeadersTooLarge,
+    /// 503 — the admission queue is full; retry after the hinted seconds.
+    Overloaded {
+        /// `Retry-After` hint, seconds.
+        retry_after: u64,
+    },
+    /// 500 — a bug on our side.
+    Internal(String),
+}
+
+impl HttpError {
+    /// Status code and reason phrase.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequest(_) => (400, "Bad Request"),
+            HttpError::NotFound => (404, "Not Found"),
+            HttpError::MethodNotAllowed => (405, "Method Not Allowed"),
+            HttpError::Timeout => (408, "Request Timeout"),
+            HttpError::LengthRequired => (411, "Length Required"),
+            HttpError::PayloadTooLarge { .. } => (413, "Payload Too Large"),
+            HttpError::UnsupportedMediaType => (415, "Unsupported Media Type"),
+            HttpError::Unprocessable(_) => (422, "Unprocessable Entity"),
+            HttpError::HeadersTooLarge => (431, "Request Header Fields Too Large"),
+            HttpError::Overloaded { .. } => (503, "Service Unavailable"),
+            HttpError::Internal(_) => (500, "Internal Server Error"),
+        }
+    }
+
+    /// Human-readable detail for the JSON error body.
+    pub fn detail(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) | HttpError::Unprocessable(m) | HttpError::Internal(m) => {
+                m.clone()
+            }
+            HttpError::NotFound => "no such endpoint".to_string(),
+            HttpError::MethodNotAllowed => "method not allowed on this endpoint".to_string(),
+            HttpError::Timeout => "client read timed out".to_string(),
+            HttpError::LengthRequired => "POST requires Content-Length".to_string(),
+            HttpError::PayloadTooLarge { limit } => {
+                format!("body exceeds the {limit}-byte limit")
+            }
+            HttpError::UnsupportedMediaType => "Content-Type must be application/json".to_string(),
+            HttpError::HeadersTooLarge => "header section too large".to_string(),
+            HttpError::Overloaded { .. } => "request queue is full".to_string(),
+        }
+    }
+}
+
+fn io_error(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+        ErrorKind::UnexpectedEof => HttpError::BadRequest("truncated request".to_string()),
+        _ => HttpError::BadRequest(format!("read failed: {e}")),
+    }
+}
+
+/// Read one CRLF/LF-terminated line of at most `max` bytes (terminator
+/// excluded). `Ok(None)` = EOF before any byte arrived.
+fn read_line_limited<R: BufRead>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r.fill_buf().map_err(io_error)?;
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::BadRequest("truncated request".to_string()))
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if line.len() + nl > max {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                line.extend_from_slice(&buf[..nl]);
+                r.consume(nl + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            None => {
+                let n = buf.len();
+                if line.len() + n > max {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                line.extend_from_slice(buf);
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// Parse one request off `reader`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive teardown).
+pub fn parse_request<R: BufRead>(
+    reader: &mut R,
+    limits: &Limits,
+) -> Result<Option<Request>, HttpError> {
+    let line = match read_line_limited(reader, limits.max_request_line)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let line = String::from_utf8(line)
+        .map_err(|_| HttpError::BadRequest("request line is not UTF-8".to_string()))?;
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line: {line:?}"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest(format!("bad method: {method:?}")));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "bad request target: {path:?}"
+        )));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("bad version: {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_limited(reader, limits.max_header_line)?
+            .ok_or_else(|| HttpError::BadRequest("truncated headers".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_header_count {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| HttpError::BadRequest("header is not UTF-8".to_string()))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header: {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!("malformed header: {line:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding is not supported".to_string(),
+        ));
+    }
+    let body_bearing = matches!(request.method.as_str(), "POST" | "PUT" | "PATCH");
+    let length = match request.header("content-length") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length: {v:?}")))?,
+        ),
+        None if body_bearing => return Err(HttpError::LengthRequired),
+        None => None,
+    };
+    if let Some(n) = length {
+        if n > limits.max_body {
+            return Err(HttpError::PayloadTooLarge {
+                limit: limits.max_body,
+            });
+        }
+        let mut body = vec![0u8; n];
+        reader.read_exact(&mut body).map_err(io_error)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// Write a response. `extra` headers come after the standard ones; the
+/// body is always accompanied by an exact `Content-Length`.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    keep_alive: bool,
+    extra: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        parse_request(
+            &mut Cursor::new(raw.as_bytes().to_vec()),
+            &Limits::default(),
+        )
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /compile HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/compile");
+        assert_eq!(req.header("content-type"), Some("application/json"));
+        assert_eq!(req.header("CONTENT-TYPE"), Some("application/json"));
+        assert_eq!(req.body, b"{}");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn get_without_length_is_fine() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        assert_eq!(
+            parse("POST /compile HTTP/1.1\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let raw = "POST /compile HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::PayloadTooLarge { .. })));
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let raw = "POST /compile HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}";
+        assert!(matches!(parse(raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn header_bombs_are_431() {
+        let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw), Err(HttpError::HeadersTooLarge));
+
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+        assert_eq!(parse(&raw), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn socket_timeout_reads_as_408() {
+        struct Stall;
+        impl std::io::Read for Stall {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(ErrorKind::WouldBlock, "slow"))
+            }
+        }
+        let mut r = std::io::BufReader::new(Stall);
+        assert_eq!(
+            parse_request(&mut r, &Limits::default()),
+            Err(HttpError::Timeout)
+        );
+    }
+
+    #[test]
+    fn response_writer_shapes_the_head() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "Service Unavailable",
+            false,
+            &[("Retry-After", "1".to_string())],
+            "application/json",
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

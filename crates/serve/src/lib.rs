@@ -1,0 +1,417 @@
+//! # msc-serve — the compile-and-run service daemon
+//!
+//! Turns the [`msc_engine`] pipeline into a long-lived network service:
+//! a dependency-free HTTP/1.1 daemon (std `TcpListener`, hand-rolled
+//! parser with hard limits) exposing
+//!
+//! | endpoint         | semantics                                          |
+//! |------------------|----------------------------------------------------|
+//! | `POST /compile`  | compile one MIMDC source through the engine cache  |
+//! | `POST /run`      | compile + execute on the SIMD simulator            |
+//! | `POST /batch`    | compile a set of jobs as one engine batch          |
+//! | `GET /metrics`   | the aggregated [`msc_obs::Registry`] as JSON       |
+//! | `GET /healthz`   | liveness + queue depth                             |
+//!
+//! The daemon is shaped for sustained load rather than peak benchmarks:
+//!
+//! - **Bounded admission.** Accepted connections enter a fixed-depth
+//!   [`queue::BoundedQueue`]; when it is full the acceptor answers
+//!   `503` + `Retry-After` immediately (load shedding) instead of
+//!   letting latency grow without bound.
+//! - **Request coalescing.** Identical concurrent compiles collapse onto
+//!   one in-flight compilation via the engine's singleflight layer; the
+//!   response reports `"provenance": "coalesced"` and the
+//!   `serve.coalesced` / `engine.coalesced` counters record it.
+//! - **Hard input limits.** Request-line/header/body bounds and socket
+//!   read timeouts turn hostile or broken clients into clean 4xx/408
+//!   responses ([`http::Limits`]); a worker never panics on input.
+//! - **Graceful drain.** [`ServerHandle::shutdown`] stops admission,
+//!   lets in-flight requests finish, then joins every thread.
+//!   [`run_until_signal`] wires that to SIGINT/SIGTERM for the CLI.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod queue;
+
+use http::{HttpError, Limits, Request};
+use msc_engine::{Engine, EngineOptions};
+use msc_obs::json::Json;
+use msc_obs::Registry;
+use queue::BoundedQueue;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:7643` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads serving connections (0 = available parallelism).
+    pub workers: usize,
+    /// Admission queue depth; beyond it connections are shed with 503.
+    pub queue_depth: usize,
+    /// Conversion threads *per request* (1 keeps workers independent).
+    pub engine_threads: usize,
+    /// On-disk compile cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-request compile deadline (the engine's cooperative timeout).
+    pub job_timeout: Option<Duration>,
+    /// HTTP input bounds.
+    pub limits: Limits,
+    /// Socket read timeout — also the slow-loris bound and the upper
+    /// bound on how long shutdown waits for an idle keep-alive peer.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// `Retry-After` seconds hinted on shed requests.
+    pub retry_after: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7643".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            engine_threads: 1,
+            cache_dir: None,
+            job_timeout: Some(Duration::from_secs(30)),
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry_after: 1,
+        }
+    }
+}
+
+/// The daemon factory. [`Server::start`] binds, spawns the acceptor and
+/// worker pool, and returns the controlling [`ServerHandle`].
+pub struct Server;
+
+struct Shared {
+    engine: Engine,
+    registry: Arc<Registry>,
+    queue: BoundedQueue<TcpStream>,
+    stop: AtomicBool,
+    opts: ServeOptions,
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`shutdown`](Self::shutdown) leaves the threads running detached;
+/// call `shutdown` for a graceful drain. The handle also owns the
+/// process-global [`msc_obs`] subscriber installation, so it is
+/// deliberately not `Send` — control the daemon from the thread that
+/// started it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    _obs: msc_obs::InstallGuard,
+}
+
+impl Server {
+    /// Bind and start serving. Installs the daemon's [`Registry`] as the
+    /// process-global [`msc_obs`] subscriber for the handle's lifetime
+    /// (the install lock is exclusive: starting a second server in the
+    /// same process blocks until the first shuts down).
+    pub fn start(opts: ServeOptions) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new());
+        let obs_guard = msc_obs::install(registry.clone());
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            opts.workers
+        };
+        let shared = Arc::new(Shared {
+            engine: Engine::new(EngineOptions {
+                threads: opts.engine_threads.max(1),
+                cache_dir: opts.cache_dir.clone(),
+                job_timeout: opts.job_timeout,
+                ..EngineOptions::default()
+            }),
+            registry,
+            queue: BoundedQueue::new(opts.queue_depth),
+            stop: AtomicBool::new(false),
+            opts,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("msc-serve-accept".to_string())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("msc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            _obs: obs_guard,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's metrics registry (what `GET /metrics` renders).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// The underlying engine (cache statistics, coalescing counters).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Graceful drain: stop admitting, finish everything already
+    /// admitted, join all threads. Idle keep-alive peers are released
+    /// when their socket read times out, so shutdown can take up to
+    /// [`ServeOptions::read_timeout`].
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+        let _ = stream.set_nodelay(true);
+        msc_obs::count("serve.accepted", 1);
+        if let Err((mut stream, _reason)) = shared.queue.try_push(stream) {
+            // Shed: answer on the acceptor thread (cheap — one write)
+            // so the queue and workers never see the connection. A
+            // `Closed` refusal during shutdown sheds the same way.
+            msc_obs::count("serve.shed", 1);
+            let err = HttpError::Overloaded {
+                retry_after: shared.opts.retry_after,
+            };
+            let _ = write_error(&mut stream, &err, false);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.queue.pop() {
+        handle_connection(shared, stream);
+    }
+}
+
+fn write_error(stream: &mut TcpStream, err: &HttpError, keep_alive: bool) -> std::io::Result<()> {
+    let (status, reason) = err.status();
+    let body = Json::obj(vec![
+        ("error", Json::from(reason)),
+        ("detail", Json::from(err.detail().as_str())),
+    ])
+    .render();
+    let retry: Vec<(&str, String)> = match err {
+        HttpError::Overloaded { retry_after } => {
+            vec![("Retry-After", retry_after.to_string())]
+        }
+        _ => Vec::new(),
+    };
+    http::write_response(
+        stream,
+        status,
+        reason,
+        keep_alive,
+        &retry,
+        "application/json",
+        body.as_bytes(),
+    )
+}
+
+fn write_ok(stream: &mut TcpStream, body: &Json, keep_alive: bool) -> std::io::Result<()> {
+    http::write_response(
+        stream,
+        200,
+        "OK",
+        keep_alive,
+        &[],
+        "application/json",
+        body.render().as_bytes(),
+    )
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        match http::parse_request(&mut reader, &shared.opts.limits) {
+            Ok(None) => break, // peer closed between requests
+            Ok(Some(req)) => {
+                let t0 = Instant::now();
+                let outcome = route(shared, &req);
+                msc_obs::value("serve.request_nanos", t0.elapsed().as_nanos() as u64);
+                // Don't hold a drained daemon open on keep-alive.
+                let keep_alive = !req.wants_close() && !shared.stop.load(Ordering::SeqCst);
+                let io = match outcome {
+                    Ok(body) => {
+                        msc_obs::count("serve.requests", 1);
+                        write_ok(&mut stream, &body, keep_alive)
+                    }
+                    Err(err) => {
+                        msc_obs::count("serve.http_error", 1);
+                        write_error(&mut stream, &err, keep_alive)
+                    }
+                };
+                if io.is_err() || !keep_alive {
+                    break;
+                }
+            }
+            Err(err) => {
+                // The byte stream is in an undefined state after a parse
+                // error: answer and drop the connection.
+                msc_obs::count("serve.http_error", 1);
+                let _ = write_error(&mut stream, &err, false);
+                break;
+            }
+        }
+    }
+}
+
+fn json_body(req: &Request) -> Result<Json, HttpError> {
+    match req.header("content-type") {
+        Some(ct)
+            if ct
+                .split(';')
+                .next()
+                .is_some_and(|t| t.trim().eq_ignore_ascii_case("application/json")) => {}
+        _ => return Err(HttpError::UnsupportedMediaType),
+    }
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| HttpError::BadRequest("body is not UTF-8".to_string()))?;
+    msc_obs::json::parse(text)
+        .map_err(|e| HttpError::BadRequest(format!("body is not valid JSON: {e}")))
+}
+
+fn count_coalesced(body: &Json) {
+    let one = |v: &Json| {
+        if v.get("provenance").and_then(Json::as_str) == Some("coalesced") {
+            msc_obs::count("serve.coalesced", 1);
+        }
+    };
+    match body.get("results").and_then(Json::as_arr) {
+        Some(slots) => slots.iter().for_each(one),
+        None => one(body),
+    }
+}
+
+fn route(shared: &Shared, req: &Request) -> Result<Json, HttpError> {
+    let known_get = matches!(req.path.as_str(), "/healthz" | "/metrics");
+    let known_post = matches!(req.path.as_str(), "/compile" | "/run" | "/batch");
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(api::health_response(
+            shared.queue.len(),
+            shared.stop.load(Ordering::SeqCst),
+        )),
+        ("GET", "/metrics") => Ok(api::metrics_response(&shared.registry.snapshot())),
+        ("POST", "/compile") => {
+            let body = json_body(req)?;
+            let resp = api::compile(&shared.engine, &body)?;
+            count_coalesced(&resp);
+            Ok(resp)
+        }
+        ("POST", "/run") => {
+            let body = json_body(req)?;
+            let resp = api::run(&shared.engine, &body)?;
+            count_coalesced(&resp);
+            Ok(resp)
+        }
+        ("POST", "/batch") => {
+            let body = json_body(req)?;
+            let resp = api::batch(&shared.engine, &body)?;
+            count_coalesced(&resp);
+            Ok(resp)
+        }
+        _ if known_get || known_post => Err(HttpError::MethodNotAllowed),
+        _ => Err(HttpError::NotFound),
+    }
+}
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Route SIGINT and SIGTERM to the stop flag. `signal(2)` comes from
+    /// libc, which std already links — no new dependency.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Serve until SIGINT/SIGTERM, then drain and return. This is what
+/// `mscc serve` runs.
+#[cfg(unix)]
+pub fn run_until_signal(handle: ServerHandle) {
+    sig::install();
+    while !sig::STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+}
+
+/// Non-unix fallback: serve until the process is killed.
+#[cfg(not(unix))]
+pub fn run_until_signal(_handle: ServerHandle) {
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

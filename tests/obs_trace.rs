@@ -46,14 +46,24 @@ fn jsonl_trace_totals_match_cache_stats() {
     let results = engine.compile_many(&jobs);
     assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
     let stats = engine.cache_stats();
-    assert_eq!(stats.hits + stats.disk_hits, 1, "{stats:?}");
+    // Singleflight makes the totals deterministic even with the two
+    // PROG_A jobs racing: exactly one of the pair compiles (one miss),
+    // and its twin either coalesces onto the in-flight compile or hits
+    // the cache just after it lands.
     assert_eq!(stats.misses, 2, "{stats:?}");
+    assert_eq!(
+        stats.hits + stats.disk_hits + engine.coalesced(),
+        1,
+        "{stats:?} coalesced={}",
+        engine.coalesced()
+    );
 
     drop(guard);
     sink.flush().unwrap();
 
     let text = std::fs::read_to_string(&trace_path).unwrap();
-    let (mut hits, mut disk_hits, mut misses, mut parsed) = (0u64, 0u64, 0u64, 0usize);
+    let (mut hits, mut disk_hits, mut misses, mut coalesced, mut parsed) =
+        (0u64, 0u64, 0u64, 0u64, 0usize);
     for line in text.lines() {
         let ev = parse_line(line).unwrap_or_else(|| panic!("unparseable trace line: {line}"));
         parsed += 1;
@@ -62,6 +72,7 @@ fn jsonl_trace_totals_match_cache_stats() {
                 "cache.hit" => hits += delta,
                 "cache.disk_hit" => disk_hits += delta,
                 "cache.miss" => misses += delta,
+                "engine.coalesced" => coalesced += delta,
                 _ => {}
             }
         }
@@ -75,6 +86,11 @@ fn jsonl_trace_totals_match_cache_stats() {
     assert_eq!(
         misses, stats.misses,
         "trace cache.miss total != CacheStats.misses"
+    );
+    assert_eq!(
+        coalesced,
+        engine.coalesced(),
+        "trace engine.coalesced total != Engine::coalesced"
     );
 
     std::fs::remove_dir_all(&dir).ok();
@@ -104,19 +120,31 @@ fn cli_batch_trace_and_metrics_agree() {
     let (out, failed) = msc_cli::execute_batch(&sources, &opts).unwrap();
     assert_eq!(failed, 0, "{out}");
     assert!(out.contains("-- metrics --"), "{out}");
-    assert!(out.contains("1 memory hits"), "{out}");
+    // The identical second source is either a memory hit (it started
+    // after the first landed) or coalesced onto the in-flight compile.
+    assert!(
+        out.contains("1 memory hits") || out.contains("1 coalesced"),
+        "{out}"
+    );
 
     let text = std::fs::read_to_string(&trace_path).unwrap();
-    let (mut hits, mut misses) = (0u64, 0u64);
+    let (mut hits, mut misses, mut coalesced) = (0u64, 0u64, 0u64);
     for line in text.lines() {
         match parse_line(line) {
             Some(TraceLine::Count { name, delta }) if name == "cache.hit" => hits += delta,
             Some(TraceLine::Count { name, delta }) if name == "cache.miss" => misses += delta,
+            Some(TraceLine::Count { name, delta }) if name == "engine.coalesced" => {
+                coalesced += delta
+            }
             Some(_) => {}
             None => panic!("unparseable trace line: {line}"),
         }
     }
-    assert_eq!(hits, 1, "identical second source must hit the memory cache");
+    assert_eq!(
+        hits + coalesced,
+        1,
+        "identical second source must share the first compile"
+    );
     assert_eq!(misses, 1, "first compile of the shared source must miss");
 
     std::fs::remove_dir_all(&dir).ok();
