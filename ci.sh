@@ -10,9 +10,15 @@
 #                         re-measures the setops speedups and fails if
 #                         they fall >30% below BENCH_setops.json
 #   ./ci.sh serve-smoke   additionally boot the real `mscc serve` daemon
-#                         on a random port, drive every endpoint over TCP
-#                         with `loadgen --smoke`, and check that SIGINT
-#                         drains it cleanly
+#                         on an ephemeral port, drive every endpoint over
+#                         TCP with `loadgen --smoke`, run the serve
+#                         bench-regression gate (claims -- serve --check
+#                         vs BENCH_serve.json), and check that SIGINT
+#                         drains the daemon cleanly
+#   ./ci.sh fuzz-smoke    additionally run the differential fuzzer over
+#                         the full in-process oracle matrix with a fixed
+#                         seed; any mismatch fails the build and leaves
+#                         minimized reproducers in fuzz-corpus/
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -48,16 +54,42 @@ if [ "$MODE" = "bench-smoke" ]; then
 fi
 
 if [ "$MODE" = "serve-smoke" ]; then
-    PORT=$(( 20000 + RANDOM % 20000 ))
-    echo "== serve smoke: mscc serve on 127.0.0.1:${PORT} =="
-    ./target/release/mscc serve --addr "127.0.0.1:${PORT}" --workers 4 &
+    # Port 0 lets the kernel pick a free port — no RANDOM collisions on
+    # busy runners. The daemon announces the bound address on stdout.
+    SERVE_LOG="$(mktemp)"
+    echo "== serve smoke: mscc serve on an ephemeral port =="
+    ./target/release/mscc serve --addr 127.0.0.1:0 --workers 4 > "$SERVE_LOG" &
     SERVE_PID=$!
-    trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
-    ./target/release/loadgen --smoke --addr "127.0.0.1:${PORT}"
+    trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$SERVE_LOG"' EXIT
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/^msc-serve listening on //p' "$SERVE_LOG" | head -n 1)"
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$ADDR" ]; then
+        echo "serve smoke: daemon never announced its address" >&2
+        exit 1
+    fi
+    echo "   daemon bound to ${ADDR}"
+    ./target/release/loadgen --smoke --addr "$ADDR"
+    echo "== serve bench-regression gate: claims -- serve --check =="
+    cargo run --release -p msc-bench --bin claims -- serve --check
     echo "== serve smoke: SIGINT drains the daemon =="
     kill -INT "$SERVE_PID"
     wait "$SERVE_PID"
     trap - EXIT
+    rm -f "$SERVE_LOG"
+fi
+
+if [ "$MODE" = "fuzz-smoke" ]; then
+    # Fixed seed: the stage is deterministic, a red build is always
+    # reproducible locally with the same command. Mismatches exit
+    # nonzero and drop minimized reproducers into fuzz-corpus/ (uploaded
+    # as a CI artifact on failure).
+    echo "== fuzz smoke: mscc fuzz, full oracle matrix, 200 cases =="
+    rm -rf fuzz-corpus
+    ./target/release/mscc fuzz --seed 1 --cases 200 --corpus fuzz-corpus
 fi
 
 echo "CI OK"

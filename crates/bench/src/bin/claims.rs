@@ -666,20 +666,149 @@ fn setops_check() -> bool {
     }
 }
 
+/// `claims -- serve`: one load + coalesce-burst measurement against an
+/// in-process daemon, printed next to the committed baseline. No gate —
+/// use `--check` for that, `loadgen` to regenerate the baseline.
+fn serve() {
+    use msc_bench::loadbench::measure_serve;
+    use msc_bench::regression::parse_serve_baseline;
+    use std::time::Duration;
+
+    println!("== SERVE: daemon load measurement vs committed BENCH_serve.json ==\n");
+    let committed = std::fs::read_to_string("BENCH_serve.json")
+        .ok()
+        .and_then(|t| parse_serve_baseline(&t));
+    let m = match measure_serve(8, Duration::from_millis(1_000)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("serve measurement failed: {e}");
+            return;
+        }
+    };
+    println!("                | measured | committed");
+    let fmt = |v: Option<f64>| {
+        v.map(|v| format!("{v:9.0}"))
+            .unwrap_or_else(|| "      (-)".into())
+    };
+    println!(
+        "throughput rps  | {:8.0} | {}",
+        m.throughput_rps,
+        fmt(committed.as_ref().map(|b| b.throughput_rps))
+    );
+    println!(
+        "p99 latency ms  | {:8.3} | {}",
+        m.p99_ms,
+        committed
+            .as_ref()
+            .map(|b| format!("{:9.3}", b.p99_ms))
+            .unwrap_or_else(|| "      (-)".into())
+    );
+    println!(
+        "burst compiles  | {:8} | {}",
+        m.burst_compilations,
+        fmt(committed.as_ref().map(|b| b.burst_compilations as f64))
+    );
+    println!(
+        "errors          | {:8} | {}",
+        m.errors,
+        fmt(committed.as_ref().map(|_| 0.0))
+    );
+    println!("\n   shape check: one compilation per coalesced burst, zero errors;");
+    println!(
+        "   regenerate the committed file with `cargo run --release -p msc-bench --bin loadgen`.\n"
+    );
+}
+
+/// `claims -- serve --check`: re-measure the daemon under the baseline
+/// workload and gate it against the committed `BENCH_serve.json`.
+/// Returns false (→ nonzero exit) on any invariant break, a p99 over the
+/// absolute ceiling, or throughput >50% below the committed value.
+fn serve_check() -> bool {
+    use msc_bench::loadbench::measure_serve;
+    use msc_bench::regression::{check_serve, parse_serve_baseline, ServeMeasurement};
+    use std::time::Duration;
+
+    println!("== SERVE --check: regression gate vs committed BENCH_serve.json ==\n");
+    let text = match std::fs::read_to_string("BENCH_serve.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read BENCH_serve.json: {e}");
+            return false;
+        }
+    };
+    let Some(baseline) = parse_serve_baseline(&text) else {
+        eprintln!("BENCH_serve.json is missing expected keys");
+        return false;
+    };
+    let run = match measure_serve(8, Duration::from_millis(1_000)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve measurement failed: {e}");
+            return false;
+        }
+    };
+    let measured = ServeMeasurement {
+        throughput_rps: run.throughput_rps,
+        p99_ms: run.p99_ms,
+        errors: run.errors,
+        burst_compilations: run.burst_compilations,
+    };
+    println!(
+        "throughput {:.0} req/s (committed {:.0}), p99 {:.3}ms (ceiling {:.0}ms), \
+         burst {} compilation(s), {} error(s)",
+        measured.throughput_rps,
+        baseline.throughput_rps,
+        measured.p99_ms,
+        baseline.p99_ms_max,
+        measured.burst_compilations,
+        measured.errors
+    );
+
+    let failures = check_serve(&baseline, &measured, 0.50);
+    for f in &failures {
+        eprintln!("REGRESSION: {f}");
+    }
+    if failures.is_empty() {
+        println!("\nserve regression gate OK (50% throughput tolerance)");
+        true
+    } else {
+        eprintln!(
+            "\nserve regression gate FAILED: {} regression(s)",
+            failures.len()
+        );
+        false
+    }
+}
+
 fn main() {
     let mut which: Vec<String> = std::env::args().skip(1).collect();
     let check = which.iter().any(|w| w == "--check");
     which.retain(|w| w != "--check");
     if check {
-        // --check only gates setops; other claim names are ignored here.
-        if !setops_check() {
+        // --check gates the named claims (default: every claim that has
+        // a committed baseline).
+        if which.is_empty() {
+            which = vec!["setops".into(), "serve".into()];
+        }
+        let mut ok = true;
+        for w in &which {
+            ok &= match w.as_str() {
+                "setops" => setops_check(),
+                "serve" => serve_check(),
+                other => {
+                    eprintln!("no --check gate for claim {other:?} (have: setops, serve)");
+                    false
+                }
+            };
+        }
+        if !ok {
             std::process::exit(1);
         }
         return;
     }
     let all = which.is_empty();
     let want = |k: &str| all || which.iter().any(|w| w == k);
-    let claims: [(&str, fn()); 15] = [
+    let claims: [(&str, fn()); 16] = [
         ("c1", c1),
         ("c2", c2),
         ("c3", c3),
@@ -695,6 +824,7 @@ fn main() {
         ("a3", a3),
         ("a4", a4),
         ("setops", setops),
+        ("serve", serve),
     ];
     for (k, f) in claims {
         if want(k) {

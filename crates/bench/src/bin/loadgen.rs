@@ -5,7 +5,8 @@
 //! sources) and reports throughput and latency percentiles, then fires
 //! a burst of identical cold requests to verify that coalescing +
 //! caching perform **exactly one** compilation for the whole burst.
-//! Results go to `BENCH_serve.json` (committed as the baseline).
+//! Results go to `BENCH_serve.json` (committed as the baseline, gated
+//! in CI by `claims -- serve --check`).
 //!
 //! ```text
 //! cargo run --release -p msc-bench --bin loadgen               # in-process daemon
@@ -15,215 +16,17 @@
 //!
 //! `--smoke` is the CI mode: wait for `/healthz`, touch every endpoint
 //! once, exit 0/1. No load, no output file.
+//!
+//! The workload mix, smoke checks, and measurement phases live in
+//! [`msc_bench::loadbench`], shared with the `claims` regression gate.
 
+use msc_bench::loadbench::{
+    coalesce_burst, compile_body, counter, load_phase, percentile, smoke, wait_healthy, HIT_POOL,
+};
 use msc_obs::json::Json;
 use msc_serve::client::Client;
 use msc_serve::{ServeOptions, Server, ServerHandle};
-use std::time::{Duration, Instant};
-
-const HIT_POOL: [&str; 4] = [
-    "main() { poly int x; x = pe_id() * 2 + 1; return(x); }",
-    "main() { poly int x, acc = 0; x = pe_id() % 4; while (x > 0) { acc += x; x -= 1; } return(acc); }",
-    "main() { poly int v; v = 3; if (pe_id() % 2) { v = v + 1; } else { v = v + 2; } return(v); }",
-    "main() { mono int total = 0; poly int x; x = pe_id(); total += x; return(x + total); }",
-];
-
-fn miss_source(salt: u64) -> String {
-    format!(
-        "main() {{ poly int x, acc = {salt}; x = pe_id() % 3; \
-         while (x > 0) {{ acc += x; x -= 1; }} return(acc); }}"
-    )
-}
-
-fn compile_body(source: &str) -> String {
-    Json::obj(vec![("source", Json::from(source))]).render()
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
-fn wait_healthy(addr: &str, budget: Duration) -> bool {
-    let deadline = Instant::now() + budget;
-    while Instant::now() < deadline {
-        if let Ok(mut c) = Client::connect_with_timeout(addr, Duration::from_secs(2)) {
-            if c.get("/healthz").map(|r| r.status == 200).unwrap_or(false) {
-                return true;
-            }
-        }
-        std::thread::sleep(Duration::from_millis(100));
-    }
-    false
-}
-
-fn counter(addr: &str, name: &str) -> u64 {
-    let mut c = Client::connect(addr).expect("connect for /metrics");
-    let v = c
-        .get("/metrics")
-        .expect("/metrics")
-        .json()
-        .expect("metrics JSON");
-    v.get("counters")
-        .and_then(|cs| cs.get(name))
-        .and_then(Json::as_u64)
-        .unwrap_or(0)
-}
-
-fn smoke(addr: &str) -> bool {
-    let mut ok = true;
-    let mut check = |label: &str, pass: bool| {
-        println!("  {} {label}", if pass { "ok " } else { "FAIL" });
-        ok &= pass;
-    };
-    let mut c = match Client::connect(addr) {
-        Ok(c) => c,
-        Err(e) => {
-            println!("  FAIL connect: {e}");
-            return false;
-        }
-    };
-    check(
-        "GET /healthz",
-        c.get("/healthz").map(|r| r.status == 200).unwrap_or(false),
-    );
-    let body = compile_body(HIT_POOL[0]);
-    check(
-        "POST /compile",
-        c.request("POST", "/compile", Some(&body))
-            .map(|r| r.status == 200)
-            .unwrap_or(false),
-    );
-    let run_body = Json::obj(vec![
-        ("source", Json::from(HIT_POOL[0])),
-        ("pes", Json::from(4u64)),
-    ])
-    .render();
-    let run_ok = c
-        .request("POST", "/run", Some(&run_body))
-        .ok()
-        .filter(|r| r.status == 200)
-        .and_then(|r| r.json())
-        .and_then(|v| v.get("results").and_then(|a| a.as_arr().map(|s| s.len())))
-        == Some(4);
-    check("POST /run returns 4 PE results", run_ok);
-    let batch_body = format!(
-        "{{\"jobs\":[{},{}]}}",
-        compile_body(HIT_POOL[1]),
-        compile_body(HIT_POOL[2])
-    );
-    check(
-        "POST /batch",
-        c.request("POST", "/batch", Some(&batch_body))
-            .map(|r| r.status == 200)
-            .unwrap_or(false),
-    );
-    check(
-        "GET /metrics shows serve.requests",
-        counter(addr, "serve.requests") >= 1,
-    );
-    check(
-        "bad request answered with 4xx",
-        c.request("POST", "/compile", Some("not json"))
-            .map(|r| (400..500).contains(&r.status))
-            .unwrap_or(false),
-    );
-    ok
-}
-
-/// The coalesce burst: `n` concurrent identical cold compiles must cost
-/// exactly one compilation (one `cache.miss`), the rest splitting into
-/// `engine.coalesced` + `cache.hit`.
-fn coalesce_burst(addr: &str, n: usize) -> (u64, u64) {
-    let miss_before = counter(addr, "cache.miss");
-    let source = miss_source(999_999_983);
-    let body = compile_body(&source);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..n)
-            .map(|_| {
-                let body = &body;
-                s.spawn(move || {
-                    let mut c = Client::connect(addr).expect("burst connect");
-                    let r = c
-                        .request("POST", "/compile", Some(body))
-                        .expect("burst request");
-                    assert_eq!(r.status, 200, "burst request failed: {}", r.body);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("burst client");
-        }
-    });
-    let compilations = counter(addr, "cache.miss") - miss_before;
-    let coalesced = counter(addr, "engine.coalesced");
-    (compilations, coalesced)
-}
-
-struct LoadReport {
-    requests: u64,
-    errors: u64,
-    elapsed: Duration,
-    latencies: Vec<u64>,
-}
-
-fn load_phase(addr: &str, clients: usize, duration: Duration) -> LoadReport {
-    let t0 = Instant::now();
-    let per_client: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..clients)
-            .map(|i| {
-                s.spawn(move || {
-                    let mut c = Client::connect(addr).expect("client connect");
-                    let (mut n, mut errors) = (0u64, 0u64);
-                    let mut lat = Vec::with_capacity(4096);
-                    let deadline = Instant::now() + duration;
-                    while Instant::now() < deadline {
-                        // ~10% of requests are never-seen sources (cache
-                        // misses); the rest rotate through the hit pool.
-                        let body = if n % 10 == 9 {
-                            compile_body(&miss_source(i as u64 * 1_000_000 + n))
-                        } else {
-                            compile_body(HIT_POOL[(n % 4) as usize])
-                        };
-                        let t = Instant::now();
-                        match c.request("POST", "/compile", Some(&body)) {
-                            Ok(r) if r.status == 200 => lat.push(t.elapsed().as_nanos() as u64),
-                            Ok(_) | Err(_) => {
-                                errors += 1;
-                                // The connection may be gone after an error.
-                                c = Client::connect(addr).expect("client reconnect");
-                            }
-                        }
-                        n += 1;
-                    }
-                    (n, errors, lat)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client"))
-            .collect()
-    });
-    let elapsed = t0.elapsed();
-    let mut latencies = Vec::new();
-    let (mut requests, mut errors) = (0, 0);
-    for (n, e, l) in per_client {
-        requests += n;
-        errors += e;
-        latencies.extend(l);
-    }
-    latencies.sort_unstable();
-    LoadReport {
-        requests,
-        errors,
-        elapsed,
-        latencies,
-    }
-}
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -301,7 +104,7 @@ fn main() {
     }
 
     let report = load_phase(&addr, clients, Duration::from_millis(duration_ms));
-    let throughput = report.requests as f64 / report.elapsed.as_secs_f64();
+    let throughput = report.throughput_rps();
     let (p50, p90, p99) = (
         percentile(&report.latencies, 50.0),
         percentile(&report.latencies, 90.0),

@@ -1,0 +1,287 @@
+//! Shared load-harness pieces for the msc-serve daemon.
+//!
+//! One source of truth for the workload mix, the endpoint smoke checks,
+//! and the measurement phases, used by both the `loadgen` binary (which
+//! writes the committed `BENCH_serve.json` baseline) and
+//! `claims -- serve --check` (which re-measures and gates against it).
+
+use msc_obs::json::Json;
+use msc_serve::client::Client;
+use msc_serve::{ServeOptions, Server, ServerHandle};
+use std::time::{Duration, Instant};
+
+/// The warm-cache source pool: ~90% of load-phase requests rotate
+/// through these four programs.
+pub const HIT_POOL: [&str; 4] = [
+    "main() { poly int x; x = pe_id() * 2 + 1; return(x); }",
+    "main() { poly int x, acc = 0; x = pe_id() % 4; while (x > 0) { acc += x; x -= 1; } return(acc); }",
+    "main() { poly int v; v = 3; if (pe_id() % 2) { v = v + 1; } else { v = v + 2; } return(v); }",
+    "main() { mono int total = 0; poly int x; x = pe_id(); total += x; return(x + total); }",
+];
+
+/// A never-seen-before source (cache miss) parameterized by `salt`.
+pub fn miss_source(salt: u64) -> String {
+    format!(
+        "main() {{ poly int x, acc = {salt}; x = pe_id() % 3; \
+         while (x > 0) {{ acc += x; x -= 1; }} return(acc); }}"
+    )
+}
+
+/// JSON request body for `POST /compile`.
+pub fn compile_body(source: &str) -> String {
+    Json::obj(vec![("source", Json::from(source))]).render()
+}
+
+/// Nearest-rank percentile over an already-sorted latency vector (ns).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Poll `/healthz` until it answers 200 or the budget runs out.
+pub fn wait_healthy(addr: &str, budget: Duration) -> bool {
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline {
+        if let Ok(mut c) = Client::connect_with_timeout(addr, Duration::from_secs(2)) {
+            if c.get("/healthz").map(|r| r.status == 200).unwrap_or(false) {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+/// Read one counter out of the daemon's `/metrics` endpoint.
+pub fn counter(addr: &str, name: &str) -> u64 {
+    let mut c = Client::connect(addr).expect("connect for /metrics");
+    let v = c
+        .get("/metrics")
+        .expect("/metrics")
+        .json()
+        .expect("metrics JSON");
+    v.get("counters")
+        .and_then(|cs| cs.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Touch every endpoint once; print one ok/FAIL line per check.
+pub fn smoke(addr: &str) -> bool {
+    let mut ok = true;
+    let mut check = |label: &str, pass: bool| {
+        println!("  {} {label}", if pass { "ok " } else { "FAIL" });
+        ok &= pass;
+    };
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("  FAIL connect: {e}");
+            return false;
+        }
+    };
+    check(
+        "GET /healthz",
+        c.get("/healthz").map(|r| r.status == 200).unwrap_or(false),
+    );
+    let body = compile_body(HIT_POOL[0]);
+    check(
+        "POST /compile",
+        c.request("POST", "/compile", Some(&body))
+            .map(|r| r.status == 200)
+            .unwrap_or(false),
+    );
+    let run_body = Json::obj(vec![
+        ("source", Json::from(HIT_POOL[0])),
+        ("pes", Json::from(4u64)),
+    ])
+    .render();
+    let run_ok = c
+        .request("POST", "/run", Some(&run_body))
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| r.json())
+        .and_then(|v| v.get("results").and_then(|a| a.as_arr().map(|s| s.len())))
+        == Some(4);
+    check("POST /run returns 4 PE results", run_ok);
+    let batch_body = format!(
+        "{{\"jobs\":[{},{}]}}",
+        compile_body(HIT_POOL[1]),
+        compile_body(HIT_POOL[2])
+    );
+    check(
+        "POST /batch",
+        c.request("POST", "/batch", Some(&batch_body))
+            .map(|r| r.status == 200)
+            .unwrap_or(false),
+    );
+    check(
+        "GET /metrics shows serve.requests",
+        counter(addr, "serve.requests") >= 1,
+    );
+    check(
+        "bad request answered with 4xx",
+        c.request("POST", "/compile", Some("not json"))
+            .map(|r| (400..500).contains(&r.status))
+            .unwrap_or(false),
+    );
+    ok
+}
+
+/// The coalesce burst: `n` concurrent identical cold compiles must cost
+/// exactly one compilation (one `cache.miss`), the rest splitting into
+/// `engine.coalesced` + `cache.hit`. Returns `(compilations, coalesced)`.
+pub fn coalesce_burst(addr: &str, n: usize) -> (u64, u64) {
+    let miss_before = counter(addr, "cache.miss");
+    let source = miss_source(999_999_983);
+    let body = compile_body(&source);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let body = &body;
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("burst connect");
+                    let r = c
+                        .request("POST", "/compile", Some(body))
+                        .expect("burst request");
+                    assert_eq!(r.status, 200, "burst request failed: {}", r.body);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("burst client");
+        }
+    });
+    let compilations = counter(addr, "cache.miss") - miss_before;
+    let coalesced = counter(addr, "engine.coalesced");
+    (compilations, coalesced)
+}
+
+/// Aggregate result of one [`load_phase`].
+pub struct LoadReport {
+    pub requests: u64,
+    pub errors: u64,
+    pub elapsed: Duration,
+    /// Sorted per-request latencies in nanoseconds.
+    pub latencies: Vec<u64>,
+}
+
+impl LoadReport {
+    pub fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+    pub fn p99_ms(&self) -> f64 {
+        percentile(&self.latencies, 99.0) as f64 / 1e6
+    }
+}
+
+/// Drive `clients` keep-alive connections at the daemon for `duration`,
+/// ~90% warm-pool compiles and ~10% unique sources.
+pub fn load_phase(addr: &str, clients: usize, duration: Duration) -> LoadReport {
+    let t0 = Instant::now();
+    let per_client: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).expect("client connect");
+                    let (mut n, mut errors) = (0u64, 0u64);
+                    let mut lat = Vec::with_capacity(4096);
+                    let deadline = Instant::now() + duration;
+                    while Instant::now() < deadline {
+                        // ~10% of requests are never-seen sources (cache
+                        // misses); the rest rotate through the hit pool.
+                        let body = if n % 10 == 9 {
+                            compile_body(&miss_source(i as u64 * 1_000_000 + n))
+                        } else {
+                            compile_body(HIT_POOL[(n % 4) as usize])
+                        };
+                        let t = Instant::now();
+                        match c.request("POST", "/compile", Some(&body)) {
+                            Ok(r) if r.status == 200 => lat.push(t.elapsed().as_nanos() as u64),
+                            Ok(_) | Err(_) => {
+                                errors += 1;
+                                // The connection may be gone after an error.
+                                c = Client::connect(addr).expect("client reconnect");
+                            }
+                        }
+                        n += 1;
+                    }
+                    (n, errors, lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let mut latencies = Vec::new();
+    let (mut requests, mut errors) = (0, 0);
+    for (n, e, l) in per_client {
+        requests += n;
+        errors += e;
+        latencies.extend(l);
+    }
+    latencies.sort_unstable();
+    LoadReport {
+        requests,
+        errors,
+        elapsed,
+        latencies,
+    }
+}
+
+/// What one measurement pass produces, shaped for
+/// [`crate::regression::check_serve`].
+pub struct ServeRunSummary {
+    pub requests: u64,
+    pub errors: u64,
+    pub throughput_rps: f64,
+    pub p99_ms: f64,
+    pub burst_requests: u64,
+    pub burst_compilations: u64,
+}
+
+/// Boot an in-process daemon on an ephemeral port, warm the hit pool,
+/// run one load phase and one 16-wide coalesce burst, then drain.
+pub fn measure_serve(clients: usize, duration: Duration) -> Result<ServeRunSummary, String> {
+    let handle: ServerHandle = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 256,
+        workers: clients + 17,
+        ..ServeOptions::default()
+    })
+    .map_err(|e| format!("start in-process daemon: {e}"))?;
+    let addr = handle.local_addr().to_string();
+    if !wait_healthy(&addr, Duration::from_secs(10)) {
+        handle.shutdown();
+        return Err(format!("daemon at {addr} never became healthy"));
+    }
+    let mut c = Client::connect(&addr).map_err(|e| format!("warmup connect: {e}"))?;
+    for src in HIT_POOL {
+        let r = c
+            .request("POST", "/compile", Some(&compile_body(src)))
+            .map_err(|e| format!("warmup compile: {e}"))?;
+        if r.status != 200 {
+            handle.shutdown();
+            return Err(format!("warmup failed: {}", r.body));
+        }
+    }
+    drop(c);
+    let report = load_phase(&addr, clients, duration);
+    const BURST: usize = 16;
+    let (burst_compilations, _coalesced) = coalesce_burst(&addr, BURST);
+    handle.shutdown();
+    Ok(ServeRunSummary {
+        requests: report.requests,
+        errors: report.errors,
+        throughput_rps: report.throughput_rps(),
+        p99_ms: report.p99_ms(),
+        burst_requests: BURST as u64,
+        burst_compilations,
+    })
+}

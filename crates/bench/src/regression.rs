@@ -82,11 +82,111 @@ pub fn check_speedups(
     failures
 }
 
+/// The committed serve-daemon baseline out of `BENCH_serve.json`:
+/// the measured numbers plus the absolute targets `loadgen` wrote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBaseline {
+    /// Throughput the committed run achieved (machine-dependent; gated
+    /// with a relative tolerance).
+    pub throughput_rps: f64,
+    /// p99 latency of the committed run, informational.
+    pub p99_ms: f64,
+    /// Coalesce-burst width of the committed run.
+    pub burst_requests: u64,
+    /// Compilations the committed burst cost (the invariant: 1).
+    pub burst_compilations: u64,
+    /// Absolute p99 ceiling from the `targets` section.
+    pub p99_ms_max: f64,
+    /// Absolute throughput floor from the `targets` section.
+    pub throughput_rps_min: f64,
+}
+
+/// One re-measured serve run, shaped for [`check_serve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMeasurement {
+    pub throughput_rps: f64,
+    pub p99_ms: f64,
+    pub errors: u64,
+    pub burst_compilations: u64,
+}
+
+/// Pull the serve baseline out of `BENCH_serve.json` text. The burst and
+/// target numbers are scoped to their sub-objects so the top-level
+/// `requests` count cannot shadow the burst width.
+pub fn parse_serve_baseline(json: &str) -> Option<ServeBaseline> {
+    let after = |key: &str| -> Option<&str> {
+        let pat = format!("\"{key}\"");
+        json.find(&pat).map(|at| &json[at + pat.len()..])
+    };
+    let burst = after("coalesce_burst")?;
+    let targets = after("targets")?;
+    Some(ServeBaseline {
+        throughput_rps: extract_number(json, "throughput_rps")?,
+        p99_ms: extract_number(json, "p99")?,
+        burst_requests: extract_number(burst, "requests")? as u64,
+        burst_compilations: extract_number(burst, "compilations")? as u64,
+        p99_ms_max: extract_number(targets, "p99_ms_max")?,
+        throughput_rps_min: extract_number(targets, "throughput_rps_min")?,
+    })
+}
+
+/// Gate a re-measured serve run against the committed baseline.
+///
+/// Three checks, one line per failure:
+/// * **invariants** — zero request errors, and the coalesce burst costs
+///   exactly the committed number of compilations (1);
+/// * **absolute target** — p99 stays under the committed `p99_ms_max`
+///   ceiling (generous: 50ms vs a sub-millisecond committed value);
+/// * **relative throughput** — may fall at most `max_regression` (e.g.
+///   `0.50` = 50%) below the committed throughput. CI runners are slower
+///   and noisier than the baseline machine, so the tolerance is wide; the
+///   gate exists to catch order-of-magnitude collapses (lost coalescing,
+///   a dead cache, an accidental per-request compile), not 10% drift.
+pub fn check_serve(
+    baseline: &ServeBaseline,
+    measured: &ServeMeasurement,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if measured.errors > 0 {
+        failures.push(format!(
+            "{} request error(s) under load (baseline had none)",
+            measured.errors
+        ));
+    }
+    if measured.burst_compilations != baseline.burst_compilations {
+        failures.push(format!(
+            "coalesce burst of {} identical requests cost {} compilation(s) \
+             (committed {})",
+            baseline.burst_requests, measured.burst_compilations, baseline.burst_compilations
+        ));
+    }
+    if measured.p99_ms > baseline.p99_ms_max {
+        failures.push(format!(
+            "p99 {:.3}ms above the {:.0}ms ceiling (committed run: {:.3}ms)",
+            measured.p99_ms, baseline.p99_ms_max, baseline.p99_ms
+        ));
+    }
+    let floor = baseline.throughput_rps * (1.0 - max_regression);
+    if measured.throughput_rps < floor {
+        failures.push(format!(
+            "throughput {:.0} req/s fell below the {:.0} req/s floor \
+             (committed {:.0} req/s, tolerance {:.0}%)",
+            measured.throughput_rps,
+            floor,
+            baseline.throughput_rps,
+            max_regression * 100.0
+        ));
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const COMMITTED: &str = include_str!("../../../BENCH_setops.json");
+    const COMMITTED_SERVE: &str = include_str!("../../../BENCH_serve.json");
 
     #[test]
     fn parses_the_committed_baseline() {
@@ -135,6 +235,62 @@ mod tests {
         let b = parse_setops_baseline(COMMITTED);
         let failures = check_speedups(&b, &[], 0.30);
         assert_eq!(failures.len(), 3, "{failures:?}");
+    }
+
+    fn committed_serve() -> ServeBaseline {
+        parse_serve_baseline(COMMITTED_SERVE).expect("parse BENCH_serve.json")
+    }
+
+    fn honest_serve_run(b: &ServeBaseline) -> ServeMeasurement {
+        ServeMeasurement {
+            throughput_rps: b.throughput_rps,
+            p99_ms: b.p99_ms,
+            errors: 0,
+            burst_compilations: b.burst_compilations,
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_serve_baseline() {
+        let b = committed_serve();
+        assert!(b.throughput_rps > 1_000.0, "{b:?}");
+        assert!(b.p99_ms > 0.0 && b.p99_ms < b.p99_ms_max, "{b:?}");
+        assert_eq!(b.burst_requests, 16);
+        assert_eq!(b.burst_compilations, 1);
+        assert_eq!(b.p99_ms_max, 50.0);
+        assert_eq!(b.throughput_rps_min, 5000.0);
+    }
+
+    #[test]
+    fn matching_serve_run_passes() {
+        let b = committed_serve();
+        assert!(check_serve(&b, &honest_serve_run(&b), 0.50).is_empty());
+    }
+
+    #[test]
+    fn doctored_serve_baseline_fails_check() {
+        // The negative test for the CI gate: inflate the committed
+        // throughput; re-measuring the honest value must now fail.
+        let mut b = committed_serve();
+        let honest = honest_serve_run(&b);
+        b.throughput_rps *= 4.0;
+        let failures = check_serve(&b, &honest, 0.50);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("throughput"), "{failures:?}");
+    }
+
+    #[test]
+    fn serve_invariant_breaks_fail_check() {
+        let b = committed_serve();
+        let mut bad = honest_serve_run(&b);
+        bad.errors = 3;
+        bad.burst_compilations = 16; // coalescing lost entirely
+        bad.p99_ms = b.p99_ms_max * 2.0;
+        let failures = check_serve(&b, &bad, 0.50);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("error")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("burst")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("p99")), "{failures:?}");
     }
 
     #[test]

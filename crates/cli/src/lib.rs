@@ -94,6 +94,31 @@ pub enum Command {
         /// Disk cache directory.
         cache: Option<String>,
     },
+    /// `mscc fuzz`: differential fuzzing over the whole oracle matrix.
+    Fuzz {
+        /// Run seed (every case derives from it).
+        seed: u64,
+        /// Cases to generate and check.
+        cases: u64,
+        /// Live PEs per case.
+        pes: usize,
+        /// Meta-state bound; beyond it an oracle is skipped, not failed.
+        max_states: usize,
+        /// Directory for minimized reproducers.
+        corpus: Option<String>,
+        /// Comma-separated oracle list (None = the full in-process set).
+        oracles: Option<String>,
+        /// Start an in-process daemon and include the serve oracle.
+        serve: bool,
+        /// Use an already-running daemon for the serve oracle.
+        serve_addr: Option<String>,
+        /// Replay a corpus reproducer file instead of fuzzing.
+        replay: Option<String>,
+        /// `--trace-out FILE` (observability).
+        trace_out: Option<String>,
+        /// `--metrics` (observability).
+        metrics: bool,
+    },
     /// `mscc help` / `-h` / `--help`.
     Help,
 }
@@ -172,6 +197,8 @@ USAGE:
   mscc batch <FILE>... [common flags] [engine flags]
   mscc run   <FILE>    [--pes N] [--pool N] [--compare] [--trace] [common flags]
   mscc serve           [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache DIR]
+  mscc fuzz            [--seed N] [--cases N] [--pes N] [--max-states N] [--corpus DIR]
+                       [--oracles LIST] [--serve | --serve-addr HOST:PORT] [--replay FILE]
   mscc help
 
 COMMON FLAGS:
@@ -195,6 +222,21 @@ SERVE FLAGS:
   --queue-depth N          admission queue depth; beyond it requests are
                            shed with 503 + Retry-After (default 64)
   --cache DIR              on-disk compile cache shared across restarts
+
+FUZZ FLAGS:
+  --seed N                 run seed; case k is reproducible from (seed, k) (default 1)
+  --cases N                cases to generate and check (default 200)
+  --pes N                  live PEs per case (default 5)
+  --max-states N           meta-state bound; oracles skip past it (default 3000)
+  --corpus DIR             write minimized reproducers here on mismatch
+  --oracles LIST           comma list: interp,base,compressed,timesplit,nocsi,
+                           engine:N,cache,serve,selftest (default: all in-process)
+  --serve                  start an in-process daemon and fuzz it over TCP
+  --serve-addr HOST:PORT   fuzz an already-running daemon instead
+  --replay FILE            re-run a corpus reproducer and report whether it
+                           still diverges
+  exit status is nonzero when any mismatch is found; the last stdout line
+  is a machine-readable JSON summary either way
 
 OBSERVABILITY FLAGS (all commands):
   --trace-out FILE         stream structured events (spans, counters,
@@ -355,6 +397,102 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 workers,
                 queue_depth,
                 cache,
+            })
+        }
+        "fuzz" => {
+            let mut seed = 1u64;
+            let mut cases = 200u64;
+            let mut pes = 5usize;
+            let mut max_states = 3000usize;
+            let mut corpus: Option<String> = None;
+            let mut oracles: Option<String> = None;
+            let mut serve = false;
+            let mut serve_addr: Option<String> = None;
+            let mut replay: Option<String> = None;
+            let mut trace_out: Option<String> = None;
+            let mut metrics = false;
+            fn num<'a>(
+                it: &mut impl Iterator<Item = &'a String>,
+                flag: &str,
+            ) -> Result<u64, CliError> {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("{flag} needs a value")))?;
+                v.parse()
+                    .map_err(|_| CliError(format!("bad value `{v}` for {flag}")))
+            }
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => seed = num(&mut it, "--seed")?,
+                    "--cases" => cases = num(&mut it, "--cases")?,
+                    "--pes" => pes = num(&mut it, "--pes")? as usize,
+                    "--max-states" => max_states = num(&mut it, "--max-states")? as usize,
+                    "--corpus" => {
+                        corpus = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--corpus needs a directory".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--oracles" => {
+                        oracles = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--oracles needs a list".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--serve" => serve = true,
+                    "--serve-addr" => {
+                        serve_addr = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--serve-addr needs HOST:PORT".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--replay" => {
+                        replay = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--replay needs a file".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--trace-out needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--metrics" => metrics = true,
+                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            if pes == 0 {
+                return Err(CliError("--pes must be at least 1".into()));
+            }
+            if serve && (metrics || trace_out.is_some()) {
+                // Server::start holds the process-global obs install lock
+                // for its lifetime; a CLI obs session on top would block
+                // forever. An external daemon has its own process, so
+                // --serve-addr composes fine.
+                return Err(CliError(
+                    "--serve owns the in-process metrics registry; combine --metrics/--trace-out \
+                     with --serve-addr instead"
+                        .into(),
+                ));
+            }
+            Ok(Command::Fuzz {
+                seed,
+                cases,
+                pes,
+                max_states,
+                corpus,
+                oracles,
+                serve,
+                serve_addr,
+                replay,
+                trace_out,
+                metrics,
             })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -550,6 +688,121 @@ impl ObsSession {
     }
 }
 
+/// `mscc fuzz`: run the differential fuzzer, or replay one reproducer.
+///
+/// The returned report ends with a machine-readable JSON summary line.
+/// When the run finds mismatches the report comes back as `Err`, so the
+/// driver exits nonzero without losing the reproducer paths; a replay
+/// always returns `Ok` (its JSON says whether the bug still reproduces).
+pub fn execute_fuzz(cmd: &Command) -> Result<String, CliError> {
+    use msc_obs::json::Json;
+    let Command::Fuzz {
+        seed,
+        cases,
+        pes,
+        max_states,
+        corpus,
+        oracles,
+        serve,
+        serve_addr,
+        replay,
+        trace_out,
+        metrics,
+    } = cmd
+    else {
+        return Err(CliError("not a fuzz command".into()));
+    };
+    let mut matrix = match oracles {
+        Some(list) => msc_fuzz::Oracle::parse_list(list).map_err(CliError)?,
+        None => msc_fuzz::Oracle::default_set(),
+    };
+    let wants_serve = *serve || serve_addr.is_some();
+    if wants_serve && !matrix.contains(&msc_fuzz::Oracle::Serve) {
+        matrix.push(msc_fuzz::Oracle::Serve);
+    }
+    let handle = if *serve {
+        Some(
+            msc_serve::Server::start(msc_serve::ServeOptions {
+                addr: "127.0.0.1:0".into(),
+                workers: 4,
+                ..msc_serve::ServeOptions::default()
+            })
+            .map_err(|e| CliError(format!("cannot start in-process daemon: {e}")))?,
+        )
+    } else {
+        None
+    };
+    let resolved_addr = serve_addr
+        .clone()
+        .or_else(|| handle.as_ref().map(|h| h.local_addr().to_string()));
+    let obs_opts = CommonOpts {
+        trace_out: trace_out.clone(),
+        metrics: *metrics,
+        ..CommonOpts::default()
+    };
+    let session = ObsSession::start(&obs_opts)?;
+    let cfg = msc_fuzz::FuzzConfig {
+        seed: *seed,
+        cases: *cases,
+        oracles: matrix,
+        corpus_dir: corpus.as_ref().map(std::path::PathBuf::from),
+        oracle_cfg: msc_fuzz::OracleConfig {
+            n_pe: *pes,
+            max_meta_states: *max_states,
+            serve_addr: resolved_addr,
+            scratch_dir: None,
+        },
+        ..msc_fuzz::FuzzConfig::default()
+    };
+    let mut text = String::new();
+    let mut found = 0u64;
+    if let Some(path) = replay {
+        let repro = msc_fuzz::Reproducer::read(std::path::Path::new(path)).map_err(CliError)?;
+        let result = msc_fuzz::replay(&repro, &cfg);
+        for m in &result.mismatches {
+            text.push_str(&format!("{}: {}\n", m.oracle, m.detail));
+        }
+        let reproduced = result.mismatches.iter().any(|m| m.oracle == repro.oracle);
+        text.push_str(&format!(
+            "{}\n",
+            Json::obj(vec![
+                ("replay", Json::from(path.as_str())),
+                ("seed", Json::from(repro.seed)),
+                ("case", Json::from(repro.case_index)),
+                ("oracle", Json::from(repro.oracle.as_str())),
+                ("reproduced", Json::from(reproduced)),
+                ("mismatches", Json::from(result.mismatches.len())),
+            ])
+            .render()
+        ));
+    } else {
+        let total = *cases;
+        let summary = msc_fuzz::run_fuzz_with(&cfg, |i, r| {
+            if !r.clean() {
+                eprintln!("mscc fuzz: mismatch in case {i}");
+            } else if (i + 1) % 100 == 0 {
+                eprintln!("mscc fuzz: {}/{total} cases clean", i + 1);
+            }
+        });
+        for path in &summary.reproducers {
+            text.push_str(&format!("reproducer: {path}\n"));
+        }
+        text.push_str(&format!("{}\n", summary.to_json().render()));
+        found = summary.mismatches;
+    }
+    if let Some(session) = session {
+        text.push_str(&session.finish()?);
+    }
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+    if found > 0 {
+        Err(CliError(format!("{found} mismatch(es) found\n{text}")))
+    } else {
+        Ok(text)
+    }
+}
+
 /// `mscc batch`: compile `(name, source)` pairs over the engine's worker
 /// pool; each file reports success or its own error. Returns the report
 /// and the number of files that failed (so the driver can exit nonzero
@@ -620,6 +873,7 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
         Command::Serve { .. } => Err(CliError(
             "serve is a long-running daemon; it is driven by main_with_args".into(),
         )),
+        Command::Fuzz { .. } => execute_fuzz(cmd),
         Command::Build { opts, .. } | Command::Run { opts, .. } => {
             let session = ObsSession::start(opts)?;
             let mut text = execute_build_or_run(cmd, src)?;
@@ -751,7 +1005,7 @@ fn execute_build_or_run(cmd: &Command, src: &str) -> Result<String, CliError> {
             }
             Ok(text)
         }
-        Command::Help | Command::Batch { .. } | Command::Serve { .. } => {
+        Command::Help | Command::Batch { .. } | Command::Serve { .. } | Command::Fuzz { .. } => {
             unreachable!("handled by execute_on_source")
         }
     }
@@ -797,6 +1051,7 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             }
             Ok(text)
         }
+        Command::Fuzz { .. } => execute_fuzz(&cmd),
         Command::Build { file, .. } | Command::Run { file, .. } => {
             execute_on_source(&cmd, &read(file)?)
         }
@@ -1147,6 +1402,73 @@ mod tests {
         assert!(out.contains("cache.hit"), "{out}");
         assert!(out.contains("cache.miss"), "{out}");
         assert!(out.contains("convert.run"), "{out}");
+    }
+
+    #[test]
+    fn parse_fuzz_flags() {
+        let cmd = parse_args(&args(
+            "fuzz --seed 9 --cases 50 --pes 3 --max-states 500 --corpus /tmp/corp --oracles base,engine:2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fuzz {
+                seed: 9,
+                cases: 50,
+                pes: 3,
+                max_states: 500,
+                corpus: Some("/tmp/corp".into()),
+                oracles: Some("base,engine:2".into()),
+                serve: false,
+                serve_addr: None,
+                replay: None,
+                trace_out: None,
+                metrics: false,
+            }
+        );
+        assert!(parse_args(&args("fuzz --cases")).is_err());
+        assert!(parse_args(&args("fuzz --pes 0")).is_err());
+        assert!(parse_args(&args("fuzz --seed banana")).is_err());
+        assert!(parse_args(&args("fuzz prog.mimdc")).is_err());
+        // The in-process daemon owns the obs registry for its lifetime.
+        assert!(parse_args(&args("fuzz --serve --metrics")).is_err());
+        assert!(parse_args(&args("fuzz --serve-addr 127.0.0.1:1 --metrics")).is_ok());
+    }
+
+    #[test]
+    fn fuzz_clean_run_emits_json_summary() {
+        let cmd = parse_args(&args("fuzz --seed 3 --cases 2 --oracles interp,base")).unwrap();
+        let out = execute_on_source(&cmd, "").unwrap();
+        let last = out.lines().rev().find(|l| !l.is_empty()).unwrap();
+        let v = msc_obs::json::parse(last).unwrap();
+        assert_eq!(v.get("cases").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("mismatches").unwrap().as_u64(), Some(0));
+        assert!(v.get("ok").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn fuzz_mismatch_exits_nonzero_with_reproducer() {
+        let dir = std::env::temp_dir().join(format!("mscc-fuzz-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = parse_args(&args(&format!(
+            "fuzz --seed 1 --cases 20 --oracles selftest --corpus {}",
+            dir.display()
+        )))
+        .unwrap();
+        let err = execute_on_source(&cmd, "").unwrap_err();
+        assert!(err.0.contains("mismatch(es) found"), "{err}");
+        assert!(err.0.contains("reproducer: "), "{err}");
+        assert!(err.0.contains("\"ok\":false"), "{err}");
+        let entries = std::fs::read_dir(&dir).unwrap().count();
+        assert!(entries > 0, "corpus directory is empty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fuzz_bad_oracle_list_is_rejected() {
+        let cmd = parse_args(&args("fuzz --oracles base,warp-drive")).unwrap();
+        let err = execute_on_source(&cmd, "").unwrap_err();
+        assert!(err.0.contains("unknown oracle"), "{err}");
     }
 
     #[test]

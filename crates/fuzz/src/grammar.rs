@@ -1,0 +1,423 @@
+//! The MIMDC program generator: a weighted grammar over a tiny AST whose
+//! every program **terminates by construction** (loops have fixed trip
+//! counts, recursion is absent, `spawn` targets a straight-line worker).
+//!
+//! This is the generator that used to live inside
+//! `tests/fuzz_equivalence.rs`, promoted to a library and extended with
+//! tunable knobs ([`GrammarConfig`]): branch density, loop depth and trip
+//! counts, `wait` placement, and bounded spawn trees. The same grammar
+//! feeds the in-process proptest suite and `mscc fuzz`, so there is one
+//! source of truth for what a "generated program" is.
+
+use crate::rng::Xoshiro256;
+
+/// Expression AST. All operators are total (`/` and `%` trap to 0 on a
+/// zero divisor, per the IR's semantics), so any expression tree is safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(i64),
+    /// One of the program's poly variables, `v<k>`.
+    Var(usize),
+    /// The PE's own id.
+    PeId,
+    /// Binary operation.
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+}
+
+/// Statement AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `v<k> = expr;`
+    Assign(usize, Expr),
+    /// `v<k> += expr;`
+    CompoundAdd(usize, Expr),
+    /// `if (cond) { then } else { else }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for (t<d> = 0; t<d> < k; t<d> += 1) { body }` with constant `k`.
+    Loop(u8, Vec<Stmt>),
+    /// `wait;` — a barrier. Only rendered at the top level of `main`
+    /// (inside divergent control flow a barrier can deadlock real MIMD
+    /// programs, which is a *program* bug, not a conversion bug).
+    Wait,
+    /// `spawn worker(pe_id() + k);` — recruit an idle PE (§3.2.5). Only
+    /// generated at the top level of `main` so the static spawn count
+    /// bounds pool demand.
+    Spawn(u8),
+}
+
+/// Knobs for the weighted grammar. All probabilities are in permille so
+/// configs are exactly representable and hashable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrammarConfig {
+    /// Poly variables `v0..v{n_vars}`.
+    pub n_vars: usize,
+    /// Top-level statements in `main`.
+    pub max_top_stmts: usize,
+    /// Statements per nested block.
+    pub max_block_stmts: usize,
+    /// Maximum statement nesting depth (if/loop).
+    pub max_depth: usize,
+    /// Maximum expression tree depth.
+    pub max_expr_depth: usize,
+    /// Probability (permille) that a non-leaf statement slot becomes an
+    /// `if`.
+    pub branch_permille: u64,
+    /// Probability (permille) that a non-leaf statement slot becomes a
+    /// bounded loop.
+    pub loop_permille: u64,
+    /// Loop trip counts are drawn from `1..=max_trips`.
+    pub max_trips: u8,
+    /// Probability (permille) that a top-level slot is a `wait` barrier.
+    pub wait_permille: u64,
+    /// Static `spawn` sites at the top of `main` (0 disables spawn
+    /// generation). When nonzero, `wait` is suppressed: barriers over a
+    /// part-idle machine synchronize only the live set, and the live set
+    /// differs between modes while workers run — a semantics question the
+    /// paper leaves open, not a conversion bug the fuzzer should report.
+    pub max_spawn_sites: u8,
+}
+
+impl Default for GrammarConfig {
+    fn default() -> Self {
+        GrammarConfig {
+            n_vars: 4,
+            max_top_stmts: 4,
+            max_block_stmts: 3,
+            max_depth: 2,
+            max_expr_depth: 2,
+            branch_permille: 280,
+            loop_permille: 220,
+            max_trips: 3,
+            wait_permille: 120,
+            max_spawn_sites: 0,
+        }
+    }
+}
+
+impl GrammarConfig {
+    /// A config that exercises spawn trees (and therefore suppresses
+    /// `wait`, see [`GrammarConfig::max_spawn_sites`]).
+    pub fn with_spawns(mut self, sites: u8) -> Self {
+        self.max_spawn_sites = sites;
+        self
+    }
+}
+
+const OPS: [&str; 9] = ["+", "-", "*", "/", "%", "<", "==", "&", "^"];
+
+/// A generated program: `main` plus, when spawn sites exist, one `worker`
+/// function. Rendering and execution-shape metadata live here so oracles
+/// and the minimizer agree on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Top-level statements of `main`.
+    pub stmts: Vec<Stmt>,
+    /// Variables declared (`v0..`).
+    pub n_vars: usize,
+    /// Static spawn sites actually emitted.
+    pub spawn_sites: u8,
+    /// Worker loop trip count (spawned worker body), if any spawns.
+    pub worker_trips: u8,
+}
+
+/// Generate one program from `rng` under `cfg`.
+pub fn generate(rng: &mut Xoshiro256, cfg: &GrammarConfig) -> Program {
+    let mut stmts = Vec::new();
+    let spawn_sites = if cfg.max_spawn_sites > 0 {
+        1 + rng.below(cfg.max_spawn_sites as u64) as u8
+    } else {
+        0
+    };
+    for k in 0..spawn_sites {
+        stmts.push(Stmt::Spawn(k));
+    }
+    let n_top = 1 + rng.below(cfg.max_top_stmts.max(1) as u64) as usize;
+    for _ in 0..n_top {
+        if spawn_sites == 0 && rng.chance(cfg.wait_permille) {
+            stmts.push(Stmt::Wait);
+        } else {
+            stmts.push(gen_stmt(rng, cfg, cfg.max_depth));
+        }
+    }
+    Program {
+        stmts,
+        n_vars: cfg.n_vars,
+        spawn_sites,
+        worker_trips: if spawn_sites > 0 {
+            1 + rng.below(cfg.max_trips.max(1) as u64) as u8
+        } else {
+            0
+        },
+    }
+}
+
+fn gen_stmt(rng: &mut Xoshiro256, cfg: &GrammarConfig, depth: usize) -> Stmt {
+    if depth > 0 {
+        if rng.chance(cfg.branch_permille) {
+            let cond = gen_expr(rng, cfg, 1);
+            let then = gen_block(rng, cfg, depth - 1);
+            let els = gen_block(rng, cfg, depth - 1);
+            return Stmt::If(cond, then, els);
+        }
+        if rng.chance(cfg.loop_permille) {
+            let trips = 1 + rng.below(cfg.max_trips.max(1) as u64) as u8;
+            let body = gen_block(rng, cfg, depth - 1);
+            return Stmt::Loop(trips, body);
+        }
+    }
+    let var = rng.below(cfg.n_vars as u64) as usize;
+    if rng.chance(400) {
+        Stmt::CompoundAdd(var, gen_expr(rng, cfg, 1))
+    } else {
+        Stmt::Assign(var, gen_expr(rng, cfg, cfg.max_expr_depth))
+    }
+}
+
+fn gen_block(rng: &mut Xoshiro256, cfg: &GrammarConfig, depth: usize) -> Vec<Stmt> {
+    let n = 1 + rng.below(cfg.max_block_stmts.max(1) as u64) as usize;
+    (0..n).map(|_| gen_stmt(rng, cfg, depth)).collect()
+}
+
+fn gen_expr(rng: &mut Xoshiro256, cfg: &GrammarConfig, depth: usize) -> Expr {
+    if depth < cfg.max_expr_depth && rng.chance(550) {
+        let op = *rng.pick(&OPS);
+        let l = gen_expr(rng, cfg, depth + 1);
+        let r = gen_expr(rng, cfg, depth + 1);
+        return Expr::Bin(op, Box::new(l), Box::new(r));
+    }
+    match rng.below(3) {
+        0 => Expr::Lit(rng.range_i64(-8, 15)),
+        1 => Expr::Var(rng.below(cfg.n_vars as u64) as usize),
+        _ => Expr::PeId,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Lit(v) => out.push_str(&format!("({v})")),
+        Expr::Var(v) => out.push_str(&format!("v{v}")),
+        Expr::PeId => out.push_str("pe_id()"),
+        Expr::Bin(op, l, r) => {
+            out.push('(');
+            render_expr(l, out);
+            out.push_str(&format!(" {op} "));
+            render_expr(r, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmts(stmts: &[Stmt], indent: usize, loop_depth: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{v} = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::CompoundAdd(v, e) => {
+                out.push_str(&format!("{pad}v{v} += "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::If(c, t, e) => {
+                out.push_str(&format!("{pad}if ("));
+                render_expr(c, out);
+                out.push_str(") {\n");
+                render_stmts(t, indent + 1, loop_depth, out);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(e, indent + 1, loop_depth, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Loop(k, b) => {
+                let i = format!("t{loop_depth}");
+                out.push_str(&format!("{pad}for ({i} = 0; {i} < {k}; {i} += 1) {{\n"));
+                render_stmts(b, indent + 1, loop_depth + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Wait => {
+                // Only valid at top level; see the `Stmt::Wait` docs.
+                if indent == 1 {
+                    out.push_str(&format!("{pad}wait;\n"));
+                }
+            }
+            Stmt::Spawn(k) => {
+                if indent == 1 {
+                    out.push_str(&format!(
+                        "{pad}spawn worker(pe_id() + {});\n",
+                        2 + *k as i64
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn max_loop_depth(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Loop(_, b) => 1 + max_loop_depth(b),
+            Stmt::If(_, t, e) => max_loop_depth(t).max(max_loop_depth(e)),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+impl Program {
+    /// Render to MIMDC source. `main` declares every variable, folds them
+    /// into `result`, and returns it; when spawn sites exist a `worker`
+    /// function writing the always-odd (hence never-zero) `wr` precedes
+    /// `main`, so oracles can identify the PEs that ran a worker.
+    pub fn render(&self) -> String {
+        let mut body = String::new();
+        render_stmts(&self.stmts, 1, 0, &mut body);
+        let loops = max_loop_depth(&self.stmts);
+        let mut decls = String::from("    poly int ");
+        for v in 0..self.n_vars {
+            decls.push_str(&format!("v{v} = {}, ", v as i64 + 1));
+        }
+        for t in 0..loops.max(1) {
+            decls.push_str(&format!("t{t} = 0, "));
+        }
+        decls.push_str("result = 0;\n");
+        let worker = if self.spawn_sites > 0 {
+            format!(
+                "void worker(int seed) {{\n    poly int wr = 0, wi = 0;\n    wr = seed * 2 + 1;\n    for (wi = 0; wi < {}; wi += 1) {{\n        wr += 2;\n    }}\n}}\n",
+                self.worker_trips
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "{worker}main() {{\n{decls}{body}    result = v0 + v1 * 10 + v2 * 100 + v3 * 1000;\n    return(result);\n}}\n"
+        )
+    }
+
+    /// A conservative termination bound, in simulated cycles, for any
+    /// machine in the oracle matrix. Dynamic statement count (loops
+    /// multiplied out) times a generous per-statement cycle constant,
+    /// plus slack for prologue/epilogue, barriers, and dispatch.
+    pub fn cycle_bound(&self) -> u64 {
+        // Every grammar statement lowers to a handful of stack ops; 256
+        // cycles per dynamic statement dominates any cost-model entry by
+        // an order of magnitude.
+        let dyn_stmts = Self::dynamic_stmts(&self.stmts)
+            + self.spawn_sites as u64 * (4 + 2 * self.worker_trips as u64);
+        (dyn_stmts + 8) * 256 + 4096
+    }
+
+    fn dynamic_stmts(stmts: &[Stmt]) -> u64 {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::If(_, t, e) => 1 + Self::dynamic_stmts(t) + Self::dynamic_stmts(e),
+                Stmt::Loop(k, b) => 1 + (*k as u64) * (1 + Self::dynamic_stmts(b)),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Number of `spawn` sites (each recruits one PE per live PE).
+    pub fn spawn_count(&self) -> usize {
+        self.spawn_sites as usize
+    }
+
+    /// Source line count of the rendering (reproducer-size metric).
+    pub fn line_count(&self) -> usize {
+        self.render().lines().count()
+    }
+}
+
+/// Parse a rendered program back? No — the minimizer works on the AST and
+/// re-renders, so the corpus stores both the AST-derived source and the
+/// (seed, index) pair to regenerate it. See `crate::minimize`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GrammarConfig::default();
+        let a = generate(&mut Xoshiro256::seeded(99), &cfg);
+        let b = generate(&mut Xoshiro256::seeded(99), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn rendered_programs_compile() {
+        let cfg = GrammarConfig::default();
+        let mut rng = Xoshiro256::seeded(2026);
+        for _ in 0..50 {
+            let p = generate(&mut rng, &cfg);
+            let src = p.render();
+            msc_lang::compile(&src).unwrap_or_else(|e| panic!("{e} on:\n{src}"));
+        }
+    }
+
+    #[test]
+    fn spawn_programs_compile_and_count_sites() {
+        let cfg = GrammarConfig::default().with_spawns(2);
+        let mut rng = Xoshiro256::seeded(7);
+        for _ in 0..20 {
+            let p = generate(&mut rng, &cfg);
+            assert!(p.spawn_sites >= 1 && p.spawn_sites <= 2);
+            let src = p.render();
+            assert!(src.contains("void worker"), "{src}");
+            assert!(
+                !src.contains("wait;"),
+                "wait must be suppressed with spawns:\n{src}"
+            );
+            msc_lang::compile(&src).unwrap_or_else(|e| panic!("{e} on:\n{src}"));
+        }
+    }
+
+    #[test]
+    fn knobs_shift_the_distribution() {
+        let loopy_cfg = GrammarConfig {
+            loop_permille: 900,
+            branch_permille: 0,
+            wait_permille: 0,
+            ..GrammarConfig::default()
+        };
+        let branchy_cfg = GrammarConfig {
+            branch_permille: 900,
+            loop_permille: 0,
+            wait_permille: 0,
+            ..GrammarConfig::default()
+        };
+        let (mut loops, mut branches) = (0usize, 0usize);
+        for s in 0..40 {
+            let lp = generate(&mut Xoshiro256::seeded(s), &loopy_cfg);
+            let bp = generate(&mut Xoshiro256::seeded(s), &branchy_cfg);
+            loops += lp.render().matches("for (").count();
+            branches += bp.render().matches("if (").count();
+        }
+        assert!(loops > 20, "loop knob inert: {loops}");
+        assert!(branches > 20, "branch knob inert: {branches}");
+    }
+
+    #[test]
+    fn cycle_bound_is_positive_and_monotone_in_trips() {
+        let small = Program {
+            stmts: vec![Stmt::Loop(1, vec![Stmt::Assign(0, Expr::Lit(1))])],
+            n_vars: 4,
+            spawn_sites: 0,
+            worker_trips: 0,
+        };
+        let big = Program {
+            stmts: vec![Stmt::Loop(3, vec![Stmt::Assign(0, Expr::Lit(1))])],
+            ..small.clone()
+        };
+        assert!(small.cycle_bound() < big.cycle_bound());
+    }
+}

@@ -1,0 +1,301 @@
+//! Delta-debugging minimizer: greedy fixpoint over one-edit shrinks of a
+//! failing program, re-checking the failing oracle after every candidate.
+//!
+//! The classic ddmin operates on lines; operating on the grammar's AST
+//! instead keeps every candidate well-formed (no parse failures burning
+//! predicate evaluations) and gives semantically meaningful shrinks:
+//! statement removal, branch inlining, loop-trip reduction, expression
+//! subtree replacement. Every accepted edit strictly reduces the program's
+//! size metric, so the loop terminates without a fuel heuristic; `budget`
+//! bounds total predicate evaluations for pathological search spaces.
+
+use crate::grammar::{Expr, Program, Stmt};
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The smallest failing program found.
+    pub program: Program,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+    /// Accepted (size-reducing, still-failing) edits.
+    pub accepted: usize,
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::PeId => 1,
+        Expr::Bin(_, l, r) => 1 + expr_size(l) + expr_size(r),
+    }
+}
+
+fn stmts_size(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign(_, e) | Stmt::CompoundAdd(_, e) => 1 + expr_size(e),
+            Stmt::If(c, t, e) => 1 + expr_size(c) + stmts_size(t) + stmts_size(e),
+            // Trip count participates in the metric so `Loop(3, b) ->
+            // Loop(1, b)` counts as a shrink.
+            Stmt::Loop(k, b) => 1 + *k as usize + stmts_size(b),
+            Stmt::Wait | Stmt::Spawn(_) => 1,
+        })
+        .sum()
+}
+
+/// The strictly-decreasing size metric driving the greedy loop.
+pub fn size(prog: &Program) -> usize {
+    stmts_size(&prog.stmts) + prog.worker_trips as usize
+}
+
+/// All one-edit shrinks of an expression (each strictly smaller).
+fn expr_edits(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::PeId => Vec::new(),
+        Expr::Bin(op, l, r) => {
+            let mut out = vec![(**l).clone(), (**r).clone(), Expr::Lit(0)];
+            for l2 in expr_edits(l) {
+                out.push(Expr::Bin(op, Box::new(l2), Box::new((**r).clone())));
+            }
+            for r2 in expr_edits(r) {
+                out.push(Expr::Bin(op, Box::new((**l).clone()), Box::new(r2)));
+            }
+            out
+        }
+    }
+}
+
+/// All one-edit replacements of a single statement. Each entry is the
+/// statement *sequence* that replaces it (so branch inlining can splice a
+/// block in place of the `if`). Plain removal is handled by the caller.
+fn stmt_edits(s: &Stmt) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Assign(v, e) => {
+            for e2 in expr_edits(e) {
+                out.push(vec![Stmt::Assign(*v, e2)]);
+            }
+        }
+        Stmt::CompoundAdd(v, e) => {
+            for e2 in expr_edits(e) {
+                out.push(vec![Stmt::CompoundAdd(*v, e2)]);
+            }
+        }
+        Stmt::If(c, t, e) => {
+            // Inline either branch in place of the whole `if`.
+            out.push(t.clone());
+            out.push(e.clone());
+            for c2 in expr_edits(c) {
+                out.push(vec![Stmt::If(c2, t.clone(), e.clone())]);
+            }
+            for t2 in list_edits(t) {
+                out.push(vec![Stmt::If(c.clone(), t2, e.clone())]);
+            }
+            for e2 in list_edits(e) {
+                out.push(vec![Stmt::If(c.clone(), t.clone(), e2)]);
+            }
+        }
+        Stmt::Loop(k, b) => {
+            // Unroll to a single pass, cut the trip count, or shrink the
+            // body in place.
+            out.push(b.clone());
+            if *k > 1 {
+                out.push(vec![Stmt::Loop(1, b.clone())]);
+            }
+            for b2 in list_edits(b) {
+                out.push(vec![Stmt::Loop(*k, b2)]);
+            }
+        }
+        Stmt::Wait | Stmt::Spawn(_) => {}
+    }
+    out
+}
+
+/// All one-edit variants of a statement list: per-position removal, then
+/// per-position replacement.
+fn list_edits(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for i in 0..stmts.len() {
+        let mut removed = stmts.to_vec();
+        removed.remove(i);
+        out.push(removed);
+    }
+    for (i, s) in stmts.iter().enumerate() {
+        for replacement in stmt_edits(s) {
+            let mut v = stmts[..i].to_vec();
+            v.extend(replacement);
+            v.extend_from_slice(&stmts[i + 1..]);
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Rebuild the derived fields an edit can invalidate: the static spawn
+/// count must track surviving `Spawn` statements (it drives both the
+/// worker-function rendering and the oracle machine shape).
+fn normalize(mut prog: Program) -> Program {
+    prog.spawn_sites = prog
+        .stmts
+        .iter()
+        .filter(|s| matches!(s, Stmt::Spawn(_)))
+        .count() as u8;
+    if prog.spawn_sites == 0 {
+        prog.worker_trips = 0;
+    }
+    prog
+}
+
+/// All one-edit shrinks of a whole program.
+fn candidates(prog: &Program) -> Vec<Program> {
+    let mut out: Vec<Program> = list_edits(&prog.stmts)
+        .into_iter()
+        .map(|stmts| {
+            normalize(Program {
+                stmts,
+                ..prog.clone()
+            })
+        })
+        .collect();
+    if prog.worker_trips > 1 {
+        out.push(Program {
+            worker_trips: 1,
+            ..prog.clone()
+        });
+    }
+    out
+}
+
+/// Shrink `prog` while `still_fails` holds, spending at most `budget`
+/// predicate evaluations. `still_fails(prog)` is assumed true on entry;
+/// the returned program always satisfies it.
+pub fn minimize<F>(prog: &Program, mut still_fails: F, budget: usize) -> Minimized
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut cur = prog.clone();
+    let mut evals = 0usize;
+    let mut accepted = 0usize;
+    'outer: loop {
+        let cur_size = size(&cur);
+        for cand in candidates(&cur) {
+            if size(&cand) >= cur_size {
+                continue;
+            }
+            if evals >= budget {
+                break 'outer;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                msc_obs::count("fuzz.minimize_accepted", 1);
+                cur = cand;
+                accepted += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    msc_obs::count("fuzz.minimize_evals", evals as u64);
+    Minimized {
+        program: cur,
+        evals,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{generate, GrammarConfig};
+    use crate::rng::Xoshiro256;
+
+    fn has_if(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::If(..) => true,
+            Stmt::Loop(_, b) => has_if(b),
+            _ => false,
+        })
+    }
+
+    #[test]
+    fn shrinks_a_branchy_program_to_a_bare_if() {
+        let cfg = GrammarConfig {
+            branch_permille: 800,
+            max_top_stmts: 6,
+            ..GrammarConfig::default()
+        };
+        let mut rng = Xoshiro256::seeded(5);
+        let prog = generate(&mut rng, &cfg);
+        assert!(has_if(&prog.stmts), "fixture needs a branch");
+        let min = minimize(&prog, |p| has_if(&p.stmts), 10_000);
+        assert!(has_if(&min.program.stmts), "minimizer lost the property");
+        assert!(
+            size(&min.program) <= 3,
+            "expected a bare if, got size {}: {:?}",
+            size(&min.program),
+            min.program.stmts
+        );
+        assert!(min.evals <= 10_000);
+    }
+
+    #[test]
+    fn minimization_is_deterministic() {
+        let cfg = GrammarConfig {
+            branch_permille: 700,
+            ..GrammarConfig::default()
+        };
+        let prog = generate(&mut Xoshiro256::seeded(77), &cfg);
+        if !has_if(&prog.stmts) {
+            return;
+        }
+        let a = minimize(&prog, |p| has_if(&p.stmts), 5_000);
+        let b = minimize(&prog, |p| has_if(&p.stmts), 5_000);
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn spawn_removal_renormalizes_the_program() {
+        let prog = Program {
+            stmts: vec![
+                Stmt::Spawn(0),
+                Stmt::Spawn(1),
+                Stmt::Assign(0, Expr::Lit(3)),
+            ],
+            n_vars: 4,
+            spawn_sites: 2,
+            worker_trips: 2,
+        };
+        // Property: still assigns to v0. Spawns are irrelevant and must
+        // all be removed, taking the worker metadata with them.
+        let min = minimize(
+            &prog,
+            |p| p.stmts.iter().any(|s| matches!(s, Stmt::Assign(0, _))),
+            1_000,
+        );
+        assert_eq!(min.program.spawn_sites, 0);
+        assert_eq!(min.program.worker_trips, 0);
+        assert!(!min.program.render().contains("void worker"));
+    }
+
+    #[test]
+    fn budget_caps_predicate_evaluations() {
+        let cfg = GrammarConfig {
+            max_top_stmts: 6,
+            ..GrammarConfig::default()
+        };
+        let prog = generate(&mut Xoshiro256::seeded(13), &cfg);
+        let mut calls = 0usize;
+        let min = minimize(
+            &prog,
+            |_| {
+                calls += 1;
+                false
+            },
+            7,
+        );
+        assert_eq!(calls, 7);
+        assert_eq!(min.evals, 7);
+        assert_eq!(min.program, prog, "nothing accepted, program unchanged");
+    }
+}

@@ -7,163 +7,26 @@
 //! §1.2 promise — the meta-state automaton duplicates MIMD execution — is
 //! checked over an open-ended family of programs rather than hand-picked
 //! cases.
+//!
+//! The generator itself lives in `msc-fuzz` (one source of truth shared
+//! with `mscc fuzz` and the CI smoke stage); proptest supplies the seeds,
+//! the fuzzer's oracle matrix does the diffing. Oracles that hit the
+//! meta-state explosion guard are *skipped* by `run_case`, mirroring the
+//! old in-file behavior.
 
-mod common;
-
-use metastate::{ConvertMode, Pipeline, TimeSplitOptions};
+use msc_fuzz::{generate_case, run_case, FuzzConfig, Oracle, OracleConfig};
 use proptest::prelude::*;
 
-/// A tiny AST for generated programs. Loops are bounded by construction
-/// (fixed trip counts), so every generated program terminates.
-#[derive(Debug, Clone)]
-enum GExpr {
-    Lit(i64),
-    Var(usize),
-    PeId,
-    Bin(&'static str, Box<GExpr>, Box<GExpr>),
-}
-
-#[derive(Debug, Clone)]
-enum GStmt {
-    Assign(usize, GExpr),
-    CompoundAdd(usize, GExpr),
-    If(GExpr, Vec<GStmt>, Vec<GStmt>),
-    /// `for (tmp = 0; tmp < k; tmp += 1) body` with small constant k.
-    Loop(u8, Vec<GStmt>),
-    Wait,
-}
-
-const N_VARS: usize = 4;
-
-fn arb_expr(depth: u32) -> BoxedStrategy<GExpr> {
-    let leaf = prop_oneof![
-        (-8i64..16).prop_map(GExpr::Lit),
-        (0..N_VARS).prop_map(GExpr::Var),
-        Just(GExpr::PeId),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        (
-            prop_oneof![
-                Just("+"),
-                Just("-"),
-                Just("*"),
-                Just("/"),
-                Just("%"),
-                Just("<"),
-                Just("=="),
-                Just("&"),
-                Just("^"),
-            ],
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(op, l, r)| GExpr::Bin(op, Box::new(l), Box::new(r)))
-    })
-    .boxed()
-}
-
-fn arb_stmts(depth: u32) -> BoxedStrategy<Vec<GStmt>> {
-    let stmt = {
-        let leaf = prop_oneof![
-            ((0..N_VARS), arb_expr(2)).prop_map(|(v, e)| GStmt::Assign(v, e)),
-            ((0..N_VARS), arb_expr(1)).prop_map(|(v, e)| GStmt::CompoundAdd(v, e)),
-            Just(GStmt::Wait),
-        ];
-        leaf.prop_recursive(depth, 12, 3, |inner| {
-            let block = prop::collection::vec(inner, 1..3);
-            prop_oneof![
-                (arb_expr(1), block.clone(), block.clone())
-                    .prop_map(|(c, t, e)| GStmt::If(c, t, e)),
-                ((1u8..4), block).prop_map(|(k, b)| GStmt::Loop(k, b)),
-            ]
-        })
-        .boxed()
+fn case_for(seed: u64) -> msc_fuzz::Program {
+    let cfg = FuzzConfig {
+        seed,
+        // Match the historical suite: no spawn trees in this file (the
+        // spawn matrix is covered by msc-fuzz's own tests and the CI
+        // smoke stage).
+        spawn_permille: 0,
+        ..FuzzConfig::default()
     };
-    prop::collection::vec(stmt, 1..4).boxed()
-}
-
-fn render_expr(e: &GExpr, out: &mut String) {
-    match e {
-        GExpr::Lit(v) => out.push_str(&format!("({v})")),
-        GExpr::Var(v) => out.push_str(&format!("v{v}")),
-        GExpr::PeId => out.push_str("pe_id()"),
-        GExpr::Bin(op, l, r) => {
-            out.push('(');
-            render_expr(l, out);
-            out.push_str(&format!(" {op} "));
-            render_expr(r, out);
-            out.push(')');
-        }
-    }
-}
-
-fn render_stmts(stmts: &[GStmt], indent: usize, loop_depth: usize, out: &mut String) {
-    let pad = "    ".repeat(indent);
-    for s in stmts {
-        match s {
-            GStmt::Assign(v, e) => {
-                out.push_str(&format!("{pad}v{v} = "));
-                render_expr(e, out);
-                out.push_str(";\n");
-            }
-            GStmt::CompoundAdd(v, e) => {
-                out.push_str(&format!("{pad}v{v} += "));
-                render_expr(e, out);
-                out.push_str(";\n");
-            }
-            GStmt::If(c, t, e) => {
-                out.push_str(&format!("{pad}if ("));
-                render_expr(c, out);
-                out.push_str(") {\n");
-                render_stmts(t, indent + 1, loop_depth, out);
-                out.push_str(&format!("{pad}}} else {{\n"));
-                render_stmts(e, indent + 1, loop_depth, out);
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            GStmt::Loop(k, b) => {
-                let i = format!("t{loop_depth}");
-                out.push_str(&format!("{pad}for ({i} = 0; {i} < {k}; {i} += 1) {{\n"));
-                render_stmts(b, indent + 1, loop_depth + 1, out);
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            GStmt::Wait => {
-                // `wait` inside divergent control flow can deadlock real
-                // MIMD programs; only emit it at top level (indent 1).
-                if indent == 1 {
-                    out.push_str(&format!("{pad}wait;\n"));
-                }
-            }
-        }
-    }
-}
-
-fn max_loop_depth(stmts: &[GStmt]) -> usize {
-    stmts
-        .iter()
-        .map(|s| match s {
-            GStmt::Loop(_, b) => 1 + max_loop_depth(b),
-            GStmt::If(_, t, e) => max_loop_depth(t).max(max_loop_depth(e)),
-            _ => 0,
-        })
-        .max()
-        .unwrap_or(0)
-}
-
-fn render_program(stmts: &[GStmt]) -> String {
-    let mut body = String::new();
-    render_stmts(stmts, 1, 0, &mut body);
-    let loops = max_loop_depth(stmts);
-    let mut decls = String::from("    poly int ");
-    for v in 0..N_VARS {
-        decls.push_str(&format!("v{v} = {}, ", v as i64 + 1));
-    }
-    for t in 0..loops.max(1) {
-        decls.push_str(&format!("t{t} = 0, "));
-    }
-    decls.push_str("result = 0;\n");
-    format!(
-        "main() {{\n{decls}{body}    result = v0 + v1 * 10 + v2 * 100 + v3 * 1000;\n    return(result);\n}}\n"
-    )
+    generate_case(&cfg, 0)
 }
 
 proptest! {
@@ -171,82 +34,52 @@ proptest! {
 
     /// All execution modes agree on generated programs.
     #[test]
-    fn generated_programs_agree_across_modes(stmts in arb_stmts(2)) {
-        let src = render_program(&stmts);
-        let n_pe = 5;
-        let reference = common::run_reference(&src, n_pe);
-        for mode in [ConvertMode::Base, ConvertMode::Compressed] {
-            // Bound the subset construction: programs whose base automaton
-            // would explode are skipped for that mode (the explosion guard
-            // is itself under test elsewhere).
-            let mut copts = match mode {
-                ConvertMode::Base => msc_core::ConvertOptions::base(),
-                ConvertMode::Compressed => msc_core::ConvertOptions::compressed(),
-            };
-            copts.max_meta_states = 3000;
-            let built = match Pipeline::new(src.as_str()).convert_options(copts).build() {
-                Ok(b) => b,
-                Err(metastate::PipelineError::Convert(
-                    msc_core::ConvertError::TooManyMetaStates { .. },
-                )) => continue,
-                Err(e) => return Err(TestCaseError::fail(format!("{e} on:\n{src}"))),
-            };
-            let out = built.run(n_pe).expect("run");
-            let ret = built.ret_addr().unwrap();
-            let values: Vec<i64> = (0..n_pe).map(|pe| out.machine.poly_at(pe, ret)).collect();
-            prop_assert_eq!(
-                &values, &reference.values,
-                "{:?} diverged from MIMD reference on:\n{}", mode, src
-            );
-        }
-        let interp = common::run_interp(&src, n_pe);
-        prop_assert_eq!(&interp.values, &reference.values, "interpreter diverged on:\n{}", src);
+    fn generated_programs_agree_across_modes(seed in any::<u64>()) {
+        let prog = case_for(seed);
+        let result = run_case(
+            &prog,
+            &[Oracle::Interp, Oracle::Base, Oracle::Compressed],
+            &OracleConfig { n_pe: 5, ..OracleConfig::default() },
+        );
+        prop_assert!(
+            result.clean(),
+            "mismatches {:?} on:\n{}",
+            result.mismatches,
+            result.source
+        );
     }
 
     /// Time splitting never changes results, only the schedule.
     #[test]
-    fn time_split_preserves_semantics(stmts in arb_stmts(2)) {
-        let src = render_program(&stmts);
-        let n_pe = 4;
-        let reference = common::run_reference(&src, n_pe);
-        let mut copts = msc_core::ConvertOptions::base();
-        copts.max_meta_states = 3000;
-        copts.time_split = Some(TimeSplitOptions::default());
-        let built = match Pipeline::new(src.as_str()).convert_options(copts).build() {
-            Ok(b) => b,
-            Err(metastate::PipelineError::Convert(
-                msc_core::ConvertError::TooManyMetaStates { .. },
-            )) => return Ok(()),
-            Err(e) => return Err(TestCaseError::fail(format!("{e} on:\n{src}"))),
-        };
-        let out = built.run(n_pe).expect("run");
-        let ret = built.ret_addr().unwrap();
-        let values: Vec<i64> = (0..n_pe).map(|pe| out.machine.poly_at(pe, ret)).collect();
-        prop_assert_eq!(values, reference.values, "time-split diverged on:\n{}", src);
+    fn time_split_preserves_semantics(seed in any::<u64>()) {
+        let prog = case_for(seed);
+        let result = run_case(
+            &prog,
+            &[Oracle::TimeSplit],
+            &OracleConfig { n_pe: 4, ..OracleConfig::default() },
+        );
+        prop_assert!(
+            result.clean(),
+            "time-split diverged: {:?} on:\n{}",
+            result.mismatches,
+            result.source
+        );
     }
 
     /// Disabling CSI never changes results, only the issue count.
     #[test]
-    fn csi_off_preserves_semantics(stmts in arb_stmts(2)) {
-        let src = render_program(&stmts);
-        let n_pe = 4;
-        let reference = common::run_reference(&src, n_pe);
-        let mut copts = msc_core::ConvertOptions::base();
-        copts.max_meta_states = 3000;
-        let built = match Pipeline::new(src.as_str())
-            .convert_options(copts)
-            .gen_options(msc_codegen::GenOptions { csi: false, ..Default::default() })
-            .build()
-        {
-            Ok(b) => b,
-            Err(metastate::PipelineError::Convert(
-                msc_core::ConvertError::TooManyMetaStates { .. },
-            )) => return Ok(()),
-            Err(e) => return Err(TestCaseError::fail(format!("{e} on:\n{src}"))),
-        };
-        let out = built.run(n_pe).expect("run");
-        let ret = built.ret_addr().unwrap();
-        let values: Vec<i64> = (0..n_pe).map(|pe| out.machine.poly_at(pe, ret)).collect();
-        prop_assert_eq!(values, reference.values, "no-CSI diverged on:\n{}", src);
+    fn csi_off_preserves_semantics(seed in any::<u64>()) {
+        let prog = case_for(seed);
+        let result = run_case(
+            &prog,
+            &[Oracle::NoCsi],
+            &OracleConfig { n_pe: 4, ..OracleConfig::default() },
+        );
+        prop_assert!(
+            result.clean(),
+            "no-CSI diverged: {:?} on:\n{}",
+            result.mismatches,
+            result.source
+        );
     }
 }
