@@ -6,17 +6,20 @@
 #   ./ci.sh               the full gate (includes compiling the benches)
 #   ./ci.sh bench-smoke   additionally *run* the set benches in their
 #                         --test smoke configuration (small sizes, 2
-#                         samples) and the bench-regression gate, which
-#                         re-measures the setops speedups and fails if
-#                         they fall >30% below BENCH_setops.json
+#                         samples) and the bench-regression gates, which
+#                         re-measure the setops speedups and the regex
+#                         throughput and fail if they regress past the
+#                         tolerances in BENCH_setops.json / BENCH_regex.json
 #   ./ci.sh serve-smoke   additionally boot the real `mscc serve` daemon
 #                         on an ephemeral port, drive every endpoint over
-#                         TCP with `loadgen --smoke`, run the serve
-#                         bench-regression gate (claims -- serve --check
-#                         vs BENCH_serve.json), and check that SIGINT
-#                         drains the daemon cleanly
+#                         TCP with `loadgen --smoke` (including /match
+#                         hit, miss, and malformed-pattern requests), run
+#                         the serve bench-regression gate (claims --
+#                         serve --check vs BENCH_serve.json), and check
+#                         that SIGINT drains the daemon cleanly
 #   ./ci.sh fuzz-smoke    additionally run the differential fuzzer over
-#                         the full in-process oracle matrix with a fixed
+#                         the full in-process oracle matrix (including
+#                         the regex differential oracle) with a fixed
 #                         seed; any mismatch fails the build and leaves
 #                         minimized reproducers in fuzz-corpus/
 set -euo pipefail
@@ -34,10 +37,13 @@ echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "== tier-1: build --release =="
-cargo build --release
+# --workspace: the root is itself a package, so a bare `cargo build`
+# would skip the member crates (and never produce target/release/mscc,
+# which the smoke stages below execute).
+cargo build --release --workspace
 
 echo "== tier-1: test =="
-cargo test -q
+cargo test -q --workspace
 
 echo "== benches compile =="
 cargo bench --workspace --no-run
@@ -51,6 +57,8 @@ if [ "$MODE" = "bench-smoke" ]; then
     cargo bench -p msc-bench --bench obs_overhead -- --test
     echo "== bench regression gate: setops --check =="
     cargo run --release -p msc-bench --bin claims -- setops --check
+    echo "== bench regression gate: regex --check =="
+    cargo run --release -p msc-bench --bin claims -- regex --check
 fi
 
 if [ "$MODE" = "serve-smoke" ]; then

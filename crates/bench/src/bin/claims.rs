@@ -666,6 +666,152 @@ fn setops_check() -> bool {
     }
 }
 
+/// The regex bench workload: pattern and haystack are fixed so committed
+/// and re-measured runs compare like for like.
+const REGEX_PATTERN: &str = "a[bc]+x";
+
+/// Deterministic pseudo-text haystack (LCG over a small alphabet).
+fn regex_haystack(len: usize) -> Vec<u8> {
+    const ALPHABET: &[u8] = b"abcxy abcz\n";
+    let mut s = 0x243F_6A88_85A3_08D3u64;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ALPHABET[((s >> 33) as usize) % ALPHABET.len()]
+        })
+        .collect()
+}
+
+/// One regex measurement pass: meta-automaton throughput at 1/2/8
+/// threads over a 2 MiB haystack, the naive reference over a small slice
+/// (it is algorithmically far slower), and the span-agreement invariant.
+fn measure_regex() -> msc_bench::regression::RegexMeasurement {
+    use msc_regex::Regex;
+    let re = Regex::new(REGEX_PATTERN).expect("bench pattern compiles");
+    let hay = regex_haystack(1 << 21);
+    let shards: Vec<&[u8]> = hay.chunks(1 << 16).collect();
+    let seq = re.find_all(&hay);
+    let mut agree = true;
+    let mbps = |bytes: usize, ns: f64| bytes as f64 * 1e3 / ns;
+    let mut sharded_mbps = |threads: usize| {
+        let ns = time_ns(|| {
+            let found = re.find_sharded(&shards, threads);
+            if found != seq {
+                agree = false;
+            }
+            found.len()
+        });
+        mbps(hay.len(), ns)
+    };
+    let t1_mbps = sharded_mbps(1);
+    let t2_mbps = sharded_mbps(2);
+    let t8_mbps = sharded_mbps(8);
+    // The naive engine memoizes per (node, position); a small slice is
+    // plenty to measure its per-byte cost.
+    let naive_slice = &hay[..1 << 12];
+    let naive_ns = time_ns(|| re.naive_find_all(naive_slice).len());
+    msc_bench::regression::RegexMeasurement {
+        naive_mbps: mbps(naive_slice.len(), naive_ns),
+        t1_mbps,
+        t2_mbps,
+        t8_mbps,
+        matches: seq.len() as u64,
+        spans_agree: agree,
+    }
+}
+
+/// `claims -- regex`: measure the regex front-end and write the
+/// committed `BENCH_regex.json` baseline.
+fn regex() {
+    println!("== REGEX: meta-automaton matcher vs naive reference ==");
+    println!("   (writes the committed baseline BENCH_regex.json)\n");
+    let m = measure_regex();
+    println!(
+        "pattern {REGEX_PATTERN:?} over 2 MiB, {} matches",
+        m.matches
+    );
+    println!("engine        | MB/s");
+    println!("naive (ref)   | {:8.2}", m.naive_mbps);
+    println!("dfa 1 thread  | {:8.2}", m.t1_mbps);
+    println!("dfa 2 threads | {:8.2}", m.t2_mbps);
+    println!("dfa 8 threads | {:8.2}", m.t8_mbps);
+    println!(
+        "dfa-vs-naive speedup {:.1}x; t2/t1 {:.2}, t8/t1 {:.2}; spans agree: {}",
+        m.dfa_vs_naive(),
+        m.t2_mbps / m.t1_mbps,
+        m.t8_mbps / m.t1_mbps,
+        m.spans_agree
+    );
+    assert!(m.spans_agree, "sharded spans diverged from sequential");
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo run --release -p msc-bench --bin claims -- regex\",\n  \
+         \"pattern\": \"{REGEX_PATTERN}\",\n  \"haystack_bytes\": {},\n  \
+         \"matches\": {},\n  \"naive_mbps\": {:.2},\n  \"t1_mbps\": {:.2},\n  \
+         \"t2_mbps\": {:.2},\n  \"t8_mbps\": {:.2},\n  \
+         \"dfa_vs_naive_speedup\": {:.2},\n  \"t2_vs_t1\": {:.3},\n  \"t8_vs_t1\": {:.3},\n  \
+         \"targets\": {{\n    \"t1_mbps_min\": 10.0,\n    \"t8_vs_t1_min\": 0.5\n  }}\n}}\n",
+        1usize << 21,
+        m.matches,
+        m.naive_mbps,
+        m.t1_mbps,
+        m.t2_mbps,
+        m.t8_mbps,
+        m.dfa_vs_naive(),
+        m.t2_mbps / m.t1_mbps,
+        m.t8_mbps / m.t1_mbps,
+    );
+    std::fs::write("BENCH_regex.json", &json).expect("write BENCH_regex.json");
+    println!("\n   wrote BENCH_regex.json");
+    println!("   shape check: the compiled meta-automaton beats the naive reference by");
+    println!("   an order of magnitude, and sharded throughput does not collapse.\n");
+}
+
+/// `claims -- regex --check`: re-measure the regex front-end and gate it
+/// against the committed `BENCH_regex.json`.
+fn regex_check() -> bool {
+    use msc_bench::regression::{check_regex, parse_regex_baseline};
+    println!("== REGEX --check: regression gate vs committed BENCH_regex.json ==\n");
+    let text = match std::fs::read_to_string("BENCH_regex.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read BENCH_regex.json: {e}");
+            return false;
+        }
+    };
+    let Some(baseline) = parse_regex_baseline(&text) else {
+        eprintln!("BENCH_regex.json is missing expected keys");
+        return false;
+    };
+    let m = measure_regex();
+    println!(
+        "dfa-vs-naive {:.1}x (committed {:.1}x), t1 {:.0} MB/s (floor {:.0}), \
+         t8/t1 {:.2} (floor {:.2}), spans agree: {}",
+        m.dfa_vs_naive(),
+        baseline.dfa_vs_naive_speedup,
+        m.t1_mbps,
+        baseline.t1_mbps_min,
+        m.t8_mbps / m.t1_mbps,
+        baseline.t8_vs_t1_min,
+        m.spans_agree
+    );
+    let failures = check_regex(&baseline, &m, 0.50);
+    for f in &failures {
+        eprintln!("REGRESSION: {f}");
+    }
+    if failures.is_empty() {
+        println!("\nregex regression gate OK (50% speedup tolerance)");
+        true
+    } else {
+        eprintln!(
+            "\nregex regression gate FAILED: {} regression(s)",
+            failures.len()
+        );
+        false
+    }
+}
+
 /// `claims -- serve`: one load + coalesce-burst measurement against an
 /// in-process daemon, printed next to the committed baseline. No gate —
 /// use `--check` for that, `loadgen` to regenerate the baseline.
@@ -788,15 +934,16 @@ fn main() {
         // --check gates the named claims (default: every claim that has
         // a committed baseline).
         if which.is_empty() {
-            which = vec!["setops".into(), "serve".into()];
+            which = vec!["setops".into(), "serve".into(), "regex".into()];
         }
         let mut ok = true;
         for w in &which {
             ok &= match w.as_str() {
                 "setops" => setops_check(),
                 "serve" => serve_check(),
+                "regex" => regex_check(),
                 other => {
-                    eprintln!("no --check gate for claim {other:?} (have: setops, serve)");
+                    eprintln!("no --check gate for claim {other:?} (have: setops, serve, regex)");
                     false
                 }
             };
@@ -808,7 +955,7 @@ fn main() {
     }
     let all = which.is_empty();
     let want = |k: &str| all || which.iter().any(|w| w == k);
-    let claims: [(&str, fn()); 16] = [
+    let claims: [(&str, fn()); 17] = [
         ("c1", c1),
         ("c2", c2),
         ("c3", c3),
@@ -825,6 +972,7 @@ fn main() {
         ("a4", a4),
         ("setops", setops),
         ("serve", serve),
+        ("regex", regex),
     ];
     for (k, f) in claims {
         if want(k) {

@@ -118,9 +118,62 @@ pub fn smoke(addr: &str) -> bool {
             .map(|r| r.status == 200)
             .unwrap_or(false),
     );
+    // /match: a cold pattern (compile miss), the same pattern again (the
+    // pattern cache must answer), and a malformed pattern (clean 422).
+    let match_body = Json::obj(vec![
+        ("pattern", Json::from("ab+")),
+        (
+            "shards",
+            Json::from(vec![Json::from("xab"), Json::from("bya")]),
+        ),
+    ])
+    .render();
+    let post_match = |c: &mut Client| {
+        c.request("POST", "/match", Some(&match_body))
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| r.json())
+    };
+    let first = post_match(&mut c);
+    check(
+        "POST /match finds the boundary-spanning match",
+        first
+            .as_ref()
+            .and_then(|v| v.get("total_matches").and_then(Json::as_u64))
+            == Some(1),
+    );
+    let again = post_match(&mut c);
+    check(
+        "POST /match again hits the pattern cache",
+        again
+            .as_ref()
+            .and_then(|v| v.get("provenance"))
+            .and_then(Json::as_str)
+            .is_some_and(|p| p != "fresh"),
+    );
+    check(
+        "malformed pattern answered with 422",
+        c.request(
+            "POST",
+            "/match",
+            Some(
+                &Json::obj(vec![
+                    ("pattern", Json::from("a(")),
+                    ("shards", Json::from(vec![Json::from("x")])),
+                ])
+                .render(),
+            ),
+        )
+        .map(|r| r.status == 422)
+        .unwrap_or(false),
+    );
     check(
         "GET /metrics shows serve.requests",
         counter(addr, "serve.requests") >= 1,
+    );
+    check(
+        "GET /metrics shows regex.requests",
+        counter(addr, "regex.requests") >= 2,
     );
     check(
         "bad request answered with 4xx",

@@ -181,6 +181,99 @@ pub fn check_serve(
     failures
 }
 
+/// The committed regex-front-end baseline out of `BENCH_regex.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegexBaseline {
+    /// Committed meta-automaton-vs-naive speedup (relative gate).
+    pub dfa_vs_naive_speedup: f64,
+    /// Committed single-thread throughput, informational.
+    pub t1_mbps: f64,
+    /// Absolute single-thread throughput floor from `targets`.
+    pub t1_mbps_min: f64,
+    /// Absolute floor on the 8-thread/1-thread throughput ratio from
+    /// `targets` (stitching must not collapse sharded throughput).
+    pub t8_vs_t1_min: f64,
+}
+
+/// One re-measured regex run, shaped for [`check_regex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegexMeasurement {
+    pub naive_mbps: f64,
+    pub t1_mbps: f64,
+    pub t2_mbps: f64,
+    pub t8_mbps: f64,
+    pub matches: u64,
+    /// Did every sharded scan reproduce the sequential spans exactly?
+    pub spans_agree: bool,
+}
+
+impl RegexMeasurement {
+    /// Meta-automaton speedup over the naive reference (1-thread).
+    pub fn dfa_vs_naive(&self) -> f64 {
+        self.t1_mbps / self.naive_mbps
+    }
+}
+
+/// Pull the regex baseline out of `BENCH_regex.json` text.
+pub fn parse_regex_baseline(json: &str) -> Option<RegexBaseline> {
+    let targets = {
+        let pat = "\"targets\"";
+        json.find(pat).map(|at| &json[at + pat.len()..])?
+    };
+    Some(RegexBaseline {
+        dfa_vs_naive_speedup: extract_number(json, "dfa_vs_naive_speedup")?,
+        t1_mbps: extract_number(json, "t1_mbps")?,
+        t1_mbps_min: extract_number(targets, "t1_mbps_min")?,
+        t8_vs_t1_min: extract_number(targets, "t8_vs_t1_min")?,
+    })
+}
+
+/// Gate a re-measured regex run against the committed baseline.
+///
+/// * **invariant** — sharded spans must equal sequential spans exactly;
+/// * **relative speedup** — dfa-vs-naive may fall at most `max_regression`
+///   below the committed value (the headline claim: compiled matching
+///   beats AST-walking by orders of magnitude, so even 50% slack only
+///   catches collapses);
+/// * **absolute floors** — 1-thread throughput above `t1_mbps_min`, and
+///   the t8/t1 ratio above `t8_vs_t1_min` (sharding overhead bounded
+///   even on a single-core runner).
+pub fn check_regex(
+    baseline: &RegexBaseline,
+    measured: &RegexMeasurement,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !measured.spans_agree {
+        failures.push("sharded scan produced different spans than the sequential scan".into());
+    }
+    let speedup = measured.dfa_vs_naive();
+    let floor = baseline.dfa_vs_naive_speedup * (1.0 - max_regression);
+    if speedup < floor {
+        failures.push(format!(
+            "dfa-vs-naive speedup {speedup:.1}x fell below the {floor:.1}x floor \
+             (committed {:.1}x, tolerance {:.0}%)",
+            baseline.dfa_vs_naive_speedup,
+            max_regression * 100.0
+        ));
+    }
+    if measured.t1_mbps < baseline.t1_mbps_min {
+        failures.push(format!(
+            "1-thread throughput {:.0} MB/s below the {:.0} MB/s floor (committed {:.0})",
+            measured.t1_mbps, baseline.t1_mbps_min, baseline.t1_mbps
+        ));
+    }
+    let ratio = measured.t8_mbps / measured.t1_mbps;
+    if ratio < baseline.t8_vs_t1_min {
+        failures.push(format!(
+            "t8/t1 throughput ratio {ratio:.2} below the {:.2} floor \
+             (sharded stitching overhead blew up)",
+            baseline.t8_vs_t1_min
+        ));
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +384,63 @@ mod tests {
         assert!(failures.iter().any(|f| f.contains("error")), "{failures:?}");
         assert!(failures.iter().any(|f| f.contains("burst")), "{failures:?}");
         assert!(failures.iter().any(|f| f.contains("p99")), "{failures:?}");
+    }
+
+    const COMMITTED_REGEX: &str = include_str!("../../../BENCH_regex.json");
+
+    fn committed_regex() -> RegexBaseline {
+        parse_regex_baseline(COMMITTED_REGEX).expect("parse BENCH_regex.json")
+    }
+
+    fn honest_regex_run(b: &RegexBaseline) -> RegexMeasurement {
+        RegexMeasurement {
+            naive_mbps: b.t1_mbps / b.dfa_vs_naive_speedup,
+            t1_mbps: b.t1_mbps,
+            t2_mbps: b.t1_mbps,
+            t8_mbps: b.t1_mbps,
+            matches: 1,
+            spans_agree: true,
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_regex_baseline() {
+        let b = committed_regex();
+        assert!(b.dfa_vs_naive_speedup > 10.0, "{b:?}");
+        assert!(b.t1_mbps > b.t1_mbps_min, "{b:?}");
+        assert_eq!(b.t8_vs_t1_min, 0.5);
+    }
+
+    #[test]
+    fn matching_regex_run_passes() {
+        let b = committed_regex();
+        assert!(check_regex(&b, &honest_regex_run(&b), 0.50).is_empty());
+    }
+
+    #[test]
+    fn doctored_regex_baseline_fails_check() {
+        // The negative test for the CI gate: inflate the committed
+        // speedup; re-measuring the honest value must now fail.
+        let mut b = committed_regex();
+        let honest = honest_regex_run(&b);
+        b.dfa_vs_naive_speedup *= 4.0;
+        let failures = check_regex(&b, &honest, 0.50);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("speedup"), "{failures:?}");
+    }
+
+    #[test]
+    fn regex_invariant_breaks_fail_check() {
+        let b = committed_regex();
+        let mut bad = honest_regex_run(&b);
+        bad.spans_agree = false;
+        bad.t1_mbps = b.t1_mbps_min / 2.0;
+        bad.t8_mbps = bad.t1_mbps * 0.1;
+        let failures = check_regex(&b, &bad, 0.50);
+        assert!(failures.len() >= 3, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("spans")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("floor")), "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("t8/t1")), "{failures:?}");
     }
 
     #[test]

@@ -119,6 +119,15 @@ pub enum Command {
         /// `--metrics` (observability).
         metrics: bool,
     },
+    /// `mscc match PATTERN [FILE]...`: data-parallel regex matching.
+    Match {
+        /// The regex pattern.
+        pattern: String,
+        /// Input files (empty = read stdin).
+        files: Vec<String>,
+        /// Matcher threads (0 = all cores).
+        threads: usize,
+    },
     /// `mscc help` / `-h` / `--help`.
     Help,
 }
@@ -199,6 +208,7 @@ USAGE:
   mscc serve           [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache DIR]
   mscc fuzz            [--seed N] [--cases N] [--pes N] [--max-states N] [--corpus DIR]
                        [--oracles LIST] [--serve | --serve-addr HOST:PORT] [--replay FILE]
+  mscc match <PATTERN> [FILE]... [--threads N]
   mscc help
 
 COMMON FLAGS:
@@ -230,13 +240,20 @@ FUZZ FLAGS:
   --max-states N           meta-state bound; oracles skip past it (default 3000)
   --corpus DIR             write minimized reproducers here on mismatch
   --oracles LIST           comma list: interp,base,compressed,timesplit,nocsi,
-                           engine:N,cache,serve,selftest (default: all in-process)
+                           engine:N,cache,serve,regex,selftest (default: all
+                           in-process)
   --serve                  start an in-process daemon and fuzz it over TCP
   --serve-addr HOST:PORT   fuzz an already-running daemon instead
   --replay FILE            re-run a corpus reproducer and report whether it
                            still diverges
   exit status is nonzero when any mismatch is found; the last stdout line
   is a machine-readable JSON summary either way
+
+MATCH FLAGS:
+  --threads N              matcher threads for sharded scanning (default 0
+                           = all cores); spans are identical at any count
+  with no FILE, the pattern is matched against stdin; supported syntax is
+  literals, classes [a-z] [^…], . * + ? |, grouping, and ^/$ anchors
 
 OBSERVABILITY FLAGS (all commands):
   --trace-out FILE         stream structured events (spans, counters,
@@ -493,6 +510,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 replay,
                 trace_out,
                 metrics,
+            })
+        }
+        "match" => {
+            let mut pattern: Option<String> = None;
+            let mut files: Vec<String> = Vec::new();
+            let mut threads = 0usize;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--threads needs a value".into()))?;
+                        threads = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
+                    }
+                    // The first positional is the pattern — even when it
+                    // starts with `-` inside a class or alternation the
+                    // shell-friendly spelling is to quote it; a leading
+                    // `-` that is not a known flag is accepted as pattern
+                    // text so `mscc match '-+'` works.
+                    other if pattern.is_none() => pattern = Some(other.to_string()),
+                    other if !other.starts_with('-') => files.push(other.to_string()),
+                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            let pattern = pattern.ok_or_else(|| CliError("missing pattern".into()))?;
+            Ok(Command::Match {
+                pattern,
+                files,
+                threads,
             })
         }
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -803,6 +851,72 @@ pub fn execute_fuzz(cmd: &Command) -> Result<String, CliError> {
     }
 }
 
+/// Render matched bytes for terminal output: printable ASCII as-is,
+/// common escapes by name, the rest as `\xNN`.
+fn escape_bytes(bytes: &[u8]) -> String {
+    let mut s = String::new();
+    for &b in bytes {
+        match b {
+            b'\\' => s.push_str("\\\\"),
+            b'\n' => s.push_str("\\n"),
+            b'\t' => s.push_str("\\t"),
+            0x20..=0x7e => s.push(b as char),
+            _ => s.push_str(&format!("\\x{b:02x}")),
+        }
+    }
+    s
+}
+
+/// Split a haystack into up to `n` contiguous shards for the sharded
+/// scanner. More shards than threads keeps every worker busy even when
+/// match density is uneven across the input.
+fn shard_bytes(bytes: &[u8], n: usize) -> Vec<&[u8]> {
+    if bytes.is_empty() {
+        return Vec::new();
+    }
+    let chunk = bytes.len().div_ceil(n.clamp(1, bytes.len()));
+    bytes.chunks(chunk).collect()
+}
+
+/// `mscc match`: compile the pattern once, scan every input sharded.
+/// Spans are byte offsets into each input and — by the stitching
+/// construction — identical at every thread count.
+pub fn execute_match(
+    pattern: &str,
+    inputs: &[(String, Vec<u8>)],
+    threads: usize,
+) -> Result<String, CliError> {
+    let re = msc_regex::Regex::new(pattern).map_err(|e| CliError(e.to_string()))?;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let mut text = String::new();
+    let mut total = 0usize;
+    for (name, bytes) in inputs {
+        let shards = shard_bytes(bytes, threads * 4);
+        let matches = re.find_sharded(&shards, threads);
+        for m in &matches {
+            text.push_str(&format!(
+                "{name}:{}..{}: {}\n",
+                m.start,
+                m.end,
+                escape_bytes(&bytes[m.start..m.end]),
+            ));
+        }
+        total += matches.len();
+    }
+    text.push_str(&format!(
+        "{total} match(es) across {} input(s); {} meta states, {threads} thread(s)\n",
+        inputs.len(),
+        re.meta_states()
+    ));
+    Ok(text)
+}
+
 /// `mscc batch`: compile `(name, source)` pairs over the engine's worker
 /// pool; each file reports success or its own error. Returns the report
 /// and the number of files that failed (so the driver can exit nonzero
@@ -874,6 +988,16 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
             "serve is a long-running daemon; it is driven by main_with_args".into(),
         )),
         Command::Fuzz { .. } => execute_fuzz(cmd),
+        Command::Match {
+            pattern, threads, ..
+        } => {
+            // Testing convenience: the source text is the one haystack.
+            execute_match(
+                pattern,
+                &[("<input>".to_string(), src.as_bytes().to_vec())],
+                *threads,
+            )
+        }
         Command::Build { opts, .. } | Command::Run { opts, .. } => {
             let session = ObsSession::start(opts)?;
             let mut text = execute_build_or_run(cmd, src)?;
@@ -1005,7 +1129,11 @@ fn execute_build_or_run(cmd: &Command, src: &str) -> Result<String, CliError> {
             }
             Ok(text)
         }
-        Command::Help | Command::Batch { .. } | Command::Serve { .. } | Command::Fuzz { .. } => {
+        Command::Help
+        | Command::Batch { .. }
+        | Command::Serve { .. }
+        | Command::Fuzz { .. }
+        | Command::Match { .. } => {
             unreachable!("handled by execute_on_source")
         }
     }
@@ -1052,6 +1180,32 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             Ok(text)
         }
         Command::Fuzz { .. } => execute_fuzz(&cmd),
+        Command::Match {
+            pattern,
+            files,
+            threads,
+        } => {
+            let inputs: Vec<(String, Vec<u8>)> = if files.is_empty() {
+                use std::io::Read as _;
+                let mut buf = Vec::new();
+                std::io::stdin()
+                    .read_to_end(&mut buf)
+                    .map_err(|e| CliError(format!("cannot read stdin: {e}")))?;
+                vec![("<stdin>".to_string(), buf)]
+            } else {
+                files
+                    .iter()
+                    .map(|f| {
+                        Ok((
+                            f.clone(),
+                            std::fs::read(f)
+                                .map_err(|e| CliError(format!("cannot read {f}: {e}")))?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, CliError>>()?
+            };
+            execute_match(pattern, &inputs, *threads)
+        }
         Command::Build { file, .. } | Command::Run { file, .. } => {
             execute_on_source(&cmd, &read(file)?)
         }
@@ -1236,6 +1390,62 @@ mod tests {
             parse_args(&args("build a.mimdc b.mimdc")).is_err(),
             "build takes exactly one file"
         );
+    }
+
+    #[test]
+    fn parse_match_command() {
+        let cmd = parse_args(&args("match a+b in1.txt in2.txt --threads 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Match {
+                pattern: "a+b".into(),
+                files: vec!["in1.txt".into(), "in2.txt".into()],
+                threads: 3,
+            }
+        );
+        assert!(parse_args(&args("match")).is_err(), "pattern is required");
+        assert!(parse_args(&args("match a --threads")).is_err());
+        assert!(parse_args(&args("match a --threads zero")).is_err());
+        // A leading-dash token in pattern position is pattern text.
+        let cmd = parse_args(&args("match -+")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Match {
+                pattern: "-+".into(),
+                files: vec![],
+                threads: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn match_prints_spans_and_summary() {
+        let out = execute_match("ab+", &[("x".into(), b"xabbyab".to_vec())], 2).unwrap();
+        assert!(out.contains("x:1..4: abb"), "{out}");
+        assert!(out.contains("x:5..7: ab"), "{out}");
+        assert!(out.contains("2 match(es)"), "{out}");
+        let err = execute_match("a(", &[], 1).unwrap_err();
+        assert!(err.to_string().contains("parse error"), "{err}");
+        // Through execute_on_source the source text is the haystack.
+        let cmd = parse_args(&args("match b+")).unwrap();
+        let out = execute_on_source(&cmd, "abbba").unwrap();
+        assert!(out.contains("<input>:1..4: bbb"), "{out}");
+    }
+
+    #[test]
+    fn match_spans_are_thread_count_invariant() {
+        let hay = b"abcabcxx\nabc".repeat(50);
+        let spans = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains(".."))
+                .map(String::from)
+                .collect()
+        };
+        let one = execute_match("ab*c", &[("h".into(), hay.clone())], 1).unwrap();
+        for t in [2, 3, 8] {
+            let more = execute_match("ab*c", &[("h".into(), hay.clone())], t).unwrap();
+            assert_eq!(spans(&one), spans(&more), "threads={t}");
+        }
     }
 
     #[test]

@@ -73,6 +73,25 @@ pub fn cache_key(
     CacheKey { hi, lo }
 }
 
+/// Fingerprint arbitrary content for a non-MIMDC domain (e.g. the regex
+/// front-end keys compiled patterns by `content_key("regex", ...)`). The
+/// domain tag and a length prefix per part make the encoding unambiguous
+/// and keep every domain's keyspace disjoint from [`cache_key`]'s —
+/// its `0xfe`-separated encoding never starts with an `0xff` byte, and
+/// this one always does.
+pub fn content_key(domain: &str, parts: &[&[u8]]) -> CacheKey {
+    let mut msg = Vec::with_capacity(64 + parts.iter().map(|p| p.len() + 8).sum::<usize>());
+    msg.push(0xff);
+    msg.extend_from_slice(&(domain.len() as u64).to_le_bytes());
+    msg.extend_from_slice(domain.as_bytes());
+    for part in parts {
+        msg.extend_from_slice(&(part.len() as u64).to_le_bytes());
+        msg.extend_from_slice(part);
+    }
+    let (hi, lo) = siphash128(0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03, &msg);
+    CacheKey { hi, lo }
+}
+
 /// SipHash-2-4 with 128-bit output (reference construction from the
 /// SipHash paper / `siphash.c`). Vendored because the cache needs a
 /// fingerprint whose two words mix independently — deriving two 64-bit

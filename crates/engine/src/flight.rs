@@ -1,0 +1,259 @@
+//! Generic singleflight: coalesce concurrent identical computations.
+//!
+//! A [`Singleflight`] table maps a key to the one in-flight computation
+//! for that key. The first arrival becomes the *leader* and computes;
+//! concurrent arrivals with the same key become *followers* and share the
+//! leader's outcome instead of recomputing. Extracted from the engine's
+//! compile path so other content-addressed services (the regex front-end's
+//! pattern compiler) can reuse the exact same discipline.
+//!
+//! Correctness hinges on one ordering rule, enforced by running the
+//! caller's cache probe **under the table lock**: a leader must insert
+//! its result into the caller's cache *before* its [`Leader`] guard drops
+//! (which removes the table entry). Every concurrent identical request
+//! then either sees the in-flight entry and joins it, or probes the cache
+//! after the removal and hits — exactly one computation per key, no gap.
+//!
+//! Outcomes cross threads as `Result<V, String>` because callers' error
+//! types are generally not `Clone`. A leader that unwinds without
+//! publishing fails its followers with a "panicked" message rather than
+//! leaving them blocked forever.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared slot the leader publishes into and followers wait on.
+struct Slot<V> {
+    cell: Mutex<Option<Result<V, String>>>,
+    done: Condvar,
+}
+
+impl<V: Clone> Slot<V> {
+    fn new() -> Self {
+        Slot {
+            cell: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// First publish wins; later calls are no-ops.
+    fn publish(&self, result: Result<V, String>) {
+        let mut cell = self.cell.lock().unwrap_or_else(|p| p.into_inner());
+        if cell.is_none() {
+            *cell = Some(result);
+        }
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<V, String> {
+        let mut cell = self.cell.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = cell.as_ref() {
+                return result.clone();
+            }
+            cell = self.done.wait(cell).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// How [`Singleflight::begin`] classified this request.
+pub enum Flight<'a, K: Eq + Hash + Clone, V: Clone, P> {
+    /// The probe hit (cache already has the value) — nothing in flight.
+    Hit(P),
+    /// Another request is computing this key; [`Follower::wait`] for it.
+    Join(Follower<V>),
+    /// This request computes; publish through the guard.
+    Lead(Leader<'a, K, V>),
+}
+
+/// A follower's handle on the leader's outcome.
+pub struct Follower<V> {
+    slot: Arc<Slot<V>>,
+}
+
+impl<V: Clone> Follower<V> {
+    /// Block until the leader publishes (or unwinds) and share the result.
+    pub fn wait(self) -> Result<V, String> {
+        self.slot.wait()
+    }
+}
+
+/// The leader's guard. Dropping it removes the in-flight entry and — if
+/// nothing was published, i.e. the leader unwound — fails the followers
+/// with a "panicked" error instead of leaving them blocked.
+pub struct Leader<'a, K: Eq + Hash + Clone, V: Clone> {
+    table: &'a Mutex<HashMap<K, Arc<Slot<V>>>>,
+    key: K,
+    slot: Arc<Slot<V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Leader<'_, K, V> {
+    /// Publish the outcome to every follower. Idempotent; the guard must
+    /// still be dropped afterwards to retire the table entry.
+    pub fn publish(&self, result: Result<V, String>) {
+        self.slot.publish(result);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for Leader<'_, K, V> {
+    fn drop(&mut self) {
+        self.table
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&self.key);
+        // No-op when the leader already published; otherwise (panic
+        // unwind) fail the followers cleanly.
+        self.slot
+            .publish(Err("shared in-flight computation panicked".to_string()));
+    }
+}
+
+/// The coalescing table. `K` is the content-addressed key, `V` the shared
+/// outcome (typically an `Arc`).
+pub struct Singleflight<K: Eq + Hash + Clone, V: Clone> {
+    table: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Singleflight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Singleflight<K, V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Singleflight {
+            table: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Classify one request. `probe` is the caller's cache lookup; it
+    /// runs **under the table lock** (keep it cheap), which closes the
+    /// insert-into-cache → retire-entry race described in the module docs.
+    pub fn begin<P>(&self, key: K, mut probe: impl FnMut() -> Option<P>) -> Flight<'_, K, V, P> {
+        let mut table = self.table.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = probe() {
+            return Flight::Hit(hit);
+        }
+        match table.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => Flight::Join(Follower {
+                slot: Arc::clone(e.get()),
+            }),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let slot = Arc::new(Slot::new());
+                e.insert(Arc::clone(&slot));
+                Flight::Lead(Leader {
+                    table: &self.table,
+                    key,
+                    slot,
+                })
+            }
+        }
+    }
+
+    /// True when nothing is in flight (used by tests to assert cleanup).
+    pub fn is_empty(&self) -> bool {
+        self.table
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn hit_short_circuits() {
+        let sf: Singleflight<u32, Arc<String>> = Singleflight::new();
+        match sf.begin(1, || Some("cached")) {
+            Flight::Hit(v) => assert_eq!(v, "cached"),
+            _ => panic!("probe hit must win"),
+        }
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn followers_share_one_computation() {
+        let sf: Singleflight<u32, Arc<String>> = Singleflight::new();
+        let computed = AtomicUsize::new(0);
+        // The leader holds the flight open until every thread has called
+        // begin(), so all four deterministically share one computation.
+        let arrived = AtomicUsize::new(0);
+        let results: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let flight = sf.begin(7, || None::<Arc<String>>);
+                        arrived.fetch_add(1, Ordering::SeqCst);
+                        match flight {
+                            Flight::Hit(v) => v.as_ref().clone(),
+                            Flight::Join(f) => f.wait().unwrap().as_ref().clone(),
+                            Flight::Lead(leader) => {
+                                while arrived.load(Ordering::SeqCst) < 4 {
+                                    std::thread::yield_now();
+                                }
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                let v = Arc::new("value".to_string());
+                                leader.publish(Ok(Arc::clone(&v)));
+                                v.as_ref().clone()
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one leader");
+        assert!(results.iter().all(|r| r == "value"));
+        assert!(sf.is_empty(), "entry retired after the flight");
+    }
+
+    #[test]
+    fn unwinding_leader_fails_followers_with_panic_message() {
+        let sf: Arc<Singleflight<u32, Arc<String>>> = Arc::new(Singleflight::new());
+        let (leading_tx, leading_rx) = std::sync::mpsc::channel();
+        let (joined_tx, joined_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let sf2 = Arc::clone(&sf);
+            s.spawn(move || {
+                let flight = sf2.begin(9, || None::<Arc<String>>);
+                assert!(matches!(flight, Flight::Lead(_)));
+                leading_tx.send(()).unwrap();
+                // Hold the flight open until the follower has joined,
+                // then drop the leader without publishing — the unwind
+                // path.
+                let _ = joined_rx.recv_timeout(Duration::from_secs(5));
+            });
+            leading_rx.recv().unwrap();
+            match sf.begin(9, || None::<Arc<String>>) {
+                Flight::Join(f) => {
+                    joined_tx.send(()).unwrap();
+                    let err = f.wait().unwrap_err();
+                    assert!(err.contains("panicked"), "{err}");
+                }
+                _ => panic!("second arrival must join the flight"),
+            }
+        });
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn probe_runs_under_lock_after_retirement() {
+        // After a flight retires, the next begin() probes and can hit.
+        let sf: Singleflight<u32, u64> = Singleflight::new();
+        match sf.begin(3, || None::<u64>) {
+            Flight::Lead(leader) => leader.publish(Ok(42)),
+            _ => panic!("first arrival leads"),
+        }
+        match sf.begin(3, || Some(42u64)) {
+            Flight::Hit(v) => assert_eq!(v, 42),
+            _ => panic!("entry was retired, probe hits"),
+        };
+    }
+}

@@ -28,20 +28,21 @@
 //! ```
 
 pub mod cache;
+pub mod flight;
 pub mod parallel;
 
-pub use cache::{cache_key, CacheKey, CacheLayer, CacheStats, CompileCache};
+pub use cache::{cache_key, content_key, CacheKey, CacheLayer, CacheStats, CompileCache};
+pub use flight::{Flight, Singleflight};
 pub use parallel::{convert_parallel, convert_parallel_deadline, ParallelError};
 
 use msc_codegen::{generate, GenError, GenOptions};
 use msc_core::{ConvertError, ConvertOptions, ConvertStats, MetaAutomaton};
 use msc_lang::{compile, CompileError, Program};
 use msc_simd::SimdProgram;
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Wall-clock cost of each pipeline phase of one fresh compile.
@@ -254,59 +255,6 @@ impl Default for EngineOptions {
     }
 }
 
-/// One in-flight compilation that concurrent identical requests share.
-/// The leader publishes its outcome into `slot` and notifies; followers
-/// wait on the condvar. Errors cross as rendered strings because the
-/// structured error types are not `Clone`.
-#[derive(Default)]
-struct Inflight {
-    slot: Mutex<Option<Result<Arc<Artifact>, String>>>,
-    done: Condvar,
-}
-
-impl Inflight {
-    fn publish(&self, result: Result<Arc<Artifact>, String>) {
-        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
-        if slot.is_none() {
-            *slot = Some(result);
-        }
-        self.done.notify_all();
-    }
-
-    fn wait(&self) -> Result<Arc<Artifact>, String> {
-        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
-        loop {
-            if let Some(result) = slot.as_ref() {
-                return result.clone();
-            }
-            slot = self.done.wait(slot).unwrap_or_else(|p| p.into_inner());
-        }
-    }
-}
-
-/// Removes the in-flight entry and unblocks followers no matter how the
-/// leader exits — including by panic, where the followers see an error
-/// instead of waiting forever.
-struct LeaderGuard<'a> {
-    engine: &'a Engine,
-    key: CacheKey,
-    inflight: Arc<Inflight>,
-}
-
-impl Drop for LeaderGuard<'_> {
-    fn drop(&mut self) {
-        self.engine
-            .inflight
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .remove(&self.key);
-        // No-op if the leader already published; otherwise (panic unwind)
-        // fail the followers cleanly.
-        self.inflight
-            .publish(Err("shared in-flight compile panicked".to_string()));
-    }
-}
-
 /// The compilation service: parallel conversion + cache + batch driver.
 pub struct Engine {
     opts: EngineOptions,
@@ -314,7 +262,9 @@ pub struct Engine {
     jobs_compiled: AtomicU64,
     coalesced: AtomicU64,
     /// Singleflight table: cache key → the in-flight compile to join.
-    inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
+    /// Outcomes cross as `Result<Arc<Artifact>, String>` because the
+    /// structured error types are not `Clone`.
+    flights: Singleflight<CacheKey, Arc<Artifact>>,
 }
 
 impl Engine {
@@ -326,7 +276,7 @@ impl Engine {
             cache,
             jobs_compiled: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
-            inflight: Mutex::new(HashMap::new()),
+            flights: Singleflight::new(),
         }
     }
 
@@ -445,61 +395,42 @@ impl Engine {
         if let Some(hit) = self.cache.probe(key, &job.gen.costs) {
             return Ok(as_hit(hit));
         }
-        // Singleflight: elect a leader under the in-flight table lock.
-        // The cache is re-probed under the same lock because a leader
-        // inserts its artifact into the cache *before* removing its
-        // in-flight entry — so every concurrent identical request either
-        // sees the entry (and coalesces) or sees the cache hit; exactly
-        // one request per key ever compiles.
-        let inflight = {
-            let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(hit) = self.cache.probe(key, &job.gen.costs) {
-                return Ok(as_hit(hit));
+        // Singleflight: elect a leader, re-probing the cache under the
+        // flight-table lock. A leader inserts its artifact into the cache
+        // *before* its guard retires the table entry — so every concurrent
+        // identical request either joins the flight or sees the cache hit;
+        // exactly one request per key ever compiles.
+        let leader = match self
+            .flights
+            .begin(key, || self.cache.probe(key, &job.gen.costs))
+        {
+            Flight::Hit(hit) => return Ok(as_hit(hit)),
+            Flight::Join(follower) => {
+                // Follower: wait for the leader's outcome and share it.
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                msc_obs::count("engine.coalesced", 1);
+                return match follower.wait() {
+                    Ok(artifact) => Ok(Compiled {
+                        artifact,
+                        provenance: Provenance::Coalesced,
+                    }),
+                    Err(message) => Err(EngineError::CoalescedFailed {
+                        job: job.name.clone(),
+                        message,
+                    }),
+                };
             }
-            match map.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => Some(Arc::clone(e.get())),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(Arc::new(Inflight::default()));
-                    None
-                }
-            }
+            Flight::Lead(leader) => leader,
         };
-        if let Some(inflight) = inflight {
-            // Follower: wait for the leader's outcome and share it.
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
-            msc_obs::count("engine.coalesced", 1);
-            return match inflight.wait() {
-                Ok(artifact) => Ok(Compiled {
-                    artifact,
-                    provenance: Provenance::Coalesced,
-                }),
-                Err(message) => Err(EngineError::CoalescedFailed {
-                    job: job.name.clone(),
-                    message,
-                }),
-            };
-        }
         // Leader: this request is the one that compiles (and the one that
         // counts the miss for the whole coalesced group).
         self.cache.note_miss();
-        let inflight = Arc::clone(
-            self.inflight
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .get(&key)
-                .expect("leader's in-flight entry is present until its guard drops"),
-        );
-        let guard = LeaderGuard {
-            engine: self,
-            key,
-            inflight,
-        };
         let result = self.compile_fresh(job, key, threads);
-        guard.inflight.publish(match &result {
+        leader.publish(match &result {
             Ok(c) => Ok(Arc::clone(&c.artifact)),
             Err(e) => Err(e.to_string()),
         });
-        drop(guard);
+        drop(leader);
         result
     }
 
@@ -869,7 +800,7 @@ mod tests {
         // A failed flight caches nothing and leaves nothing in flight:
         // the next identical request compiles (and fails) on its own.
         assert_eq!(engine.cache_stats().insertions, 0);
-        assert!(engine.inflight.lock().unwrap().is_empty());
+        assert!(engine.flights.is_empty());
     }
 
     #[test]
@@ -888,7 +819,7 @@ mod tests {
             other => panic!("expected CoalescedFailed, got {other:?}"),
         }
         assert!(
-            engine.inflight.lock().unwrap().is_empty(),
+            engine.flights.is_empty(),
             "the leader's guard cleans up even on panic"
         );
         // The engine is still fully usable afterwards.

@@ -11,6 +11,9 @@
 //! * [`oracle`] — the oracle matrix: every execution configuration the
 //!   repo offers, diffed against the true-MIMD reference, plus the
 //!   bit-identity group (engine threads × cache round-trip);
+//! * [`regex_oracle`] — the regex front-end's differential check (meta-
+//!   automaton matcher, sequential and sharded, vs the naive backtracking
+//!   reference) on a case derived from each generated program;
 //! * [`mod@minimize`] — delta-debugging shrinker run against the same oracle
 //!   the moment a mismatch appears;
 //! * [`report`] — self-contained reproducers (corpus files) and the JSON
@@ -22,6 +25,7 @@
 pub mod grammar;
 pub mod minimize;
 pub mod oracle;
+pub mod regex_oracle;
 pub mod report;
 pub mod rng;
 

@@ -44,6 +44,10 @@ pub enum Oracle {
     Cache,
     /// The live daemon over TCP (`POST /run` via `msc_serve::Client`).
     Serve,
+    /// The regex front-end: meta-automaton matcher (sequential and
+    /// sharded) diffed against the naive backtracking reference, on a
+    /// case derived deterministically from the rendered source.
+    Regex,
     /// An intentionally miscompiling oracle used to prove the fuzzer
     /// catches and minimizes real divergence.
     SelfTest,
@@ -61,6 +65,7 @@ impl Oracle {
             Oracle::Engine(n) => format!("engine:{n}"),
             Oracle::Cache => "cache".into(),
             Oracle::Serve => "serve".into(),
+            Oracle::Regex => "regex".into(),
             Oracle::SelfTest => "selftest".into(),
         }
     }
@@ -75,6 +80,7 @@ impl Oracle {
             "nocsi" => Oracle::NoCsi,
             "cache" => Oracle::Cache,
             "serve" => Oracle::Serve,
+            "regex" => Oracle::Regex,
             "selftest" => Oracle::SelfTest,
             other => {
                 if let Some(n) = other.strip_prefix("engine:") {
@@ -85,7 +91,7 @@ impl Oracle {
                 } else {
                     return Err(format!(
                         "unknown oracle `{other}` (try interp, base, compressed, timesplit, \
-                         nocsi, engine:N, cache, serve, selftest)"
+                         nocsi, engine:N, cache, serve, regex, selftest)"
                     ));
                 }
             }
@@ -114,6 +120,7 @@ impl Oracle {
             Oracle::Engine(2),
             Oracle::Engine(8),
             Oracle::Cache,
+            Oracle::Regex,
         ]
     }
 
@@ -606,6 +613,9 @@ pub fn run_oracle(
         Oracle::Engine(n) => run_engine(src, *n, total, live, cfg),
         Oracle::Cache => run_cache_roundtrip(src, total, live, cfg),
         Oracle::Serve => run_serve(src, total, live, cfg),
+        Oracle::Regex => Err(OracleError::Fail(
+            "the regex oracle does not produce a MIMD execution; run_case dispatches it".into(),
+        )),
     }
 }
 
@@ -639,6 +649,28 @@ pub fn run_case(prog: &Program, oracles: &[Oracle], cfg: &OracleConfig) -> CaseR
     let mut group: Vec<(String, Execution)> = Vec::new();
     for oracle in oracles {
         msc_obs::count("fuzz.oracle_runs", 1);
+        // The regex oracle diffs the regex engines against each other on
+        // a case derived from `src`; it has no MIMD execution to compare
+        // with the reference, so it short-circuits the matrix here.
+        if matches!(oracle, Oracle::Regex) {
+            use crate::regex_oracle::{run_derived, RegexOutcome};
+            match run_derived(&src) {
+                RegexOutcome::Clean => oracles_run += 1,
+                RegexOutcome::Skip(reason) => {
+                    msc_obs::count("fuzz.skips", 1);
+                    skips.push((oracle.label(), reason));
+                }
+                RegexOutcome::Mismatch(detail) => {
+                    mismatches.push(Mismatch {
+                        oracle: oracle.label(),
+                        expected: Vec::new(),
+                        actual: Vec::new(),
+                        detail,
+                    });
+                }
+            }
+            continue;
+        }
         match run_oracle(oracle, prog, &src, cfg) {
             Ok(exec) => {
                 oracles_run += 1;
@@ -739,6 +771,22 @@ mod tests {
             result.source
         );
         assert!(result.oracles_run > 0);
+    }
+
+    #[test]
+    fn regex_oracle_runs_inside_the_matrix() {
+        let mut rng = Xoshiro256::seeded(3);
+        let prog = generate(&mut rng, &GrammarConfig::default());
+        let result = run_case(&prog, &[Oracle::Regex], &OracleConfig::default());
+        assert!(
+            result.clean(),
+            "regex oracle diverged: {:?}\non:\n{}",
+            result.mismatches,
+            result.source
+        );
+        // Either the derived pattern compiled and all engines agreed, or
+        // it blew the complexity cap and was recorded as a skip.
+        assert_eq!(result.oracles_run + result.skips.len(), 1);
     }
 
     #[test]

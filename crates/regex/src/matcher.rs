@@ -1,0 +1,232 @@
+//! DFA execution: sequential scan and data-parallel sharded scan.
+//!
+//! Semantics (shared with the naive reference engine): non-overlapping
+//! **leftmost-longest** matches, and **empty matches are never reported**.
+//! At position `p` the matcher runs one attempt — the longest `e > p`
+//! such that `input[p..e]` is accepted, honoring anchors against the
+//! whole input — records `(p, e)` and resumes at `e`, or advances to
+//! `p + 1` when the attempt fails.
+//!
+//! The parallel scan is the SFA trick made exact. An attempt depends only
+//! on its start position and the input, never on scan history, so each
+//! shard can be scanned *speculatively* in parallel from its own start
+//! offset (reading past its end for boundary-spanning matches). A
+//! sequential stitch pass then walks the true attempt positions: the
+//! moment the true position lands on an attempt position the speculative
+//! scan also visited, the rest of that shard's speculative matches are
+//! spliced in verbatim. Only positions shadowed by a match that spans
+//! into the shard are re-attempted (at most one live attempt per
+//! boundary), so the result is **bit-identical** to the sequential scan
+//! at every thread count, by construction rather than by tolerance.
+
+use crate::input::ShardedInput;
+use crate::meta::{MetaDfa, DEAD};
+
+/// One match as an absolute half-open span over the shard concatenation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Match {
+    /// Absolute start offset.
+    pub start: usize,
+    /// Absolute end offset (exclusive); always `> start`.
+    pub end: usize,
+}
+
+/// Run one attempt at absolute position `p`: longest accepting end
+/// `e > p`, or `None`.
+fn attempt(dfa: &MetaDfa, input: &ShardedInput<'_>, p: usize, total: usize) -> Option<usize> {
+    let mut state = if p == 0 { dfa.start_bof } else { dfa.start_mid };
+    if state == DEAD {
+        return None;
+    }
+    let mut best = None;
+    let mut q = p;
+    for b in input.cursor(p) {
+        state = dfa.step(state, b);
+        if state == DEAD {
+            break;
+        }
+        q += 1;
+        if dfa.accept_mid[state as usize] || (q == total && dfa.accept_end[state as usize]) {
+            best = Some(q);
+        }
+    }
+    best
+}
+
+/// Scan attempt positions in `[from, until)`, reading input up to `total`
+/// as matches demand. Returns the matches found plus the *exit position*:
+/// the first attempt position `>= until` (greater than `until` exactly
+/// when the final match spans past it).
+fn scan_range(
+    dfa: &MetaDfa,
+    input: &ShardedInput<'_>,
+    from: usize,
+    until: usize,
+    total: usize,
+) -> (Vec<Match>, usize) {
+    let mut out = Vec::new();
+    let mut p = from;
+    while p < until {
+        match attempt(dfa, input, p, total) {
+            Some(e) => {
+                out.push(Match { start: p, end: e });
+                p = e;
+            }
+            None => p += 1,
+        }
+    }
+    (out, p)
+}
+
+/// Sequential reference scan over the whole input.
+pub fn find_all(dfa: &MetaDfa, input: &ShardedInput<'_>) -> Vec<Match> {
+    let total = input.total_len();
+    scan_range(dfa, input, 0, total, total).0
+}
+
+/// Data-parallel scan: speculative per-shard scans on up to `threads`
+/// worker threads, then a sequential stitch. Output is identical to
+/// [`find_all`] for every `threads` value.
+pub fn find_sharded(dfa: &MetaDfa, input: &ShardedInput<'_>, threads: usize) -> Vec<Match> {
+    let n = input.shard_count();
+    let total = input.total_len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return find_all(dfa, input);
+    }
+    msc_obs::count("regex.parallel_scans", 1);
+
+    // Phase 1: speculative scans, one result slot per shard. chunks_mut
+    // hands each worker a disjoint slice, so no synchronization is
+    // needed beyond the scope join.
+    let mut slots: Vec<Option<(Vec<Match>, usize)>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (tid, group) in slots.chunks_mut(chunk).enumerate() {
+            let base = tid * chunk;
+            scope.spawn(move || {
+                for (j, slot) in group.iter_mut().enumerate() {
+                    let (s, e) = input.shard_bounds(base + j);
+                    *slot = Some(scan_range(dfa, input, s, e, total));
+                }
+            });
+        }
+    });
+
+    // Phase 2: stitch. `t` is the true attempt position.
+    let mut out = Vec::new();
+    let mut t = 0usize;
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let (s_i, e_i) = input.shard_bounds(i);
+        let (matches, exit) = slot.take().expect("phase 1 filled every slot");
+        while t < e_i {
+            // `t` is an attempt position the speculative scan for this
+            // shard also visited iff it is not strictly inside one of its
+            // matches (the scan attempted at s_i, every match end, and
+            // every failed position in between).
+            let k = matches.partition_point(|m| m.start <= t);
+            let inside_spec = k > 0 && matches[k - 1].end > t && matches[k - 1].start < t;
+            if t >= s_i && !inside_spec {
+                out.extend_from_slice(&matches[matches.partition_point(|m| m.start < t)..]);
+                t = exit;
+                break;
+            }
+            // A match spanning into this shard shadowed the speculative
+            // attempt positions; re-run true attempts until we re-sync.
+            msc_obs::count("regex.stitch_rescans", 1);
+            match attempt(dfa, input, t, total) {
+                Some(e) => {
+                    out.push(Match { start: t, end: e });
+                    t = e;
+                }
+                None => t += 1,
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::compile;
+    use crate::nfa::build;
+    use crate::parser::parse;
+
+    fn dfa(pat: &str) -> MetaDfa {
+        compile(&build(&parse(pat).unwrap()).unwrap()).unwrap()
+    }
+
+    fn spans(pat: &str, shards: &[&[u8]]) -> Vec<(usize, usize)> {
+        let d = dfa(pat);
+        let inp = ShardedInput::new(shards);
+        let seq = find_all(&d, &inp);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                find_sharded(&d, &inp, threads),
+                seq,
+                "threads={threads} must be bit-identical"
+            );
+        }
+        seq.iter().map(|m| (m.start, m.end)).collect()
+    }
+
+    #[test]
+    fn simple_literals() {
+        assert_eq!(spans("ab", &[b"xabyab"]), vec![(1, 3), (4, 6)]);
+        assert_eq!(spans("ab", &[b"ab"]), vec![(0, 2)]);
+        assert_eq!(spans("ab", &[b"ba"]), vec![]);
+    }
+
+    #[test]
+    fn greedy_longest() {
+        assert_eq!(spans("a+", &[b"aaabaa"]), vec![(0, 3), (4, 6)]);
+        assert_eq!(spans("a|ab", &[b"ab"]), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn empty_matches_are_skipped() {
+        assert_eq!(spans("a*", &[b"bab"]), vec![(1, 2)]);
+        assert_eq!(spans("x?", &[b"yy"]), vec![]);
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(spans("^a", &[b"aba"]), vec![(0, 1)]);
+        assert_eq!(spans("a$", &[b"aba"]), vec![(2, 3)]);
+        assert_eq!(spans("^a+$", &[b"aaa"]), vec![(0, 3)]);
+        assert_eq!(spans("^a+$", &[b"aab"]), vec![]);
+    }
+
+    #[test]
+    fn matches_span_shard_boundaries() {
+        // "abab" split as "ab|ab": match (0,2) is inside shard 0, match
+        // (2,4) starts exactly at the boundary.
+        assert_eq!(spans("ab", &[b"ab", b"ab"]), vec![(0, 2), (2, 4)]);
+        // "xaby" split mid-match.
+        assert_eq!(spans("ab", &[b"xa", b"by"]), vec![(1, 3)]);
+        // One match covering three shards.
+        assert_eq!(spans("a+", &[b"aa", b"aa", b"aa"]), vec![(0, 6)]);
+        // Greedy run crossing a boundary shadows the speculative matches
+        // of the next shard.
+        assert_eq!(spans("a+b", &[b"aaa", b"ab"]), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn end_anchor_only_fires_on_final_shard() {
+        assert_eq!(spans("a$", &[b"a", b"a"]), vec![(1, 2)]);
+        assert_eq!(spans("ab$", &[b"a", b"b"]), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn empty_shards_and_empty_input() {
+        assert_eq!(spans("a", &[]), vec![]);
+        assert_eq!(spans("a", &[b"", b""]), vec![]);
+        assert_eq!(spans("a", &[b"", b"a", b""]), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn dot_does_not_match_newline() {
+        assert_eq!(spans("a.c", &[b"a\ncabc"]), vec![(3, 6)]);
+    }
+}

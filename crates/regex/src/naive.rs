@@ -1,0 +1,226 @@
+//! Naive reference engine — the fuzz oracle's ground truth.
+//!
+//! Deliberately shares *nothing* with the production path: it walks the
+//! [`Ast`] directly (no NFA, no subset construction, no sharding),
+//! computing for each (subexpression, position) the full set of possible
+//! match ends, memoized to stay polynomial. Alternation and repetition
+//! are explored exhaustively — "longest" falls out of taking the maximum
+//! end, not out of any greediness encoding — so agreement with the DFA
+//! matcher is evidence about the construction, not a shared bug.
+//!
+//! Semantics match [`crate::matcher`]: non-overlapping leftmost-longest,
+//! empty matches never reported, anchors judged against the whole input.
+
+use crate::parser::Ast;
+use std::collections::HashMap;
+
+struct Ends<'a> {
+    input: &'a [u8],
+    /// (AST node identity, position) → sorted possible match ends.
+    memo: HashMap<(usize, usize), Vec<usize>>,
+}
+
+fn key(ast: &Ast, pos: usize) -> (usize, usize) {
+    (ast as *const Ast as usize, pos)
+}
+
+impl Ends<'_> {
+    /// All positions `e` such that `ast` matches `input[pos..e]`, sorted
+    /// ascending. May include `pos` itself (empty match of this subtree).
+    fn ends(&mut self, ast: &Ast, pos: usize) -> Vec<usize> {
+        if let Some(hit) = self.memo.get(&key(ast, pos)) {
+            return hit.clone();
+        }
+        let mut out = match ast {
+            Ast::Empty => vec![pos],
+            Ast::Class(set) => match self.input.get(pos) {
+                Some(&b) if set.contains(b) => vec![pos + 1],
+                _ => vec![],
+            },
+            Ast::AnchorStart => {
+                if pos == 0 {
+                    vec![pos]
+                } else {
+                    vec![]
+                }
+            }
+            Ast::AnchorEnd => {
+                if pos == self.input.len() {
+                    vec![pos]
+                } else {
+                    vec![]
+                }
+            }
+            Ast::Concat(items) => {
+                let mut frontier = vec![pos];
+                for item in items {
+                    let mut next: Vec<usize> =
+                        frontier.iter().flat_map(|&q| self.ends(item, q)).collect();
+                    next.sort_unstable();
+                    next.dedup();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                frontier
+            }
+            Ast::Alt(arms) => {
+                let mut all: Vec<usize> = arms.iter().flat_map(|a| self.ends(a, pos)).collect();
+                all.sort_unstable();
+                all.dedup();
+                all
+            }
+            Ast::Quest(x) => {
+                let mut all = self.ends(x, pos);
+                all.push(pos);
+                all.sort_unstable();
+                all.dedup();
+                all
+            }
+            Ast::Star(x) => self.closure(x, vec![pos]),
+            Ast::Plus(x) => {
+                let first = self.ends(x, pos);
+                self.closure(x, first)
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        self.memo.insert(key(ast, pos), out.clone());
+        out
+    }
+
+    /// Reachability closure for repetition: every end obtainable from the
+    /// seed set by zero or more further iterations of `x`. Only
+    /// *progressing* iterations (`e > q`) are followed — an empty
+    /// iteration reaches nothing new, so dropping it loses no end and
+    /// guarantees termination.
+    fn closure(&mut self, x: &Ast, seeds: Vec<usize>) -> Vec<usize> {
+        let mut reached: Vec<bool> = vec![false; self.input.len() + 2];
+        let mut stack = Vec::new();
+        let mut out = Vec::new();
+        for q in seeds {
+            if !std::mem::replace(&mut reached[q], true) {
+                stack.push(q);
+                out.push(q);
+            }
+        }
+        while let Some(q) = stack.pop() {
+            for e in self.ends(x, q) {
+                if e > q && !std::mem::replace(&mut reached[e], true) {
+                    stack.push(e);
+                    out.push(e);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Longest end `> pos` of a match starting at `pos`, or `None`.
+fn attempt(ends: &mut Ends<'_>, ast: &Ast, pos: usize) -> Option<usize> {
+    ends.ends(ast, pos).into_iter().filter(|&e| e > pos).max()
+}
+
+/// All matches over `input` as `(start, end)` spans, under the shared
+/// find-all protocol (leftmost-longest, non-overlapping, no empties).
+pub fn find_all(ast: &Ast, input: &[u8]) -> Vec<(usize, usize)> {
+    let mut ends = Ends {
+        input,
+        memo: HashMap::new(),
+    };
+    let mut out = Vec::new();
+    let mut p = 0usize;
+    while p < input.len() {
+        match attempt(&mut ends, ast, p) {
+            Some(e) => {
+                out.push((p, e));
+                p = e;
+            }
+            None => p += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn naive(pat: &str, input: &[u8]) -> Vec<(usize, usize)> {
+        find_all(&parse(pat).unwrap(), input)
+    }
+
+    #[test]
+    fn agrees_on_basics() {
+        assert_eq!(naive("ab", b"xabyab"), vec![(1, 3), (4, 6)]);
+        assert_eq!(naive("a+", b"aaabaa"), vec![(0, 3), (4, 6)]);
+        assert_eq!(naive("a|ab", b"ab"), vec![(0, 2)]);
+        assert_eq!(naive("a*", b"bab"), vec![(1, 2)]);
+        assert_eq!(naive("^a", b"aba"), vec![(0, 1)]);
+        assert_eq!(naive("a$", b"aba"), vec![(2, 3)]);
+        assert_eq!(naive("^a+$", b"aab"), vec![]);
+        assert_eq!(naive(".", b"a\nb"), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn nested_repetition_terminates() {
+        // (a*)* can loop forever in a backtracker; the progressing-ends
+        // closure handles it.
+        assert_eq!(naive("(a*)*b", b"aaab"), vec![(0, 4)]);
+        assert_eq!(naive("(a?)+", b"aa"), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn differential_against_dfa_matcher() {
+        use crate::input::ShardedInput;
+        let patterns = [
+            "a",
+            "ab",
+            "a+",
+            "a*b",
+            "a|b",
+            "(ab|ba)+",
+            "[a-c]+",
+            "[^a]b",
+            "^ab",
+            "ab$",
+            "^a.*b$",
+            "a?a?aa",
+            ".+",
+            "(a|ab)(c|bc)",
+        ];
+        let inputs: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"ab",
+            b"ba",
+            b"abc",
+            b"aabbab",
+            b"abababab",
+            b"xaybz",
+            b"aa\nbb",
+            b"cabcabc",
+        ];
+        for pat in patterns {
+            let ast = parse(pat).unwrap();
+            let dfa = crate::meta::compile(&crate::nfa::build(&ast).unwrap()).unwrap();
+            for &input in inputs {
+                let shards = [input];
+                let inp = ShardedInput::new(&shards);
+                let got: Vec<(usize, usize)> = crate::matcher::find_all(&dfa, &inp)
+                    .into_iter()
+                    .map(|m| (m.start, m.end))
+                    .collect();
+                assert_eq!(
+                    got,
+                    naive(pat, input),
+                    "pattern {pat:?} input {:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Thompson construction: [`Ast`] → ε-NFA.
+//!
+//! The machine is built backwards — `emit(node, cont)` returns the entry
+//! state of a fragment for `node` that proceeds to `cont` — so no patch
+//! lists are needed except for the loop back-edges of `*` and `+`.
+//! Anchors become assertion states that consume no input; the subset
+//! construction resolves them positionally (see [`crate::meta`]).
+
+use crate::parser::{Ast, ByteSet};
+
+/// Hard bound on NFA states; a pattern that exceeds it is rejected
+/// before subset construction can amplify it.
+pub const MAX_NFA_STATES: usize = 20_000;
+
+/// One NFA state.
+#[derive(Debug, Clone)]
+pub enum State {
+    /// Consume one byte from `set`, go to `next`.
+    Byte {
+        /// Accepted bytes.
+        set: ByteSet,
+        /// Successor state.
+        next: u32,
+    },
+    /// ε-fork to both successors (`a` preferred order, irrelevant for
+    /// the subset construction but kept deterministic).
+    Split {
+        /// First branch.
+        a: u32,
+        /// Second branch.
+        b: u32,
+    },
+    /// `^` assertion: traversable only at position 0.
+    Start {
+        /// Successor state.
+        next: u32,
+    },
+    /// `$` assertion: traversable only at end of input.
+    End {
+        /// Successor state.
+        next: u32,
+    },
+    /// Accept.
+    Match,
+}
+
+/// The whole machine.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// State table; ids are indices.
+    pub states: Vec<State>,
+    /// Entry state.
+    pub start: u32,
+}
+
+/// Pattern blew the [`MAX_NFA_STATES`] bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooManyStates {
+    /// The bound that was hit.
+    pub limit: usize,
+}
+
+/// Build the NFA for a parsed pattern.
+pub fn build(ast: &Ast) -> Result<Nfa, TooManyStates> {
+    let mut b = Builder { states: Vec::new() };
+    let accept = b.push(State::Match)?;
+    let start = b.emit(ast, accept)?;
+    Ok(Nfa {
+        states: b.states,
+        start,
+    })
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn push(&mut self, s: State) -> Result<u32, TooManyStates> {
+        if self.states.len() >= MAX_NFA_STATES {
+            return Err(TooManyStates {
+                limit: MAX_NFA_STATES,
+            });
+        }
+        self.states.push(s);
+        Ok((self.states.len() - 1) as u32)
+    }
+
+    fn emit(&mut self, ast: &Ast, cont: u32) -> Result<u32, TooManyStates> {
+        Ok(match ast {
+            Ast::Empty => cont,
+            Ast::Class(set) => self.push(State::Byte {
+                set: *set,
+                next: cont,
+            })?,
+            Ast::AnchorStart => self.push(State::Start { next: cont })?,
+            Ast::AnchorEnd => self.push(State::End { next: cont })?,
+            Ast::Concat(items) => {
+                let mut cont = cont;
+                for item in items.iter().rev() {
+                    cont = self.emit(item, cont)?;
+                }
+                cont
+            }
+            Ast::Alt(arms) => {
+                let mut entries = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    entries.push(self.emit(arm, cont)?);
+                }
+                // Right-fold into a Split chain; a single arm never
+                // reaches here (the parser collapses it).
+                let mut entry = entries.pop().expect("alt has arms");
+                while let Some(e) = entries.pop() {
+                    entry = self.push(State::Split { a: e, b: entry })?;
+                }
+                entry
+            }
+            Ast::Quest(inner) => {
+                let body = self.emit(inner, cont)?;
+                self.push(State::Split { a: body, b: cont })?
+            }
+            Ast::Star(inner) => {
+                let loop_id = self.push(State::Split { a: 0, b: cont })?;
+                let body = self.emit(inner, loop_id)?;
+                let State::Split { a, .. } = &mut self.states[loop_id as usize] else {
+                    unreachable!("loop_id is the Split just pushed")
+                };
+                *a = body;
+                loop_id
+            }
+            Ast::Plus(inner) => {
+                let loop_id = self.push(State::Split { a: 0, b: cont })?;
+                let body = self.emit(inner, loop_id)?;
+                let State::Split { a, .. } = &mut self.states[loop_id as usize] else {
+                    unreachable!("loop_id is the Split just pushed")
+                };
+                *a = body;
+                body
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa(pat: &str) -> Nfa {
+        build(&parse(pat).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn literal_chain() {
+        let n = nfa("ab");
+        // start -> Byte(a) -> Byte(b) -> Match
+        let State::Byte { set, next } = &n.states[n.start as usize] else {
+            panic!("start should consume `a`")
+        };
+        assert!(set.contains(b'a'));
+        let State::Byte { set, next } = &n.states[*next as usize] else {
+            panic!("then `b`")
+        };
+        assert!(set.contains(b'b'));
+        assert!(matches!(n.states[*next as usize], State::Match));
+    }
+
+    #[test]
+    fn star_loops_back() {
+        let n = nfa("a*");
+        let State::Split { a, b } = &n.states[n.start as usize] else {
+            panic!("star entry is a split")
+        };
+        let State::Byte { next, .. } = &n.states[*a as usize] else {
+            panic!("body consumes `a`")
+        };
+        assert_eq!(*next, n.start, "body loops back to the split");
+        assert!(matches!(n.states[*b as usize], State::Match));
+    }
+
+    #[test]
+    fn plus_enters_body_first() {
+        let n = nfa("a+");
+        assert!(matches!(n.states[n.start as usize], State::Byte { .. }));
+    }
+
+    #[test]
+    fn size_is_linear_and_bounded() {
+        let n = nfa("(ab|cd)*ef");
+        assert!(n.states.len() < 16, "{}", n.states.len());
+        let huge = "a".repeat(MAX_NFA_STATES + 10);
+        let ast = parse(&huge).unwrap();
+        assert!(build(&ast).is_err());
+    }
+}

@@ -1,0 +1,442 @@
+//! Byte-oriented regex parser.
+//!
+//! Supported syntax: literals, escapes (`\n \t \r \0`, escaped
+//! metacharacters, `\d \w \s` and their negations), character classes
+//! (`[abc]`, `[a-z0-9]`, `[^...]`), `.` (any byte except `\n`), the
+//! postfix quantifiers `*` `+` `?`, alternation `|`, grouping `(...)`,
+//! and the anchors `^` (position 0) and `$` (end of input).
+//!
+//! The parser works on bytes: a multi-byte UTF-8 literal is a
+//! concatenation of its bytes, and classes are restricted to ASCII
+//! ranges. Nesting depth is bounded so adversarial patterns (serve
+//! accepts them from the network) cannot overflow the stack.
+
+use std::fmt;
+
+/// Maximum grouping depth; beyond it parsing fails instead of recursing.
+pub const MAX_DEPTH: usize = 80;
+
+/// A set of bytes, as a 256-bit bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteSet(pub [u64; 4]);
+
+impl ByteSet {
+    /// The empty set.
+    pub fn empty() -> ByteSet {
+        ByteSet([0; 4])
+    }
+
+    /// The singleton set `{b}`.
+    pub fn single(b: u8) -> ByteSet {
+        let mut s = ByteSet::empty();
+        s.add(b);
+        s
+    }
+
+    /// Every byte except `\n` — the meaning of `.`.
+    pub fn dot() -> ByteSet {
+        let mut s = ByteSet([!0; 4]);
+        s.0[(b'\n' >> 6) as usize] &= !(1u64 << (b'\n' & 63));
+        s
+    }
+
+    /// Insert one byte.
+    pub fn add(&mut self, b: u8) {
+        self.0[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Insert the inclusive range `lo..=hi`.
+    pub fn add_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.add(b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        self.0[(b >> 6) as usize] >> (b & 63) & 1 == 1
+    }
+
+    /// The complement set.
+    pub fn negate(&self) -> ByteSet {
+        ByteSet([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+
+    /// Union in place.
+    pub fn union_with(&mut self, other: &ByteSet) {
+        for i in 0..4 {
+            self.0[i] |= other.0[i];
+        }
+    }
+
+    /// True when no byte is a member.
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+}
+
+/// Parsed pattern. Literals are single-byte [`Ast::Class`] nodes; groups
+/// are transparent (the tree is the semantics, spans are not captured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// One byte drawn from the set.
+    Class(ByteSet),
+    /// Sequence.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Zero or more (`*`).
+    Star(Box<Ast>),
+    /// One or more (`+`).
+    Plus(Box<Ast>),
+    /// Zero or one (`?`).
+    Quest(Box<Ast>),
+    /// `^`: matches the empty string at position 0.
+    AnchorStart,
+    /// `$`: matches the empty string at end of input.
+    AnchorEnd,
+}
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the pattern.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alt(0)?;
+    match p.peek() {
+        None => Ok(ast),
+        Some(b')') => Err(p.err("unmatched `)`")),
+        Some(b) => Err(p.err(format!("unexpected `{}`", b as char))),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alt(&mut self, depth: usize) -> Result<Ast, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        let mut arms = vec![self.concat(depth)?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            arms.push(self.concat(depth)?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Ast::Alt(arms)
+        })
+    }
+
+    fn concat(&mut self, depth: usize) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.repeat(depth)?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self, depth: usize) -> Result<Ast, ParseError> {
+        let atom = self.atom(depth)?;
+        let quantified = matches!(self.peek(), Some(b'*') | Some(b'+') | Some(b'?'));
+        if !quantified {
+            return Ok(atom);
+        }
+        if matches!(atom, Ast::AnchorStart | Ast::AnchorEnd) {
+            return Err(self.err("cannot repeat an anchor"));
+        }
+        let op = self.bump().expect("peeked quantifier");
+        Ok(match op {
+            b'*' => Ast::Star(Box::new(atom)),
+            b'+' => Ast::Plus(Box::new(atom)),
+            _ => Ast::Quest(Box::new(atom)),
+        })
+    }
+
+    fn atom(&mut self, depth: usize) -> Result<Ast, ParseError> {
+        let Some(b) = self.bump() else {
+            return Err(self.err("expected an atom"));
+        };
+        match b {
+            b'(' => {
+                let inner = self.alt(depth + 1)?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("unclosed `(`"));
+                }
+                Ok(inner)
+            }
+            b'.' => Ok(Ast::Class(ByteSet::dot())),
+            b'^' => Ok(Ast::AnchorStart),
+            b'$' => Ok(Ast::AnchorEnd),
+            b'[' => self.class(),
+            b'\\' => self.escape().map(Ast::Class),
+            b'*' | b'+' | b'?' => Err(self.err("nothing to repeat")),
+            other => Ok(Ast::Class(ByteSet::single(other))),
+        }
+    }
+
+    /// One escape sequence (after the `\`), yielding the byte set it
+    /// denotes. Shared by top-level atoms and class members.
+    fn escape(&mut self) -> Result<ByteSet, ParseError> {
+        let Some(b) = self.bump() else {
+            return Err(self.err("trailing `\\`"));
+        };
+        let mut set = ByteSet::empty();
+        match b {
+            b'n' => set.add(b'\n'),
+            b't' => set.add(b'\t'),
+            b'r' => set.add(b'\r'),
+            b'0' => set.add(0),
+            b'd' | b'D' => {
+                set.add_range(b'0', b'9');
+                if b == b'D' {
+                    set = set.negate();
+                }
+            }
+            b'w' | b'W' => {
+                set.add_range(b'a', b'z');
+                set.add_range(b'A', b'Z');
+                set.add_range(b'0', b'9');
+                set.add(b'_');
+                if b == b'W' {
+                    set = set.negate();
+                }
+            }
+            b's' | b'S' => {
+                for c in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+                    set.add(c);
+                }
+                if b == b'S' {
+                    set = set.negate();
+                }
+            }
+            c if c.is_ascii_alphanumeric() => {
+                return Err(self.err(format!("unknown escape `\\{}`", c as char)))
+            }
+            c => set.add(c),
+        }
+        Ok(set)
+    }
+
+    /// A character class, with `[` already consumed.
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.peek() == Some(b'^');
+        if negated {
+            self.bump();
+        }
+        let mut set = ByteSet::empty();
+        let mut any = false;
+        loop {
+            let Some(b) = self.bump() else {
+                return Err(self.err("unclosed `[`"));
+            };
+            match b {
+                b']' => {
+                    if !any {
+                        return Err(self.err("empty class"));
+                    }
+                    let set = if negated { set.negate() } else { set };
+                    return Ok(Ast::Class(set));
+                }
+                b'\\' => {
+                    set.union_with(&self.escape()?);
+                    any = true;
+                }
+                lo => {
+                    // A `-` between two plain bytes is a range; at either
+                    // end of the class it is a literal dash.
+                    if self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).is_some_and(|&b| b != b']')
+                    {
+                        self.bump(); // the dash
+                        let Some(hi) = self.bump() else {
+                            return Err(self.err("unclosed `[`"));
+                        };
+                        if hi == b'\\' || !lo.is_ascii() || !hi.is_ascii() {
+                            return Err(self.err("class ranges must be plain ASCII bytes"));
+                        }
+                        if lo > hi {
+                            return Err(
+                                self.err(format!("invalid range `{}-{}`", lo as char, hi as char))
+                            );
+                        }
+                        set.add_range(lo, hi);
+                    } else {
+                        if !lo.is_ascii() {
+                            return Err(self.err("class members must be ASCII (escape raw bytes)"));
+                        }
+                        set.add(lo);
+                    }
+                    any = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_of(ast: &Ast) -> &ByteSet {
+        match ast {
+            Ast::Class(s) => s,
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        let ast = parse("ab").unwrap();
+        let Ast::Concat(items) = ast else {
+            panic!("expected concat")
+        };
+        assert!(class_of(&items[0]).contains(b'a'));
+        assert!(class_of(&items[1]).contains(b'b'));
+    }
+
+    #[test]
+    fn precedence_alt_concat_repeat() {
+        // `ab|c*` is (ab)|(c*), not a(b|c)*.
+        let Ast::Alt(arms) = parse("ab|c*").unwrap() else {
+            panic!("expected alt")
+        };
+        assert!(matches!(arms[0], Ast::Concat(_)));
+        assert!(matches!(arms[1], Ast::Star(_)));
+    }
+
+    #[test]
+    fn classes_ranges_negation() {
+        let s = *class_of(&parse("[a-c0]").unwrap());
+        for b in [b'a', b'b', b'c', b'0'] {
+            assert!(s.contains(b));
+        }
+        assert!(!s.contains(b'd'));
+        let n = *class_of(&parse("[^a]").unwrap());
+        assert!(!n.contains(b'a') && n.contains(b'b') && n.contains(0xff));
+        // Literal dash at the edge.
+        let d = *class_of(&parse("[-a]").unwrap());
+        assert!(d.contains(b'-') && d.contains(b'a'));
+        let d = *class_of(&parse("[a-]").unwrap());
+        assert!(d.contains(b'-') && d.contains(b'a'));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let s = *class_of(&parse(".").unwrap());
+        assert!(s.contains(b'a') && s.contains(0x00) && !s.contains(b'\n'));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(class_of(&parse(r"\n").unwrap()).contains(b'\n'));
+        assert!(class_of(&parse(r"\.").unwrap()).contains(b'.'));
+        let d = *class_of(&parse(r"\d").unwrap());
+        assert!(d.contains(b'5') && !d.contains(b'a'));
+        let nd = *class_of(&parse(r"\D").unwrap());
+        assert!(!nd.contains(b'5') && nd.contains(b'a'));
+        let w = *class_of(&parse(r"[\w-]").unwrap());
+        assert!(w.contains(b'_') && w.contains(b'-'));
+    }
+
+    #[test]
+    fn anchors_and_groups() {
+        let Ast::Concat(items) = parse("^a(b|c)$").unwrap() else {
+            panic!("expected concat")
+        };
+        assert_eq!(items[0], Ast::AnchorStart);
+        assert!(matches!(items[2], Ast::Alt(_)));
+        assert_eq!(items[3], Ast::AnchorEnd);
+    }
+
+    #[test]
+    fn utf8_literal_is_byte_concat() {
+        let Ast::Concat(items) = parse("é").unwrap() else {
+            panic!("expected concat of the two UTF-8 bytes")
+        };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn rejections() {
+        for (pat, needle) in [
+            ("*a", "nothing to repeat"),
+            ("a**", "nothing to repeat"),
+            ("^*", "cannot repeat an anchor"),
+            ("(a", "unclosed `(`"),
+            ("a)", "unmatched `)`"),
+            ("[", "unclosed `[`"),
+            ("[]", "empty class"),
+            ("[z-a]", "invalid range"),
+            (r"\q", "unknown escape"),
+            (r"a\", "trailing `\\`"),
+        ] {
+            let err = parse(pat).unwrap_err();
+            assert!(err.msg.contains(needle), "{pat}: {err}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "(".repeat(500) + "a" + &")".repeat(500);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn empty_pattern_parses() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+        assert_eq!(
+            parse("a|").unwrap(),
+            Ast::Alt(vec![Ast::Class(ByteSet::single(b'a')), Ast::Empty,])
+        );
+    }
+}

@@ -12,10 +12,17 @@ use msc_core::{ConvertMode, TimeSplitOptions};
 use msc_engine::{Compiled, Engine, Job, Provenance};
 use msc_obs::json::Json;
 use msc_obs::MetricsSnapshot;
+use msc_regex::RegexEngine;
 use msc_simd::{MachineConfig, SimdMachine};
 
 /// Hard cap on simulated PEs per `/run` request.
 pub const MAX_PES: usize = 4096;
+/// Hard cap on `/match` pattern length in bytes (413 beyond it).
+pub const MAX_PATTERN_BYTES: usize = 4096;
+/// Hard cap on `/match` shard count per request (413 beyond it).
+pub const MAX_SHARDS: usize = 256;
+/// Hard cap on `/match` scan threads (larger requests are clamped).
+pub const MAX_MATCH_THREADS: usize = 16;
 /// Hard cap on the per-request simulator cycle budget.
 pub const MAX_CYCLES: u64 = 100_000_000;
 /// Default simulated PEs when the request does not say.
@@ -278,6 +285,84 @@ pub fn metrics_response(snap: &MetricsSnapshot) -> Json {
     ])
 }
 
+/// `POST /match`: compile the pattern through the regex cache (with
+/// singleflight coalescing) and scan the shards as one concatenated
+/// input. Spans are reported per shard, relative to the shard holding the
+/// match's *start*; a span's `end` exceeds that shard's length exactly
+/// when the match crosses shard boundaries. Results are bit-identical for
+/// every `threads` value.
+pub fn find_matches(regex: &RegexEngine, body: &Json) -> Result<Json, HttpError> {
+    if body.as_obj().is_none() {
+        return Err(bad("request body must be a JSON object"));
+    }
+    let pattern = body
+        .get("pattern")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("`pattern` (string) is required"))?;
+    if pattern.len() > MAX_PATTERN_BYTES {
+        return Err(HttpError::PayloadTooLarge {
+            limit: MAX_PATTERN_BYTES,
+        });
+    }
+    let shard_values = body
+        .get("shards")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("`shards` (array of strings) is required"))?;
+    if shard_values.len() > MAX_SHARDS {
+        return Err(HttpError::PayloadTooLarge { limit: MAX_SHARDS });
+    }
+    let shards: Vec<&[u8]> = shard_values
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::as_bytes)
+                .ok_or_else(|| bad("`shards` entries must be strings"))
+        })
+        .collect::<Result<_, _>>()?;
+    let threads = match opt_u64(body, "threads")? {
+        None | Some(0) => 1,
+        Some(n) => (n as usize).min(MAX_MATCH_THREADS),
+    };
+    let (re, provenance) = regex
+        .get(pattern)
+        .map_err(|e| HttpError::Unprocessable(e.to_string()))?;
+    let matches = re.find_sharded(&shards, threads);
+    msc_obs::count("regex.requests", 1);
+    msc_obs::count("regex.matches", matches.len() as u64);
+
+    // Bucket each match into the shard containing its start, converting
+    // to shard-relative offsets. `starts` carries a total-length sentinel
+    // so partition_point addresses the final shard.
+    let mut starts = Vec::with_capacity(shards.len() + 1);
+    let mut off = 0usize;
+    for s in &shards {
+        starts.push(off);
+        off += s.len();
+    }
+    starts.push(off);
+    let mut per_shard: Vec<Vec<Json>> = shards.iter().map(|_| Vec::new()).collect();
+    for m in &matches {
+        let idx = starts.partition_point(|&s| s <= m.start).saturating_sub(1);
+        let idx = idx.min(per_shard.len().saturating_sub(1));
+        per_shard[idx].push(Json::obj(vec![
+            ("start", Json::from(m.start - starts[idx])),
+            ("end", Json::from(m.end - starts[idx])),
+        ]));
+    }
+    let shard_objs: Vec<Json> = per_shard
+        .into_iter()
+        .enumerate()
+        .map(|(i, ms)| Json::obj(vec![("index", Json::from(i)), ("matches", Json::Arr(ms))]))
+        .collect();
+    Ok(Json::obj(vec![
+        ("pattern", Json::from(pattern)),
+        ("provenance", Json::from(provenance_str(provenance))),
+        ("meta_states", Json::from(re.meta_states())),
+        ("total_matches", Json::from(matches.len())),
+        ("shards", Json::Arr(shard_objs)),
+    ]))
+}
+
 /// `GET /healthz`.
 pub fn health_response(queued: usize, draining: bool) -> Json {
     Json::obj(vec![
@@ -414,5 +499,120 @@ mod tests {
                 .as_str(),
             Some("memory")
         );
+    }
+
+    #[test]
+    fn match_returns_per_shard_relative_spans() {
+        let regex = RegexEngine::default();
+        let v = body(r#"{"pattern":"ab","shards":["xab","ab"],"threads":2}"#);
+        let out = find_matches(&regex, &v).unwrap();
+        assert_eq!(out.get("total_matches").unwrap().as_u64(), Some(2));
+        assert_eq!(out.get("provenance").unwrap().as_str(), Some("fresh"));
+        let shards = out.get("shards").and_then(Json::as_arr).unwrap();
+        let m0 = shards[0].get("matches").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            (
+                m0[0].get("start").unwrap().as_u64(),
+                m0[0].get("end").unwrap().as_u64()
+            ),
+            (Some(1), Some(3))
+        );
+        let m1 = shards[1].get("matches").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            (
+                m1[0].get("start").unwrap().as_u64(),
+                m1[0].get("end").unwrap().as_u64()
+            ),
+            (Some(0), Some(2))
+        );
+    }
+
+    #[test]
+    fn match_reports_boundary_spanning_in_the_start_shard() {
+        let regex = RegexEngine::default();
+        let v = body(r#"{"pattern":"a+","shards":["xaa","aay"]}"#);
+        let out = find_matches(&regex, &v).unwrap();
+        assert_eq!(out.get("total_matches").unwrap().as_u64(), Some(1));
+        let shards = out.get("shards").and_then(Json::as_arr).unwrap();
+        let m0 = shards[0].get("matches").and_then(Json::as_arr).unwrap();
+        // Relative to shard 0; end runs past its length (boundary span).
+        assert_eq!(
+            (
+                m0[0].get("start").unwrap().as_u64(),
+                m0[0].get("end").unwrap().as_u64()
+            ),
+            (Some(1), Some(5))
+        );
+        assert!(shards[1]
+            .get("matches")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn match_second_request_hits_the_pattern_cache() {
+        let regex = RegexEngine::default();
+        let v = body(r#"{"pattern":"a+","shards":["aa"]}"#);
+        assert_eq!(
+            find_matches(&regex, &v)
+                .unwrap()
+                .get("provenance")
+                .unwrap()
+                .as_str(),
+            Some("fresh")
+        );
+        assert_eq!(
+            find_matches(&regex, &v)
+                .unwrap()
+                .get("provenance")
+                .unwrap()
+                .as_str(),
+            Some("memory")
+        );
+    }
+
+    #[test]
+    fn match_rejects_bad_shapes() {
+        let regex = RegexEngine::default();
+        for raw in [
+            r#"[]"#,
+            r#"{}"#,
+            r#"{"pattern":7,"shards":[]}"#,
+            r#"{"pattern":"a"}"#,
+            r#"{"pattern":"a","shards":"x"}"#,
+            r#"{"pattern":"a","shards":[7]}"#,
+            r#"{"pattern":"a","shards":["x"],"threads":"two"}"#,
+        ] {
+            let v = body(raw);
+            assert!(
+                matches!(find_matches(&regex, &v), Err(HttpError::BadRequest(_))),
+                "shape {raw} must be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn match_caps_are_413_and_syntax_errors_422() {
+        let regex = RegexEngine::default();
+        let long = "a".repeat(MAX_PATTERN_BYTES + 1);
+        let v = body(&format!(r#"{{"pattern":"{long}","shards":["x"]}}"#));
+        assert!(matches!(
+            find_matches(&regex, &v),
+            Err(HttpError::PayloadTooLarge {
+                limit: MAX_PATTERN_BYTES
+            })
+        ));
+        let many = vec!["\"x\""; MAX_SHARDS + 1].join(",");
+        let v = body(&format!(r#"{{"pattern":"a","shards":[{many}]}}"#));
+        assert!(matches!(
+            find_matches(&regex, &v),
+            Err(HttpError::PayloadTooLarge { limit: MAX_SHARDS })
+        ));
+        let v = body(r#"{"pattern":"a(","shards":["x"]}"#);
+        assert!(matches!(
+            find_matches(&regex, &v),
+            Err(HttpError::Unprocessable(_))
+        ));
     }
 }

@@ -9,6 +9,7 @@
 //! | `POST /compile`  | compile one MIMDC source through the engine cache  |
 //! | `POST /run`      | compile + execute on the SIMD simulator            |
 //! | `POST /batch`    | compile a set of jobs as one engine batch          |
+//! | `POST /match`    | regex over sharded input via the meta-automaton    |
 //! | `GET /metrics`   | the aggregated [`msc_obs::Registry`] as JSON       |
 //! | `GET /healthz`   | liveness + queue depth                             |
 //!
@@ -95,6 +96,7 @@ pub struct Server;
 
 struct Shared {
     engine: Engine,
+    regex: msc_regex::RegexEngine,
     registry: Arc<Registry>,
     queue: BoundedQueue<TcpStream>,
     stop: AtomicBool,
@@ -139,6 +141,7 @@ impl Server {
                 job_timeout: opts.job_timeout,
                 ..EngineOptions::default()
             }),
+            regex: msc_regex::RegexEngine::default(),
             registry,
             queue: BoundedQueue::new(opts.queue_depth),
             stop: AtomicBool::new(false),
@@ -184,6 +187,11 @@ impl ServerHandle {
     /// The underlying engine (cache statistics, coalescing counters).
     pub fn engine(&self) -> &Engine {
         &self.shared.engine
+    }
+
+    /// The regex pattern cache behind `POST /match`.
+    pub fn regex(&self) -> &msc_regex::RegexEngine {
+        &self.shared.regex
     }
 
     /// Graceful drain: stop admitting, finish everything already
@@ -341,7 +349,7 @@ fn count_coalesced(body: &Json) {
 
 fn route(shared: &Shared, req: &Request) -> Result<Json, HttpError> {
     let known_get = matches!(req.path.as_str(), "/healthz" | "/metrics");
-    let known_post = matches!(req.path.as_str(), "/compile" | "/run" | "/batch");
+    let known_post = matches!(req.path.as_str(), "/compile" | "/run" | "/batch" | "/match");
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(api::health_response(
             shared.queue.len(),
@@ -363,6 +371,12 @@ fn route(shared: &Shared, req: &Request) -> Result<Json, HttpError> {
         ("POST", "/batch") => {
             let body = json_body(req)?;
             let resp = api::batch(&shared.engine, &body)?;
+            count_coalesced(&resp);
+            Ok(resp)
+        }
+        ("POST", "/match") => {
+            let body = json_body(req)?;
+            let resp = api::find_matches(&shared.regex, &body)?;
             count_coalesced(&resp);
             Ok(resp)
         }

@@ -244,3 +244,85 @@ fn compile_and_run_roundtrip_with_metrics() {
     );
     handle.shutdown();
 }
+
+#[test]
+fn match_hostile_inputs_are_clean_4xx_and_daemon_survives() {
+    let handle = start(|_| {});
+    let addr = handle.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let json = |s: &str| msc_obs::json::parse(s).unwrap();
+
+    // Oversized pattern: 413, not a panic.
+    let long = "a".repeat(msc_serve::api::MAX_PATTERN_BYTES + 1);
+    let resp = c
+        .post_json(
+            "/match",
+            &json(&format!(r#"{{"pattern":"{long}","shards":["x"]}}"#)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 413, "{}", resp.body);
+
+    // Oversized shard count: 413.
+    let many = vec!["\"x\""; msc_serve::api::MAX_SHARDS + 1].join(",");
+    let resp = c
+        .post_json(
+            "/match",
+            &json(&format!(r#"{{"pattern":"a","shards":[{many}]}}"#)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 413, "{}", resp.body);
+
+    // Malformed pattern: 422 with the parse error, not a panic.
+    let resp = c
+        .post_json("/match", &json(r#"{"pattern":"a(","shards":["x"]}"#))
+        .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+
+    // Pathological-but-parseable pattern that blows the meta-state cap:
+    // 422, not a hang or a panic.
+    let bomb = format!(".*a{}", ".".repeat(16));
+    let resp = c
+        .post_json(
+            "/match",
+            &json(&format!(r#"{{"pattern":"{bomb}","shards":["x"]}}"#)),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+
+    // Bad shapes: 400.
+    for raw in [
+        r#"{"shards":["x"]}"#,
+        r#"{"pattern":"a","shards":[1]}"#,
+        r#"{"pattern":"a"}"#,
+    ] {
+        let resp = c.post_json("/match", &json(raw)).unwrap();
+        assert_eq!(resp.status, 400, "shape {raw}: {}", resp.body);
+    }
+
+    // GET on /match is a 405, and the daemon still works end to end.
+    assert_eq!(c.get("/match").unwrap().status, 405);
+    let resp = c
+        .post_json(
+            "/match",
+            &json(r#"{"pattern":"ab","shards":["xa","by"],"threads":8}"#),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("total_matches").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(
+        handle.regex().compiled(),
+        1,
+        "only the good pattern compiled"
+    );
+    let metrics = c.get("/metrics").unwrap().json().unwrap();
+    let counters = metrics.get("counters").unwrap();
+    assert_eq!(
+        counters.get("regex.requests").and_then(|x| x.as_u64()),
+        Some(1),
+        "{}",
+        metrics.render()
+    );
+    assert_alive(&addr);
+    handle.shutdown();
+}
