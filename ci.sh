@@ -7,9 +7,11 @@
 #   ./ci.sh bench-smoke   additionally *run* the set benches in their
 #                         --test smoke configuration (small sizes, 2
 #                         samples) and the bench-regression gates, which
-#                         re-measure the setops speedups and the regex
-#                         throughput and fail if they regress past the
-#                         tolerances in BENCH_setops.json / BENCH_regex.json
+#                         re-measure the setops speedups, the regex
+#                         throughput, and the out-of-core explosion
+#                         conversion and fail if they regress past the
+#                         tolerances in BENCH_setops.json /
+#                         BENCH_regex.json / BENCH_explosion.json
 #   ./ci.sh serve-smoke   additionally boot the real `mscc serve` daemon
 #                         on an ephemeral port, drive every endpoint over
 #                         TCP with `loadgen --smoke` (including /match
@@ -45,8 +47,17 @@ cargo build --release --workspace
 echo "== tier-1: test =="
 cargo test -q --workspace
 
+echo "== tier-1: test again under a tiny memory budget (spill path) =="
+# 16k is far below any test workload's resident set, so every conversion
+# in the suite runs through the out-of-core arena + worklist spill and
+# must still produce bit-identical automata.
+MSC_MEMORY_BUDGET=16k cargo test -q --workspace
+
 echo "== benches compile =="
-cargo bench --workspace --no-run
+# One workspace-wide invocation instead of per-crate `cargo bench
+# --no-run` calls; the bench profile matches release (no overrides in
+# Cargo.toml), so this reuses the tier-1 build artifacts.
+cargo build --benches --release --workspace
 
 if [ "$MODE" = "bench-smoke" ]; then
     echo "== bench smoke: set_algebra --test =="
@@ -59,6 +70,8 @@ if [ "$MODE" = "bench-smoke" ]; then
     cargo run --release -p msc-bench --bin claims -- setops --check
     echo "== bench regression gate: regex --check =="
     cargo run --release -p msc-bench --bin claims -- regex --check
+    echo "== bench regression gate: explosion --check =="
+    cargo run --release -p msc-bench --bin claims -- explosion --check
 fi
 
 if [ "$MODE" = "serve-smoke" ]; then

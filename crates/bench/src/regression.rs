@@ -274,6 +274,92 @@ pub fn check_regex(
     failures
 }
 
+/// The committed out-of-core explosion baseline out of
+/// `BENCH_explosion.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplosionBaseline {
+    /// Meta states of the committed conversion (deterministic — gated
+    /// exactly).
+    pub meta_states: u64,
+    /// Committed in-RAM conversion throughput (relative gate).
+    pub in_ram_states_per_sec: f64,
+    /// Committed throughput under the spill budget (relative gate).
+    pub spilled_states_per_sec: f64,
+}
+
+/// One re-measured explosion run, shaped for [`check_explosion`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplosionMeasurement {
+    pub meta_states: u64,
+    pub in_ram_states_per_sec: f64,
+    pub spilled_states_per_sec: f64,
+    /// Bytes the spilled pass actually wrote to its segment stores.
+    pub spill_bytes: u64,
+    /// Did the spilled conversion produce a bit-identical automaton?
+    pub spill_identical: bool,
+}
+
+/// Pull the explosion baseline out of `BENCH_explosion.json` text.
+pub fn parse_explosion_baseline(json: &str) -> Option<ExplosionBaseline> {
+    Some(ExplosionBaseline {
+        meta_states: extract_number(json, "meta_states")? as u64,
+        in_ram_states_per_sec: extract_number(json, "in_ram_states_per_sec")?,
+        spilled_states_per_sec: extract_number(json, "spilled_states_per_sec")?,
+    })
+}
+
+/// Gate a re-measured explosion run against the committed baseline.
+///
+/// * **invariants** — the spilled conversion is bit-identical to the
+///   in-RAM one, actually spilled (nonzero bytes written), and reaches
+///   exactly the committed meta-state count (conversion is
+///   deterministic);
+/// * **relative throughput** — both the in-RAM and the spilled
+///   states/sec may fall at most `max_regression` below the committed
+///   values.
+pub fn check_explosion(
+    baseline: &ExplosionBaseline,
+    measured: &ExplosionMeasurement,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !measured.spill_identical {
+        failures.push("spilled conversion diverged from the in-RAM automaton".into());
+    }
+    if measured.spill_bytes == 0 {
+        failures
+            .push("spill budget produced no spilled bytes (out-of-core path not exercised)".into());
+    }
+    if measured.meta_states != baseline.meta_states {
+        failures.push(format!(
+            "conversion produced {} meta states (committed {})",
+            measured.meta_states, baseline.meta_states
+        ));
+    }
+    for (what, committed, got) in [
+        (
+            "in-RAM",
+            baseline.in_ram_states_per_sec,
+            measured.in_ram_states_per_sec,
+        ),
+        (
+            "spilled",
+            baseline.spilled_states_per_sec,
+            measured.spilled_states_per_sec,
+        ),
+    ] {
+        let floor = committed * (1.0 - max_regression);
+        if got < floor {
+            failures.push(format!(
+                "{what} conversion {got:.0} states/s fell below the {floor:.0} states/s floor \
+                 (committed {committed:.0}, tolerance {:.0}%)",
+                max_regression * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +527,72 @@ mod tests {
         assert!(failures.iter().any(|f| f.contains("spans")), "{failures:?}");
         assert!(failures.iter().any(|f| f.contains("floor")), "{failures:?}");
         assert!(failures.iter().any(|f| f.contains("t8/t1")), "{failures:?}");
+    }
+
+    const COMMITTED_EXPLOSION: &str = include_str!("../../../BENCH_explosion.json");
+
+    fn committed_explosion() -> ExplosionBaseline {
+        parse_explosion_baseline(COMMITTED_EXPLOSION).expect("parse BENCH_explosion.json")
+    }
+
+    fn honest_explosion_run(b: &ExplosionBaseline) -> ExplosionMeasurement {
+        ExplosionMeasurement {
+            meta_states: b.meta_states,
+            in_ram_states_per_sec: b.in_ram_states_per_sec,
+            spilled_states_per_sec: b.spilled_states_per_sec,
+            spill_bytes: 1 << 16,
+            spill_identical: true,
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_explosion_baseline() {
+        let b = committed_explosion();
+        assert!(b.meta_states > 1000, "{b:?}");
+        assert!(b.in_ram_states_per_sec > 0.0, "{b:?}");
+        assert!(b.spilled_states_per_sec > 0.0, "{b:?}");
+    }
+
+    #[test]
+    fn matching_explosion_run_passes() {
+        let b = committed_explosion();
+        assert!(check_explosion(&b, &honest_explosion_run(&b), 0.50).is_empty());
+    }
+
+    #[test]
+    fn doctored_explosion_baseline_fails_check() {
+        // The negative test for the CI gate: inflate the committed
+        // throughput numbers; re-measuring the honest values must fail.
+        let mut b = committed_explosion();
+        let honest = honest_explosion_run(&b);
+        b.in_ram_states_per_sec *= 4.0;
+        b.spilled_states_per_sec *= 4.0;
+        let failures = check_explosion(&b, &honest, 0.50);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().all(|f| f.contains("floor")), "{failures:?}");
+    }
+
+    #[test]
+    fn explosion_invariant_breaks_fail_check() {
+        let b = committed_explosion();
+        let mut bad = honest_explosion_run(&b);
+        bad.spill_identical = false;
+        bad.spill_bytes = 0;
+        bad.meta_states += 1;
+        let failures = check_explosion(&b, &bad, 0.50);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(
+            failures.iter().any(|f| f.contains("diverged")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("spilled bytes")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("meta states")),
+            "{failures:?}"
+        );
     }
 
     #[test]

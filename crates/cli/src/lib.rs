@@ -93,6 +93,9 @@ pub enum Command {
         queue_depth: usize,
         /// Disk cache directory.
         cache: Option<String>,
+        /// Server-side ceiling on every job's explosion guard (None =
+        /// the daemon default).
+        max_meta_states: Option<usize>,
     },
     /// `mscc fuzz`: differential fuzzing over the whole oracle matrix.
     Fuzz {
@@ -159,6 +162,13 @@ pub struct CommonOpts {
     /// Append the end-of-run metrics summary table (aggregated from the
     /// same event stream).
     pub metrics: bool,
+    /// Explosion guard override: fail conversion past this many meta
+    /// states (None = the mode's default, 2²⁰).
+    pub max_meta_states: Option<usize>,
+    /// Conversion memory budget in bytes (`k`/`m`/`g` suffixes accepted);
+    /// past it the interned-set arena and worklist spill to temp files.
+    /// None = the `MSC_MEMORY_BUDGET` env default (or never spill).
+    pub memory_budget: Option<usize>,
 }
 
 impl CommonOpts {
@@ -181,6 +191,8 @@ impl Default for CommonOpts {
             stats: false,
             trace_out: None,
             metrics: false,
+            max_meta_states: None,
+            memory_budget: None,
         }
     }
 }
@@ -206,6 +218,7 @@ USAGE:
   mscc batch <FILE>... [common flags] [engine flags]
   mscc run   <FILE>    [--pes N] [--pool N] [--compare] [--trace] [common flags]
   mscc serve           [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache DIR]
+                       [--max-meta-states N]
   mscc fuzz            [--seed N] [--cases N] [--pes N] [--max-states N] [--corpus DIR]
                        [--oracles LIST] [--serve | --serve-addr HOST:PORT] [--replay FILE]
   mscc match <PATTERN> [FILE]... [--threads N]
@@ -217,6 +230,12 @@ COMMON FLAGS:
   --optimize               peephole-optimize blocks first
   --minimize               merge bisimilar MIMD states first
   --no-csi                 disable common subexpression induction
+  --max-meta-states N      explosion guard: fail conversion past N meta
+                           states (default 1048576)
+  --memory-budget BYTES    spill cold meta-state sets and the worklist
+                           tail to temp files past BYTES resident (k/m/g
+                           suffixes; default: MSC_MEMORY_BUDGET env, else
+                           never spill)
 
 ENGINE FLAGS (build and batch):
   --jobs N                 convert frontier-parallel on N threads (0 = all cores);
@@ -232,12 +251,15 @@ SERVE FLAGS:
   --queue-depth N          admission queue depth; beyond it requests are
                            shed with 503 + Retry-After (default 64)
   --cache DIR              on-disk compile cache shared across restarts
+  --max-meta-states N      ceiling on every job's explosion guard; requests
+                           asking for more are clamped (default 1048576)
 
 FUZZ FLAGS:
   --seed N                 run seed; case k is reproducible from (seed, k) (default 1)
   --cases N                cases to generate and check (default 200)
   --pes N                  live PEs per case (default 5)
-  --max-states N           meta-state bound; oracles skip past it (default 3000)
+  --max-states N           meta-state bound; oracles skip past it (default
+                           3000; --max-meta-states is accepted as an alias)
   --corpus DIR             write minimized reproducers here on mismatch
   --oracles LIST           comma list: interp,base,compressed,timesplit,nocsi,
                            engine:N,cache,serve,regex,selftest (default: all
@@ -345,6 +367,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         opts.trace_out = Some(v.clone());
                     }
                     "--metrics" => opts.metrics = true,
+                    "--max-meta-states" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--max-meta-states needs a value".into()))?;
+                        let n: usize = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad meta-state limit `{v}`")))?;
+                        if n == 0 {
+                            return Err(CliError("--max-meta-states must be at least 1".into()));
+                        }
+                        opts.max_meta_states = Some(n);
+                    }
+                    "--memory-budget" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--memory-budget needs a byte size".into()))?;
+                        opts.memory_budget = Some(msc_core::parse_bytes(v).ok_or_else(|| {
+                            CliError(format!("bad memory budget `{v}` (try 64m, 2g, 65536)"))
+                        })?);
+                    }
                     other if !other.starts_with('-') && (cmd == "batch" || files.is_empty()) => {
                         files.push(other.to_string());
                     }
@@ -376,6 +418,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut workers = 0usize;
             let mut queue_depth = 64usize;
             let mut cache: Option<String> = None;
+            let mut max_meta_states: Option<usize> = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--addr" => {
@@ -406,6 +449,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .ok_or_else(|| CliError("--cache needs a directory".into()))?;
                         cache = Some(v.clone());
                     }
+                    "--max-meta-states" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--max-meta-states needs a value".into()))?;
+                        let n: usize = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad meta-state cap `{v}`")))?;
+                        if n == 0 {
+                            return Err(CliError("--max-meta-states must be at least 1".into()));
+                        }
+                        max_meta_states = Some(n);
+                    }
                     other => return Err(CliError(format!("unexpected argument `{other}`"))),
                 }
             }
@@ -414,6 +469,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 workers,
                 queue_depth,
                 cache,
+                max_meta_states,
             })
         }
         "fuzz" => {
@@ -444,6 +500,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--cases" => cases = num(&mut it, "--cases")?,
                     "--pes" => pes = num(&mut it, "--pes")? as usize,
                     "--max-states" => max_states = num(&mut it, "--max-states")? as usize,
+                    // Same knob under the name the other commands use.
+                    "--max-meta-states" => {
+                        max_states = num(&mut it, "--max-meta-states")? as usize;
+                    }
                     "--corpus" => {
                         corpus = Some(
                             it.next()
@@ -548,7 +608,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 }
 
 fn build_pipeline(src: &str, opts: &CommonOpts) -> Pipeline {
+    // Guard/budget overrides must come after mode(): mode() resets the
+    // conversion options to that mode's defaults.
     let mut p = Pipeline::new(src).mode(opts.mode);
+    if let Some(n) = opts.max_meta_states {
+        p = p.max_meta_states(n);
+    }
+    if let Some(b) = opts.memory_budget {
+        p = p.memory_budget(Some(b));
+    }
     if opts.time_split {
         p = p.time_split(TimeSplitOptions::default());
     }
@@ -1152,13 +1220,16 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             workers,
             queue_depth,
             cache,
+            max_meta_states,
         } => {
+            let defaults = msc_serve::ServeOptions::default();
             let handle = msc_serve::Server::start(msc_serve::ServeOptions {
                 addr: addr.clone(),
                 workers: *workers,
                 queue_depth: *queue_depth,
                 cache_dir: cache.as_ref().map(std::path::PathBuf::from),
-                ..msc_serve::ServeOptions::default()
+                max_meta_states: max_meta_states.unwrap_or(defaults.max_meta_states),
+                ..defaults
             })
             .map_err(|e| CliError(format!("cannot start daemon on {addr}: {e}")))?;
             // Announce before blocking so scripts can find the port.
@@ -1225,7 +1296,7 @@ mod tests {
     #[test]
     fn parse_serve_flags() {
         let cmd = parse_args(&args(
-            "serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 --cache /tmp/c",
+            "serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 --cache /tmp/c --max-meta-states 512",
         ))
         .unwrap();
         assert_eq!(
@@ -1235,8 +1306,10 @@ mod tests {
                 workers: 2,
                 queue_depth: 4,
                 cache: Some("/tmp/c".into()),
+                max_meta_states: Some(512),
             }
         );
+        assert!(parse_args(&args("serve --max-meta-states 0")).is_err());
         assert!(parse_args(&args("serve --workers")).is_err());
         assert!(parse_args(&args("serve extra.mimdc")).is_err());
     }
@@ -1275,6 +1348,21 @@ mod tests {
         assert!(compare);
         assert_eq!(opts.mode, ConvertMode::Compressed);
         assert!(opts.time_split && opts.optimize && opts.minimize && opts.no_csi);
+    }
+
+    #[test]
+    fn parse_guard_and_budget_flags() {
+        let cmd = parse_args(&args(
+            "build foo.mimdc --max-meta-states 4096 --memory-budget 64m",
+        ))
+        .unwrap();
+        let Command::Build { opts, .. } = cmd else {
+            panic!()
+        };
+        assert_eq!(opts.max_meta_states, Some(4096));
+        assert_eq!(opts.memory_budget, Some(64 << 20));
+        assert!(parse_args(&args("build foo.mimdc --max-meta-states 0")).is_err());
+        assert!(parse_args(&args("build foo.mimdc --memory-budget banana")).is_err());
     }
 
     #[test]
@@ -1605,7 +1693,10 @@ mod tests {
 
     #[test]
     fn batch_metrics_table_covers_cache_and_convert() {
-        let cmd = parse_args(&args("batch a.mimdc b.mimdc --jobs 2 --metrics")).unwrap();
+        // --jobs 1 keeps the two identical compiles serial: concurrent
+        // identical jobs may coalesce onto one flight instead of hitting
+        // the cache, which made this assertion racy under --jobs 2.
+        let cmd = parse_args(&args("batch a.mimdc b.mimdc --jobs 1 --metrics")).unwrap();
         let out = execute_on_source(&cmd, PROG).unwrap();
         assert!(out.contains("-- metrics --"), "{out}");
         // Identical sources: the first compile misses, the second hits.

@@ -23,11 +23,11 @@
 //!   barrier.
 
 use crate::automaton::{MetaAutomaton, MetaId};
-use crate::stateset::{fx_hash, SetArena, SetId, StateSet};
+use crate::spill::SpillQueue;
+use crate::stateset::{fx_hash, SetArena, SetId, StateSet, UnionScratch};
 use msc_ir::graph::GraphError;
 use msc_ir::util::{FxHashMap, FxHashSet};
 use msc_ir::{CostModel, MimdGraph, StateId, Terminator};
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Which successor-choice rule the subset construction uses.
@@ -85,6 +85,14 @@ pub struct ConvertOptions {
     pub max_successor_sets: usize,
     /// Widest `Multi` terminator the base mode will enumerate subsets of.
     pub max_multi_arity: usize,
+    /// Resident-memory budget in bytes for the conversion's interned-set
+    /// arena and BFS worklist. Past it, cold interned sets and the
+    /// worklist tail spill to a temp-file segment store, so a frontier
+    /// larger than RAM degrades to out-of-core operation instead of
+    /// failing — the guard above stays the hard cap on *total* states.
+    /// `None` = never spill. Defaults to the process-wide
+    /// `MSC_MEMORY_BUDGET` (bytes, `k`/`m`/`g` suffixes), when set.
+    pub memory_budget: Option<usize>,
     /// Cycle cost model used for time splitting.
     pub costs: CostModel,
 }
@@ -100,6 +108,7 @@ impl ConvertOptions {
             max_meta_states: 1 << 20,
             max_successor_sets: 1 << 16,
             max_multi_arity: 16,
+            memory_budget: crate::spill::default_memory_budget(),
             costs: CostModel::default(),
         }
     }
@@ -225,7 +234,7 @@ pub fn convert_with_stats(
         .unwrap_or(0);
 
     'restart: loop {
-        let mut arena = SetArena::new();
+        let mut arena = SetArena::with_budget(opts.memory_budget);
         let mut sets_in_order: Vec<SetId> = Vec::new();
         let mut succs: Vec<Vec<MetaId>> = Vec::new();
         // Latent barrier states per meta state: barrier waits that may hold
@@ -236,7 +245,9 @@ pub fn convert_with_stats(
         // finishing after the rest of the array reached a `wait`).
         let mut latents: Vec<StateSet> = Vec::new();
         let mut meta_of_set: Vec<Option<MetaId>> = Vec::new();
-        let mut worklist: VecDeque<MetaId> = VecDeque::new();
+        // BFS worklist; under a memory budget its cold middle spills to a
+        // temp-file segment store along with the arena's cold sets.
+        let mut worklist = SpillQueue::new(opts.memory_budget.is_some());
         // Membership flag per meta state: re-enqueue on latent widening in
         // O(1) instead of scanning the whole worklist.
         let mut in_worklist: Vec<bool> = Vec::new();
@@ -248,7 +259,7 @@ pub fn convert_with_stats(
                       succs: &mut Vec<Vec<MetaId>>,
                       latents: &mut Vec<StateSet>,
                       meta_of_set: &mut Vec<Option<MetaId>>,
-                      worklist: &mut VecDeque<MetaId>,
+                      worklist: &mut SpillQueue,
                       in_worklist: &mut Vec<bool>|
          -> MetaId {
             let sid = arena.intern(set);
@@ -263,7 +274,7 @@ pub fn convert_with_stats(
                     latents[m.idx()] = latents[m.idx()].union(&latent);
                     if !in_worklist[m.idx()] {
                         in_worklist[m.idx()] = true;
-                        worklist.push_back(m);
+                        worklist.push_back(m.0);
                     }
                 }
                 return m;
@@ -274,7 +285,7 @@ pub fn convert_with_stats(
             succs.push(Vec::new());
             latents.push(latent);
             in_worklist.push(true);
-            worklist.push_back(m);
+            worklist.push_back(m.0);
             m
         };
 
@@ -292,7 +303,7 @@ pub fn convert_with_stats(
         );
 
         let mut scratch = SuccScratch::default();
-        while let Some(m) = worklist.pop_front() {
+        while let Some(m) = worklist.pop_front().map(MetaId) {
             in_worklist[m.idx()] = false;
             msc_obs::value("convert.worklist_depth", worklist.len() as u64);
 
@@ -300,7 +311,7 @@ pub fn convert_with_stats(
             // created"; any split restarts the construction.
             if let Some(ts) = &opts.time_split {
                 let members = arena.get(sets_in_order[m.idx()]);
-                let did = time_split_meta(&mut g, members, ts, &opts.costs, &mut stats.splits);
+                let did = time_split_meta(&mut g, &members, ts, &opts.costs, &mut stats.splits);
                 if did {
                     stats.restarts += 1;
                     if stats.restarts > max_restarts {
@@ -314,7 +325,7 @@ pub fn convert_with_stats(
 
             let targets = successor_sets(
                 &g,
-                arena.get(sets_in_order[m.idx()]),
+                &arena.get(sets_in_order[m.idx()]),
                 &latents[m.idx()],
                 opts,
                 &mut stats,
@@ -348,10 +359,7 @@ pub fn convert_with_stats(
 
         let mut automaton = MetaAutomaton {
             graph: g.clone(),
-            sets: sets_in_order
-                .iter()
-                .map(|&sid| arena.get(sid).clone())
-                .collect(),
+            sets: sets_in_order.iter().map(|&sid| arena.get(sid)).collect(),
             start,
             succs,
         };
@@ -417,6 +425,9 @@ struct SuccScratch {
     dedup: FxHashMap<u64, Vec<u32>>,
     /// Memoized [`member_choices`] keyed by MIMD state id.
     choices: FxHashMap<u32, Vec<StateSet>>,
+    /// Candidate-union buffer: each DP step unions into this (hash fused
+    /// into the same pass) and only materializes genuinely new sets.
+    union: UnionScratch,
 }
 
 /// Enumerate the successor meta states of one meta state, per the paper's
@@ -438,6 +449,7 @@ fn successor_sets(
         next,
         dedup,
         choices: choices_memo,
+        union,
     } = scratch;
     // DP over members: the set of achievable partial unions.
     acc.clear();
@@ -461,11 +473,16 @@ fn successor_sets(
         dedup.clear();
         for u in acc.iter() {
             for c in choices {
-                let t = u.union(c);
-                let bucket = dedup.entry(fx_hash(&t)).or_default();
-                if !bucket.iter().any(|&i| next[i as usize] == t) {
+                // Union into the reusable scratch with the Fx hash fused
+                // into the same pass; only a genuinely new candidate pays
+                // an allocation. Hash values, bucket probe order, and
+                // insertion order are identical to the allocate-then-hash
+                // path, so the constructed automaton is bit-identical.
+                let h = u.union_into_scratch(c, union);
+                let bucket = dedup.entry(h).or_default();
+                if !bucket.iter().any(|&i| union.matches(&next[i as usize])) {
                     bucket.push(next.len() as u32);
-                    next.push(t);
+                    next.push(union.materialize());
                 }
             }
             if next.len() > opts.max_successor_sets {
@@ -869,6 +886,33 @@ mod tests {
     }
 
     #[test]
+    fn spill_budget_conversion_is_bit_identical() {
+        // A fan-out to n independent self-loops (the 3ⁿ frontier shape),
+        // converted once in RAM and once under a budget tiny enough to
+        // force both the arena and the worklist out of core: the automata
+        // must be identical, byte for byte.
+        let mut g = MimdGraph::new();
+        let end = g.add(MimdState::new(vec![], Terminator::Halt));
+        let loops: Vec<StateId> = (0..6)
+            .map(|i| g.add(MimdState::new(vec![Op::Push(i)], Terminator::Halt)))
+            .collect();
+        for &l in &loops {
+            g.state_mut(l).term = Terminator::Branch { t: l, f: end };
+        }
+        let root = g.add(MimdState::new(vec![], Terminator::Multi(loops)));
+        g.start = root;
+        let mut opts = ConvertOptions::base();
+        opts.memory_budget = None;
+        let plain = convert(&g, &opts).unwrap();
+        opts.memory_budget = Some(512);
+        let spilled = convert(&g, &opts).unwrap();
+        assert!(plain.len() > 50, "workload must be non-trivial");
+        assert_eq!(plain.sets, spilled.sets);
+        assert_eq!(plain.succs, spilled.succs);
+        assert_eq!(plain.start, spilled.start);
+    }
+
+    #[test]
     fn time_split_balances_five_vs_hundred() {
         // §2.4's motivating example: a 5-cycle and a 100-cycle state merged
         // into one meta state. cost(Push)=1 per default model.
@@ -1030,6 +1074,26 @@ mod proptests {
                         );
                     }
                 }
+            }
+        }
+
+        /// Spilling never changes the result: conversion under a tiny
+        /// memory budget is bit-identical to the in-RAM conversion.
+        #[test]
+        fn spilled_conversion_bit_identical(g in arb_graph()) {
+            let mut opts = ConvertOptions::base();
+            opts.max_meta_states = 4096;
+            opts.memory_budget = None;
+            let mut sopts = opts.clone();
+            sopts.memory_budget = Some(256);
+            match (convert(&g, &opts), convert(&g, &sopts)) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.sets, y.sets);
+                    prop_assert_eq!(x.succs, y.succs);
+                    prop_assert_eq!(x.start, y.start);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(format!("{a}"), format!("{b}")),
+                _ => return Err(TestCaseError::fail(String::from("spill changed the outcome"))),
             }
         }
 

@@ -16,6 +16,7 @@
 
 pub mod automaton;
 pub mod convert;
+pub mod spill;
 pub mod stateset;
 pub mod subsume;
 
@@ -24,4 +25,5 @@ pub use convert::{
     apply_barrier, barrier_sync, convert, convert_with_stats, expand_frontier, ConvertError,
     ConvertMode, ConvertOptions, ConvertStats, TimeSplitOptions,
 };
-pub use stateset::{fx_hash, SetArena, SetId, StateSet};
+pub use spill::{default_memory_budget, parse_bytes, SegmentStore, SpillQueue};
+pub use stateset::{fx_hash, SetArena, SetId, StateSet, UnionScratch};

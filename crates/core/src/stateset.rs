@@ -29,8 +29,10 @@
 //! with time splitting (§2.4) growing the MIMD state id space dynamically:
 //! ids grow by appending states, so the word vector grows at the tail.
 
+use crate::spill::{default_memory_budget, SegmentStore};
 use msc_ir::util::{FxHashMap, FxHasher};
 use msc_ir::StateId;
+use msc_simd::setops;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -215,14 +217,10 @@ impl StateSet {
             }
             (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
                 let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
-                let mut words = long.clone();
-                let mut len = 0u32;
-                for (w, &s) in words.iter_mut().zip(short.iter()) {
-                    *w |= s;
-                }
-                for w in &words {
-                    len += w.count_ones();
-                }
+                // One fused SIMD pass: OR + popcount straight into a fresh
+                // exactly-sized vector (no clone-then-recount).
+                let mut words = Vec::new();
+                let len = setops::union_count(long, short, &mut words);
                 // A union with a bitset operand has > SMALL_MAX members.
                 StateSet(Repr::Bits { len, words })
             }
@@ -307,14 +305,8 @@ impl StateSet {
                 StateSet(from_sorted(&out[..n]))
             }
             (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
-                let mut words = a.clone();
-                let mut len = 0u32;
-                for (w, &s) in words.iter_mut().zip(b.iter()) {
-                    *w &= !s;
-                }
-                for w in &words {
-                    len += w.count_ones();
-                }
+                let mut words = Vec::new();
+                let len = setops::andnot_count(a, b, &mut words);
                 StateSet(normalize_bits(len, words))
             }
             (Repr::Bits { words, .. }, Repr::Small { buf, len: lb }) => {
@@ -325,7 +317,7 @@ impl StateSet {
                         words[wi] &= !(1u64 << (x & 63));
                     }
                 }
-                let len = words.iter().map(|w| w.count_ones()).sum();
+                let len = setops::popcount(&words);
                 StateSet(normalize_bits(len, words))
             }
         }
@@ -377,7 +369,7 @@ impl StateSet {
             (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
                 // Trailing words are trimmed, so extra words of `a` would
                 // hold members `b` lacks.
-                a.len() <= b.len() && a.iter().zip(b.iter()).all(|(&x, &y)| x & !y == 0)
+                a.len() <= b.len() && setops::subset_of(a, b)
             }
             // A bitset has > SMALL_MAX members; the length check above
             // already rejected it against any Small set.
@@ -388,6 +380,205 @@ impl StateSet {
     /// True when `self ⊂ other` strictly.
     pub fn is_strict_subset(&self, other: &StateSet) -> bool {
         self.len() < other.len() && self.is_subset(other)
+    }
+
+    /// Append this set's bitset words (trailing zeros trimmed) to `out`,
+    /// returning how many words were written. Small sets expand into bit
+    /// words here; the output is what a `Bits` representation of the same
+    /// members would hold, so slices from different sets are directly
+    /// comparable by the word-parallel kernels (e.g.
+    /// [`setops::subset_of_many`]).
+    pub fn append_bit_words(&self, out: &mut Vec<u64>) -> usize {
+        match &self.0 {
+            Repr::Small { buf, len } => {
+                let start = out.len();
+                for &m in &buf[..*len as usize] {
+                    let w = (m >> 6) as usize;
+                    while out.len() - start <= w {
+                        out.push(0);
+                    }
+                    out[start + w] |= 1u64 << (m & 63);
+                }
+                out.len() - start
+            }
+            Repr::Bits { words, .. } => {
+                out.extend_from_slice(words);
+                words.len()
+            }
+        }
+    }
+
+    /// Union into a reusable scratch buffer, fusing the Fx hash of the
+    /// result into the same pass — the allocation-free primitive the
+    /// converter's 3ⁿ candidate enumeration runs on. Returns exactly what
+    /// [`fx_hash`] of the materialized union would return, so a caller can
+    /// dedup candidates by `(hash, `[`UnionScratch::matches`]`)` and only
+    /// pay an allocation ([`UnionScratch::materialize`]) for sets that are
+    /// genuinely new.
+    pub fn union_into_scratch(&self, other: &StateSet, s: &mut UnionScratch) -> u64 {
+        match (&self.0, &other.0) {
+            (Repr::Small { buf: a, len: la }, Repr::Small { buf: b, len: lb }) => {
+                let (a, b) = (&a[..*la as usize], &b[..*lb as usize]);
+                let (mut i, mut j, mut n) = (0, 0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        Ordering::Less => {
+                            s.small[n] = a[i];
+                            i += 1;
+                        }
+                        Ordering::Greater => {
+                            s.small[n] = b[j];
+                            j += 1;
+                        }
+                        Ordering::Equal => {
+                            s.small[n] = a[i];
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                    n += 1;
+                }
+                while i < a.len() {
+                    s.small[n] = a[i];
+                    i += 1;
+                    n += 1;
+                }
+                while j < b.len() {
+                    s.small[n] = b[j];
+                    j += 1;
+                    n += 1;
+                }
+                s.small_len = n;
+                s.len = n as u32;
+                if n <= SMALL_MAX {
+                    s.is_small = true;
+                    let g = |k: usize| if k < n { s.small[k] as u64 } else { 0 };
+                    let mut h = FxHasher::default();
+                    h.write_u64(g(0) | g(1) << 32);
+                    h.write_u64(g(2) | g(3) << 32);
+                    h.write_u8(n as u8);
+                    s.hash = h.finish();
+                } else {
+                    s.is_small = false;
+                    let nw = (s.small[n - 1] as usize >> 6) + 1;
+                    s.words.clear();
+                    s.words.resize(nw, 0);
+                    for &x in &s.small[..n] {
+                        s.words[(x >> 6) as usize] |= 1u64 << (x & 63);
+                    }
+                    s.hash = hash_bits_words(&s.words, s.len);
+                }
+            }
+            (Repr::Bits { words: a, .. }, Repr::Bits { words: b, .. }) => {
+                let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+                let mut h = FxHasher::default();
+                s.len = setops::union_count_hash(long, short, &mut s.words, &mut h);
+                h.write_u32(s.len);
+                s.is_small = false;
+                s.hash = h.finish();
+            }
+            (Repr::Small { buf, len }, Repr::Bits { .. })
+            | (Repr::Bits { .. }, Repr::Small { buf, len }) => {
+                let (bits, small) = if matches!(self.0, Repr::Bits { .. }) {
+                    (self, &buf[..*len as usize])
+                } else {
+                    (other, &buf[..*len as usize])
+                };
+                let Repr::Bits {
+                    len: blen,
+                    words: bwords,
+                } = &bits.0
+                else {
+                    unreachable!("selected the Bits operand");
+                };
+                s.words.clear();
+                s.words.extend_from_slice(bwords);
+                s.len = *blen;
+                for &x in small {
+                    let wi = (x >> 6) as usize;
+                    if wi >= s.words.len() {
+                        s.words.resize(wi + 1, 0);
+                    }
+                    let bit = 1u64 << (x & 63);
+                    if s.words[wi] & bit == 0 {
+                        s.words[wi] |= bit;
+                        s.len += 1;
+                    }
+                }
+                s.is_small = false;
+                s.hash = hash_bits_words(&s.words, s.len);
+            }
+        }
+        s.hash
+    }
+}
+
+/// The Fx hash the [`Hash`] impl produces for a `Bits` set with these
+/// words and member count.
+fn hash_bits_words(words: &[u64], len: u32) -> u64 {
+    let mut h = FxHasher::default();
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.write_u32(len);
+    h.finish()
+}
+
+/// Reusable result buffer for [`StateSet::union_into_scratch`]: holds one
+/// candidate union (inline members or bitset words) without owning an
+/// allocation per candidate.
+#[derive(Debug, Default)]
+pub struct UnionScratch {
+    /// Bitset words of the candidate (when `!is_small`), trailing word
+    /// non-zero (canonical).
+    words: Vec<u64>,
+    /// Merged members (sorted) while the candidate still fits inline.
+    small: [u32; 2 * SMALL_MAX],
+    small_len: usize,
+    len: u32,
+    is_small: bool,
+    hash: u64,
+}
+
+impl UnionScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Member count of the held candidate.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the held candidate is the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Structural equality between the held candidate and a materialized
+    /// set — used to resolve hash-bucket collisions without allocating.
+    pub fn matches(&self, set: &StateSet) -> bool {
+        match (&set.0, self.is_small) {
+            (Repr::Small { buf, len }, true) => {
+                *len as usize == self.small_len
+                    && buf[..self.small_len] == self.small[..self.small_len]
+            }
+            (Repr::Bits { len, words }, false) => *len == self.len && words[..] == self.words[..],
+            _ => false,
+        }
+    }
+
+    /// Allocate the held candidate as an owned, canonical [`StateSet`].
+    pub fn materialize(&self) -> StateSet {
+        if self.is_small {
+            StateSet(from_sorted(&self.small[..self.small_len]))
+        } else {
+            StateSet(Repr::Bits {
+                len: self.len,
+                words: self.words.clone(),
+            })
+        }
     }
 }
 
@@ -503,48 +694,259 @@ impl SetId {
 
 /// Interning arena: each distinct [`StateSet`] is stored exactly once.
 ///
-/// The lookup side maps the set's Fx hash to the (almost always one)
-/// interned ids with that hash and compares against the slab, so a lookup
-/// hit allocates nothing and a miss *moves* the set into the slab instead
-/// of cloning it.
-#[derive(Debug, Default, Clone)]
+/// Sets live in a struct-of-arrays bump arena — per-set `(len, span)`
+/// descriptors over one contiguous `words: Vec<u64>` block — instead of a
+/// `Vec<StateSet>` with a heap allocation per bitset. Inline ("small") sets
+/// pack their members into two words using the same packing the `Hash`
+/// impl hashes, so every set has exactly one encoded form.
+///
+/// When a memory `budget` is set (explicitly via [`SetArena::with_budget`]
+/// or process-wide via `MSC_MEMORY_BUDGET`), the arena spills its *cold
+/// prefix* — sets are appended in discovery order and the subset
+/// construction mostly probes recent sets — to an unlinked-on-drop
+/// [`SegmentStore`] temp file once resident words exceed the budget.
+/// Because eviction only ever moves a contiguous prefix, a logical word
+/// offset maps to a stable file byte offset (`off * 8`) forever. Spill
+/// *write* failures degrade back to in-RAM operation (the budget is
+/// dropped, never the data); reload failures panic, since the words exist
+/// nowhere else.
+#[derive(Debug, Default)]
 pub struct SetArena {
-    sets: Vec<StateSet>,
+    /// Per-set member count.
+    lens: Vec<u32>,
+    /// Per-set `(logical word offset, word count)` into the arena stream.
+    spans: Vec<(u64, u32)>,
+    /// Resident suffix of the arena word stream.
+    words: Vec<u64>,
+    /// Logical word offset of `words[0]`; everything below it is spilled.
+    base: u64,
+    /// Index of the first set whose span is resident.
+    first_resident: usize,
+    store: Option<SegmentStore>,
+    budget: Option<usize>,
     lookup: FxHashMap<u64, Vec<SetId>>,
+    /// Peak resident words bytes, for `convert.arena_high_water`.
+    high_water: u64,
+    /// Reload buffer for spilled spans (`get`/`intern` on a cold set).
+    reload: Vec<u64>,
 }
 
 impl SetArena {
-    /// An empty arena.
+    /// An empty arena, honoring the process-wide `MSC_MEMORY_BUDGET` spill
+    /// budget when set.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_budget(default_memory_budget())
+    }
+
+    /// An empty arena with an explicit resident-words budget in bytes
+    /// (`None` = never spill).
+    pub fn with_budget(budget: Option<usize>) -> Self {
+        SetArena {
+            budget,
+            ..SetArena::default()
+        }
+    }
+
+    /// Encode a set's arena words: dense bitset words for `Bits`, the two
+    /// hash-packing words for non-empty `Small`, nothing for the empty set.
+    fn encode<'a>(set: &'a StateSet, inline: &'a mut [u64; 2]) -> &'a [u64] {
+        match &set.0 {
+            Repr::Small { len: 0, .. } => &[],
+            Repr::Small { buf, .. } => {
+                inline[0] = (buf[0] as u64) | (buf[1] as u64) << 32;
+                inline[1] = (buf[2] as u64) | (buf[3] as u64) << 32;
+                &inline[..]
+            }
+            Repr::Bits { words, .. } => words,
+        }
+    }
+
+    /// Decode arena words back into a canonical [`StateSet`].
+    fn decode(len: u32, words: &[u64]) -> StateSet {
+        if len == 0 {
+            return StateSet::empty();
+        }
+        if len as usize <= SMALL_MAX {
+            let buf = [
+                words[0] as u32,
+                (words[0] >> 32) as u32,
+                words[1] as u32,
+                (words[1] >> 32) as u32,
+            ];
+            StateSet(Repr::Small {
+                buf,
+                len: len as u8,
+            })
+        } else {
+            StateSet(Repr::Bits {
+                len,
+                words: words.to_vec(),
+            })
+        }
     }
 
     /// Intern a set, returning its stable handle.
     pub fn intern(&mut self, set: StateSet) -> SetId {
         let hash = fx_hash(&set);
-        let bucket = self.lookup.entry(hash).or_default();
-        if let Some(&id) = bucket.iter().find(|id| self.sets[id.idx()] == set) {
-            return id;
+        let mut inline = [0u64; 2];
+        let len = set.len() as u32;
+        // Probe the hash bucket by index (not iterator) so a cold candidate
+        // can be reloaded mid-scan without holding a borrow of `lookup`.
+        let bucket_len = self.lookup.get(&hash).map_or(0, |b| b.len());
+        for k in 0..bucket_len {
+            let id = self.lookup[&hash][k];
+            let enc = Self::encode(&set, &mut inline);
+            if self.words_match(id, len, enc) {
+                return id;
+            }
         }
-        let id = SetId(self.sets.len() as u32);
-        self.sets.push(set);
-        bucket.push(id);
+        let enc = Self::encode(&set, &mut inline);
+        let id = SetId(self.lens.len() as u32);
+        let off = self.base + self.words.len() as u64;
+        self.words.extend_from_slice(enc);
+        self.spans.push((off, enc.len() as u32));
+        self.lens.push(len);
+        self.lookup.entry(hash).or_default().push(id);
+        let resident = (self.words.len() * 8) as u64;
+        if resident > self.high_water {
+            self.high_water = resident;
+            msc_obs::value("convert.arena_high_water", resident);
+        }
+        self.maybe_evict();
         id
     }
 
-    /// Borrow a set by handle.
-    pub fn get(&self, id: SetId) -> &StateSet {
-        &self.sets[id.idx()]
+    /// True when set `id`'s stored words equal `enc` (with member count
+    /// `len`), reloading from the segment store if the span is cold.
+    fn words_match(&mut self, id: SetId, len: u32, enc: &[u64]) -> bool {
+        if self.lens[id.idx()] != len {
+            return false;
+        }
+        let (off, nw) = self.spans[id.idx()];
+        if nw as usize != enc.len() {
+            return false;
+        }
+        if nw == 0 {
+            return true;
+        }
+        if off >= self.base {
+            let s = (off - self.base) as usize;
+            self.words[s..s + nw as usize] == *enc
+        } else {
+            self.reload_span(off, nw);
+            self.reload[..nw as usize] == *enc
+        }
+    }
+
+    /// Fill `self.reload` with a spilled span's words.
+    fn reload_span(&mut self, off: u64, nw: u32) {
+        self.reload.clear();
+        self.reload.resize(nw as usize, 0);
+        self.store
+            .as_mut()
+            .expect("spilled span without a segment store")
+            .read_words(off * 8, &mut self.reload)
+            .expect("spilled meta-state words must be readable");
+        msc_obs::count("engine.spill_reload", 1);
+    }
+
+    /// Spill the cold prefix of the arena when resident words exceed the
+    /// budget, keeping roughly half the budget resident (hysteresis so a
+    /// stream of interns doesn't trigger a file write each time).
+    fn maybe_evict(&mut self) {
+        let Some(budget) = self.budget else { return };
+        if self.words.len() * 8 <= budget {
+            return;
+        }
+        let keep_words = budget / 2 / 8;
+        let target_cut = self.words.len().saturating_sub(keep_words);
+        // Advance to the first span boundary at or past the target; only
+        // whole spans move so file offsets stay stable.
+        let mut j = self.first_resident;
+        while j < self.spans.len() && ((self.spans[j].0 - self.base) as usize) < target_cut {
+            j += 1;
+        }
+        let cut = if j < self.spans.len() {
+            (self.spans[j].0 - self.base) as usize
+        } else {
+            self.words.len()
+        };
+        if cut == 0 {
+            return;
+        }
+        let store = match &mut self.store {
+            Some(s) => s,
+            None => match SegmentStore::create("arena") {
+                Ok(s) => self.store.insert(s),
+                Err(_) => {
+                    // Can't create the spill file: degrade to in-RAM.
+                    self.budget = None;
+                    return;
+                }
+            },
+        };
+        debug_assert_eq!(store.len(), self.base * 8, "store is the spilled prefix");
+        match store.append_words(&self.words[..cut]) {
+            Ok(_) => {
+                msc_obs::count("convert.spill_bytes", (cut * 8) as u64);
+                self.words.copy_within(cut.., 0);
+                let kept = self.words.len() - cut;
+                self.words.truncate(kept);
+                self.base += cut as u64;
+                self.first_resident = j;
+            }
+            Err(_) => {
+                // Spill write failed: keep everything resident instead.
+                self.budget = None;
+            }
+        }
+    }
+
+    /// Materialize a set by handle. Takes `&mut self` because a cold
+    /// (spilled) set is staged through the reload buffer.
+    pub fn get(&mut self, id: SetId) -> StateSet {
+        let len = self.lens[id.idx()];
+        let (off, nw) = self.spans[id.idx()];
+        if len == 0 {
+            return StateSet::empty();
+        }
+        if off >= self.base {
+            let s = (off - self.base) as usize;
+            Self::decode(len, &self.words[s..s + nw as usize])
+        } else {
+            self.reload_span(off, nw);
+            Self::decode(len, &self.reload[..nw as usize])
+        }
+    }
+
+    /// Member count of set `id` without materializing it.
+    pub fn len_of(&self, id: SetId) -> usize {
+        self.lens[id.idx()] as usize
     }
 
     /// Number of distinct sets interned.
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.lens.len()
     }
 
     /// True when nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.lens.is_empty()
+    }
+
+    /// Bytes of set words currently resident in RAM.
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Bytes of set words spilled to the segment store so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.base * 8
+    }
+
+    /// Peak resident bytes over the arena's lifetime.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water
     }
 }
 
@@ -673,6 +1075,91 @@ mod tests {
         assert_eq!(arena.len(), 2);
         assert_eq!(arena.get(a).to_vec(), &[1, 2]);
     }
+
+    #[test]
+    fn shrink_to_inline_at_exactly_small_max() {
+        // A 5-member Bits set losing one member lands exactly on SMALL_MAX
+        // and must normalize back to the inline representation.
+        let five = set(&[1, 2, 3, 4, 100]);
+        let four = five.difference(&set(&[100]));
+        let direct = set(&[1, 2, 3, 4]);
+        assert_eq!(four.to_vec(), &[1, 2, 3, 4]);
+        assert_eq!(four, direct);
+        assert_eq!(fx_hash(&four), fx_hash(&direct));
+    }
+
+    #[test]
+    fn trailing_zero_words_are_trimmed() {
+        // Dropping the high member leaves 5 members (still Bits) but must
+        // trim the now-zero high words so equal sets share words and hash.
+        let wide = set(&[0, 1, 2, 3, 4, 700]);
+        let low = wide.difference(&set(&[700]));
+        let direct = set(&[0, 1, 2, 3, 4]);
+        assert_eq!(low, direct);
+        assert_eq!(fx_hash(&low), fx_hash(&direct));
+    }
+
+    #[test]
+    fn empty_set_canonical_form() {
+        let drained = set(&[9, 80, 300]).difference(&set(&[300, 9, 80]));
+        assert!(drained.is_empty());
+        assert_eq!(drained, StateSet::empty());
+        assert_eq!(fx_hash(&drained), fx_hash(&StateSet::empty()));
+        assert_eq!(drained.to_vec(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn union_into_scratch_matches_union_and_hash() {
+        let cases = [
+            (set(&[]), set(&[])),
+            (set(&[1, 2]), set(&[2, 3])),
+            (set(&[1, 2, 3]), set(&[4, 5])), // small+small spills to bits
+            (set(&[1, 2, 3, 4, 100]), set(&[7])), // bits + small
+            (set(&[5]), set(&[1, 2, 3, 4, 200])), // small + bits
+            (set(&[0, 64, 128]), set(&[1, 2, 3, 4, 5, 300])), // bits + bits
+        ];
+        let mut s = UnionScratch::new();
+        for (a, b) in &cases {
+            let expect = a.union(b);
+            let h = a.union_into_scratch(b, &mut s);
+            assert_eq!(h, fx_hash(&expect), "fused hash for {a} ∪ {b}");
+            assert!(s.matches(&expect));
+            assert_eq!(s.materialize(), expect);
+            assert_eq!(s.len(), expect.len());
+        }
+    }
+
+    #[test]
+    fn arena_spills_under_budget_and_stays_equivalent() {
+        // A tiny-budget arena must hand out the same ids and materialize
+        // the same sets as a budget-free one, even once its cold prefix
+        // lives on disk — including hash-bucket hits through the reload
+        // path when an already-spilled set is re-interned.
+        let mk = |i: u32| StateSet::from_iter((0..20).map(move |k| StateId(i * 7 + k * 13)));
+        let mut sets: Vec<StateSet> = Vec::new();
+        for i in 0..48u32 {
+            sets.push(mk(i));
+            sets.push(StateSet::from_iter([StateId(i)]));
+        }
+        sets.push(StateSet::empty());
+        let mut plain = SetArena::with_budget(None);
+        let mut tiny = SetArena::with_budget(Some(256));
+        for s in &sets {
+            assert_eq!(plain.intern(s.clone()), tiny.intern(s.clone()));
+        }
+        assert!(tiny.spilled_bytes() > 0, "tiny budget must actually spill");
+        assert_eq!(plain.spilled_bytes(), 0);
+        assert!(tiny.high_water_bytes() > 0);
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(tiny.intern(s.clone()), SetId(i as u32), "re-intern hits");
+        }
+        for (i, s) in sets.iter().enumerate() {
+            let id = SetId(i as u32);
+            assert_eq!(plain.get(id), tiny.get(id));
+            assert_eq!(&tiny.get(id), s);
+            assert_eq!(tiny.len_of(id), s.len());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -765,6 +1252,38 @@ mod proptests {
                 for (j, b) in sets.iter().enumerate() {
                     prop_assert_eq!(ids[i] == ids[j], a == b);
                 }
+            }
+        }
+
+        /// The fused scratch union returns exactly `fx_hash(a ∪ b)` and a
+        /// candidate that matches/materializes to the allocated union.
+        #[test]
+        fn scratch_union_matches_union(
+            va in prop::collection::vec(0u32..300, 0..20),
+            vb in prop::collection::vec(0u32..300, 0..20),
+        ) {
+            let a = StateSet::from_iter(va.into_iter().map(StateId));
+            let b = StateSet::from_iter(vb.into_iter().map(StateId));
+            let mut s = UnionScratch::new();
+            let h = a.union_into_scratch(&b, &mut s);
+            let expect = a.union(&b);
+            prop_assert_eq!(h, fx_hash(&expect));
+            prop_assert!(s.matches(&expect));
+            prop_assert_eq!(s.materialize(), expect.clone());
+            prop_assert_eq!(s.len(), expect.len());
+        }
+
+        /// An arena forced to spill behaves identically to an in-RAM one.
+        #[test]
+        fn spilled_arena_matches_resident_arena(sets in prop::collection::vec(arb_set(), 1..24)) {
+            let mut plain = SetArena::with_budget(None);
+            let mut tiny = SetArena::with_budget(Some(64));
+            for s in &sets {
+                prop_assert_eq!(plain.intern(s.clone()), tiny.intern(s.clone()));
+            }
+            for i in 0..plain.len() {
+                let id = SetId(i as u32);
+                prop_assert_eq!(plain.get(id), tiny.get(id));
             }
         }
     }

@@ -14,6 +14,7 @@
 
 use crate::automaton::{MetaAutomaton, MetaId};
 use msc_ir::util::FxHashSet;
+use msc_simd::setops;
 
 /// Fold strict-subset meta states into supersets. Returns the number of
 /// meta states removed. The automaton is rebuilt with dense ids; the start
@@ -23,8 +24,10 @@ use msc_ir::util::FxHashSet;
 /// set contains it): any superset of meta `i` must appear on the
 /// occurrence list of *every* member of `i`, so it suffices to scan the
 /// shortest such list — the one of `i`'s rarest member — instead of all n
-/// metas. Combined with the word-wise `is_strict_subset`, this takes the
-/// pass from O(n² · width) to roughly O(n · rarest-occurrence · words).
+/// metas. The surviving candidates are checked in one batched
+/// [`setops::subset_of_many`] call over an SoA snapshot of every set's bit
+/// words, taking the pass from O(n² · width) pointer-chasing to roughly
+/// O(n · rarest-occurrence · words) streamed through the SIMD kernels.
 pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
     let n = auto.sets.len();
     if n == 0 {
@@ -55,31 +58,44 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
         }
     }
 
+    // SoA snapshot of every fold-eligible set's bit words: one contiguous
+    // arena the batched subset kernel streams through, instead of chasing
+    // per-set allocations pair by pair.
+    let mut arena: Vec<u64> = Vec::new();
+    let mut spans: Vec<(u32, u32)> = vec![(0, 0); n];
+    let mut set_len: Vec<usize> = vec![0; n];
+    for (i, s) in auto.sets.iter().enumerate() {
+        set_len[i] = s.len();
+        if barrier_only[i] {
+            continue;
+        }
+        let off = arena.len() as u32;
+        let nw = s.append_bit_words(&mut arena) as u32;
+        spans[i] = (off, nw);
+    }
+
     // For determinism, fold each subset into the *largest* superset
     // (ties broken by lowest id). The winner is a unique argmax over
     // (len, Reverse(id)), so the candidate scan order is irrelevant.
     let mut remap: Vec<MetaId> = (0..n as u32).map(MetaId).collect();
-    let order: Vec<usize> = (0..n).collect();
     let mut candidate_scans = 0u64;
+    let mut cand_ids: Vec<u32> = Vec::new();
+    let mut cand_spans: Vec<(u32, u32)> = Vec::new();
+    let mut hits: Vec<u32> = Vec::new();
 
     for i in 0..n {
         if barrier_only[i] {
             continue;
         }
-        let mut best: Option<usize> = None;
-        let consider = |j: usize, best: &mut Option<usize>| {
-            if j == i || barrier_only[j] || !auto.sets[i].is_strict_subset(&auto.sets[j]) {
-                return;
-            }
-            let better = match *best {
-                None => true,
-                Some(b) => {
-                    (auto.sets[j].len(), std::cmp::Reverse(j))
-                        > (auto.sets[b].len(), std::cmp::Reverse(b))
-                }
-            };
-            if better {
-                *best = Some(j);
+        cand_ids.clear();
+        cand_spans.clear();
+        hits.clear();
+        // Strictness is a pure length check, so it prunes candidates
+        // before the word scan: only longer sets can strictly contain `i`.
+        let mut push_cand = |j: u32| {
+            if set_len[j as usize] > set_len[i] {
+                cand_ids.push(j);
+                cand_spans.push(spans[j as usize]);
             }
         };
         let rarest = auto.sets[i]
@@ -89,18 +105,27 @@ pub fn subsume(auto: &mut MetaAutomaton) -> u32 {
             Some(m) => {
                 candidate_scans += containing[m.idx()].len() as u64;
                 for &j in &containing[m.idx()] {
-                    consider(j as usize, &mut best);
+                    push_cand(j);
                 }
             }
             // The empty set is a strict subset of everything; fall back to
             // a full scan.
             None => {
-                candidate_scans += order.len() as u64;
-                for &j in &order {
-                    consider(j, &mut best);
+                candidate_scans += n as u64;
+                for j in 0..n as u32 {
+                    if !barrier_only[j as usize] {
+                        push_cand(j);
+                    }
                 }
             }
         }
+        let (off, nw) = spans[i];
+        let a = &arena[off as usize..(off + nw) as usize];
+        setops::subset_of_many(a, &arena, &cand_spans, &mut hits);
+        let best = hits
+            .iter()
+            .map(|&h| cand_ids[h as usize] as usize)
+            .max_by_key(|&j| (set_len[j], std::cmp::Reverse(j)));
         if let Some(j) = best {
             remap[i] = MetaId(j as u32);
         }

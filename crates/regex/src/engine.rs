@@ -25,6 +25,7 @@ struct Lru {
 /// The compiled-pattern cache.
 pub struct RegexEngine {
     capacity: usize,
+    max_meta_states: usize,
     lru: Mutex<Lru>,
     flights: Singleflight<CacheKey, Arc<Regex>>,
     compiled: AtomicU64,
@@ -41,10 +42,19 @@ impl Default for RegexEngine {
 impl RegexEngine {
     /// Engine with room for `capacity` compiled patterns (0 disables
     /// caching — every request compiles, though concurrent identical
-    /// requests still coalesce).
+    /// requests still coalesce) and the default
+    /// [`crate::MAX_META_STATES`] complexity cap.
     pub fn new(capacity: usize) -> Self {
+        Self::with_limits(capacity, crate::MAX_META_STATES)
+    }
+
+    /// Engine with an explicit meta-state complexity cap: patterns whose
+    /// subset construction exceeds `max_meta_states` states are rejected
+    /// as too complex (0 acts as 1).
+    pub fn with_limits(capacity: usize, max_meta_states: usize) -> Self {
         RegexEngine {
             capacity,
+            max_meta_states,
             lru: Mutex::new(Lru {
                 map: HashMap::new(),
                 tick: 0,
@@ -120,7 +130,7 @@ impl RegexEngine {
             }
             Flight::Lead(leader) => leader,
         };
-        let result = Regex::new(pattern).map(Arc::new);
+        let result = Regex::with_limit(pattern, self.max_meta_states).map(Arc::new);
         match &result {
             Ok(regex) => {
                 // Insert before the leader guard retires the flight entry
@@ -171,6 +181,16 @@ mod tests {
         eng.get("c").unwrap(); // evicts `b`
         assert_eq!(eng.get("a").unwrap().1, Provenance::Memory);
         assert_eq!(eng.get("b").unwrap().1, Provenance::Fresh);
+    }
+
+    #[test]
+    fn engine_meta_state_cap_is_configurable() {
+        let strict = RegexEngine::with_limits(4, 2);
+        let e = strict.get("abcde").unwrap_err();
+        assert!(matches!(e, RegexError::TooComplex { limit: 2 }));
+        assert_eq!(strict.compiled(), 0, "rejected patterns are not cached");
+        let lax = RegexEngine::with_limits(4, 64);
+        assert!(lax.get("abcde").is_ok());
     }
 
     #[test]

@@ -91,11 +91,19 @@ pub struct Regex {
 }
 
 impl Regex {
-    /// Parse and compile a pattern.
+    /// Parse and compile a pattern with the default [`MAX_META_STATES`]
+    /// meta-state cap.
     pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        Self::with_limit(pattern, MAX_META_STATES)
+    }
+
+    /// Parse and compile a pattern, rejecting it as too complex once the
+    /// subset construction exceeds `limit` meta states (0 acts as 1).
+    pub fn with_limit(pattern: &str, limit: usize) -> Result<Regex, RegexError> {
         let ast = parser::parse(pattern).map_err(RegexError::Parse)?;
         let nfa = nfa::build(&ast).map_err(|e| RegexError::TooComplex { limit: e.limit })?;
-        let dfa = meta::compile(&nfa).map_err(|e| RegexError::TooComplex { limit: e.limit })?;
+        let dfa = meta::compile_with_limit(&nfa, limit)
+            .map_err(|e| RegexError::TooComplex { limit: e.limit })?;
         Ok(Regex {
             pattern: pattern.to_string(),
             ast,
@@ -172,5 +180,21 @@ mod tests {
         let re = Regex::new("a+b").unwrap();
         assert_eq!(re.pattern(), "a+b");
         assert!(re.meta_states() >= 2);
+    }
+
+    #[test]
+    fn limit_is_configurable() {
+        // A pattern too complex for a tiny cap compiles fine under a
+        // larger one; the error reports the cap that was actually used.
+        let e = Regex::with_limit("abcde", 2).unwrap_err();
+        assert!(matches!(e, RegexError::TooComplex { limit: 2 }));
+        assert!(Regex::with_limit("abcde", 64).is_ok());
+        // ~2¹³ meta states: over the 4096 default, under a raised cap.
+        let big = format!(".*a{}", ".".repeat(12));
+        assert!(Regex::new(&big).is_err());
+        assert!(
+            Regex::with_limit(&big, 1 << 14).is_ok(),
+            "raised cap admits it"
+        );
     }
 }

@@ -25,8 +25,9 @@ use std::collections::HashMap;
 /// Transition-table sentinel: no live NFA state remains.
 pub const DEAD: u32 = u32::MAX;
 
-/// Cap on distinct meta states; beyond this the pattern is rejected as
-/// too complex rather than letting subset construction run away.
+/// Default cap on distinct meta states; beyond it the pattern is rejected
+/// as too complex rather than letting subset construction run away.
+/// [`compile_with_limit`] accepts any other cap.
 pub const MAX_META_STATES: usize = 4096;
 
 /// The compiled meta-automaton.
@@ -173,8 +174,15 @@ fn byte_classes(nfa: &Nfa) -> ([u16; 256], usize, Vec<u8>) {
     (classes, reps.len(), reps)
 }
 
-/// Run the subset construction.
+/// Run the subset construction with the default [`MAX_META_STATES`] cap.
 pub fn compile(nfa: &Nfa) -> Result<MetaDfa, TooComplex> {
+    compile_with_limit(nfa, MAX_META_STATES)
+}
+
+/// Run the subset construction, rejecting the pattern once more than
+/// `limit` distinct meta states exist (a `limit` of 0 is treated as 1).
+pub fn compile_with_limit(nfa: &Nfa, limit: usize) -> Result<MetaDfa, TooComplex> {
+    let limit = limit.max(1);
     let (classes, nclasses, reps) = byte_classes(nfa);
     let mut arena = SetArena::new();
 
@@ -197,7 +205,7 @@ pub fn compile(nfa: &Nfa) -> Result<MetaDfa, TooComplex> {
     // i-th interned set, so a plain index sweep visits every state once.
     let mut i = 0usize;
     while i < arena.len() {
-        let set = arena.get(msc_core::SetId(i as u32)).clone();
+        let set = arena.get(msc_core::SetId(i as u32));
         accept_mid.push(
             set.iter()
                 .any(|s| matches!(nfa.states[s.0 as usize], State::Match)),
@@ -212,10 +220,8 @@ pub fn compile(nfa: &Nfa) -> Result<MetaDfa, TooComplex> {
                 })
                 .collect();
             let succ = intern_nonempty(&mut arena, closure(nfa, seeds, false));
-            if arena.len() > MAX_META_STATES {
-                return Err(TooComplex {
-                    limit: MAX_META_STATES,
-                });
+            if arena.len() > limit {
+                return Err(TooComplex { limit });
             }
             trans.push(succ);
         }
@@ -322,6 +328,21 @@ mod tests {
             Err(TooComplex {
                 limit: MAX_META_STATES
             })
+        ));
+    }
+
+    #[test]
+    fn limit_parameter_replaces_default_cap() {
+        let nfa = build(&parse("abcde").unwrap()).unwrap();
+        assert!(matches!(
+            compile_with_limit(&nfa, 2),
+            Err(TooComplex { limit: 2 })
+        ));
+        assert!(compile_with_limit(&nfa, 64).is_ok());
+        // A zero limit clamps to 1 instead of rejecting vacuously.
+        assert!(matches!(
+            compile_with_limit(&nfa, 0),
+            Err(TooComplex { limit: 1 })
         ));
     }
 

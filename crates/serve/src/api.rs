@@ -56,7 +56,14 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, HttpError> {
 
 /// Decode one job object. Unknown keys are ignored (forward
 /// compatibility); known keys with the wrong type are 400s.
-pub fn job_from_json(v: &Json, default_name: &str) -> Result<Job, HttpError> {
+/// `max_meta_states` is the server-side ceiling on the explosion guard
+/// ([`crate::ServeOptions::max_meta_states`]): a request-supplied value
+/// is clamped to it, and a job that omits the knob is capped by it too.
+pub fn job_from_json(
+    v: &Json,
+    default_name: &str,
+    max_meta_states: usize,
+) -> Result<Job, HttpError> {
     if v.as_obj().is_none() {
         return Err(bad("request body must be a JSON object"));
     }
@@ -87,8 +94,11 @@ pub fn job_from_json(v: &Json, default_name: &str) -> Result<Job, HttpError> {
     if opt_bool(v, "time_split", false)? {
         job.convert.time_split = Some(TimeSplitOptions::default());
     }
+    let ceiling = max_meta_states.max(1);
     if let Some(n) = opt_u64(v, "max_meta_states")? {
-        job.convert.max_meta_states = (n as usize).clamp(1, job.convert.max_meta_states.max(1));
+        job.convert.max_meta_states = (n as usize).clamp(1, ceiling);
+    } else {
+        job.convert.max_meta_states = job.convert.max_meta_states.min(ceiling);
     }
     Ok(job)
 }
@@ -138,16 +148,16 @@ fn engine_error(e: msc_engine::EngineError) -> HttpError {
 }
 
 /// `POST /compile`.
-pub fn compile(engine: &Engine, body: &Json) -> Result<Json, HttpError> {
-    let job = job_from_json(body, "request")?;
+pub fn compile(engine: &Engine, body: &Json, max_meta_states: usize) -> Result<Json, HttpError> {
+    let job = job_from_json(body, "request", max_meta_states)?;
     let compiled = engine.compile(&job).map_err(engine_error)?;
     Ok(compile_response(&job, &compiled))
 }
 
 /// `POST /run`: compile (through the cache) then execute on the SIMD
 /// simulator, returning per-PE results and cycle metrics.
-pub fn run(engine: &Engine, body: &Json) -> Result<Json, HttpError> {
-    let job = job_from_json(body, "request")?;
+pub fn run(engine: &Engine, body: &Json, max_meta_states: usize) -> Result<Json, HttpError> {
+    let job = job_from_json(body, "request", max_meta_states)?;
     let pes = match opt_u64(body, "pes")? {
         None => DEFAULT_PES,
         Some(0) => return Err(bad("`pes` must be at least 1")),
@@ -206,7 +216,7 @@ pub fn run(engine: &Engine, body: &Json) -> Result<Json, HttpError> {
 
 /// `POST /batch`: `{"jobs": [...]}` compiled as one engine batch. Per-job
 /// failures land in the matching response slot; the batch itself is 200.
-pub fn batch(engine: &Engine, body: &Json) -> Result<Json, HttpError> {
+pub fn batch(engine: &Engine, body: &Json, max_meta_states: usize) -> Result<Json, HttpError> {
     let jobs_json = body
         .get("jobs")
         .and_then(Json::as_arr)
@@ -217,7 +227,7 @@ pub fn batch(engine: &Engine, body: &Json) -> Result<Json, HttpError> {
     let jobs = jobs_json
         .iter()
         .enumerate()
-        .map(|(i, v)| job_from_json(v, &format!("job-{i}")))
+        .map(|(i, v)| job_from_json(v, &format!("job-{i}"), max_meta_states))
         .collect::<Result<Vec<_>, _>>()?;
     let results = engine.compile_many(&jobs);
     let mut ok = 0usize;
@@ -392,13 +402,37 @@ mod tests {
             r#"{"source":"main() { return(1); }","name":"n","mode":"compressed",
                 "optimize":true,"minimize":true,"csi":false,"time_split":true}"#,
         );
-        let job = job_from_json(&v, "d").unwrap();
+        let job = job_from_json(&v, "d", 1 << 20).unwrap();
         assert_eq!(job.name, "n");
         assert_eq!(job.convert.mode, ConvertMode::Compressed);
         assert!(job.convert.subsumption);
         assert!(job.optimize && job.minimize);
         assert!(!job.gen.csi);
         assert!(job.convert.time_split.is_some());
+    }
+
+    #[test]
+    fn job_mapping_clamps_guard_to_server_ceiling() {
+        // A request-supplied guard above the server ceiling is clamped.
+        let v = body(r#"{"source":"x","max_meta_states":999999}"#);
+        let job = job_from_json(&v, "d", 100).unwrap();
+        assert_eq!(job.convert.max_meta_states, 100);
+        // Below the ceiling it is honored (floored at 1).
+        let v = body(r#"{"source":"x","max_meta_states":7}"#);
+        assert_eq!(
+            job_from_json(&v, "d", 100).unwrap().convert.max_meta_states,
+            7
+        );
+        let v = body(r#"{"source":"x","max_meta_states":0}"#);
+        assert_eq!(
+            job_from_json(&v, "d", 100).unwrap().convert.max_meta_states,
+            1
+        );
+        // Jobs that omit the knob are capped by the ceiling too.
+        let v = body(r#"{"source":"x"}"#);
+        let default_guard = msc_engine::Job::new("d", "x").convert.max_meta_states;
+        let job = job_from_json(&v, "d", 100).unwrap();
+        assert_eq!(job.convert.max_meta_states, default_guard.min(100));
     }
 
     #[test]
@@ -412,7 +446,7 @@ mod tests {
         ] {
             assert!(
                 matches!(
-                    job_from_json(&body(raw), "d"),
+                    job_from_json(&body(raw), "d", 1 << 20),
                     Err(HttpError::BadRequest(_))
                 ),
                 "{raw}"
@@ -424,7 +458,7 @@ mod tests {
     fn run_returns_per_pe_results() {
         let engine = Engine::new(EngineOptions::default());
         let v = body(&format!(r#"{{"source":{:?},"pes":4}}"#, PROG));
-        let out = run(&engine, &v).unwrap();
+        let out = run(&engine, &v, 1 << 20).unwrap();
         let results = out.get("results").and_then(Json::as_arr).unwrap();
         let got: Vec<i64> = results.iter().map(|v| v.as_i64().unwrap()).collect();
         assert_eq!(got, vec![1, 3, 5, 7]);
@@ -449,7 +483,10 @@ mod tests {
             format!(r#"{{"source":{PROG:?},"pes":2,"active":3}}"#),
         ] {
             assert!(
-                matches!(run(&engine, &body(&raw)), Err(HttpError::BadRequest(_))),
+                matches!(
+                    run(&engine, &body(&raw), 1 << 20),
+                    Err(HttpError::BadRequest(_))
+                ),
                 "{raw}"
             );
         }
@@ -460,7 +497,7 @@ mod tests {
         let engine = Engine::new(EngineOptions::default());
         let v = body(r#"{"source":"main() { y = 1; }"}"#);
         assert!(matches!(
-            compile(&engine, &v),
+            compile(&engine, &v, 1 << 20),
             Err(HttpError::Unprocessable(_))
         ));
     }
@@ -471,7 +508,7 @@ mod tests {
         let v = body(&format!(
             r#"{{"jobs":[{{"source":{PROG:?}}},{{"source":"broken("}}]}}"#
         ));
-        let out = batch(&engine, &v).unwrap();
+        let out = batch(&engine, &v, 1 << 20).unwrap();
         assert_eq!(out.get("jobs").unwrap().as_u64(), Some(2));
         assert_eq!(out.get("succeeded").unwrap().as_u64(), Some(1));
         let slots = out.get("results").and_then(Json::as_arr).unwrap();
@@ -484,7 +521,7 @@ mod tests {
         let engine = Engine::new(EngineOptions::default());
         let v = body(&format!(r#"{{"source":{PROG:?}}}"#));
         assert_eq!(
-            compile(&engine, &v)
+            compile(&engine, &v, 1 << 20)
                 .unwrap()
                 .get("provenance")
                 .unwrap()
@@ -492,7 +529,7 @@ mod tests {
             Some("fresh")
         );
         assert_eq!(
-            compile(&engine, &v)
+            compile(&engine, &v, 1 << 20)
                 .unwrap()
                 .get("provenance")
                 .unwrap()

@@ -71,6 +71,12 @@ pub struct ServeOptions {
     pub write_timeout: Duration,
     /// `Retry-After` seconds hinted on shed requests.
     pub retry_after: u64,
+    /// Ceiling on the per-job meta-state explosion guard: every job is
+    /// clamped to it, whether or not the request supplies
+    /// `max_meta_states`. Also caps `/match` pattern complexity (there
+    /// the effective cap is the smaller of this and
+    /// [`msc_regex::MAX_META_STATES`]).
+    pub max_meta_states: usize,
 }
 
 impl Default for ServeOptions {
@@ -86,6 +92,7 @@ impl Default for ServeOptions {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             retry_after: 1,
+            max_meta_states: 1 << 20,
         }
     }
 }
@@ -141,7 +148,10 @@ impl Server {
                 job_timeout: opts.job_timeout,
                 ..EngineOptions::default()
             }),
-            regex: msc_regex::RegexEngine::default(),
+            regex: msc_regex::RegexEngine::with_limits(
+                msc_regex::engine::DEFAULT_PATTERN_CAPACITY,
+                opts.max_meta_states.clamp(1, msc_regex::MAX_META_STATES),
+            ),
             registry,
             queue: BoundedQueue::new(opts.queue_depth),
             stop: AtomicBool::new(false),
@@ -358,19 +368,19 @@ fn route(shared: &Shared, req: &Request) -> Result<Json, HttpError> {
         ("GET", "/metrics") => Ok(api::metrics_response(&shared.registry.snapshot())),
         ("POST", "/compile") => {
             let body = json_body(req)?;
-            let resp = api::compile(&shared.engine, &body)?;
+            let resp = api::compile(&shared.engine, &body, shared.opts.max_meta_states)?;
             count_coalesced(&resp);
             Ok(resp)
         }
         ("POST", "/run") => {
             let body = json_body(req)?;
-            let resp = api::run(&shared.engine, &body)?;
+            let resp = api::run(&shared.engine, &body, shared.opts.max_meta_states)?;
             count_coalesced(&resp);
             Ok(resp)
         }
         ("POST", "/batch") => {
             let body = json_body(req)?;
-            let resp = api::batch(&shared.engine, &body)?;
+            let resp = api::batch(&shared.engine, &body, shared.opts.max_meta_states)?;
             count_coalesced(&resp);
             Ok(resp)
         }

@@ -13,10 +13,13 @@
 //! * [`machine`] — [`SimdMachine`]: the array itself, with the metrics
 //!   ([`Metrics`]) the experiments report: cycles by category, issue
 //!   counts, and PE utilization.
+//! * [`setops`] — runtime-dispatched SIMD set algebra kernels (AVX2 /
+//!   NEON / scalar) the converter's hybrid bitsets run on.
 
 pub mod asm;
 pub mod machine;
 pub mod program;
+pub mod setops;
 
 pub use asm::{parse as parse_asm, serialize as serialize_asm, AsmError};
 pub use machine::{MachineConfig, Metrics, RunError, SimdMachine, TraceEvent};

@@ -139,6 +139,23 @@ impl Pipeline {
         self
     }
 
+    /// Cap the meta-state explosion guard (composes with
+    /// [`mode`](Self::mode), which resets options to the mode defaults —
+    /// apply this after it).
+    pub fn max_meta_states(mut self, limit: usize) -> Self {
+        self.convert_opts.max_meta_states = limit.max(1);
+        self
+    }
+
+    /// Set the conversion's resident-memory budget in bytes; past it, cold
+    /// interned sets and the worklist tail spill to a temp-file segment
+    /// store (`None` = never spill). Composes with [`mode`](Self::mode)
+    /// like [`max_meta_states`](Self::max_meta_states).
+    pub fn memory_budget(mut self, bytes: Option<usize>) -> Self {
+        self.convert_opts.memory_budget = bytes;
+        self
+    }
+
     /// Replace the code-generation options (e.g. disable CSI).
     pub fn gen_options(mut self, opts: GenOptions) -> Self {
         self.gen_opts = opts;
