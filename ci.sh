@@ -3,7 +3,9 @@
 # This script is the single source of truth — .github/workflows/ci.yml
 # just runs it.
 #
-#   ./ci.sh               the full gate (includes compiling the benches)
+#   ./ci.sh               the full gate (tier-1 plus the spill-path and
+#                         scalar-fallback test legs, the aarch64
+#                         cross-check, and compiling the benches)
 #   ./ci.sh bench-smoke   additionally *run* the set benches in their
 #                         --test smoke configuration (small sizes, 2
 #                         samples) and the bench-regression gates, which
@@ -53,6 +55,24 @@ echo "== tier-1: test again under a tiny memory budget (spill path) =="
 # must still produce bit-identical automata.
 MSC_MEMORY_BUDGET=16k cargo test -q --workspace
 
+echo "== tier-1: test again with SIMD kernels disabled (scalar path) =="
+# MSC_NO_SIMD forces the portable scalar fallbacks everywhere the SIMD
+# crate dispatches, so the suite proves the scalar kernels are not just
+# dead code behind a feature probe.
+MSC_NO_SIMD=1 cargo test -q --workspace
+
+echo "== cross-check: aarch64-unknown-linux-gnu =="
+# The reactor's epoll shim carries an arch-conditional epoll_event
+# layout (packed on x86_64, natural elsewhere); type-check the whole
+# workspace for a 64-bit non-x86 target so that cfg split cannot rot.
+# `rustup target add aarch64-unknown-linux-gnu` is the only setup; skip
+# with a notice when that target's std is not installed (e.g. offline).
+if rustup target list --installed 2>/dev/null | grep -qx 'aarch64-unknown-linux-gnu'; then
+    cargo check --workspace --target aarch64-unknown-linux-gnu
+else
+    echo "   aarch64-unknown-linux-gnu std not installed; skipping cross-check"
+fi
+
 echo "== benches compile =="
 # One workspace-wide invocation instead of per-crate `cargo bench
 # --no-run` calls; the bench profile matches release (no overrides in
@@ -89,7 +109,8 @@ if [ "$MODE" = "serve-smoke" ]; then
         sleep 0.1
     done
     if [ -z "$ADDR" ]; then
-        echo "serve smoke: daemon never announced its address" >&2
+        echo "serve smoke: daemon never announced its address; daemon log follows" >&2
+        cat "$SERVE_LOG" >&2
         exit 1
     fi
     echo "   daemon bound to ${ADDR}"

@@ -481,6 +481,21 @@ fn a4() {
     println!("   hashing, which the generated-code cost model prices identically.\n");
 }
 
+/// Drop a re-measured snapshot next to (not over) the committed
+/// baseline: `bench-remeasured/BENCH_<name>.json`. CI uploads the
+/// directory as an artifact so a failing (or passing) gate run leaves
+/// the numbers it actually saw on the machine that saw them.
+/// Best-effort: never fails the gate over an unwritable disk.
+fn write_remeasured(name: &str, json: &str) {
+    let dir = std::path::Path::new("bench-remeasured");
+    let path = dir.join(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json)) {
+        eprintln!("note: could not write {}: {e}", path.display());
+    } else {
+        println!("re-measured snapshot: {}", path.display());
+    }
+}
+
 /// Best-of-3 per-iteration time of `f`, auto-scaled to ~20 ms per sample.
 /// The returned `usize` is folded into a sink so the work cannot be
 /// optimized away.
@@ -674,6 +689,20 @@ fn setops_check() -> bool {
         measured.push((n, union_speedup, subset_speedup));
     }
 
+    write_remeasured(
+        "setops",
+        &format!(
+            "{{\n  \"generated_by\": \"claims -- setops --check\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+            measured
+                .iter()
+                .map(|(n, u, s)| format!(
+                    "    {{\"size\": {n}, \"union_speedup\": {u:.2}, \"is_subset_speedup\": {s:.2}}}"
+                ))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        ),
+    );
+
     // Sets below ~4 bit-words finish in a handful of cycles, so their
     // speedup ratio swings 2x run to run; only the 256+ sizes time
     // stably enough to ratchet. Smaller sizes stay informational above.
@@ -808,6 +837,20 @@ fn explosion_check() -> bool {
         baseline.spilled_states_per_sec,
         m.spill_bytes,
         m.spill_identical
+    );
+    write_remeasured(
+        "explosion",
+        &format!(
+            "{{\n  \"generated_by\": \"claims -- explosion --check\",\n  \
+             \"meta_states\": {},\n  \"in_ram_states_per_sec\": {:.0},\n  \
+             \"spilled_states_per_sec\": {:.0},\n  \"spill_bytes\": {},\n  \
+             \"spill_identical\": {}\n}}\n",
+            m.meta_states,
+            m.in_ram_states_per_sec,
+            m.spilled_states_per_sec,
+            m.spill_bytes,
+            m.spill_identical
+        ),
     );
     let failures = check_explosion(&baseline, &m, 0.50);
     for f in &failures {
@@ -955,6 +998,22 @@ fn regex_check() -> bool {
         baseline.t8_vs_t1_min,
         m.spans_agree
     );
+    write_remeasured(
+        "regex",
+        &format!(
+            "{{\n  \"generated_by\": \"claims -- regex --check\",\n  \
+             \"naive_mbps\": {:.2},\n  \"t1_mbps\": {:.2},\n  \"t2_mbps\": {:.2},\n  \
+             \"t8_mbps\": {:.2},\n  \"dfa_vs_naive_speedup\": {:.2},\n  \
+             \"matches\": {},\n  \"spans_agree\": {}\n}}\n",
+            m.naive_mbps,
+            m.t1_mbps,
+            m.t2_mbps,
+            m.t8_mbps,
+            m.dfa_vs_naive(),
+            m.matches,
+            m.spans_agree
+        ),
+    );
     let failures = check_regex(&baseline, &m, 0.50);
     for f in &failures {
         eprintln!("REGRESSION: {f}");
@@ -975,7 +1034,7 @@ fn regex_check() -> bool {
 /// in-process daemon, printed next to the committed baseline. No gate —
 /// use `--check` for that, `loadgen` to regenerate the baseline.
 fn serve() {
-    use msc_bench::loadbench::measure_serve;
+    use msc_bench::loadbench::{measure_serve, BASELINE_CLIENTS};
     use msc_bench::regression::parse_serve_baseline;
     use std::time::Duration;
 
@@ -983,7 +1042,7 @@ fn serve() {
     let committed = std::fs::read_to_string("BENCH_serve.json")
         .ok()
         .and_then(|t| parse_serve_baseline(&t));
-    let m = match measure_serve(8, Duration::from_millis(1_000)) {
+    let m = match measure_serve(BASELINE_CLIENTS, Duration::from_millis(1_000)) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("serve measurement failed: {e}");
@@ -1029,7 +1088,7 @@ fn serve() {
 /// Returns false (→ nonzero exit) on any invariant break, a p99 over the
 /// absolute ceiling, or throughput >50% below the committed value.
 fn serve_check() -> bool {
-    use msc_bench::loadbench::measure_serve;
+    use msc_bench::loadbench::{measure_serve, BASELINE_CLIENTS};
     use msc_bench::regression::{check_serve, parse_serve_baseline, ServeMeasurement};
     use std::time::Duration;
 
@@ -1045,7 +1104,7 @@ fn serve_check() -> bool {
         eprintln!("BENCH_serve.json is missing expected keys");
         return false;
     };
-    let run = match measure_serve(8, Duration::from_millis(1_000)) {
+    let run = match measure_serve(BASELINE_CLIENTS, Duration::from_millis(1_000)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve measurement failed: {e}");
@@ -1067,6 +1126,20 @@ fn serve_check() -> bool {
         baseline.p99_ms_max,
         measured.burst_compilations,
         measured.errors
+    );
+    write_remeasured(
+        "serve",
+        &format!(
+            "{{\n  \"generated_by\": \"claims -- serve --check\",\n  \
+             \"clients\": {BASELINE_CLIENTS},\n  \"requests\": {},\n  \"errors\": {},\n  \
+             \"throughput_rps\": {:.0},\n  \"p99_ms\": {:.3},\n  \
+             \"burst_compilations\": {}\n}}\n",
+            run.requests,
+            run.errors,
+            measured.throughput_rps,
+            measured.p99_ms,
+            measured.burst_compilations
+        ),
     );
 
     let failures = check_serve(&baseline, &measured, 0.50);

@@ -21,7 +21,8 @@
 //! [`msc_bench::loadbench`], shared with the `claims` regression gate.
 
 use msc_bench::loadbench::{
-    coalesce_burst, compile_body, counter, load_phase, percentile, smoke, wait_healthy, HIT_POOL,
+    coalesce_burst, compile_body, counter, load_phase, percentile, smoke, wait_healthy,
+    BASELINE_CLIENTS, HIT_POOL,
 };
 use msc_obs::json::Json;
 use msc_serve::client::Client;
@@ -31,7 +32,7 @@ use std::time::Duration;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr: Option<String> = None;
-    let mut clients = 8usize;
+    let mut clients = BASELINE_CLIENTS;
     let mut duration_ms = 2_000u64;
     let mut smoke_mode = false;
     let mut out = "BENCH_serve.json".to_string();
@@ -59,15 +60,22 @@ fn main() {
         }
     }
 
-    // No --addr: spin up an in-process daemon on an ephemeral port. One
-    // worker per client plus burst headroom: a keep-alive connection
-    // holds its worker, so fewer workers than clients starves the rest.
+    // No --addr: spin up an in-process daemon on an ephemeral port. The
+    // reactor multiplexes all connections on one thread, so the worker
+    // pool only needs compute parallelism (0 = one per core); the
+    // blocking fallback parks a worker per keep-alive connection and
+    // needs `workers >= clients` plus burst headroom.
+    let workers = if msc_serve::reactor_available() {
+        0
+    } else {
+        clients + 17
+    };
     let mut handle: Option<ServerHandle> = None;
     let addr = addr.unwrap_or_else(|| {
         let h = Server::start(ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             queue_depth: 256,
-            workers: clients + 17,
+            workers,
             ..ServeOptions::default()
         })
         .expect("start in-process daemon");

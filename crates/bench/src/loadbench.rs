@@ -299,13 +299,25 @@ pub struct ServeRunSummary {
     pub burst_compilations: u64,
 }
 
+/// Client count the committed serve baseline is measured at.
+pub const BASELINE_CLIENTS: usize = 80;
+
 /// Boot an in-process daemon on an ephemeral port, warm the hit pool,
 /// run one load phase and one 16-wide coalesce burst, then drain.
+///
+/// Under the epoll reactor the worker pool only runs compute, so the
+/// default sizing applies; the blocking fallback parks one thread per
+/// connection and needs `workers >= clients` to avoid queueing stalls.
 pub fn measure_serve(clients: usize, duration: Duration) -> Result<ServeRunSummary, String> {
+    let workers = if msc_serve::reactor_available() {
+        0 // ServeOptions default: one worker per available core
+    } else {
+        clients + 17
+    };
     let handle: ServerHandle = Server::start(ServeOptions {
         addr: "127.0.0.1:0".to_string(),
         queue_depth: 256,
-        workers: clients + 17,
+        workers,
         ..ServeOptions::default()
     })
     .map_err(|e| format!("start in-process daemon: {e}"))?;

@@ -96,6 +96,9 @@ pub enum Command {
         /// Server-side ceiling on every job's explosion guard (None =
         /// the daemon default).
         max_meta_states: Option<usize>,
+        /// Force the blocking thread-per-connection core instead of the
+        /// epoll reactor.
+        blocking: bool,
     },
     /// `mscc fuzz`: differential fuzzing over the whole oracle matrix.
     Fuzz {
@@ -218,7 +221,7 @@ USAGE:
   mscc batch <FILE>... [common flags] [engine flags]
   mscc run   <FILE>    [--pes N] [--pool N] [--compare] [--trace] [common flags]
   mscc serve           [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache DIR]
-                       [--max-meta-states N]
+                       [--max-meta-states N] [--blocking]
   mscc fuzz            [--seed N] [--cases N] [--pes N] [--max-states N] [--corpus DIR]
                        [--oracles LIST] [--serve | --serve-addr HOST:PORT] [--replay FILE]
   mscc match <PATTERN> [FILE]... [--threads N]
@@ -253,6 +256,10 @@ SERVE FLAGS:
   --cache DIR              on-disk compile cache shared across restarts
   --max-meta-states N      ceiling on every job's explosion guard; requests
                            asking for more are clamped (default 1048576)
+  --blocking               serve with the blocking thread-per-connection core
+                           instead of the epoll reactor (reactor is the
+                           default on Linux; MSC_SERVE_BLOCKING=1 forces
+                           blocking too)
 
 FUZZ FLAGS:
   --seed N                 run seed; case k is reproducible from (seed, k) (default 1)
@@ -419,6 +426,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut queue_depth = 64usize;
             let mut cache: Option<String> = None;
             let mut max_meta_states: Option<usize> = None;
+            let mut blocking = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--addr" => {
@@ -461,6 +469,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                         max_meta_states = Some(n);
                     }
+                    "--blocking" => blocking = true,
                     other => return Err(CliError(format!("unexpected argument `{other}`"))),
                 }
             }
@@ -470,6 +479,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 queue_depth,
                 cache,
                 max_meta_states,
+                blocking,
             })
         }
         "fuzz" => {
@@ -1221,19 +1231,28 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             queue_depth,
             cache,
             max_meta_states,
+            blocking,
         } => {
             let defaults = msc_serve::ServeOptions::default();
+            let force_blocking = *blocking;
             let handle = msc_serve::Server::start(msc_serve::ServeOptions {
                 addr: addr.clone(),
                 workers: *workers,
                 queue_depth: *queue_depth,
                 cache_dir: cache.as_ref().map(std::path::PathBuf::from),
                 max_meta_states: max_meta_states.unwrap_or(defaults.max_meta_states),
+                force_blocking,
                 ..defaults
             })
             .map_err(|e| CliError(format!("cannot start daemon on {addr}: {e}")))?;
             // Announce before blocking so scripts can find the port.
             println!("msc-serve listening on {}", handle.local_addr());
+            let core = if force_blocking || !msc_serve::reactor_available() {
+                "blocking pool"
+            } else {
+                "epoll reactor"
+            };
+            println!("msc-serve core: {core}");
             msc_serve::run_until_signal(handle);
             Ok("msc-serve: drained and stopped\n".to_string())
         }
@@ -1296,7 +1315,7 @@ mod tests {
     #[test]
     fn parse_serve_flags() {
         let cmd = parse_args(&args(
-            "serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 --cache /tmp/c --max-meta-states 512",
+            "serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 --cache /tmp/c --max-meta-states 512 --blocking",
         ))
         .unwrap();
         assert_eq!(
@@ -1307,6 +1326,7 @@ mod tests {
                 queue_depth: 4,
                 cache: Some("/tmp/c".into()),
                 max_meta_states: Some(512),
+                blocking: true,
             }
         );
         assert!(parse_args(&args("serve --max-meta-states 0")).is_err());

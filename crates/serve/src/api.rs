@@ -252,8 +252,10 @@ pub fn batch(engine: &Engine, body: &Json, max_meta_states: usize) -> Result<Jso
     ]))
 }
 
-/// `GET /metrics`: the daemon's aggregated observability registry.
-pub fn metrics_response(snap: &MetricsSnapshot) -> Json {
+/// `GET /metrics`: the daemon's aggregated observability registry, plus
+/// point-in-time gauges (open connections, queue depth) the registry's
+/// monotonic counters cannot express.
+pub fn metrics_response(snap: &MetricsSnapshot, gauges: &[(&str, u64)]) -> Json {
     let counters = snap
         .counters
         .iter()
@@ -288,10 +290,15 @@ pub fn metrics_response(snap: &MetricsSnapshot) -> Json {
             )
         })
         .collect();
+    let gauges = gauges
+        .iter()
+        .map(|(name, v)| (name.to_string(), Json::from(*v)))
+        .collect();
     Json::Obj(vec![
         ("counters".to_string(), Json::Obj(counters)),
         ("histograms".to_string(), Json::Obj(hists)),
         ("spans".to_string(), Json::Obj(spans)),
+        ("gauges".to_string(), Json::Obj(gauges)),
     ])
 }
 

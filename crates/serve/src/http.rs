@@ -35,7 +35,7 @@ impl Default for Limits {
 }
 
 /// One parsed request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Request {
     /// Uppercase method token (`GET`, `POST`, ...).
     pub method: String,
@@ -188,6 +188,26 @@ pub fn parse_request<R: BufRead>(
     reader: &mut R,
     limits: &Limits,
 ) -> Result<Option<Request>, HttpError> {
+    let Some((mut request, length)) = parse_head(reader, limits)? else {
+        return Ok(None);
+    };
+    if let Some(n) = length {
+        let mut body = vec![0u8; n];
+        reader.read_exact(&mut body).map_err(io_error)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// Parse the request line + headers and validate the body framing,
+/// without reading the body. Returns the request (empty body) and the
+/// validated `Content-Length` (`None` = no body). Shared between the
+/// blocking [`parse_request`] path and the reactor's [`PushParser`], so
+/// both produce byte-identical verdicts on the same input.
+fn parse_head<R: BufRead>(
+    reader: &mut R,
+    limits: &Limits,
+) -> Result<Option<(Request, Option<usize>)>, HttpError> {
     let line = match read_line_limited(reader, limits.max_request_line)? {
         None => return Ok(None),
         Some(l) => l,
@@ -236,7 +256,7 @@ pub fn parse_request<R: BufRead>(
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let mut request = Request {
+    let request = Request {
         method: method.to_string(),
         path: path.to_string(),
         headers,
@@ -266,11 +286,199 @@ pub fn parse_request<R: BufRead>(
                 limit: limits.max_body,
             });
         }
-        let mut body = vec![0u8; n];
-        reader.read_exact(&mut body).map_err(io_error)?;
-        request.body = body;
     }
-    Ok(Some(request))
+    Ok(Some((request, length)))
+}
+
+/// What [`PushParser::poll`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Poll {
+    /// Not enough bytes buffered yet — wait for more readiness.
+    Pending,
+    /// One complete request. More may still be buffered behind it
+    /// (pipelining); poll again after responding.
+    Ready(Request),
+    /// The peer closed cleanly between requests (keep-alive teardown).
+    Closed,
+}
+
+enum PushState {
+    /// Accumulating request line + headers.
+    Head,
+    /// Head parsed and validated; waiting for `need` body bytes.
+    Body { request: Request, need: usize },
+}
+
+/// Incremental request parser for the readiness-driven reactor.
+///
+/// Bytes arrive in whatever chunks the socket delivers ([`feed`]);
+/// [`poll`] reports whether a full request has formed. Limits are
+/// enforced *as bytes arrive* — an over-long line or header bomb is
+/// rejected without buffering it — and once the head terminator is seen
+/// the buffered head is handed to the same `parse_head` the blocking
+/// path uses, so chunked and whole-buffer parsing produce identical
+/// verdicts by construction (pinned by the `chunked_parsing` proptest).
+///
+/// [`feed`]: PushParser::feed
+/// [`poll`]: PushParser::poll
+pub struct PushParser {
+    buf: Vec<u8>,
+    /// `buf[..scanned]` has already been searched for a newline.
+    scanned: usize,
+    /// Start offset of the current (unterminated) head line in `buf`.
+    line_start: usize,
+    /// Completed head lines so far (request line + headers).
+    lines: usize,
+    state: PushState,
+    eof: bool,
+}
+
+impl Default for PushParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PushParser {
+    /// A parser with nothing buffered, expecting a request line.
+    pub fn new() -> Self {
+        PushParser {
+            buf: Vec::new(),
+            scanned: 0,
+            line_start: 0,
+            lines: 0,
+            state: PushState::Head,
+            eof: false,
+        }
+    }
+
+    /// Buffer bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Record that the peer will send no more bytes (read returned 0).
+    pub fn eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// True when in the middle of a declared body (drives the
+    /// `ReadingHead` vs `ReadingBody` connection state).
+    pub fn in_body(&self) -> bool {
+        matches!(self.state, PushState::Body { .. })
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request. A
+    /// keep-alive connection with `buffered() == 0` is idle and safe to
+    /// drop during drain.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Drop the first `upto` buffered bytes and reset line accounting
+    /// for the next request.
+    fn consume(&mut self, upto: usize) {
+        self.buf.drain(..upto);
+        self.scanned = 0;
+        self.line_start = 0;
+        self.lines = 0;
+    }
+
+    /// Try to complete one request from the buffered bytes.
+    pub fn poll(&mut self, limits: &Limits) -> Result<Poll, HttpError> {
+        loop {
+            match &mut self.state {
+                PushState::Head => {
+                    // Scan newly-arrived bytes for line terminators,
+                    // enforcing per-line and header-count limits exactly
+                    // as `read_line_limited` does on the blocking path.
+                    while let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n')
+                    {
+                        let nl = self.scanned + off;
+                        let raw_len = nl - self.line_start;
+                        let max = if self.lines == 0 {
+                            limits.max_request_line
+                        } else {
+                            limits.max_header_line
+                        };
+                        if raw_len > max {
+                            return Err(HttpError::HeadersTooLarge);
+                        }
+                        let stripped = raw_len
+                            - usize::from(nl > self.line_start && self.buf[nl - 1] == b'\r');
+                        if stripped == 0 {
+                            // Blank line: the head is complete (or, if
+                            // this is the first line, syntactically
+                            // broken). Re-parse it with the shared head
+                            // parser for exact error parity with the
+                            // blocking path.
+                            let head_end = nl + 1;
+                            let mut cursor = std::io::Cursor::new(&self.buf[..head_end]);
+                            let (request, length) = parse_head(&mut cursor, limits)?
+                                .expect("complete head cannot read as clean EOF");
+                            self.consume(head_end);
+                            match length {
+                                Some(need) if need > 0 => {
+                                    self.state = PushState::Body { request, need };
+                                    break; // fall through to Body handling
+                                }
+                                _ => return Ok(Poll::Ready(request)),
+                            }
+                        }
+                        self.lines += 1;
+                        if self.lines > limits.max_header_count + 1 {
+                            return Err(HttpError::HeadersTooLarge);
+                        }
+                        self.line_start = nl + 1;
+                        self.scanned = nl + 1;
+                    }
+                    if let PushState::Body { .. } = self.state {
+                        continue;
+                    }
+                    // No terminator yet: bound the partial line too, so
+                    // a line-bomb is rejected before it is buffered.
+                    let partial = self.buf.len() - self.line_start;
+                    let max = if self.lines == 0 {
+                        limits.max_request_line
+                    } else {
+                        limits.max_header_line
+                    };
+                    if partial > max {
+                        return Err(HttpError::HeadersTooLarge);
+                    }
+                    self.scanned = self.buf.len();
+                    if self.eof {
+                        if self.buf.is_empty() && self.lines == 0 {
+                            return Ok(Poll::Closed);
+                        }
+                        // Mid-head EOF: run the shared parser over what
+                        // we have so the error (truncated request /
+                        // truncated headers) matches the blocking path.
+                        let mut cursor = std::io::Cursor::new(&self.buf[..]);
+                        return match parse_head(&mut cursor, limits) {
+                            Err(e) => Err(e),
+                            Ok(_) => Err(HttpError::BadRequest("truncated request".to_string())),
+                        };
+                    }
+                    return Ok(Poll::Pending);
+                }
+                PushState::Body { request, need } => {
+                    if self.buf.len() >= *need {
+                        let need = *need;
+                        let mut request = std::mem::take(request);
+                        request.body = self.buf[..need].to_vec();
+                        self.state = PushState::Head;
+                        self.consume(need);
+                        return Ok(Poll::Ready(request));
+                    }
+                    if self.eof {
+                        return Err(HttpError::BadRequest("truncated request".to_string()));
+                    }
+                    return Ok(Poll::Pending);
+                }
+            }
+        }
+    }
 }
 
 /// Write a response. `extra` headers come after the standard ones; the
@@ -406,6 +614,101 @@ mod tests {
             parse_request(&mut r, &Limits::default()),
             Err(HttpError::Timeout)
         );
+    }
+
+    #[test]
+    fn push_parser_byte_at_a_time_matches_whole_buffer() {
+        let raw = "POST /compile HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let whole = parse(raw).unwrap().unwrap();
+        let mut p = PushParser::new();
+        let limits = Limits::default();
+        let bytes = raw.as_bytes();
+        for (i, b) in bytes.iter().enumerate() {
+            p.feed(std::slice::from_ref(b));
+            let got = p.poll(&limits).unwrap();
+            if i + 1 == bytes.len() {
+                assert_eq!(got, Poll::Ready(whole.clone()));
+            } else {
+                assert_eq!(got, Poll::Pending, "early ready after byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_parser_handles_pipelined_requests() {
+        let mut p = PushParser::new();
+        let limits = Limits::default();
+        p.feed(b"GET /healthz HTTP/1.1\r\n\r\nPOST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc");
+        let first = match p.poll(&limits).unwrap() {
+            Poll::Ready(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(first.path, "/healthz");
+        let second = match p.poll(&limits).unwrap() {
+            Poll::Ready(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(second.path, "/x");
+        assert_eq!(second.body, b"abc");
+        p.eof();
+        assert_eq!(p.poll(&limits).unwrap(), Poll::Closed);
+    }
+
+    #[test]
+    fn push_parser_eof_mid_body_is_truncated_400() {
+        let mut p = PushParser::new();
+        p.feed(b"POST /compile HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}");
+        assert_eq!(p.poll(&Limits::default()).unwrap(), Poll::Pending);
+        p.eof();
+        assert!(matches!(
+            p.poll(&Limits::default()),
+            Err(HttpError::BadRequest(m)) if m == "truncated request"
+        ));
+    }
+
+    #[test]
+    fn push_parser_rejects_line_bomb_before_buffering_it() {
+        let mut p = PushParser::new();
+        let limits = Limits::default();
+        // No newline ever arrives; the partial line alone must trip 431.
+        p.feed(&vec![b'a'; limits.max_request_line + 1]);
+        assert_eq!(p.poll(&limits), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn push_parser_rejects_header_bombs() {
+        let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("X-Pad-{i}: x\r\n"));
+        }
+        let mut p = PushParser::new();
+        p.feed(raw.as_bytes());
+        assert_eq!(p.poll(&Limits::default()), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn push_parser_clean_close_and_truncated_head() {
+        let limits = Limits::default();
+        let mut p = PushParser::new();
+        p.eof();
+        assert_eq!(p.poll(&limits).unwrap(), Poll::Closed);
+
+        let mut p = PushParser::new();
+        p.feed(b"GET /healthz HT");
+        assert_eq!(p.poll(&limits).unwrap(), Poll::Pending);
+        p.eof();
+        assert!(matches!(
+            p.poll(&limits),
+            Err(HttpError::BadRequest(m)) if m == "truncated request"
+        ));
+
+        let mut p = PushParser::new();
+        p.feed(b"GET /healthz HTTP/1.1\r\nHost: x\r\n");
+        p.eof();
+        assert!(matches!(
+            p.poll(&limits),
+            Err(HttpError::BadRequest(m)) if m == "truncated headers"
+        ));
     }
 
     #[test]

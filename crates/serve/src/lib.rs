@@ -15,35 +15,50 @@
 //!
 //! The daemon is shaped for sustained load rather than peak benchmarks:
 //!
-//! - **Bounded admission.** Accepted connections enter a fixed-depth
-//!   [`queue::BoundedQueue`]; when it is full the acceptor answers
-//!   `503` + `Retry-After` immediately (load shedding) instead of
-//!   letting latency grow without bound.
+//! - **Event-loop core.** On Linux the daemon runs an epoll readiness
+//!   reactor: one thread multiplexes every socket, each
+//!   connection an explicit [`conn::State`] machine, so an idle
+//!   keep-alive peer costs a table entry instead of a blocked thread.
+//!   Compute stays on the worker pool; decoded requests and finished
+//!   responses cross over a queue plus a wakeup socketpair. Elsewhere
+//!   (or under `MSC_SERVE_BLOCKING=1` /
+//!   [`ServeOptions::force_blocking`]) the original blocking
+//!   thread-per-connection pool serves instead — same endpoints, same
+//!   limits, same tests.
+//! - **Bounded admission.** At most `workers + queue_depth` connections
+//!   are admitted (the blocking pool's "serving + queued" bound);
+//!   beyond that the daemon answers `503` + `Retry-After` immediately
+//!   (load shedding) instead of letting latency grow without bound.
 //! - **Request coalescing.** Identical concurrent compiles collapse onto
 //!   one in-flight compilation via the engine's singleflight layer; the
 //!   response reports `"provenance": "coalesced"` and the
 //!   `serve.coalesced` / `engine.coalesced` counters record it.
-//! - **Hard input limits.** Request-line/header/body bounds and socket
-//!   read timeouts turn hostile or broken clients into clean 4xx/408
-//!   responses ([`http::Limits`]); a worker never panics on input.
-//! - **Graceful drain.** [`ServerHandle::shutdown`] stops admission,
+//! - **Hard input limits.** Request-line/header/body bounds and read
+//!   deadlines (reactor timers on the event loop, socket timeouts on
+//!   the blocking pool) turn hostile or broken clients into clean
+//!   4xx/408 responses ([`http::Limits`]); a worker never panics on
+//!   input, and a slow-loris peer never pins a worker thread.
+//! - **Graceful drain.** [`ServerHandle::shutdown`] stops admitting,
 //!   lets in-flight requests finish, then joins every thread.
 //!   [`run_until_signal`] wires that to SIGINT/SIGTERM for the CLI.
 
 pub mod api;
 pub mod client;
+pub mod conn;
 pub mod http;
 pub mod queue;
+#[cfg(target_os = "linux")]
+mod reactor;
 
 use http::{HttpError, Limits, Request};
 use msc_engine::{Engine, EngineOptions};
 use msc_obs::json::Json;
 use msc_obs::Registry;
 use queue::BoundedQueue;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -77,6 +92,10 @@ pub struct ServeOptions {
     /// the effective cap is the smaller of this and
     /// [`msc_regex::MAX_META_STATES`]).
     pub max_meta_states: usize,
+    /// Run the blocking thread-per-connection core even where the epoll
+    /// reactor is available (`mscc serve --blocking`). The
+    /// `MSC_SERVE_BLOCKING` environment variable forces the same.
+    pub force_blocking: bool,
 }
 
 impl Default for ServeOptions {
@@ -93,20 +112,49 @@ impl Default for ServeOptions {
             write_timeout: Duration::from_secs(5),
             retry_after: 1,
             max_meta_states: 1 << 20,
+            force_blocking: false,
         }
     }
+}
+
+/// True when this build and environment will use the epoll reactor for
+/// new servers (Linux, and `MSC_SERVE_BLOCKING` unset). Benches use
+/// this to size worker pools appropriately per mode.
+pub fn reactor_available() -> bool {
+    cfg!(target_os = "linux") && std::env::var_os("MSC_SERVE_BLOCKING").is_none()
 }
 
 /// The daemon factory. [`Server::start`] binds, spawns the acceptor and
 /// worker pool, and returns the controlling [`ServerHandle`].
 pub struct Server;
 
+/// One unit of worker-pool work.
+enum Task {
+    /// Blocking mode: a whole admitted connection, served to completion.
+    Connection(TcpStream),
+    /// Reactor mode: one decoded request; the reactor keeps the socket.
+    #[cfg(target_os = "linux")]
+    Request {
+        /// Connection identity (guards against fd reuse).
+        conn_id: u64,
+        /// The reactor-side socket the response belongs to.
+        fd: i32,
+        request: Request,
+    },
+}
+
 struct Shared {
     engine: Engine,
     regex: msc_regex::RegexEngine,
     registry: Arc<Registry>,
-    queue: BoundedQueue<TcpStream>,
+    queue: BoundedQueue<Task>,
     stop: AtomicBool,
+    /// Connections currently admitted (gauge on `/metrics`).
+    open_conns: AtomicUsize,
+    /// Admission bound: `workers + queue_depth` in both modes.
+    admit_capacity: usize,
+    #[cfg(target_os = "linux")]
+    reactor: Option<reactor::ReactorShared>,
     opts: ServeOptions,
 }
 
@@ -119,8 +167,10 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    /// The acceptor thread (blocking mode) or the reactor thread.
+    driver: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    blocking: bool,
     _obs: msc_obs::InstallGuard,
 }
 
@@ -129,17 +179,38 @@ impl Server {
     /// process-global [`msc_obs`] subscriber for the handle's lifetime
     /// (the install lock is exclusive: starting a second server in the
     /// same process blocks until the first shuts down).
+    ///
+    /// Picks the epoll reactor core where available (see
+    /// [`reactor_available`]); otherwise — or when forced — the blocking
+    /// thread-per-connection core.
     pub fn start(opts: ServeOptions) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(Registry::new());
         let obs_guard = msc_obs::install(registry.clone());
+        let blocking = opts.force_blocking || !reactor_available();
         let workers = if opts.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
         } else {
             opts.workers
+        };
+        // Blocking mode queues whole connections behind the worker pool
+        // (capacity = queue_depth, the historical bound); the reactor
+        // queues at most one decoded request per admitted connection,
+        // so its queue never rejects below the admission cap.
+        let admit_capacity = workers + opts.queue_depth;
+        let queue_capacity = if blocking {
+            opts.queue_depth
+        } else {
+            admit_capacity
+        };
+        #[cfg(target_os = "linux")]
+        let reactor_shared = if blocking {
+            None
+        } else {
+            Some(reactor::ReactorShared::new()?)
         };
         let shared = Arc::new(Shared {
             engine: Engine::new(EngineOptions {
@@ -153,16 +224,22 @@ impl Server {
                 opts.max_meta_states.clamp(1, msc_regex::MAX_META_STATES),
             ),
             registry,
-            queue: BoundedQueue::new(opts.queue_depth),
+            queue: BoundedQueue::new(queue_capacity),
             stop: AtomicBool::new(false),
+            open_conns: AtomicUsize::new(0),
+            admit_capacity,
+            #[cfg(target_os = "linux")]
+            reactor: reactor_shared,
             opts,
         });
 
-        let acceptor = {
+        let driver = if blocking {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("msc-serve-accept".to_string())
                 .spawn(move || accept_loop(&shared, listener))?
+        } else {
+            spawn_reactor(&shared, listener)?
         };
         let worker_handles = (0..workers)
             .map(|i| {
@@ -176,11 +253,31 @@ impl Server {
         Ok(ServerHandle {
             addr,
             shared,
-            acceptor: Some(acceptor),
+            driver: Some(driver),
             workers: worker_handles,
+            blocking,
             _obs: obs_guard,
         })
     }
+}
+
+#[cfg(target_os = "linux")]
+fn spawn_reactor(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("msc-serve-reactor".to_string())
+        .spawn(move || reactor::run(shared, listener))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn spawn_reactor(
+    _shared: &Arc<Shared>,
+    _listener: TcpListener,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    unreachable!("reactor_available() gates the reactor to Linux")
 }
 
 impl ServerHandle {
@@ -205,15 +302,25 @@ impl ServerHandle {
     }
 
     /// Graceful drain: stop admitting, finish everything already
-    /// admitted, join all threads. Idle keep-alive peers are released
-    /// when their socket read times out, so shutdown can take up to
-    /// [`ServeOptions::read_timeout`].
+    /// admitted, join all threads. The reactor drops idle peers
+    /// immediately; a peer mid-request is granted up to
+    /// [`ServeOptions::read_timeout`] to finish sending, so shutdown is
+    /// bounded by that (the blocking core has the same bound, via its
+    /// socket timeout).
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        if self.blocking {
+            // Wake the acceptor out of accept() with a throwaway
+            // connection.
+            let _ = TcpStream::connect(self.addr);
+        } else {
+            #[cfg(target_os = "linux")]
+            if let Some(r) = &self.shared.reactor {
+                r.wake();
+            }
+        }
+        if let Some(d) = self.driver.take() {
+            let _ = d.join();
         }
         self.shared.queue.close();
         for w in self.workers.drain(..) {
@@ -235,10 +342,13 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
         let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
         let _ = stream.set_nodelay(true);
         msc_obs::count("serve.accepted", 1);
-        if let Err((mut stream, _reason)) = shared.queue.try_push(stream) {
+        if let Err((task, _reason)) = shared.queue.try_push(Task::Connection(stream)) {
             // Shed: answer on the acceptor thread (cheap — one write)
             // so the queue and workers never see the connection. A
             // `Closed` refusal during shutdown sheds the same way.
+            let Task::Connection(mut stream) = task else {
+                continue;
+            };
             msc_obs::count("serve.shed", 1);
             let err = HttpError::Overloaded {
                 retry_after: shared.opts.retry_after,
@@ -249,12 +359,37 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(stream) = shared.queue.pop() {
-        handle_connection(shared, stream);
+    while let Some(task) = shared.queue.pop() {
+        match task {
+            Task::Connection(stream) => handle_connection(shared, stream),
+            #[cfg(target_os = "linux")]
+            Task::Request {
+                conn_id,
+                fd,
+                request,
+            } => reactor::execute(shared, conn_id, fd, request),
+        }
     }
 }
 
-fn write_error(stream: &mut TcpStream, err: &HttpError, keep_alive: bool) -> std::io::Result<()> {
+/// Render an error response to bytes (the reactor writes them as the
+/// socket accepts; the blocking path writes them directly).
+#[cfg(target_os = "linux")]
+fn render_error(err: &HttpError, keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = write_error(&mut out, err, keep_alive); // Vec writes are infallible
+    out
+}
+
+/// Render a 200 response to bytes.
+#[cfg(target_os = "linux")]
+fn render_ok(body: &Json, keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    let _ = write_ok(&mut out, body, keep_alive);
+    out
+}
+
+fn write_error<W: Write>(stream: &mut W, err: &HttpError, keep_alive: bool) -> std::io::Result<()> {
     let (status, reason) = err.status();
     let body = Json::obj(vec![
         ("error", Json::from(reason)),
@@ -278,7 +413,7 @@ fn write_error(stream: &mut TcpStream, err: &HttpError, keep_alive: bool) -> std
     )
 }
 
-fn write_ok(stream: &mut TcpStream, body: &Json, keep_alive: bool) -> std::io::Result<()> {
+fn write_ok<W: Write>(stream: &mut W, body: &Json, keep_alive: bool) -> std::io::Result<()> {
     http::write_response(
         stream,
         200,
@@ -291,6 +426,15 @@ fn write_ok(stream: &mut TcpStream, body: &Json, keep_alive: bool) -> std::io::R
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
+    shared.open_conns.fetch_add(1, Ordering::SeqCst);
+    // Balance the gauge on every exit path.
+    struct Gauge<'a>(&'a AtomicUsize);
+    impl Drop for Gauge<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _gauge = Gauge(&shared.open_conns);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -365,7 +509,17 @@ fn route(shared: &Shared, req: &Request) -> Result<Json, HttpError> {
             shared.queue.len(),
             shared.stop.load(Ordering::SeqCst),
         )),
-        ("GET", "/metrics") => Ok(api::metrics_response(&shared.registry.snapshot())),
+        ("GET", "/metrics") => Ok(api::metrics_response(
+            &shared.registry.snapshot(),
+            &[
+                (
+                    "serve.open_connections",
+                    shared.open_conns.load(Ordering::SeqCst) as u64,
+                ),
+                ("serve.queued", shared.queue.len() as u64),
+                ("serve.admit_capacity", shared.admit_capacity as u64),
+            ],
+        )),
         ("POST", "/compile") => {
             let body = json_body(req)?;
             let resp = api::compile(&shared.engine, &body, shared.opts.max_meta_states)?;

@@ -326,3 +326,81 @@ fn match_hostile_inputs_are_clean_4xx_and_daemon_survives() {
     assert_alive(&addr);
     handle.shutdown();
 }
+
+#[test]
+fn blocking_fallback_core_serves_sheds_and_drains() {
+    // Pin the portability fallback explicitly: everything above runs
+    // against the default core (the epoll reactor on Linux); this test
+    // forces the blocking thread-per-connection pool and re-checks the
+    // load-bearing behaviors — routing, keep-alive, parse errors,
+    // queue-full shedding.
+    let handle = start(|o| {
+        o.force_blocking = true;
+        o.workers = 1;
+        o.queue_depth = 1;
+        o.read_timeout = Duration::from_millis(800);
+    });
+    let addr = handle.local_addr().to_string();
+
+    let mut c = Client::connect(&addr).unwrap();
+    let body = msc_obs::json::Json::obj(vec![
+        ("source", msc_obs::json::Json::from(PROG)),
+        ("pes", msc_obs::json::Json::from(4u64)),
+    ]);
+    let resp = c.post_json("/run", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    // Keep-alive on the same connection still works.
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    drop(c);
+
+    let resp = raw_exchange(&addr, b"GARBAGE\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+
+    // workers=1 + queue_depth=1: a third concurrent connection is shed.
+    let c1 = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let _c2 = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let mut c3 = TcpStream::connect(&addr).unwrap();
+    c3.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut out = String::new();
+    let _ = c3.read_to_string(&mut out);
+    assert!(out.starts_with("HTTP/1.1 503 "), "{out}");
+    drop(c1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_exposes_conn_state_counters_and_open_connection_gauge() {
+    let handle = start(|_| {});
+    let addr = handle.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    let metrics = c.get("/metrics").unwrap().json().unwrap();
+
+    let gauges = metrics.get("gauges").expect("metrics must carry gauges");
+    let open = gauges
+        .get("serve.open_connections")
+        .and_then(|x| x.as_u64())
+        .expect("open-connection gauge present");
+    assert!(open >= 1, "this very connection is open, got {open}");
+
+    // On the reactor core, connection state transitions are counted.
+    if msc_serve::reactor_available() {
+        let counters = metrics.get("counters").unwrap();
+        for name in [
+            "serve.conn_state.reading_head",
+            "serve.conn_state.executing",
+            "serve.conn_state.writing",
+            "serve.epoll_wakeups",
+        ] {
+            assert!(
+                counters.get(name).and_then(|x| x.as_u64()).unwrap_or(0) >= 1,
+                "{name} missing from {}",
+                metrics.render()
+            );
+        }
+    }
+    handle.shutdown();
+}
