@@ -21,6 +21,13 @@
 #                         the serve bench-regression gate (claims --
 #                         serve --check vs BENCH_serve.json), and check
 #                         that SIGINT drains the daemon cleanly
+#   ./ci.sh cluster-smoke additionally run the cluster bench-regression
+#                         gate (claims -- cluster --check vs
+#                         BENCH_cluster.json), which boots real `mscc
+#                         serve` daemons, warms one, and asserts the
+#                         other serves the workload entirely over
+#                         GET /artifact/{key} peer fetches; daemon logs
+#                         from cluster-logs/ are dumped on failure
 #   ./ci.sh fuzz-smoke    additionally run the differential fuzzer over
 #                         the full in-process oracle matrix (including
 #                         the regex differential oracle) with a fixed
@@ -122,6 +129,24 @@ if [ "$MODE" = "serve-smoke" ]; then
     wait "$SERVE_PID"
     trap - EXIT
     rm -f "$SERVE_LOG"
+fi
+
+if [ "$MODE" = "cluster-smoke" ]; then
+    # Subprocess daemons (the obs install lock is process-global), found
+    # as siblings of the claims binary — tier-1 already built both. Logs
+    # land in cluster-logs/<node>.log; dump them on failure so a red run
+    # is diagnosable from the CI console alone.
+    echo "== cluster smoke: claims -- cluster --check =="
+    rm -rf cluster-logs
+    if ! cargo run --release -p msc-bench --bin claims -- cluster --check; then
+        echo "cluster smoke failed; daemon logs follow" >&2
+        for f in cluster-logs/*.log; do
+            [ -f "$f" ] || continue
+            echo "---- $f ----" >&2
+            cat "$f" >&2
+        done
+        exit 1
+    fi
 fi
 
 if [ "$MODE" = "fuzz-smoke" ]; then

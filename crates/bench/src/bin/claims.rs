@@ -1158,6 +1158,115 @@ fn serve_check() -> bool {
     }
 }
 
+fn cluster_json(m: &msc_bench::cluster::ClusterSummary, generated_by: &str) -> String {
+    format!(
+        "{{\n  \"generated_by\": \"{generated_by}\",\n  \"jobs\": {},\n  \"peer_hits\": {},\n  \
+         \"node_b_compilations\": {},\n  \"peer_hit_mean_ms\": {:.2},\n  \
+         \"peer_hit_max_ms\": {:.2},\n  \"single_node_cold_ms\": {:.2},\n  \
+         \"dead_peer_cold_ms\": {:.2},\n  \"verify_fails\": {},\n  \"errors\": {},\n  \
+         \"targets\": {{\n    \"peer_hit_ms_max\": 250.0,\n    \
+         \"dead_peer_overhead_ms_max\": 4000.0\n  }}\n}}\n",
+        m.jobs,
+        m.peer_hits,
+        m.node_b_compilations,
+        m.peer_hit_mean_ms,
+        m.peer_hit_max_ms,
+        m.single_node_cold_ms,
+        m.dead_peer_cold_ms,
+        m.verify_fails,
+        m.errors
+    )
+}
+
+fn print_cluster(m: &msc_bench::cluster::ClusterSummary) {
+    println!(
+        "\n   node B: {}/{} jobs served by its peer, {} local compilation(s)",
+        m.peer_hits, m.jobs, m.node_b_compilations
+    );
+    println!(
+        "   peer hit {:.2}ms mean / {:.2}ms max vs {:.2}ms single-node cold compile",
+        m.peer_hit_mean_ms, m.peer_hit_max_ms, m.single_node_cold_ms
+    );
+    println!(
+        "   dead fleet: cold compile {:.2}ms; corrupt peer: {} verify failure(s); {} error(s)",
+        m.dead_peer_cold_ms, m.verify_fails, m.errors
+    );
+}
+
+/// `claims -- cluster`: boot a small daemon fleet, measure node B's
+/// compiles-avoided and peer-hit latency, and write the committed
+/// `BENCH_cluster.json` baseline.
+fn cluster() {
+    println!("== CLUSTER: peer artifact sharing across daemons ==\n");
+    println!("   (writes the committed baseline BENCH_cluster.json)");
+    let m = match msc_bench::cluster::measure_cluster() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cluster measurement failed: {e}");
+            return;
+        }
+    };
+    print_cluster(&m);
+    std::fs::write("BENCH_cluster.json", cluster_json(&m, "claims -- cluster"))
+        .expect("write BENCH_cluster.json");
+    println!("\n   wrote BENCH_cluster.json");
+    println!("   shape check: every node-B job is a peer hit, zero local compiles,");
+    println!("   and the dead-fleet compile stays within one peer deadline of single-node\n");
+}
+
+/// `claims -- cluster --check`: re-run the fleet measurement and gate it
+/// against the committed `BENCH_cluster.json`. Returns false (→ nonzero
+/// exit) on any invariant break or latency-bound violation.
+fn cluster_check() -> bool {
+    use msc_bench::regression::{check_cluster, parse_cluster_baseline, ClusterMeasurement};
+
+    println!("== CLUSTER --check: regression gate vs committed BENCH_cluster.json ==\n");
+    let text = match std::fs::read_to_string("BENCH_cluster.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read BENCH_cluster.json: {e}");
+            return false;
+        }
+    };
+    let Some(baseline) = parse_cluster_baseline(&text) else {
+        eprintln!("BENCH_cluster.json is missing expected keys");
+        return false;
+    };
+    let run = match msc_bench::cluster::measure_cluster() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cluster measurement failed: {e}");
+            return false;
+        }
+    };
+    print_cluster(&run);
+    write_remeasured("cluster", &cluster_json(&run, "claims -- cluster --check"));
+    let measured = ClusterMeasurement {
+        jobs: run.jobs,
+        peer_hits: run.peer_hits,
+        node_b_compilations: run.node_b_compilations,
+        peer_hit_mean_ms: run.peer_hit_mean_ms,
+        single_node_cold_ms: run.single_node_cold_ms,
+        dead_peer_cold_ms: run.dead_peer_cold_ms,
+        verify_fails: run.verify_fails,
+        errors: run.errors,
+    };
+    let failures = check_cluster(&baseline, &measured);
+    for f in &failures {
+        eprintln!("REGRESSION: {f}");
+    }
+    if failures.is_empty() {
+        println!("\ncluster regression gate OK");
+        true
+    } else {
+        eprintln!(
+            "\ncluster regression gate FAILED: {} regression(s)",
+            failures.len()
+        );
+        false
+    }
+}
+
 fn main() {
     let mut which: Vec<String> = std::env::args().skip(1).collect();
     let check = which.iter().any(|w| w == "--check");
@@ -1180,9 +1289,14 @@ fn main() {
                 "serve" => serve_check(),
                 "regex" => regex_check(),
                 "explosion" => explosion_check(),
+                // Not in the default list: needs the mscc binary built
+                // first (subprocess daemons) — `ci.sh cluster-smoke`
+                // runs it as its own stage.
+                "cluster" => cluster_check(),
                 other => {
                     eprintln!(
-                        "no --check gate for claim {other:?} (have: setops, serve, regex, explosion)"
+                        "no --check gate for claim {other:?} \
+                         (have: setops, serve, regex, explosion, cluster)"
                     );
                     false
                 }
@@ -1195,7 +1309,7 @@ fn main() {
     }
     let all = which.is_empty();
     let want = |k: &str| all || which.iter().any(|w| w == k);
-    let claims: [(&str, fn()); 18] = [
+    let claims: [(&str, fn()); 19] = [
         ("c1", c1),
         ("c2", c2),
         ("c3", c3),
@@ -1214,6 +1328,7 @@ fn main() {
         ("serve", serve),
         ("regex", regex),
         ("explosion", explosion),
+        ("cluster", cluster),
     ];
     for (k, f) in claims {
         if want(k) {

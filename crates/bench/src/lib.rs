@@ -5,6 +5,7 @@
 //! EXPERIMENTS.md maps every artifact and claim of the paper to these.
 
 pub mod baseline;
+pub mod cluster;
 pub mod loadbench;
 pub mod measure;
 pub mod regression;

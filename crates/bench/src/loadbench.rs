@@ -88,10 +88,39 @@ pub fn smoke(addr: &str) -> bool {
         c.get("/healthz").map(|r| r.status == 200).unwrap_or(false),
     );
     let body = compile_body(HIT_POOL[0]);
+    let compile_key = c
+        .request("POST", "/compile", Some(&body))
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| r.json())
+        .and_then(|v| v.get("key").and_then(Json::as_str).map(str::to_string));
+    check("POST /compile returns the cache key", compile_key.is_some());
+    // /artifact: the key just compiled must come back as a verifiable
+    // envelope; a valid-but-absent key is a 404; a malformed key is 400.
+    let artifact_hit = compile_key.as_deref().is_some_and(|hex| {
+        let Some(key) = msc_cache::CacheKey::from_hex(hex) else {
+            return false;
+        };
+        c.get(&format!("/artifact/{hex}"))
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| msc_cache::wire::open(key, &r.body))
+            .is_some_and(|a| a.starts_with("mscache v1\n"))
+    });
     check(
-        "POST /compile",
-        c.request("POST", "/compile", Some(&body))
-            .map(|r| r.status == 200)
+        "GET /artifact/{key} serves a verified artifact",
+        artifact_hit,
+    );
+    check(
+        "GET /artifact absent key answered with 404",
+        c.get(&format!("/artifact/{}", "0".repeat(32)))
+            .map(|r| r.status == 404)
+            .unwrap_or(false),
+    );
+    check(
+        "GET /artifact malformed key answered with 400",
+        c.get("/artifact/not-a-key")
+            .map(|r| r.status == 400)
             .unwrap_or(false),
     );
     let run_body = Json::obj(vec![

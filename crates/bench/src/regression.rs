@@ -360,6 +360,115 @@ pub fn check_explosion(
     failures
 }
 
+/// The committed cluster baseline out of `BENCH_cluster.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterBaseline {
+    /// Workload size of the committed run.
+    pub jobs: u64,
+    /// Peer hits of the committed run (the invariant: == jobs).
+    pub peer_hits: u64,
+    /// Node B compilations of the committed run (the invariant: 0).
+    pub node_b_compilations: u64,
+    /// Mean peer-hit latency of the committed run, informational.
+    pub peer_hit_mean_ms: f64,
+    /// Absolute mean peer-hit latency ceiling from `targets`.
+    pub peer_hit_ms_max: f64,
+    /// From `targets`: how much slower than the single-node cold
+    /// compile the dead-fleet cold compile may be (one peer-path
+    /// deadline plus scheduling slack).
+    pub dead_peer_overhead_ms_max: f64,
+}
+
+/// One re-measured cluster pass, shaped for [`check_cluster`]
+/// (mirrors `crate::cluster::ClusterSummary`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMeasurement {
+    pub jobs: u64,
+    pub peer_hits: u64,
+    pub node_b_compilations: u64,
+    pub peer_hit_mean_ms: f64,
+    pub single_node_cold_ms: f64,
+    pub dead_peer_cold_ms: f64,
+    pub verify_fails: u64,
+    pub errors: u64,
+}
+
+/// Pull the cluster baseline out of `BENCH_cluster.json` text. The
+/// targets are scoped to their sub-object.
+pub fn parse_cluster_baseline(json: &str) -> Option<ClusterBaseline> {
+    let targets = {
+        let pat = "\"targets\"";
+        json.find(pat).map(|at| &json[at + pat.len()..])?
+    };
+    Some(ClusterBaseline {
+        jobs: extract_number(json, "jobs")? as u64,
+        peer_hits: extract_number(json, "peer_hits")? as u64,
+        node_b_compilations: extract_number(json, "node_b_compilations")? as u64,
+        peer_hit_mean_ms: extract_number(json, "peer_hit_mean_ms")?,
+        peer_hit_ms_max: extract_number(targets, "peer_hit_ms_max")?,
+        dead_peer_overhead_ms_max: extract_number(targets, "dead_peer_overhead_ms_max")?,
+    })
+}
+
+/// Gate a re-measured cluster pass against the committed baseline.
+///
+/// * **invariants** — zero errors; node B serves *every* job from its
+///   peer (peer hits == jobs, zero local compilations); the corrupt-
+///   peer leg actually tripped checksum verification at least once;
+/// * **absolute latency ceiling** — mean peer-hit latency under the
+///   committed `peer_hit_ms_max` (a peer hit must stay far cheaper
+///   than a compile);
+/// * **degradation bound** — a dead fleet may cost at most
+///   `dead_peer_overhead_ms_max` over the single-node cold compile:
+///   losing every peer must never be slower than having none beyond
+///   one peer-path deadline.
+pub fn check_cluster(baseline: &ClusterBaseline, measured: &ClusterMeasurement) -> Vec<String> {
+    let mut failures = Vec::new();
+    if measured.errors > 0 {
+        failures.push(format!(
+            "{} response error(s) across the cluster legs (baseline had none)",
+            measured.errors
+        ));
+    }
+    if measured.peer_hits != measured.jobs || measured.jobs != baseline.jobs {
+        failures.push(format!(
+            "node B took {} peer hit(s) for {} job(s) (committed: {} of {})",
+            measured.peer_hits, measured.jobs, baseline.peer_hits, baseline.jobs
+        ));
+    }
+    if measured.node_b_compilations != baseline.node_b_compilations {
+        failures.push(format!(
+            "node B compiled {} job(s) locally despite a warm donor (committed {})",
+            measured.node_b_compilations, baseline.node_b_compilations
+        ));
+    }
+    if measured.verify_fails == 0 {
+        failures.push(
+            "corrupt-peer leg recorded no cache.peer_verify_fail \
+             (checksum verification not exercised)"
+                .into(),
+        );
+    }
+    if measured.peer_hit_mean_ms > baseline.peer_hit_ms_max {
+        failures.push(format!(
+            "mean peer-hit latency {:.2}ms above the {:.0}ms ceiling (committed run: {:.2}ms)",
+            measured.peer_hit_mean_ms, baseline.peer_hit_ms_max, baseline.peer_hit_mean_ms
+        ));
+    }
+    let dead_ceiling = measured.single_node_cold_ms + baseline.dead_peer_overhead_ms_max;
+    if measured.dead_peer_cold_ms > dead_ceiling {
+        failures.push(format!(
+            "dead-fleet cold compile {:.1}ms above the {:.1}ms bound \
+             (single-node {:.1}ms + {:.0}ms deadline budget)",
+            measured.dead_peer_cold_ms,
+            dead_ceiling,
+            measured.single_node_cold_ms,
+            baseline.dead_peer_overhead_ms_max
+        ));
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +700,87 @@ mod tests {
         );
         assert!(
             failures.iter().any(|f| f.contains("meta states")),
+            "{failures:?}"
+        );
+    }
+
+    const COMMITTED_CLUSTER: &str = include_str!("../../../BENCH_cluster.json");
+
+    fn committed_cluster() -> ClusterBaseline {
+        parse_cluster_baseline(COMMITTED_CLUSTER).expect("parse BENCH_cluster.json")
+    }
+
+    fn honest_cluster_run(b: &ClusterBaseline) -> ClusterMeasurement {
+        ClusterMeasurement {
+            jobs: b.jobs,
+            peer_hits: b.peer_hits,
+            node_b_compilations: b.node_b_compilations,
+            peer_hit_mean_ms: b.peer_hit_mean_ms,
+            single_node_cold_ms: 10.0,
+            dead_peer_cold_ms: 12.0,
+            verify_fails: 1,
+            errors: 0,
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_cluster_baseline() {
+        let b = committed_cluster();
+        assert!(b.jobs >= 2, "{b:?}");
+        assert_eq!(b.peer_hits, b.jobs, "{b:?}");
+        assert_eq!(b.node_b_compilations, 0, "{b:?}");
+        assert!(
+            b.peer_hit_mean_ms > 0.0 && b.peer_hit_mean_ms < b.peer_hit_ms_max,
+            "{b:?}"
+        );
+        assert!(b.dead_peer_overhead_ms_max > 0.0, "{b:?}");
+    }
+
+    #[test]
+    fn matching_cluster_run_passes() {
+        let b = committed_cluster();
+        assert!(check_cluster(&b, &honest_cluster_run(&b)).is_empty());
+    }
+
+    #[test]
+    fn doctored_cluster_baseline_fails_check() {
+        // The negative test for the CI gate: tighten the committed
+        // latency ceiling below what the honest run measures; the gate
+        // must now fail.
+        let mut b = committed_cluster();
+        let honest = honest_cluster_run(&b);
+        b.peer_hit_ms_max = honest.peer_hit_mean_ms / 2.0;
+        let failures = check_cluster(&b, &honest);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("peer-hit latency"), "{failures:?}");
+    }
+
+    #[test]
+    fn cluster_invariant_breaks_fail_check() {
+        let b = committed_cluster();
+        let mut bad = honest_cluster_run(&b);
+        bad.errors = 2;
+        bad.peer_hits = 0;
+        bad.node_b_compilations = bad.jobs; // fleet path entirely dead
+        bad.verify_fails = 0;
+        bad.dead_peer_cold_ms = bad.single_node_cold_ms + b.dead_peer_overhead_ms_max + 1.0;
+        let failures = check_cluster(&b, &bad);
+        assert_eq!(failures.len(), 5, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("error")), "{failures:?}");
+        assert!(
+            failures.iter().any(|f| f.contains("peer hit")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("compiled")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("verify")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("dead-fleet")),
             "{failures:?}"
         );
     }

@@ -1,0 +1,575 @@
+//! Tiered content-addressed compile cache.
+//!
+//! A cache key is a 128-bit SipHash-2-4 fingerprint of everything that
+//! determines a compiled output. The artifacts behind those keys live in
+//! *tiers*, each implementing [`CacheTier`]:
+//!
+//! - [`MemoryTier`] — bounded in-process LRU.
+//! - [`DiskTier`] — one text file per key, written via an atomic
+//!   temp-file + rename so concurrent readers and writers (other
+//!   processes sharing the directory) never observe a torn artifact.
+//! - [`PeerTier`] — fetches artifacts from sibling daemons over the
+//!   std-only HTTP protocol (`GET /artifact/{key}`), with per-peer
+//!   deadlines, bounded retry, a circuit breaker per peer, and
+//!   content-key re-hash verification of every fetched body.
+//!
+//! [`TieredCache`] composes them into the lookup path
+//! memory → disk → peers, with hits promoted into the faster tiers.
+//! The crate is generic over the artifact type `A`; serialization is
+//! delegated to a caller-supplied [`Codec`] so the engine's artifact
+//! format (and its `CostModel`-dependent deserializer) stays in the
+//! engine crate without a dependency cycle.
+
+pub mod peer;
+pub mod tier;
+pub mod wire;
+
+pub use peer::{BreakerState, PeerConfig, PeerStatus, PeerTier};
+pub use tier::{DiskTier, MemoryTier};
+
+use msc_codegen::GenOptions;
+use msc_core::ConvertOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A 128-bit content fingerprint (the two words of a SipHash-2-4-128).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// Hex rendering, used as the on-disk file stem and the
+    /// `/artifact/{key}` path segment.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parse the canonical rendering produced by [`hex`](Self::hex):
+    /// exactly 32 lowercase hex characters. Anything else — wrong
+    /// length, uppercase, stray bytes — is `None`, so HTTP handlers can
+    /// reject malformed keys before touching any tier.
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 || !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(CacheKey { hi, lo })
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Fingerprint one compilation request. Options are folded in through
+/// their `Debug` rendering: every field participates, and adding a field
+/// to either options struct automatically invalidates old keys. The
+/// `0xfe` separators cannot occur inside the UTF-8 fields, so the
+/// encoding is unambiguous.
+pub fn cache_key(
+    source: &str,
+    convert: &ConvertOptions,
+    gen: &GenOptions,
+    optimize: bool,
+    minimize: bool,
+) -> CacheKey {
+    let mut msg = Vec::with_capacity(source.len() + 256);
+    msg.extend_from_slice(source.as_bytes());
+    msg.push(0xfe);
+    msg.extend_from_slice(format!("{convert:?}").as_bytes());
+    msg.push(0xfe);
+    msg.extend_from_slice(format!("{gen:?}").as_bytes());
+    msg.push(optimize as u8);
+    msg.push(minimize as u8);
+    let (hi, lo) = siphash128(0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03, &msg);
+    CacheKey { hi, lo }
+}
+
+/// Fingerprint arbitrary content for a non-MIMDC domain (e.g. the regex
+/// front-end keys compiled patterns by `content_key("regex", ...)`). The
+/// domain tag and a length prefix per part make the encoding unambiguous
+/// and keep every domain's keyspace disjoint from [`cache_key`]'s —
+/// its `0xfe`-separated encoding never starts with an `0xff` byte, and
+/// this one always does.
+pub fn content_key(domain: &str, parts: &[&[u8]]) -> CacheKey {
+    let mut msg = Vec::with_capacity(64 + parts.iter().map(|p| p.len() + 8).sum::<usize>());
+    msg.push(0xff);
+    msg.extend_from_slice(&(domain.len() as u64).to_le_bytes());
+    msg.extend_from_slice(domain.as_bytes());
+    for part in parts {
+        msg.extend_from_slice(&(part.len() as u64).to_le_bytes());
+        msg.extend_from_slice(part);
+    }
+    let (hi, lo) = siphash128(0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03, &msg);
+    CacheKey { hi, lo }
+}
+
+/// SipHash-2-4 with 128-bit output (reference construction from the
+/// SipHash paper / `siphash.c`). Vendored because the cache needs a
+/// fingerprint whose two words mix independently — deriving two 64-bit
+/// lanes by reseeding a non-seed-robust hash (Fx) leaves them correlated
+/// — and the container has no 128-bit hash crate to lean on.
+fn siphash128(k0: u64, k1: u64, data: &[u8]) -> (u64, u64) {
+    #[inline]
+    fn round(v: &mut [u64; 4]) {
+        v[0] = v[0].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(13);
+        v[1] ^= v[0];
+        v[0] = v[0].rotate_left(32);
+        v[2] = v[2].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(16);
+        v[3] ^= v[2];
+        v[0] = v[0].wrapping_add(v[3]);
+        v[3] = v[3].rotate_left(21);
+        v[3] ^= v[0];
+        v[2] = v[2].wrapping_add(v[1]);
+        v[1] = v[1].rotate_left(17);
+        v[1] ^= v[2];
+        v[2] = v[2].rotate_left(32);
+    }
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575,
+        k1 ^ 0x646f_7261_6e64_6f6d ^ 0xee, // 128-bit output variant marker
+        k0 ^ 0x6c79_6765_6e65_7261,
+        k1 ^ 0x7465_6462_7974_6573,
+    ];
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
+        v[3] ^= m;
+        round(&mut v);
+        round(&mut v);
+        v[0] ^= m;
+    }
+    let rem = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rem.len()].copy_from_slice(rem);
+    last[7] = data.len() as u8;
+    let m = u64::from_le_bytes(last);
+    v[3] ^= m;
+    round(&mut v);
+    round(&mut v);
+    v[0] ^= m;
+    v[2] ^= 0xee;
+    for _ in 0..4 {
+        round(&mut v);
+    }
+    let hi = v[0] ^ v[1] ^ v[2] ^ v[3];
+    v[1] ^= 0xdd;
+    for _ in 0..4 {
+        round(&mut v);
+    }
+    let lo = v[0] ^ v[1] ^ v[2] ^ v[3];
+    (hi, lo)
+}
+
+/// Where a cache hit came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLayer {
+    /// In-memory LRU.
+    Memory,
+    /// On-disk artifact, reloaded (and promoted into memory).
+    Disk,
+    /// Fetched from a sibling daemon (and promoted into memory + disk).
+    Peer,
+}
+
+/// Counter snapshot for `--stats` output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// In-memory hits.
+    pub hits: u64,
+    /// Disk hits (artifact reloaded and promoted to memory).
+    pub disk_hits: u64,
+    /// Verified artifacts fetched from peer daemons (promoted locally).
+    pub peer_hits: u64,
+    /// Lookups that found nothing anywhere.
+    pub misses: u64,
+    /// Artifacts inserted after a fresh compile.
+    pub insertions: u64,
+    /// LRU evictions from the memory layer.
+    pub evictions: u64,
+}
+
+/// Artifact (de)serialization, supplied by the caller per lookup. The
+/// engine's decoder needs a `CostModel` to reparse assembly; passing the
+/// codec by reference per call lets it borrow that context instead of
+/// the cache owning it.
+pub trait Codec<A>: Sync {
+    /// Serialize an artifact to the tier interchange text (the same
+    /// format the disk tier persists and the peer protocol ships).
+    fn encode(&self, key: CacheKey, artifact: &A) -> String;
+    /// Parse the interchange text; any malformation yields `None`
+    /// (treated as a miss — the artifact is simply rebuilt).
+    fn decode(&self, text: &str) -> Option<A>;
+}
+
+/// One storage tier. Implementations must tolerate arbitrary
+/// concurrency and degrade failures to misses — a sick tier never fails
+/// a compile, it just stops saving work.
+pub trait CacheTier<A>: Send + Sync {
+    /// Which layer this tier reports hits as.
+    fn layer(&self) -> CacheLayer;
+    /// Look up `key`; `None` is a miss at this tier.
+    fn fetch(&self, key: CacheKey, codec: &dyn Codec<A>) -> Option<Arc<A>>;
+    /// Store an artifact (promotion or fresh insert). Best effort.
+    fn store(&self, key: CacheKey, artifact: &Arc<A>, codec: &dyn Codec<A>);
+    /// Introspection snapshot for `/healthz`.
+    fn status(&self) -> TierStatus;
+}
+
+/// Point-in-time tier introspection, surfaced on `/healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierStatus {
+    /// The in-memory LRU.
+    Memory {
+        /// Artifacts currently resident.
+        entries: usize,
+        /// Configured capacity (0 = layer disabled).
+        capacity: usize,
+        /// Lifetime LRU evictions.
+        evictions: u64,
+    },
+    /// The on-disk layer.
+    Disk {
+        /// Cache directory.
+        dir: String,
+    },
+    /// The peer-fetch layer.
+    Peers {
+        /// Per-peer breaker snapshots, in configured order.
+        peers: Vec<PeerStatus>,
+        /// Budget for one whole peer-path traversal.
+        total_deadline: Duration,
+    },
+}
+
+/// The composed lookup path: memory → disk → peers, hits promoted into
+/// every faster tier, stats accounted at this level so the
+/// `probe`/`note_miss` split (singleflight charges one miss per
+/// coalesced group) keeps the invariant
+/// `hits + disk_hits + peer_hits + misses == resolved lookups`.
+pub struct TieredCache<A> {
+    memory: MemoryTier<A>,
+    disk: Option<DiskTier<A>>,
+    peers: Option<PeerTier<A>>,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    peer_hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl<A: Send + Sync> TieredCache<A> {
+    /// A cache holding at most `capacity` artifacts in memory (0 disables
+    /// the memory layer), persisting to `disk_dir` when given (the
+    /// directory is created on first use; I/O failures degrade to
+    /// misses), with no peer tier.
+    pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> Self {
+        Self::with_peers(capacity, disk_dir, Vec::new(), PeerConfig::default())
+    }
+
+    /// [`new`](Self::new) plus a peer tier fetching from `peers`
+    /// (`host:port` each); an empty list disables the tier.
+    pub fn with_peers(
+        capacity: usize,
+        disk_dir: Option<PathBuf>,
+        peers: Vec<String>,
+        cfg: PeerConfig,
+    ) -> Self {
+        TieredCache {
+            memory: MemoryTier::new(capacity),
+            disk: disk_dir.map(DiskTier::new),
+            peers: if peers.is_empty() {
+                None
+            } else {
+                Some(PeerTier::new(peers, cfg))
+            },
+            hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            peer_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn local_tiers(&self) -> impl Iterator<Item = &dyn CacheTier<A>> {
+        std::iter::once(&self.memory as &dyn CacheTier<A>)
+            .chain(self.disk.iter().map(|d| d as &dyn CacheTier<A>))
+    }
+
+    /// Look up `key` in the *local* tiers (memory, then disk), promoting
+    /// a hit into every faster tier. Does not record a miss and does not
+    /// touch the network: the singleflight layer probes first and only
+    /// the elected leader pays for remote fetches and charges the miss.
+    pub fn probe(&self, key: CacheKey, codec: &dyn Codec<A>) -> Option<(Arc<A>, CacheLayer)> {
+        for (depth, tier) in self.local_tiers().enumerate() {
+            if let Some(artifact) = tier.fetch(key, codec) {
+                let layer = tier.layer();
+                match layer {
+                    CacheLayer::Memory => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        msc_obs::count("cache.hit", 1);
+                    }
+                    CacheLayer::Disk => {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        msc_obs::count("cache.disk_hit", 1);
+                    }
+                    CacheLayer::Peer => unreachable!("peer tier is not a local tier"),
+                }
+                for (d, faster) in self.local_tiers().enumerate() {
+                    if d < depth {
+                        faster.store(key, &artifact, codec);
+                    }
+                }
+                return Some((artifact, layer));
+            }
+        }
+        None
+    }
+
+    /// Consult the peer tier for `key`; a verified hit is promoted into
+    /// memory and disk. Runs the full robustness stack (deadlines,
+    /// retry, breakers, re-hash verification); with no peers configured
+    /// it returns `None` immediately.
+    pub fn fetch_remote(&self, key: CacheKey, codec: &dyn Codec<A>) -> Option<Arc<A>> {
+        let peers = self.peers.as_ref()?;
+        let artifact = peers.fetch(key, codec)?;
+        self.peer_hits.fetch_add(1, Ordering::Relaxed);
+        msc_obs::count("cache.peer_hit", 1);
+        if let Some(disk) = &self.disk {
+            disk.store(key, &artifact, codec);
+        }
+        self.memory.store(key, &artifact, codec);
+        Some(artifact)
+    }
+
+    /// Record one miss. Paired with [`probe`](Self::probe): the
+    /// singleflight leader calls this exactly once per coalesced group,
+    /// after the peer path (if any) also came up empty.
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        msc_obs::count("cache.miss", 1);
+    }
+
+    /// Insert a freshly compiled artifact into the local tiers.
+    pub fn insert(&self, key: CacheKey, artifact: Arc<A>, codec: &dyn Codec<A>) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        msc_obs::count("cache.insert", 1);
+        if let Some(disk) = &self.disk {
+            disk.store(key, &artifact, codec);
+        }
+        self.memory.store(key, &artifact, codec);
+    }
+
+    /// Serialize a locally cached artifact for the peer protocol:
+    /// memory first (encoded on the fly), else the raw disk file text.
+    /// Never consults peers (no fetch recursion between daemons) and
+    /// counts nothing — an export is not a lookup.
+    pub fn export(&self, key: CacheKey, codec: &dyn Codec<A>) -> Option<String> {
+        if let Some(artifact) = self.memory.peek(key) {
+            return Some(codec.encode(key, &artifact));
+        }
+        self.disk.as_ref()?.read_raw(key)
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.memory.evictions(),
+        }
+    }
+
+    /// Number of artifacts currently in memory.
+    pub fn len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// True when the memory layer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when a peer tier is configured.
+    pub fn has_peers(&self) -> bool {
+        self.peers.is_some()
+    }
+
+    /// Status of every configured tier, fastest first.
+    pub fn tier_status(&self) -> Vec<TierStatus> {
+        let mut out: Vec<TierStatus> = self.local_tiers().map(|t| t.status()).collect();
+        if let Some(peers) = &self.peers {
+            out.push(CacheTier::<A>::status(peers));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// Minimal artifact codec for tier tests: the payload is a `String`,
+    /// framed with the same `mscache v1` magic the real format uses (the
+    /// disk tier's raw-export path insists on it).
+    pub struct StrCodec;
+
+    impl Codec<String> for StrCodec {
+        fn encode(&self, key: CacheKey, artifact: &String) -> String {
+            format!("mscache v1\nkey {}\n{artifact}", key.hex())
+        }
+
+        fn decode(&self, text: &str) -> Option<String> {
+            let rest = text.strip_prefix("mscache v1\n")?;
+            let (key_line, body) = rest.split_once('\n')?;
+            key_line.strip_prefix("key ")?;
+            Some(body.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::StrCodec;
+    use super::*;
+
+    #[test]
+    fn siphash128_matches_reference_vectors() {
+        // `vectors_sip128` from the SipHash reference implementation,
+        // key = 00 01 02 .. 0f, read as two little-endian words.
+        let k0 = 0x0706_0504_0302_0100;
+        let k1 = 0x0f0e_0d0c_0b0a_0908;
+        assert_eq!(
+            siphash128(k0, k1, &[]),
+            (0xe6a8_25ba_047f_81a3, 0x9302_55c7_1472_f66d)
+        );
+        assert_eq!(
+            siphash128(k0, k1, &[0x00]),
+            (0x44af_996b_d8c1_87da, 0x45fc_229b_1159_7634)
+        );
+        let msg: Vec<u8> = (0..15).collect(); // crosses the 8-byte block edge
+        assert_eq!(
+            siphash128(k0, k1, &msg),
+            (0x11a8_b033_99e9_9354, 0xd9c3_cf97_0fec_087e)
+        );
+    }
+
+    #[test]
+    fn key_is_stable_and_content_sensitive() {
+        let c = ConvertOptions::base();
+        let g = GenOptions::default();
+        let k1 = cache_key("main() {}", &c, &g, false, false);
+        let k2 = cache_key("main() {}", &c, &g, false, false);
+        assert_eq!(k1, k2);
+        assert_ne!(k1, cache_key("main() { }", &c, &g, false, false));
+        assert_ne!(k1, cache_key("main() {}", &c, &g, true, false));
+        let mut c2 = c.clone();
+        c2.max_meta_states = 7;
+        assert_ne!(k1, cache_key("main() {}", &c2, &g, false, false));
+        let g2 = GenOptions { csi: false, ..g };
+        assert_ne!(k1, cache_key("main() {}", &c, &g2, false, false));
+    }
+
+    #[test]
+    fn from_hex_round_trips_and_rejects_malformed() {
+        let key = content_key("t", &[b"x"]);
+        assert_eq!(CacheKey::from_hex(&key.hex()), Some(key));
+        for bad in [
+            "",
+            "abc",
+            "zz000000000000000000000000000000",     // non-hex
+            "ABCDEF0000000000000000000000000000",   // wrong length
+            "ABCDEF00000000000000000000000000",     // uppercase
+            "0123456789abcdef0123456789abcde",      // 31 chars
+            "0123456789abcdef0123456789abcdef0",    // 33 chars
+            "0123456789abcdef0123456789abcd\u{e9}", // non-ASCII
+            " 0123456789abcdef0123456789abcde",     // leading space
+            "../../../../../../../../etc/pass",     // traversal junk
+        ] {
+            assert_eq!(CacheKey::from_hex(bad), None, "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn tiered_probe_promotes_disk_hits_to_memory() {
+        let dir = std::env::temp_dir().join(format!("msc-cache-tiered-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = content_key("tiered", &[b"a"]);
+        {
+            let cache: TieredCache<String> = TieredCache::new(4, Some(dir.clone()));
+            cache.insert(key, Arc::new("payload".to_string()), &StrCodec);
+        }
+        let cache: TieredCache<String> = TieredCache::new(4, Some(dir.clone()));
+        let (artifact, layer) = cache.probe(key, &StrCodec).expect("disk hit");
+        assert_eq!(layer, CacheLayer::Disk);
+        assert_eq!(*artifact, "payload");
+        let (_, layer) = cache
+            .probe(key, &StrCodec)
+            .expect("memory hit after promotion");
+        assert_eq!(layer, CacheLayer::Memory);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.disk_hits, s.misses), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_prefers_memory_then_raw_disk_and_never_counts() {
+        let dir = std::env::temp_dir().join(format!("msc-cache-export-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = content_key("export", &[b"a"]);
+        let cache: TieredCache<String> = TieredCache::new(4, Some(dir.clone()));
+        assert_eq!(cache.export(key, &StrCodec), None, "cold cache has nothing");
+        cache.insert(key, Arc::new("body".to_string()), &StrCodec);
+        let from_memory = cache.export(key, &StrCodec).expect("memory export");
+        assert!(from_memory.starts_with("mscache v1\n"));
+        // Cold memory, warm disk: the raw file text is served verbatim.
+        let cold: TieredCache<String> = TieredCache::new(4, Some(dir.clone()));
+        assert_eq!(
+            cold.export(key, &StrCodec).as_deref(),
+            Some(from_memory.as_str())
+        );
+        let s = cold.stats();
+        assert_eq!(
+            (s.hits, s.disk_hits, s.peer_hits, s.misses),
+            (0, 0, 0, 0),
+            "exports are not lookups"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tier_status_reports_each_configured_tier() {
+        let cache: TieredCache<String> =
+            TieredCache::with_peers(8, None, vec!["127.0.0.1:1".into()], PeerConfig::default());
+        let status = cache.tier_status();
+        assert_eq!(status.len(), 2);
+        assert!(matches!(
+            status[0],
+            TierStatus::Memory {
+                entries: 0,
+                capacity: 8,
+                ..
+            }
+        ));
+        match &status[1] {
+            TierStatus::Peers { peers, .. } => {
+                assert_eq!(peers.len(), 1);
+                assert_eq!(peers[0].addr, "127.0.0.1:1");
+                assert_eq!(peers[0].breaker, BreakerState::Closed);
+            }
+            other => panic!("expected peer tier status, got {other:?}"),
+        }
+    }
+}

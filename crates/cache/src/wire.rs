@@ -1,0 +1,85 @@
+//! The peer transfer envelope.
+//!
+//! `GET /artifact/{key}` responds with a JSON object
+//! `{"key": <hex>, "sum": <hex>, "artifact": <interchange text>}`.
+//! The cache key itself cannot be recomputed from the body (it hashes
+//! the *source* and options, which the artifact does not carry), so
+//! end-to-end integrity comes from `sum`: a content-key re-hash over
+//! the key and the artifact text, computed by the serving node and
+//! recomputed by the fetcher. A corrupt, truncated, or substituted body
+//! fails one of three gates — key mismatch, sum mismatch, or codec
+//! parse failure — and degrades to a miss.
+
+use crate::{content_key, CacheKey};
+use msc_obs::json::Json;
+
+/// The checksum the envelope carries: a content-key over the requested
+/// key's hex rendering and the artifact interchange text.
+pub fn checksum(key: CacheKey, artifact_text: &str) -> String {
+    content_key(
+        "artifact-wire",
+        &[key.hex().as_bytes(), artifact_text.as_bytes()],
+    )
+    .hex()
+}
+
+/// Build the response envelope for a serving node.
+pub fn envelope(key: CacheKey, artifact_text: &str) -> Json {
+    Json::obj([
+        ("key", Json::from(key.hex())),
+        ("sum", Json::from(checksum(key, artifact_text))),
+        ("artifact", Json::from(artifact_text)),
+    ])
+}
+
+/// Verify a fetched envelope body against the key we asked for and
+/// return the artifact interchange text. Any malformation — unparsable
+/// JSON, missing fields, a key other than the requested one, or a sum
+/// that does not re-hash — yields `None`.
+pub fn open(requested: CacheKey, body: &str) -> Option<String> {
+    let json = msc_obs::json::parse(body).ok()?;
+    let key = json.get("key")?.as_str()?;
+    let sum = json.get("sum")?.as_str()?;
+    let artifact = json.get("artifact")?.as_str()?;
+    if key != requested.hex() || sum != checksum(requested, artifact) {
+        return None;
+    }
+    Some(artifact.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips() {
+        let key = content_key("wire", &[b"k"]);
+        let body = envelope(key, "mscache v1\nkey x\npayload\n").render();
+        assert_eq!(
+            open(key, &body).as_deref(),
+            Some("mscache v1\nkey x\npayload\n")
+        );
+    }
+
+    #[test]
+    fn open_rejects_tampering() {
+        let key = content_key("wire", &[b"k"]);
+        let other = content_key("wire", &[b"other"]);
+        let text = "mscache v1\nkey x\npayload\n";
+        let good = envelope(key, text).render();
+        // Wrong key requested (peer served a different artifact).
+        assert_eq!(open(other, &good), None);
+        // Flipped byte in the artifact body.
+        let tampered = good.replace("payload", "paXload");
+        assert_eq!(open(key, &tampered), None);
+        // Sum stripped or corrupted.
+        let bad_sum = envelope(key, text)
+            .render()
+            .replace(&checksum(key, text), &checksum(other, text));
+        assert_eq!(open(key, &bad_sum), None);
+        // Not JSON at all / truncated.
+        assert_eq!(open(key, "not json"), None);
+        assert_eq!(open(key, &good[..good.len() / 2]), None);
+        assert_eq!(open(key, "{}"), None);
+    }
+}

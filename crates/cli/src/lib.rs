@@ -99,6 +99,9 @@ pub enum Command {
         /// Force the blocking thread-per-connection core instead of the
         /// epoll reactor.
         blocking: bool,
+        /// Sibling daemons (`host:port`) consulted on local cache
+        /// misses before compiling.
+        peers: Vec<String>,
     },
     /// `mscc fuzz`: differential fuzzing over the whole oracle matrix.
     Fuzz {
@@ -221,7 +224,7 @@ USAGE:
   mscc batch <FILE>... [common flags] [engine flags]
   mscc run   <FILE>    [--pes N] [--pool N] [--compare] [--trace] [common flags]
   mscc serve           [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache DIR]
-                       [--max-meta-states N] [--blocking]
+                       [--max-meta-states N] [--blocking] [--peers HOST:PORT,...]
   mscc fuzz            [--seed N] [--cases N] [--pes N] [--max-states N] [--corpus DIR]
                        [--oracles LIST] [--serve | --serve-addr HOST:PORT] [--replay FILE]
   mscc match <PATTERN> [FILE]... [--threads N]
@@ -260,6 +263,9 @@ SERVE FLAGS:
                            instead of the epoll reactor (reactor is the
                            default on Linux; MSC_SERVE_BLOCKING=1 forces
                            blocking too)
+  --peers HOST:PORT,...    sibling daemons consulted on local cache misses
+                           before compiling (GET /artifact/{key}); a sick
+                           peer is skipped via a per-peer circuit breaker
 
 FUZZ FLAGS:
   --seed N                 run seed; case k is reproducible from (seed, k) (default 1)
@@ -427,6 +433,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut cache: Option<String> = None;
             let mut max_meta_states: Option<usize> = None;
             let mut blocking = false;
+            let mut peers: Vec<String> = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--addr" => {
@@ -470,6 +477,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         max_meta_states = Some(n);
                     }
                     "--blocking" => blocking = true,
+                    "--peers" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError("--peers needs a comma-separated HOST:PORT list".into())
+                        })?;
+                        for p in v.split(',') {
+                            let p = p.trim();
+                            if p.is_empty() {
+                                return Err(CliError(format!("empty peer address in `{v}`")));
+                            }
+                            peers.push(p.to_string());
+                        }
+                    }
                     other => return Err(CliError(format!("unexpected argument `{other}`"))),
                 }
             }
@@ -480,6 +499,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 cache,
                 max_meta_states,
                 blocking,
+                peers,
             })
         }
         "fuzz" => {
@@ -679,9 +699,10 @@ fn stats_block(artifact: &metastate::Artifact, provenance: Provenance, engine: &
         t.compile, t.convert, t.codegen
     ));
     out.push_str(&format!(
-        "cache: {} memory hits, {} disk hits, {} misses, {} coalesced, {} insertions, {} evictions\n",
+        "cache: {} memory hits, {} disk hits, {} peer hits, {} misses, {} coalesced, {} insertions, {} evictions\n",
         c.hits,
         c.disk_hits,
+        c.peer_hits,
         c.misses,
         engine.coalesced(),
         c.insertions,
@@ -1035,9 +1056,10 @@ pub fn execute_batch(
     if opts.stats {
         let c = engine.cache_stats();
         text.push_str(&format!(
-            "; cache: {} memory hits, {} disk hits, {} misses, {} coalesced",
+            "; cache: {} memory hits, {} disk hits, {} peer hits, {} misses, {} coalesced",
             c.hits,
             c.disk_hits,
+            c.peer_hits,
             c.misses,
             engine.coalesced()
         ));
@@ -1232,6 +1254,7 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             cache,
             max_meta_states,
             blocking,
+            peers,
         } => {
             let defaults = msc_serve::ServeOptions::default();
             let force_blocking = *blocking;
@@ -1242,11 +1265,15 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
                 cache_dir: cache.as_ref().map(std::path::PathBuf::from),
                 max_meta_states: max_meta_states.unwrap_or(defaults.max_meta_states),
                 force_blocking,
+                peers: peers.clone(),
                 ..defaults
             })
             .map_err(|e| CliError(format!("cannot start daemon on {addr}: {e}")))?;
             // Announce before blocking so scripts can find the port.
             println!("msc-serve listening on {}", handle.local_addr());
+            if !peers.is_empty() {
+                println!("msc-serve peers: {}", peers.join(", "));
+            }
             let core = if force_blocking || !msc_serve::reactor_available() {
                 "blocking pool"
             } else {
@@ -1327,11 +1354,29 @@ mod tests {
                 cache: Some("/tmp/c".into()),
                 max_meta_states: Some(512),
                 blocking: true,
+                peers: Vec::new(),
             }
         );
         assert!(parse_args(&args("serve --max-meta-states 0")).is_err());
         assert!(parse_args(&args("serve --workers")).is_err());
         assert!(parse_args(&args("serve extra.mimdc")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_peers() {
+        // An empty entry (doubled or trailing comma) is an error, not
+        // a silently dropped peer.
+        assert!(parse_args(&args("serve --peers 10.0.0.1:7643,,10.0.0.2:7643")).is_err());
+        assert!(parse_args(&args("serve --peers 10.0.0.1:7643,")).is_err());
+        let cmd = parse_args(&args(
+            "serve --addr 127.0.0.1:0 --peers 10.0.0.1:7643,10.0.0.2:7643",
+        ))
+        .unwrap();
+        let Command::Serve { peers, .. } = cmd else {
+            panic!("expected serve command");
+        };
+        assert_eq!(peers, vec!["10.0.0.1:7643", "10.0.0.2:7643"]);
+        assert!(parse_args(&args("serve --peers")).is_err());
     }
 
     #[test]

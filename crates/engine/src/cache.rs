@@ -1,200 +1,61 @@
-//! Content-addressed compile cache.
+//! The engine's view of the tiered compile cache.
 //!
-//! A cache key is a 128-bit SipHash-2-4 fingerprint of everything that
-//! determines the compiled output: the MIMDC source text, the conversion
-//! options, the code-generation options, and the optional IR passes. The
-//! two output words come from SipHash's genuinely independent 128-bit
-//! finalization (not two seeded runs of a weak mixer), so accidental
-//! collision of distinct inputs is vanishingly unlikely for a cache
-//! (this is an integrity shortcut, not a security boundary — the key is
-//! fixed, not secret).
+//! The tier machinery itself — the key/fingerprint algebra, the
+//! in-memory LRU, the atomic on-disk layer, and the peer-fetch tier
+//! with its breakers and deadlines — lives in the `msc-cache` crate,
+//! generic over the artifact type. This module binds it to
+//! [`Artifact`]: `ArtifactCodec` implements the `mscache v1`
+//! interchange format (the SIMD program via the reloadable assembly
+//! format `msc_simd::asm`, plus conversion stats and the automaton
+//! rendering), and [`CompileCache`] wraps `TieredCache<Artifact>` with
+//! the engine-facing API the rest of the workspace already speaks.
 //!
-//! The in-memory layer is a bounded LRU of [`Artifact`]s behind a
-//! [`parking_lot::Mutex`]. The optional on-disk layer persists one text
-//! file per key — the SIMD program via the reloadable assembly format
-//! (`msc_simd::asm`), plus conversion stats and the automaton rendering —
-//! so repeated `mscc` invocations reuse artifacts across processes. Disk
-//! artifacts reload the executable program but not the full automaton or
-//! front-end IR, so [`Artifact::automaton`] / [`Artifact::compiled`] are
-//! `None` for them.
+//! Disk and peer artifacts reload the executable program but not the
+//! full automaton or front-end IR, so [`Artifact::automaton`] /
+//! [`Artifact::compiled`] are `None` for them.
 
 use crate::{Artifact, PhaseTimings};
-use msc_codegen::GenOptions;
-use msc_core::{ConvertOptions, ConvertStats};
-use msc_ir::util::FxHashMap;
+use msc_cache::{Codec, PeerConfig, TierStatus, TieredCache};
+use msc_core::ConvertStats;
 use msc_ir::{Addr, CostModel};
-use parking_lot::Mutex;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A 128-bit content fingerprint (the two words of a SipHash-2-4-128).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    hi: u64,
-    lo: u64,
+pub use msc_cache::{cache_key, content_key, CacheKey, CacheLayer, CacheStats};
+
+/// The `mscache v1` (de)serializer for [`Artifact`]s. Decoding reparses
+/// the assembly, which needs the request's [`CostModel`]; the cache key
+/// already pins it, so borrowing it per call is sound.
+pub(crate) struct ArtifactCodec<'a> {
+    pub costs: &'a CostModel,
 }
 
-impl CacheKey {
-    /// Hex rendering, used as the on-disk file stem.
-    pub fn hex(&self) -> String {
-        format!("{:016x}{:016x}", self.hi, self.lo)
+impl ArtifactCodec<'_> {
+    /// Codec for paths that only encode (insert, export): encoding
+    /// never reads the cost model.
+    pub fn encode_only() -> ArtifactCodec<'static> {
+        static DEFAULT: std::sync::OnceLock<CostModel> = std::sync::OnceLock::new();
+        ArtifactCodec {
+            costs: DEFAULT.get_or_init(CostModel::default),
+        }
     }
 }
 
-impl std::fmt::Display for CacheKey {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.hex())
+impl Codec<Artifact> for ArtifactCodec<'_> {
+    fn encode(&self, key: CacheKey, artifact: &Artifact) -> String {
+        write_disk_artifact(key, artifact)
+    }
+
+    fn decode(&self, text: &str) -> Option<Artifact> {
+        read_disk_artifact(text, self.costs)
     }
 }
 
-/// Fingerprint one compilation request. Options are folded in through
-/// their `Debug` rendering: every field participates, and adding a field
-/// to either options struct automatically invalidates old keys. The
-/// `0xfe` separators cannot occur inside the UTF-8 fields, so the
-/// encoding is unambiguous.
-pub fn cache_key(
-    source: &str,
-    convert: &ConvertOptions,
-    gen: &GenOptions,
-    optimize: bool,
-    minimize: bool,
-) -> CacheKey {
-    let mut msg = Vec::with_capacity(source.len() + 256);
-    msg.extend_from_slice(source.as_bytes());
-    msg.push(0xfe);
-    msg.extend_from_slice(format!("{convert:?}").as_bytes());
-    msg.push(0xfe);
-    msg.extend_from_slice(format!("{gen:?}").as_bytes());
-    msg.push(optimize as u8);
-    msg.push(minimize as u8);
-    let (hi, lo) = siphash128(0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03, &msg);
-    CacheKey { hi, lo }
-}
-
-/// Fingerprint arbitrary content for a non-MIMDC domain (e.g. the regex
-/// front-end keys compiled patterns by `content_key("regex", ...)`). The
-/// domain tag and a length prefix per part make the encoding unambiguous
-/// and keep every domain's keyspace disjoint from [`cache_key`]'s —
-/// its `0xfe`-separated encoding never starts with an `0xff` byte, and
-/// this one always does.
-pub fn content_key(domain: &str, parts: &[&[u8]]) -> CacheKey {
-    let mut msg = Vec::with_capacity(64 + parts.iter().map(|p| p.len() + 8).sum::<usize>());
-    msg.push(0xff);
-    msg.extend_from_slice(&(domain.len() as u64).to_le_bytes());
-    msg.extend_from_slice(domain.as_bytes());
-    for part in parts {
-        msg.extend_from_slice(&(part.len() as u64).to_le_bytes());
-        msg.extend_from_slice(part);
-    }
-    let (hi, lo) = siphash128(0x9e37_79b9_7f4a_7c15, 0xd1b5_4a32_d192_ed03, &msg);
-    CacheKey { hi, lo }
-}
-
-/// SipHash-2-4 with 128-bit output (reference construction from the
-/// SipHash paper / `siphash.c`). Vendored because the cache needs a
-/// fingerprint whose two words mix independently — deriving two 64-bit
-/// lanes by reseeding a non-seed-robust hash (Fx) leaves them correlated
-/// — and the container has no 128-bit hash crate to lean on.
-fn siphash128(k0: u64, k1: u64, data: &[u8]) -> (u64, u64) {
-    #[inline]
-    fn round(v: &mut [u64; 4]) {
-        v[0] = v[0].wrapping_add(v[1]);
-        v[1] = v[1].rotate_left(13);
-        v[1] ^= v[0];
-        v[0] = v[0].rotate_left(32);
-        v[2] = v[2].wrapping_add(v[3]);
-        v[3] = v[3].rotate_left(16);
-        v[3] ^= v[2];
-        v[0] = v[0].wrapping_add(v[3]);
-        v[3] = v[3].rotate_left(21);
-        v[3] ^= v[0];
-        v[2] = v[2].wrapping_add(v[1]);
-        v[1] = v[1].rotate_left(17);
-        v[1] ^= v[2];
-        v[2] = v[2].rotate_left(32);
-    }
-    let mut v = [
-        k0 ^ 0x736f_6d65_7073_6575,
-        k1 ^ 0x646f_7261_6e64_6f6d ^ 0xee, // 128-bit output variant marker
-        k0 ^ 0x6c79_6765_6e65_7261,
-        k1 ^ 0x7465_6462_7974_6573,
-    ];
-    let mut chunks = data.chunks_exact(8);
-    for chunk in &mut chunks {
-        let m = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
-        v[3] ^= m;
-        round(&mut v);
-        round(&mut v);
-        v[0] ^= m;
-    }
-    let rem = chunks.remainder();
-    let mut last = [0u8; 8];
-    last[..rem.len()].copy_from_slice(rem);
-    last[7] = data.len() as u8;
-    let m = u64::from_le_bytes(last);
-    v[3] ^= m;
-    round(&mut v);
-    round(&mut v);
-    v[0] ^= m;
-    v[2] ^= 0xee;
-    for _ in 0..4 {
-        round(&mut v);
-    }
-    let hi = v[0] ^ v[1] ^ v[2] ^ v[3];
-    v[1] ^= 0xdd;
-    for _ in 0..4 {
-        round(&mut v);
-    }
-    let lo = v[0] ^ v[1] ^ v[2] ^ v[3];
-    (hi, lo)
-}
-
-/// Where a cache hit came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CacheLayer {
-    /// In-memory LRU.
-    Memory,
-    /// On-disk artifact, reloaded (and promoted into memory).
-    Disk,
-}
-
-/// Counter snapshot for `--stats` output.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// In-memory hits.
-    pub hits: u64,
-    /// Disk hits (artifact reloaded and promoted to memory).
-    pub disk_hits: u64,
-    /// Lookups that found nothing anywhere.
-    pub misses: u64,
-    /// Artifacts inserted after a fresh compile.
-    pub insertions: u64,
-    /// LRU evictions from the memory layer.
-    pub evictions: u64,
-}
-
-struct Entry {
-    artifact: Arc<Artifact>,
-    last_used: u64,
-}
-
-struct Inner {
-    map: FxHashMap<CacheKey, Entry>,
-    tick: u64,
-}
-
-/// Bounded, thread-safe artifact cache with an optional disk layer.
+/// Bounded, thread-safe artifact cache: memory LRU, optional disk
+/// layer, optional peer-daemon layer.
 pub struct CompileCache {
-    capacity: usize,
-    disk_dir: Option<PathBuf>,
-    inner: Mutex<Inner>,
-    hits: AtomicU64,
-    disk_hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
+    tiers: TieredCache<Artifact>,
 }
 
 impl CompileCache {
@@ -203,17 +64,20 @@ impl CompileCache {
     /// directory is created on first use; I/O failures degrade to misses).
     pub fn new(capacity: usize, disk_dir: Option<PathBuf>) -> Self {
         CompileCache {
-            capacity,
-            disk_dir,
-            inner: Mutex::new(Inner {
-                map: FxHashMap::default(),
-                tick: 0,
-            }),
-            hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            tiers: TieredCache::new(capacity, disk_dir),
+        }
+    }
+
+    /// [`new`](Self::new) plus a peer tier fetching from sibling
+    /// daemons (`host:port` each; an empty list disables the tier).
+    pub fn with_peers(
+        capacity: usize,
+        disk_dir: Option<PathBuf>,
+        peers: Vec<String>,
+        cfg: PeerConfig,
+    ) -> Self {
+        CompileCache {
+            tiers: TieredCache::with_peers(capacity, disk_dir, peers, cfg),
         }
     }
 
@@ -231,123 +95,63 @@ impl CompileCache {
     /// counted). The engine's singleflight layer probes first and only
     /// charges a miss to the one request that actually compiles, so a
     /// burst of N identical requests reads as 1 miss + N−1 hits/coalesced
-    /// rather than N misses.
+    /// rather than N misses. Local tiers only — never the network.
     pub fn probe(&self, key: CacheKey, costs: &CostModel) -> Option<(Arc<Artifact>, CacheLayer)> {
-        {
-            let mut inner = self.inner.lock();
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(e) = inner.map.get_mut(&key) {
-                e.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                msc_obs::count("cache.hit", 1);
-                return Some((Arc::clone(&e.artifact), CacheLayer::Memory));
-            }
-        }
-        if let Some(dir) = &self.disk_dir {
-            if let Some(artifact) = read_disk_artifact(&disk_path(dir, key), costs) {
-                let artifact = Arc::new(artifact);
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                msc_obs::count("cache.disk_hit", 1);
-                self.put_memory(key, Arc::clone(&artifact));
-                return Some((artifact, CacheLayer::Disk));
-            }
-        }
-        None
+        self.tiers.probe(key, &ArtifactCodec { costs })
+    }
+
+    /// Consult the peer tier (if configured) for `key`; a verified hit
+    /// is promoted into memory and disk. Called by the singleflight
+    /// leader only, so N coalesced cold requests cost at most one peer
+    /// round-trip.
+    pub fn fetch_remote(&self, key: CacheKey, costs: &CostModel) -> Option<Arc<Artifact>> {
+        self.tiers.fetch_remote(key, &ArtifactCodec { costs })
     }
 
     /// Record one miss. Paired with [`probe`](Self::probe): the
     /// singleflight leader calls this exactly once per coalesced group.
     pub fn note_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        msc_obs::count("cache.miss", 1);
+        self.tiers.note_miss();
     }
 
-    /// Insert a freshly compiled artifact into both layers.
+    /// Insert a freshly compiled artifact into the local tiers.
     pub fn insert(&self, key: CacheKey, artifact: Arc<Artifact>) {
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        msc_obs::count("cache.insert", 1);
-        if let Some(dir) = &self.disk_dir {
-            // Best effort: a full disk or read-only dir must not fail the
-            // compile that produced the artifact. Write to a unique temp
-            // file and rename into place — rename is atomic on POSIX, so a
-            // concurrent reader (another `mscc` sharing the cache dir) sees
-            // either the old artifact or the complete new one, never a torn
-            // write, and concurrent writers cannot interleave.
-            let _ = std::fs::create_dir_all(dir);
-            static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-            let tmp = dir.join(format!(
-                "{}.tmp.{}.{}",
-                key.hex(),
-                std::process::id(),
-                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-            ));
-            if std::fs::write(&tmp, write_disk_artifact(key, &artifact)).is_ok() {
-                if std::fs::rename(&tmp, disk_path(dir, key)).is_ok() {
-                    msc_obs::count("cache.disk_write", 1);
-                } else {
-                    let _ = std::fs::remove_file(&tmp);
-                }
-            } else {
-                let _ = std::fs::remove_file(&tmp);
-            }
-        }
-        self.put_memory(key, artifact);
+        self.tiers
+            .insert(key, artifact, &ArtifactCodec::encode_only());
+    }
+
+    /// Serialize a locally cached artifact for `GET /artifact/{key}`:
+    /// memory first, else the raw disk file. `None` when this node has
+    /// nothing — serving a peer must never trigger a compile, and never
+    /// consults *our* peers (no fetch recursion across the fleet).
+    pub fn export(&self, key: CacheKey) -> Option<String> {
+        self.tiers.export(key, &ArtifactCodec::encode_only())
+    }
+
+    /// True when a peer tier is configured.
+    pub fn has_peers(&self) -> bool {
+        self.tiers.has_peers()
+    }
+
+    /// Status of every configured tier, fastest first (for `/healthz`).
+    pub fn tier_status(&self) -> Vec<TierStatus> {
+        self.tiers.tier_status()
     }
 
     /// Current counter values.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        self.tiers.stats()
     }
 
     /// Number of artifacts currently in memory.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.tiers.len()
     }
 
     /// True when the memory layer is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.tiers.is_empty()
     }
-
-    fn put_memory(&self, key: CacheKey, artifact: Arc<Artifact>) {
-        if self.capacity == 0 {
-            return;
-        }
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(
-            key,
-            Entry {
-                artifact,
-                last_used: tick,
-            },
-        );
-        while inner.map.len() > self.capacity {
-            // O(n) victim scan; capacities are small (a cache of whole
-            // compiled programs, not of cache lines).
-            let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("non-empty map has a minimum");
-            inner.map.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            msc_obs::count("cache.evict", 1);
-        }
-    }
-}
-
-fn disk_path(dir: &Path, key: CacheKey) -> PathBuf {
-    dir.join(format!("{}.mscache", key.hex()))
 }
 
 /// On-disk artifact: a small line-oriented header followed by the
@@ -392,10 +196,9 @@ fn write_disk_artifact(key: CacheKey, artifact: &Artifact) -> String {
     out
 }
 
-/// Parse a disk artifact; any malformation yields `None` (treated as a
-/// miss — the artifact is simply rebuilt).
-fn read_disk_artifact(path: &Path, costs: &CostModel) -> Option<Artifact> {
-    let text = std::fs::read_to_string(path).ok()?;
+/// Parse an artifact from interchange text; any malformation yields
+/// `None` (treated as a miss — the artifact is simply rebuilt).
+fn read_disk_artifact(text: &str, costs: &CostModel) -> Option<Artifact> {
     let mut lines = text.lines();
     if lines.next()? != "mscache v1" {
         return None;
@@ -452,8 +255,8 @@ fn read_disk_artifact(path: &Path, costs: &CostModel) -> Option<Artifact> {
         meta_states,
         timings,
         ret_addr,
-        automaton_text,
         automaton: None,
+        automaton_text,
         compiled: None,
     })
 }
@@ -461,48 +264,19 @@ fn read_disk_artifact(path: &Path, costs: &CostModel) -> Option<Artifact> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msc_codegen::GenOptions;
+    use msc_core::ConvertOptions;
+    use std::path::Path;
 
     fn opts() -> (ConvertOptions, GenOptions) {
         (ConvertOptions::base(), GenOptions::default())
     }
 
-    #[test]
-    fn siphash128_matches_reference_vectors() {
-        // `vectors_sip128` from the SipHash reference implementation,
-        // key = 00 01 02 .. 0f, read as two little-endian words.
-        let k0 = 0x0706_0504_0302_0100;
-        let k1 = 0x0f0e_0d0c_0b0a_0908;
-        assert_eq!(
-            siphash128(k0, k1, &[]),
-            (0xe6a8_25ba_047f_81a3, 0x9302_55c7_1472_f66d)
-        );
-        assert_eq!(
-            siphash128(k0, k1, &[0x00]),
-            (0x44af_996b_d8c1_87da, 0x45fc_229b_1159_7634)
-        );
-        let msg: Vec<u8> = (0..15).collect(); // crosses the 8-byte block edge
-        assert_eq!(
-            siphash128(k0, k1, &msg),
-            (0x11a8_b033_99e9_9354, 0xd9c3_cf97_0fec_087e)
-        );
+    fn disk_path(dir: &Path, key: CacheKey) -> PathBuf {
+        dir.join(format!("{}.mscache", key.hex()))
     }
 
-    #[test]
-    fn key_is_stable_and_content_sensitive() {
-        let (c, g) = opts();
-        let k1 = cache_key("main() {}", &c, &g, false, false);
-        let k2 = cache_key("main() {}", &c, &g, false, false);
-        assert_eq!(k1, k2);
-        assert_ne!(k1, cache_key("main() { }", &c, &g, false, false));
-        assert_ne!(k1, cache_key("main() {}", &c, &g, true, false));
-        let mut c2 = c.clone();
-        c2.max_meta_states = 7;
-        assert_ne!(k1, cache_key("main() {}", &c2, &g, false, false));
-        let g2 = GenOptions { csi: false, ..g };
-        assert_ne!(k1, cache_key("main() {}", &c, &g2, false, false));
-    }
-
-    fn dummy_artifact(tag: usize) -> Arc<Artifact> {
+    pub(crate) fn dummy_artifact(tag: usize) -> Arc<Artifact> {
         // A real (tiny) artifact, so the disk round-trip exercises the
         // actual assembly serializer.
         let program =
@@ -632,6 +406,132 @@ mod tests {
         let cache = CompileCache::new(4, Some(dir.clone()));
         assert!(cache.lookup(key, &c.costs).is_none());
         assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_accounting_invariant_across_probe_note_miss_split() {
+        // Every *resolved* lookup — a `lookup` call, or a `probe`
+        // settled by either a hit or a paired `note_miss` — lands in
+        // exactly one bucket, so the buckets must always sum back to
+        // the number of resolved lookups. This pins the probe/note_miss
+        // split the singleflight layer leans on: the leader probes,
+        // fetches remotely, then charges the one miss itself.
+        let (c, g) = opts();
+        let dir =
+            std::env::temp_dir().join(format!("msc-engine-cache-invariant-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = CompileCache::new(2, Some(dir.clone()));
+        let keys: Vec<CacheKey> = (0..4)
+            .map(|i| cache_key(&format!("inv{i}"), &c, &g, false, false))
+            .collect();
+        let mut resolved = 0u64;
+
+        // Cold lookups (memory+disk miss).
+        for &k in &keys {
+            assert!(cache.lookup(k, &c.costs).is_none());
+            resolved += 1;
+        }
+        // The singleflight shape: probe (miss), then note_miss once for
+        // the whole coalesced group, then insert.
+        for (i, &k) in keys.iter().enumerate() {
+            assert!(cache.probe(k, &c.costs).is_none());
+            cache.note_miss();
+            resolved += 1;
+            cache.insert(k, dummy_artifact(i));
+        }
+        // Warm probes, each key twice: the first resolves from memory
+        // or disk (cycling the capacity-2 LRU), the immediate repeat is
+        // always a memory hit on the just-promoted entry — hits are
+        // counted by probe itself, no note_miss.
+        for &k in &keys {
+            for _ in 0..2 {
+                assert!(cache.probe(k, &c.costs).is_some());
+                resolved += 1;
+            }
+        }
+        // Followers that probed and hit after the leader published do
+        // not call note_miss; leaders that missed do. Interleave a few
+        // more rounds to shake the split.
+        for round in 0..3 {
+            for &k in &keys {
+                match cache.probe(k, &c.costs) {
+                    Some(_) => {}
+                    None => cache.note_miss(),
+                }
+                resolved += 1;
+            }
+            let fresh = cache_key(&format!("inv-fresh-{round}"), &c, &g, false, false);
+            assert!(cache.lookup(fresh, &c.costs).is_none());
+            resolved += 1;
+        }
+
+        let s = cache.stats();
+        assert_eq!(
+            s.hits + s.disk_hits + s.peer_hits + s.misses,
+            resolved,
+            "every resolved lookup lands in exactly one stats bucket: {s:?}"
+        );
+        assert!(s.hits > 0 && s.disk_hits > 0 && s.misses > 0, "{s:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_disk_insert_evict_never_surfaces_partial_artifact() {
+        // Two writers hammer the same keys through the temp+rename path
+        // while a reader (cold memory every time: capacity 1 with two
+        // keys means constant eviction) reloads from disk. Atomic
+        // rename means every read parses completely — a torn write
+        // would surface as a spurious miss or a half-written automaton.
+        let (c, g) = opts();
+        let dir = std::env::temp_dir().join(format!(
+            "msc-engine-cache-concurrent-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let keys = [
+            cache_key("conc0", &c, &g, false, false),
+            cache_key("conc1", &c, &g, false, false),
+        ];
+        let artifacts = [dummy_artifact(0), dummy_artifact(1)];
+        let expected_meta: Vec<usize> = artifacts.iter().map(|a| a.meta_states).collect();
+        let expected_text = artifacts[0].automaton_text.clone();
+        let cache = Arc::new(CompileCache::new(1, Some(dir.clone())));
+        // Seed both keys so the reader never races a not-yet-written file.
+        cache.insert(keys[0], Arc::clone(&artifacts[0]));
+        cache.insert(keys[1], Arc::clone(&artifacts[1]));
+
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let cache = Arc::clone(&cache);
+                let artifacts = artifacts.clone();
+                scope.spawn(move || {
+                    for i in 0..150 {
+                        // Both writers alternate over both keys, offset
+                        // by one so they collide on the same key often.
+                        let which = (i + w) % 2;
+                        cache.insert(keys[which], Arc::clone(&artifacts[which]));
+                    }
+                });
+            }
+            let cache = Arc::clone(&cache);
+            let costs = c.costs.clone();
+            scope.spawn(move || {
+                for i in 0..300 {
+                    let which = i % 2;
+                    let (artifact, _) = cache
+                        .lookup(keys[which], &costs)
+                        .expect("concurrent rewrite must never read as a miss");
+                    assert_eq!(
+                        artifact.meta_states, expected_meta[which],
+                        "complete artifact, never a blend"
+                    );
+                    if which == 0 {
+                        assert_eq!(artifact.automaton_text, expected_text);
+                    }
+                }
+            });
+        });
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -33,6 +33,7 @@ pub mod parallel;
 
 pub use cache::{cache_key, content_key, CacheKey, CacheLayer, CacheStats, CompileCache};
 pub use flight::{Flight, Singleflight};
+pub use msc_cache::{BreakerState, PeerConfig, PeerStatus, TierStatus};
 pub use parallel::{convert_parallel, convert_parallel_deadline, ParallelError};
 
 use msc_codegen::{generate, GenError, GenOptions};
@@ -121,6 +122,8 @@ pub enum Provenance {
     Memory,
     /// Reloaded from the on-disk cache.
     Disk,
+    /// Fetched (verified) from a peer daemon's cache.
+    Peer,
     /// Coalesced onto a concurrent identical compile (singleflight): this
     /// request waited for the in-flight compilation and shares its
     /// artifact.
@@ -133,6 +136,7 @@ impl std::fmt::Display for Provenance {
             Provenance::Fresh => write!(f, "fresh compile"),
             Provenance::Memory => write!(f, "cache hit (memory)"),
             Provenance::Disk => write!(f, "cache hit (disk)"),
+            Provenance::Peer => write!(f, "cache hit (peer)"),
             Provenance::Coalesced => write!(f, "coalesced (shared in-flight compile)"),
         }
     }
@@ -242,6 +246,11 @@ pub struct EngineOptions {
     /// Per-job cooperative timeout, checked at phase boundaries and
     /// between frontier expansions (None = unbounded).
     pub job_timeout: Option<Duration>,
+    /// Sibling daemons (`host:port` each) to consult for artifacts
+    /// before compiling locally (empty disables the peer tier).
+    pub peers: Vec<String>,
+    /// Peer-tier tunables (deadlines, retry, breaker thresholds).
+    pub peer: PeerConfig,
 }
 
 impl Default for EngineOptions {
@@ -251,6 +260,8 @@ impl Default for EngineOptions {
             cache_capacity: 128,
             cache_dir: None,
             job_timeout: None,
+            peers: Vec::new(),
+            peer: PeerConfig::default(),
         }
     }
 }
@@ -270,7 +281,12 @@ pub struct Engine {
 impl Engine {
     /// Build an engine from options.
     pub fn new(opts: EngineOptions) -> Self {
-        let cache = CompileCache::new(opts.cache_capacity, opts.cache_dir.clone());
+        let cache = CompileCache::with_peers(
+            opts.cache_capacity,
+            opts.cache_dir.clone(),
+            opts.peers.clone(),
+            opts.peer.clone(),
+        );
         Engine {
             opts,
             cache,
@@ -305,6 +321,19 @@ impl Engine {
     /// instead of compiling or hitting the cache themselves.
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Serialize a locally cached artifact for `GET /artifact/{key}`.
+    /// `None` when neither memory nor disk has it — serving a peer must
+    /// never trigger a compile, and never consults our own peers.
+    pub fn export_artifact(&self, key: CacheKey) -> Option<String> {
+        self.cache.export(key)
+    }
+
+    /// Status of every configured cache tier, fastest first (for
+    /// `/healthz` and the breaker gauges on `/metrics`).
+    pub fn tier_status(&self) -> Vec<TierStatus> {
+        self.cache.tier_status()
     }
 
     /// Compile one job, using every engine thread for the conversion.
@@ -378,18 +407,13 @@ impl Engine {
         if job.name == "__panic_for_test__" {
             panic!("injected test panic");
         }
-        let key = cache_key(
-            &job.source,
-            &job.convert,
-            &job.gen,
-            job.optimize,
-            job.minimize,
-        );
+        let key = job_key(job);
         let as_hit = |(artifact, layer): (Arc<Artifact>, CacheLayer)| Compiled {
             artifact,
             provenance: match layer {
                 CacheLayer::Memory => Provenance::Memory,
                 CacheLayer::Disk => Provenance::Disk,
+                CacheLayer::Peer => Provenance::Peer,
             },
         };
         if let Some(hit) = self.cache.probe(key, &job.gen.costs) {
@@ -422,8 +446,20 @@ impl Engine {
             }
             Flight::Lead(leader) => leader,
         };
-        // Leader: this request is the one that compiles (and the one that
-        // counts the miss for the whole coalesced group).
+        // Leader: first try the fleet. The fetch runs outside the
+        // flight-table lock but inside the flight, so N coalesced cold
+        // requests cost at most one peer round-trip; a verified peer hit
+        // is promoted into the local tiers and is *not* a miss.
+        if let Some(artifact) = self.cache.fetch_remote(key, &job.gen.costs) {
+            leader.publish(Ok(Arc::clone(&artifact)));
+            drop(leader);
+            return Ok(Compiled {
+                artifact,
+                provenance: Provenance::Peer,
+            });
+        }
+        // No peer had it: this request is the one that compiles (and the
+        // one that counts the miss for the whole coalesced group).
         self.cache.note_miss();
         let result = self.compile_fresh(job, key, threads);
         leader.publish(match &result {
@@ -518,6 +554,19 @@ impl Engine {
     }
 }
 
+/// The content-addressed cache key a job compiles under — the same key
+/// [`Engine::compile`] uses, exposed so callers (the serve layer, peer
+/// fetches) can name the artifact without compiling anything.
+pub fn job_key(job: &Job) -> CacheKey {
+    cache_key(
+        &job.source,
+        &job.convert,
+        &job.gen,
+        job.optimize,
+        job.minimize,
+    )
+}
+
 /// Assemble a job's private metrics bundle from data the engine already
 /// holds: cache provenance, the artifact's conversion counters, and the
 /// phase timings of the compile that produced it. Failures are flagged
@@ -531,6 +580,7 @@ fn job_metrics(result: &Result<Compiled, EngineError>) -> msc_obs::MetricsSnapsh
                 Provenance::Fresh => "cache.miss",
                 Provenance::Memory => "cache.hit",
                 Provenance::Disk => "cache.disk_hit",
+                Provenance::Peer => "cache.peer_hit",
                 Provenance::Coalesced => "engine.coalesced",
             };
             reg.record(&Event::Count {
@@ -825,5 +875,147 @@ mod tests {
         // The engine is still fully usable afterwards.
         let ok = engine.compile(&Job::new("after", PROG)).unwrap();
         assert_eq!(ok.provenance, Provenance::Fresh);
+    }
+
+    /// A minimal fleet sibling: serves `GET /artifact/{key}` out of a
+    /// warm donor engine over real TCP (404 on anything it lacks),
+    /// counting requests. The thread leaks with the test process.
+    fn artifact_server(donor: Arc<Engine>, requests: Arc<AtomicU64>) -> String {
+        use std::io::{Read as _, Write as _};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            while let Ok((mut stream, _)) = listener.accept() {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                requests.fetch_add(1, Ordering::Relaxed);
+                let path = std::str::from_utf8(&buf)
+                    .ok()
+                    .and_then(|t| t.split_whitespace().nth(1))
+                    .unwrap_or("");
+                let body = path
+                    .strip_prefix("/artifact/")
+                    .and_then(CacheKey::from_hex)
+                    .and_then(|key| {
+                        donor
+                            .export_artifact(key)
+                            .map(|text| msc_cache::wire::envelope(key, &text).render())
+                    });
+                let resp = match body {
+                    Some(b) => format!(
+                        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{b}",
+                        b.len()
+                    ),
+                    None => {
+                        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+                            .to_string()
+                    }
+                };
+                let _ = stream.write_all(resp.as_bytes());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn peer_hit_avoids_local_compile_and_promotes() {
+        let donor = Arc::new(Engine::new(EngineOptions::default()));
+        let job = Job::new("fleet", PROG);
+        let compiled = donor.compile(&job).unwrap();
+        let requests = Arc::new(AtomicU64::new(0));
+        let addr = artifact_server(Arc::clone(&donor), Arc::clone(&requests));
+
+        let node_b = Engine::new(EngineOptions {
+            peers: vec![addr],
+            ..EngineOptions::default()
+        });
+        let got = node_b.compile(&job).unwrap();
+        assert_eq!(got.provenance, Provenance::Peer);
+        assert_eq!(node_b.jobs_compiled(), 0, "node B never compiled");
+        assert_eq!(
+            got.artifact.automaton_text,
+            compiled.artifact.automaton_text
+        );
+        assert_eq!(got.artifact.meta_states, compiled.artifact.meta_states);
+        assert!(
+            got.artifact.automaton.is_none(),
+            "peer artifacts are partial, like disk reloads"
+        );
+        let s = node_b.cache_stats();
+        assert_eq!((s.peer_hits, s.misses), (1, 0), "{s:?}");
+        // The fetched artifact was promoted: the repeat is a memory hit,
+        // no second round-trip.
+        assert_eq!(node_b.compile(&job).unwrap().provenance, Provenance::Memory);
+        assert_eq!(requests.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cold_burst_on_one_node_costs_one_peer_round_trip() {
+        let donor = Arc::new(Engine::new(EngineOptions::default()));
+        let job = Job::new("burst", PROG);
+        donor.compile(&job).unwrap();
+        let requests = Arc::new(AtomicU64::new(0));
+        let addr = artifact_server(Arc::clone(&donor), Arc::clone(&requests));
+
+        let node_b = Engine::new(EngineOptions {
+            peers: vec![addr],
+            threads: 2,
+            ..EngineOptions::default()
+        });
+        let results: Vec<Result<Compiled, EngineError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(|| node_b.compile(&job))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results {
+            assert!(r.is_ok(), "{:?}", r.as_ref().err());
+        }
+        assert_eq!(node_b.jobs_compiled(), 0, "nothing compiled locally");
+        assert_eq!(
+            requests.load(Ordering::Relaxed),
+            1,
+            "singleflight collapses the cold burst onto one peer fetch"
+        );
+        let s = node_b.cache_stats();
+        assert_eq!((s.peer_hits, s.misses), (1, 0), "{s:?}");
+    }
+
+    #[test]
+    fn dead_peers_degrade_to_a_bounded_local_compile() {
+        // A port that refuses connections: bind, note the addr, drop.
+        let refused = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let peer = PeerConfig {
+            connect_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_millis(200),
+            total_deadline: Duration::from_millis(600),
+            backoff: Duration::from_millis(1),
+            ..PeerConfig::default()
+        };
+        let engine = Engine::new(EngineOptions {
+            peers: vec![refused.clone(), refused],
+            peer,
+            ..EngineOptions::default()
+        });
+        let start = Instant::now();
+        let out = engine.compile(&Job::new("deadfleet", PROG)).unwrap();
+        assert_eq!(out.provenance, Provenance::Fresh, "compiled locally");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a dead fleet costs at most one peer deadline: {:?}",
+            start.elapsed()
+        );
+        let s = engine.cache_stats();
+        assert_eq!((s.peer_hits, s.misses), (0, 1), "{s:?}");
+        // The dead peers' breakers show up in tier status.
+        let status = engine.tier_status();
+        assert!(status.iter().any(|t| matches!(t, TierStatus::Peers { .. })));
     }
 }

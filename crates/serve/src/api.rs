@@ -9,7 +9,7 @@
 
 use crate::http::HttpError;
 use msc_core::{ConvertMode, TimeSplitOptions};
-use msc_engine::{Compiled, Engine, Job, Provenance};
+use msc_engine::{job_key, CacheKey, Compiled, Engine, Job, Provenance, TierStatus};
 use msc_obs::json::Json;
 use msc_obs::MetricsSnapshot;
 use msc_regex::RegexEngine;
@@ -109,6 +109,7 @@ fn provenance_str(p: Provenance) -> &'static str {
         Provenance::Memory => "memory",
         Provenance::Disk => "disk",
         Provenance::Coalesced => "coalesced",
+        Provenance::Peer => "peer",
     }
 }
 
@@ -118,6 +119,7 @@ pub fn compile_response(job: &Job, compiled: &Compiled) -> Json {
     let t = &a.timings;
     Json::obj(vec![
         ("name", Json::from(job.name.as_str())),
+        ("key", Json::from(job_key(job).hex())),
         (
             "provenance",
             Json::from(provenance_str(compiled.provenance)),
@@ -380,14 +382,87 @@ pub fn find_matches(regex: &RegexEngine, body: &Json) -> Result<Json, HttpError>
     ]))
 }
 
-/// `GET /healthz`.
-pub fn health_response(queued: usize, draining: bool) -> Json {
+/// `GET /artifact/{key}`: serve a cached artifact out of the local
+/// tiers (memory, then raw disk). Never compiles — a fleet fetch must
+/// not trigger work on the donor — so an absent key is a plain 404. The
+/// response is the verification envelope the peer tier checks
+/// ([`msc_cache::wire`]): `{key, sum, artifact}`.
+pub fn artifact(engine: &Engine, key_hex: &str) -> Result<Json, HttpError> {
+    let key = CacheKey::from_hex(key_hex).ok_or_else(|| {
+        bad(format!(
+            "malformed artifact key {key_hex:?}: expected 32 lowercase hex digits"
+        ))
+    })?;
+    match engine.export_artifact(key) {
+        Some(text) => {
+            msc_obs::count("serve.artifact_hit", 1);
+            Ok(msc_cache::wire::envelope(key, &text))
+        }
+        None => {
+            msc_obs::count("serve.artifact_miss", 1);
+            Err(HttpError::NotFound)
+        }
+    }
+}
+
+fn tier_json(tier: &TierStatus) -> Json {
+    match tier {
+        TierStatus::Memory {
+            entries,
+            capacity,
+            evictions,
+        } => Json::obj(vec![
+            ("tier", Json::from("memory")),
+            ("entries", Json::from(*entries)),
+            ("capacity", Json::from(*capacity)),
+            ("evictions", Json::from(*evictions)),
+        ]),
+        TierStatus::Disk { dir } => Json::obj(vec![
+            ("tier", Json::from("disk")),
+            ("dir", Json::from(dir.as_str())),
+        ]),
+        TierStatus::Peers {
+            peers,
+            total_deadline,
+        } => Json::obj(vec![
+            ("tier", Json::from("peers")),
+            (
+                "total_deadline_ms",
+                Json::from(total_deadline.as_millis() as u64),
+            ),
+            (
+                "peers",
+                Json::Arr(
+                    peers
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("addr", Json::from(p.addr.as_str())),
+                                ("breaker", Json::from(p.breaker.as_str())),
+                                (
+                                    "consecutive_failures",
+                                    Json::from(u64::from(p.consecutive_failures)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// `GET /healthz`: liveness, queue depth, and per-tier cache status —
+/// including each peer's circuit-breaker state, so an operator can see
+/// which siblings a node currently trusts.
+pub fn health_response(queued: usize, draining: bool, tiers: &[TierStatus]) -> Json {
     Json::obj(vec![
         (
             "status",
             Json::from(if draining { "draining" } else { "ok" }),
         ),
         ("queued", Json::from(queued)),
+        ("cache", Json::Arr(tiers.iter().map(tier_json).collect())),
     ])
 }
 

@@ -372,6 +372,214 @@ fn blocking_fallback_core_serves_sheds_and_drains() {
 }
 
 #[test]
+fn artifact_endpoint_serves_verified_artifacts_and_rejects_bad_keys() {
+    let handle = start(|_| {});
+    let addr = handle.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let body = msc_obs::json::Json::obj(vec![("source", msc_obs::json::Json::from(PROG))]);
+    let resp = c.post_json("/compile", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let key_hex = resp
+        .json()
+        .unwrap()
+        .get("key")
+        .and_then(|k| k.as_str().map(str::to_string))
+        .expect("compile response must carry the cache key");
+    let compiled_before = handle.engine().jobs_compiled();
+
+    // Hit: the envelope must verify against the requested key, and the
+    // payload must be the disk interchange format.
+    let resp = c.get(&format!("/artifact/{key_hex}")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let key = msc_engine::CacheKey::from_hex(&key_hex).unwrap();
+    let artifact = msc_cache::wire::open(key, &resp.body)
+        .expect("artifact envelope must verify against the requested key");
+    assert!(artifact.starts_with("mscache v1\n"), "{artifact}");
+
+    // Valid-shaped but absent key: a clean 404, and crucially the donor
+    // must NOT compile on a fleet fetch.
+    let absent = "0".repeat(32);
+    assert_eq!(c.get(&format!("/artifact/{absent}")).unwrap().status, 404);
+    assert_eq!(
+        handle.engine().jobs_compiled(),
+        compiled_before,
+        "an artifact fetch must never trigger a compile"
+    );
+
+    // Malformed keys: 400, not 404 — the request itself is wrong.
+    for bad in ["xyz", "ABCDEF", &"0".repeat(31), &"0".repeat(33)] {
+        let resp = c.get(&format!("/artifact/{bad}")).unwrap();
+        assert_eq!(resp.status, 400, "key {bad:?}: {}", resp.body);
+    }
+
+    // Wrong method on a known GET path: 405.
+    let resp = c.post_json(&format!("/artifact/{key_hex}"), &body).unwrap();
+    assert_eq!(resp.status, 405, "{}", resp.body);
+
+    let counters = c.get("/metrics").unwrap().json().unwrap();
+    let counters = counters.get("counters").unwrap().clone();
+    assert_eq!(
+        counters.get("serve.artifact_hit").and_then(|x| x.as_u64()),
+        Some(1)
+    );
+    assert_eq!(
+        counters.get("serve.artifact_miss").and_then(|x| x.as_u64()),
+        Some(1)
+    );
+    assert_alive(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_cache_tiers_and_peer_breaker_status() {
+    let handle = start(|o| {
+        o.peers = vec!["127.0.0.1:1".to_string()];
+    });
+    let addr = handle.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let health = c.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let v = health.json().unwrap();
+    let tiers = v.get("cache").and_then(|t| t.as_arr()).unwrap();
+    let tier_name =
+        |t: &msc_obs::json::Json| t.get("tier").and_then(|n| n.as_str().map(str::to_string));
+    assert!(
+        tiers.iter().any(|t| tier_name(t) == Some("memory".into())),
+        "{}",
+        health.body
+    );
+    let peers_tier = tiers
+        .iter()
+        .find(|t| tier_name(t) == Some("peers".into()))
+        .expect("peers tier must be reported");
+    let peers = peers_tier.get("peers").and_then(|p| p.as_arr()).unwrap();
+    assert_eq!(peers.len(), 1);
+    assert_eq!(
+        peers[0].get("addr").and_then(|a| a.as_str()),
+        Some("127.0.0.1:1")
+    );
+    assert_eq!(
+        peers[0].get("breaker").and_then(|b| b.as_str()),
+        Some("closed"),
+        "untouched breaker starts closed: {}",
+        health.body
+    );
+
+    // The same state shows as flat gauges on /metrics.
+    let metrics = c.get("/metrics").unwrap().json().unwrap();
+    let gauges = metrics.get("gauges").unwrap();
+    assert_eq!(gauges.get("cache.peers").and_then(|x| x.as_u64()), Some(1));
+    assert_eq!(
+        gauges
+            .get("cache.peer_breaker_closed")
+            .and_then(|x| x.as_u64()),
+        Some(1)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn dead_peers_degrade_to_a_bounded_fresh_compile() {
+    let handle = start(|o| {
+        o.peers = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()];
+        o.peer = msc_engine::PeerConfig {
+            connect_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_millis(100),
+            retries: 1,
+            backoff: Duration::from_millis(5),
+            total_deadline: Duration::from_millis(500),
+            ..msc_engine::PeerConfig::default()
+        };
+    });
+    let addr = handle.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let body = msc_obs::json::Json::obj(vec![("source", msc_obs::json::Json::from(PROG))]);
+    let t0 = std::time::Instant::now();
+    let resp = c.post_json("/compile", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.json()
+            .unwrap()
+            .get("provenance")
+            .and_then(|p| p.as_str()),
+        Some("fresh"),
+        "{}",
+        resp.body
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "dead fleet must cost at most the peer deadline, took {:?}",
+        t0.elapsed()
+    );
+    assert_alive(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_peer_fails_verification_and_falls_back_to_compile() {
+    // A rogue sibling that answers every artifact fetch with plausible
+    // HTTP but garbage JSON: verification must reject it and the node
+    // must compile locally.
+    let rogue = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let rogue_addr = rogue.local_addr().unwrap().to_string();
+    let rogue_thread = std::thread::spawn(move || {
+        for stream in rogue.incoming().take(4) {
+            let Ok(mut s) = stream else { break };
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            let body = b"{\"not\":\"an envelope\"}";
+            let _ = s.write_all(
+                format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            let _ = s.write_all(body);
+        }
+    });
+
+    let handle = start(|o| {
+        o.peers = vec![rogue_addr];
+        o.peer = msc_engine::PeerConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(500),
+            retries: 0,
+            total_deadline: Duration::from_millis(1500),
+            ..msc_engine::PeerConfig::default()
+        };
+    });
+    let addr = handle.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let body = msc_obs::json::Json::obj(vec![("source", msc_obs::json::Json::from(PROG))]);
+    let resp = c.post_json("/compile", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.json()
+            .unwrap()
+            .get("provenance")
+            .and_then(|p| p.as_str()),
+        Some("fresh"),
+        "{}",
+        resp.body
+    );
+    let metrics = c.get("/metrics").unwrap().json().unwrap();
+    let counters = metrics.get("counters").unwrap();
+    assert!(
+        counters
+            .get("cache.peer_verify_fail")
+            .and_then(|x| x.as_u64())
+            .unwrap_or(0)
+            >= 1,
+        "verification failure must be counted: {}",
+        metrics.render()
+    );
+    handle.shutdown();
+    drop(rogue_thread);
+}
+
+#[test]
 fn metrics_exposes_conn_state_counters_and_open_connection_gauge() {
     let handle = start(|_| {});
     let addr = handle.local_addr().to_string();
