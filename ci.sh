@@ -33,6 +33,14 @@
 #                         the regex differential oracle) with a fixed
 #                         seed; any mismatch fails the build and leaves
 #                         minimized reproducers in fuzz-corpus/
+#   ./ci.sh sweep-smoke   additionally run `mscc sweep` over every
+#                         bundled machine profile in profiles/ on the
+#                         dispatch-heavy example workload, then the
+#                         sweep bench-regression gate (claims -- sweep
+#                         --check vs BENCH_sweep.json), which re-runs
+#                         the sweep against the committed profile files
+#                         and fails on any exact-cycle drift or broken
+#                         profile-ordering invariant
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -147,6 +155,18 @@ if [ "$MODE" = "cluster-smoke" ]; then
         done
         exit 1
     fi
+fi
+
+if [ "$MODE" = "sweep-smoke" ]; then
+    # The CLI half first (exercises --profiles dir loading, the engine
+    # pool, and the sweep.* counters on a real terminal run), then the
+    # gate. The gate measures the committed profiles/ files — not the
+    # built-in matrix — so a doctored profile file fails here even
+    # though it also fails tier-1's bit-equality test.
+    echo "== sweep smoke: mscc sweep over every bundled profile =="
+    ./target/release/mscc sweep examples/dispatch_heavy.mimdc --profiles profiles --metrics
+    echo "== sweep regression gate: claims -- sweep --check =="
+    cargo run --release -p msc-bench --bin claims -- sweep --check
 fi
 
 if [ "$MODE" = "fuzz-smoke" ]; then

@@ -1267,6 +1267,152 @@ fn cluster_check() -> bool {
     }
 }
 
+/// The profile matrix the sweep gate runs: the committed `profiles/`
+/// directory when present (so a doctored committed profile fails the
+/// `--check` gate, not just tier-1), else the bundled matrix — tier-1
+/// pins the two bit-equal either way.
+fn sweep_profiles() -> Vec<msc_simd::MachineProfile> {
+    let dir = std::path::Path::new("profiles");
+    if dir.is_dir() {
+        match msc_simd::MachineProfile::load_dir(dir) {
+            Ok(p) if !p.is_empty() => return p,
+            Ok(_) => {}
+            Err(e) => eprintln!("note: profiles/ unreadable ({e}); using bundled matrix"),
+        }
+    }
+    msc_simd::MachineProfile::bundled()
+}
+
+fn sweep_json(generated_by: &str, rows: &[msc_bench::sweep::SweepRow], hard: u64) -> String {
+    let mut profiles = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        profiles.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"pe_count\": {}, \"cycles\": {}, \
+             \"utilization\": {:.4}, \"interp_cycles\": {}, \"speedup\": {:.4} }}{}\n",
+            r.name,
+            r.pe_count,
+            r.cycles,
+            r.utilization,
+            r.interp_cycles,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    format!(
+        "{{\n  \"generated_by\": \"{generated_by}\",\n  \
+         \"workload\": \"branchy_source(3) == examples/dispatch_heavy.mimdc, base mode\",\n  \
+         \"hard_coded_cycles\": {hard},\n  \"profiles\": [\n{profiles}  ]\n}}\n"
+    )
+}
+
+fn print_sweep_rows(rows: &[msc_bench::sweep::SweepRow]) {
+    println!("profile        | PEs | cycles | util% | interp | speedup");
+    for r in rows {
+        println!(
+            "{:14} | {:3} | {:6} | {:5.1} | {:6} | {:6.2}x",
+            r.name,
+            r.pe_count,
+            r.cycles,
+            r.utilization * 100.0,
+            r.interp_cycles,
+            r.speedup
+        );
+    }
+}
+
+fn sweep() {
+    use msc_bench::sweep::{dispatch_heavy_source, hard_coded_cycles, measure_sweep};
+    println!("== SWEEP: the machine-profile landscape ==");
+    println!("   One hard-coded cost model gives one point per claim; the profile");
+    println!("   matrix turns §2.4 and §5 into a landscape: which machines does MSC");
+    println!("   win on, and by how much? (writes the committed BENCH_sweep.json)\n");
+    let src = dispatch_heavy_source();
+    let rows = measure_sweep(&src, &msc_simd::MachineProfile::bundled());
+    let hard = hard_coded_cycles(&src, 16);
+    println!("dispatch-heavy workload (branchy_source(3), base mode):");
+    print_sweep_rows(&rows);
+    println!("hard-coded default path: {hard} cycles (paper-default must equal it)\n");
+
+    // The §2.4 landscape: time splitting's utilization rescue, per profile.
+    println!("§2.4 per profile — imbalanced_source(5, 100), utilization without/with");
+    println!("time splitting:");
+    println!("profile        | util (no split) | util (split)");
+    for p in msc_simd::MachineProfile::bundled() {
+        let src = imbalanced_source(5, 100);
+        let run = |ts: bool| {
+            let mut pipe = Pipeline::new(src.as_str())
+                .mode(ConvertMode::Base)
+                .costs(p.costs.clone());
+            if ts {
+                pipe = pipe.time_split(TimeSplitOptions::default());
+            }
+            pipe.build()
+                .unwrap()
+                .run_with(p.machine_config())
+                .unwrap()
+                .metrics
+                .utilization()
+        };
+        println!(
+            "{:14} | {:14.1}% | {:11.1}%",
+            p.name,
+            run(false) * 100.0,
+            run(true) * 100.0
+        );
+    }
+    let json = sweep_json(
+        "cargo run --release -p msc-bench --bin claims -- sweep",
+        &rows,
+        hard,
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("\n   wrote BENCH_sweep.json");
+    println!("   shape check: cheap-dispatch ≤ paper-default ≤ slow-globalor on a");
+    println!("   dispatch-heavy workload; the default profile is bit-identical to the");
+    println!("   hard-coded model, so every other committed BENCH_*.json stays valid.\n");
+}
+
+/// `claims -- sweep --check`: re-measure the profile matrix and gate it
+/// against the committed `BENCH_sweep.json` (exact cycles — the simulator
+/// is deterministic — plus the profile ordering invariants and the
+/// paper-default ≡ hard-coded bit-identity).
+fn sweep_check() -> bool {
+    use msc_bench::regression::{check_sweep, parse_sweep_baseline};
+    use msc_bench::sweep::{dispatch_heavy_source, hard_coded_cycles, measure_sweep};
+    println!("== SWEEP --check: regression gate vs committed BENCH_sweep.json ==\n");
+    let text = match std::fs::read_to_string("BENCH_sweep.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read BENCH_sweep.json: {e}");
+            return false;
+        }
+    };
+    let Some(baseline) = parse_sweep_baseline(&text) else {
+        eprintln!("BENCH_sweep.json is missing expected keys");
+        return false;
+    };
+    let src = dispatch_heavy_source();
+    let rows = measure_sweep(&src, &sweep_profiles());
+    let hard = hard_coded_cycles(&src, 16);
+    print_sweep_rows(&rows);
+    println!("hard-coded default path: {hard} cycles");
+    write_remeasured("sweep", &sweep_json("claims -- sweep --check", &rows, hard));
+    let failures = check_sweep(&baseline, &rows, hard);
+    for f in &failures {
+        eprintln!("REGRESSION: {f}");
+    }
+    if failures.is_empty() {
+        println!("\nsweep regression gate OK (exact-cycle + ordering invariants)");
+        true
+    } else {
+        eprintln!(
+            "\nsweep regression gate FAILED: {} regression(s)",
+            failures.len()
+        );
+        false
+    }
+}
+
 fn main() {
     let mut which: Vec<String> = std::env::args().skip(1).collect();
     let check = which.iter().any(|w| w == "--check");
@@ -1280,6 +1426,7 @@ fn main() {
                 "serve".into(),
                 "regex".into(),
                 "explosion".into(),
+                "sweep".into(),
             ];
         }
         let mut ok = true;
@@ -1289,6 +1436,7 @@ fn main() {
                 "serve" => serve_check(),
                 "regex" => regex_check(),
                 "explosion" => explosion_check(),
+                "sweep" => sweep_check(),
                 // Not in the default list: needs the mscc binary built
                 // first (subprocess daemons) — `ci.sh cluster-smoke`
                 // runs it as its own stage.
@@ -1296,7 +1444,7 @@ fn main() {
                 other => {
                     eprintln!(
                         "no --check gate for claim {other:?} \
-                         (have: setops, serve, regex, explosion, cluster)"
+                         (have: setops, serve, regex, explosion, sweep, cluster)"
                     );
                     false
                 }
@@ -1309,7 +1457,7 @@ fn main() {
     }
     let all = which.is_empty();
     let want = |k: &str| all || which.iter().any(|w| w == k);
-    let claims: [(&str, fn()); 19] = [
+    let claims: [(&str, fn()); 20] = [
         ("c1", c1),
         ("c2", c2),
         ("c3", c3),
@@ -1328,6 +1476,7 @@ fn main() {
         ("serve", serve),
         ("regex", regex),
         ("explosion", explosion),
+        ("sweep", sweep),
         ("cluster", cluster),
     ];
     for (k, f) in claims {

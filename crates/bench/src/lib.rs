@@ -9,6 +9,7 @@ pub mod cluster;
 pub mod loadbench;
 pub mod measure;
 pub mod regression;
+pub mod sweep;
 pub mod workloads;
 
 pub use measure::{measure_interp, measure_msc, measure_reference, Measurement};

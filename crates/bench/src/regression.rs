@@ -469,12 +469,212 @@ pub fn check_cluster(baseline: &ClusterBaseline, measured: &ClusterMeasurement) 
     failures
 }
 
+/// Scan `obj` for `"key": "<string>"` and return the string (no escape
+/// handling — profile names are plain identifiers).
+pub fn extract_string(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// One committed profile row out of `BENCH_sweep.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepProfileBaseline {
+    /// Profile name.
+    pub name: String,
+    /// Committed simulated cycles (deterministic — gated exactly).
+    pub cycles: u64,
+    /// Committed speedup vs the interpreter baseline.
+    pub speedup: f64,
+}
+
+/// The committed sweep baseline: the hard-coded-path cycle count plus
+/// every per-profile row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBaseline {
+    /// Cycles down the untouched default path (no profile threading) —
+    /// the bit-identity anchor for `paper-default`.
+    pub hard_coded_cycles: u64,
+    /// Per-profile rows.
+    pub profiles: Vec<SweepProfileBaseline>,
+}
+
+/// Pull the sweep baseline out of `BENCH_sweep.json` text. Chunks lacking
+/// a `name` (the header object) are skipped; `"hard_coded_cycles"` does
+/// not collide with the `"cycles":` scan because the pattern requires the
+/// opening quote.
+pub fn parse_sweep_baseline(json: &str) -> Option<SweepBaseline> {
+    let hard_coded_cycles = extract_number(json, "hard_coded_cycles")? as u64;
+    let profiles: Vec<SweepProfileBaseline> = json
+        .split('{')
+        .filter_map(|chunk| {
+            Some(SweepProfileBaseline {
+                name: extract_string(chunk, "name")?,
+                cycles: extract_number(chunk, "cycles")? as u64,
+                speedup: extract_number(chunk, "speedup")?,
+            })
+        })
+        .collect();
+    if profiles.is_empty() {
+        return None;
+    }
+    Some(SweepBaseline {
+        hard_coded_cycles,
+        profiles,
+    })
+}
+
+/// Gate a re-measured sweep against the committed baseline.
+///
+/// Unlike the timing gates, everything here is deterministic (the
+/// simulator counts cycles), so there is no tolerance on cycles:
+///
+/// * **exactness** — every committed profile re-measures to exactly the
+///   committed cycle count (drift means the cost model or converter
+///   changed and the baseline must be regenerated deliberately);
+/// * **bit-identity** — `paper-default` equals the freshly measured
+///   hard-coded-path cycles AND the committed anchor, so the profile
+///   subsystem provably does not perturb every other committed
+///   BENCH_*.json;
+/// * **ordering** — on the dispatch-heavy workload, `cheap-dispatch` is
+///   never slower than `paper-default` and `slow-globalor` never faster
+///   (a doctored profile file breaks these);
+/// * speedups are checked within a small epsilon (they are ratios of the
+///   exact integers above).
+pub fn check_sweep(
+    baseline: &SweepBaseline,
+    measured: &[crate::sweep::SweepRow],
+    hard_coded: u64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for b in &baseline.profiles {
+        let Some(m) = measured.iter().find(|m| m.name == b.name) else {
+            failures.push(format!("profile {}: committed but not re-measured", b.name));
+            continue;
+        };
+        if m.cycles != b.cycles {
+            failures.push(format!(
+                "profile {}: measured {} cycles, committed {} \
+                 (deterministic — any drift is a conversion or cost-model change)",
+                b.name, m.cycles, b.cycles
+            ));
+        }
+        if (m.speedup - b.speedup).abs() > 0.01 {
+            failures.push(format!(
+                "profile {}: measured {:.3}x speedup, committed {:.3}x",
+                b.name, m.speedup, b.speedup
+            ));
+        }
+    }
+    if baseline.hard_coded_cycles != hard_coded {
+        failures.push(format!(
+            "hard-coded path measured {hard_coded} cycles, committed {} \
+             (the default cost model itself moved)",
+            baseline.hard_coded_cycles
+        ));
+    }
+    let find = |name: &str| measured.iter().find(|m| m.name == name);
+    match find("paper-default") {
+        None => failures.push("paper-default missing from the sweep".into()),
+        Some(d) => {
+            if d.cycles != hard_coded {
+                failures.push(format!(
+                    "paper-default measured {} cycles but the hard-coded path measured \
+                     {hard_coded} (profile ≡ default bit-identity broken)",
+                    d.cycles
+                ));
+            }
+            match find("cheap-dispatch") {
+                None => failures.push("cheap-dispatch missing from the sweep".into()),
+                Some(c) if c.cycles > d.cycles => failures.push(format!(
+                    "cheap-dispatch ({} cycles) slower than paper-default ({}) on the \
+                     dispatch-heavy workload",
+                    c.cycles, d.cycles
+                )),
+                Some(_) => {}
+            }
+            match find("slow-globalor") {
+                None => failures.push("slow-globalor missing from the sweep".into()),
+                Some(s) if s.cycles < d.cycles => failures.push(format!(
+                    "slow-globalor ({} cycles) faster than paper-default ({}) — router \
+                     latency not charged",
+                    s.cycles, d.cycles
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const COMMITTED: &str = include_str!("../../../BENCH_setops.json");
     const COMMITTED_SERVE: &str = include_str!("../../../BENCH_serve.json");
+    const COMMITTED_SWEEP: &str = include_str!("../../../BENCH_sweep.json");
+
+    #[test]
+    fn parses_the_committed_sweep_baseline() {
+        let b = parse_sweep_baseline(COMMITTED_SWEEP).expect("baseline parses");
+        assert!(b.hard_coded_cycles > 0);
+        let names: Vec<&str> = b.profiles.iter().map(|p| p.name.as_str()).collect();
+        for want in [
+            "paper-default",
+            "wide-simd",
+            "slow-globalor",
+            "cheap-dispatch",
+        ] {
+            assert!(names.contains(&want), "{names:?} missing {want}");
+        }
+        let default = b
+            .profiles
+            .iter()
+            .find(|p| p.name == "paper-default")
+            .unwrap();
+        assert_eq!(default.cycles, b.hard_coded_cycles, "bit-identity anchor");
+    }
+
+    #[test]
+    fn honest_sweep_remeasurement_passes() {
+        let b = parse_sweep_baseline(COMMITTED_SWEEP).unwrap();
+        let src = crate::sweep::dispatch_heavy_source();
+        let measured = crate::sweep::measure_sweep(&src, &msc_simd::MachineProfile::bundled());
+        let hard = crate::sweep::hard_coded_cycles(&src, 16);
+        let failures = check_sweep(&b, &measured, hard);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn doctored_sweep_baseline_fails_check() {
+        // The negative test for the CI gate: inflate the committed cycle
+        // counts and the honest re-measurement must fail — exactly, not
+        // within a tolerance.
+        let mut b = parse_sweep_baseline(COMMITTED_SWEEP).unwrap();
+        for p in &mut b.profiles {
+            p.cycles += 1000;
+        }
+        b.hard_coded_cycles += 1000;
+        let src = crate::sweep::dispatch_heavy_source();
+        let measured = crate::sweep::measure_sweep(&src, &msc_simd::MachineProfile::bundled());
+        let hard = crate::sweep::hard_coded_cycles(&src, 16);
+        let failures = check_sweep(&b, &measured, hard);
+        assert!(
+            failures.len() > b.profiles.len(),
+            "every profile plus the anchor must fail: {failures:?}"
+        );
+    }
+
+    #[test]
+    fn extract_string_scopes_to_the_chunk() {
+        assert_eq!(
+            extract_string(r#"{"name": "wide-simd", "cycles": 1}"#, "name").as_deref(),
+            Some("wide-simd")
+        );
+        assert_eq!(extract_string(r#"{"cycles": 1}"#, "name"), None);
+    }
 
     #[test]
     fn parses_the_committed_baseline() {

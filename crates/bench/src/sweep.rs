@@ -1,0 +1,163 @@
+//! Machine-profile sweep measurement: the library half of
+//! `claims -- sweep` / `BENCH_sweep.json`.
+//!
+//! The sweep gate is different from the timing gates (setops, serve,
+//! regex): the simulator *counts* cycles, it doesn't time anything, so
+//! every number here is deterministic and the gate checks exact equality
+//! plus the profile-ordering invariants the bundled matrix was designed
+//! around — `cheap-dispatch` never slower than `paper-default` on the
+//! dispatch-heavy workload, `slow-globalor` never faster, and
+//! `paper-default` bit-identical to the untouched hard-coded path.
+
+use metastate::Pipeline;
+use msc_simd::MachineProfile;
+
+/// One measured profile (what a `BENCH_sweep.json` entry pins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Profile name.
+    pub name: String,
+    /// PEs the profile ran on.
+    pub pe_count: usize,
+    /// Simulated MSC cycles.
+    pub cycles: u64,
+    /// PE utilization inside meta-state bodies.
+    pub utilization: f64,
+    /// The §1.1 interpreter baseline priced under the same profile.
+    pub interp_cycles: u64,
+    /// `interp_cycles / cycles`.
+    pub speedup: f64,
+}
+
+/// The gate's workload: three-way divergent workers
+/// ([`branchy_source(3)`](crate::workloads::branchy_source)) — every
+/// meta-state transition is a hashed multiway dispatch, so dispatch-cost
+/// knobs move the needle (the C10 regime). Committed verbatim as
+/// `examples/dispatch_heavy.mimdc` for the CLI smoke run.
+pub fn dispatch_heavy_source() -> String {
+    crate::workloads::branchy_source(3)
+}
+
+/// Measure one workload under one profile: the profile's cost model is
+/// threaded through conversion + codegen, the run uses its machine
+/// config, and the interpreter baseline is priced under the same costs.
+pub fn measure_profile(src: &str, profile: &MachineProfile) -> SweepRow {
+    let built = Pipeline::new(src)
+        .costs(profile.costs.clone())
+        .build()
+        .expect("sweep workload must compile");
+    let out = built
+        .run_with(profile.machine_config())
+        .expect("sweep workload must run");
+    let p = msc_lang::compile(src).expect("sweep workload must compile");
+    let (_, im) = msc_mimd::interpret_on_simd(
+        &p.graph,
+        p.layout.poly_words,
+        p.layout.mono_words,
+        profile.pe_count,
+        &profile.costs,
+    )
+    .expect("interpreter baseline must run");
+    SweepRow {
+        name: profile.name.clone(),
+        pe_count: profile.pe_count,
+        cycles: out.metrics.cycles,
+        utilization: out.metrics.utilization(),
+        interp_cycles: im.cycles,
+        speedup: im.cycles as f64 / out.metrics.cycles as f64,
+    }
+}
+
+/// Measure the workload under every profile.
+pub fn measure_sweep(src: &str, profiles: &[MachineProfile]) -> Vec<SweepRow> {
+    profiles.iter().map(|p| measure_profile(src, p)).collect()
+}
+
+/// Cycles for `src` down today's untouched hard-coded path — default
+/// pipeline options, [`metastate::Built::run`] — the path every committed
+/// BENCH_*.json number was measured under. The gate pins the
+/// `paper-default` profile bit-identical to this.
+pub fn hard_coded_cycles(src: &str, n_pe: usize) -> u64 {
+    Pipeline::new(src)
+        .build()
+        .expect("workload must compile")
+        .run(n_pe)
+        .expect("workload must run")
+        .metrics
+        .cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_example_is_the_gate_workload() {
+        // `mscc sweep examples/dispatch_heavy.mimdc` (CI smoke) and
+        // `claims -- sweep` (the gate) must measure the same program.
+        assert_eq!(
+            include_str!("../../../examples/dispatch_heavy.mimdc"),
+            dispatch_heavy_source()
+        );
+    }
+
+    #[test]
+    fn paper_default_profile_is_bit_identical_to_hard_coded_path() {
+        let src = dispatch_heavy_source();
+        let row = measure_profile(&src, &MachineProfile::default());
+        assert_eq!(row.cycles, hard_coded_cycles(&src, 16));
+    }
+
+    #[test]
+    fn bundled_ordering_invariants_hold_on_dispatch_heavy() {
+        let src = dispatch_heavy_source();
+        let rows = measure_sweep(&src, &MachineProfile::bundled());
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        let base = by_name("paper-default").cycles;
+        assert!(by_name("cheap-dispatch").cycles <= base);
+        assert!(by_name("slow-globalor").cycles >= base);
+    }
+
+    // The other half of the gate's negative test: not a doctored
+    // *baseline* (see regression::tests) but a doctored *profile* — a bad
+    // committed profile file must fail `claims -- sweep --check`, which
+    // measures whatever `profiles/` contains.
+    #[test]
+    fn doctored_profile_fails_the_sweep_gate() {
+        use crate::regression::{check_sweep, parse_sweep_baseline};
+        let baseline =
+            parse_sweep_baseline(include_str!("../../../BENCH_sweep.json")).expect("parses");
+        let src = dispatch_heavy_source();
+        let hard = hard_coded_cycles(&src, 16);
+
+        // cheap-dispatch made expensive: the ordering invariant (and the
+        // exact-cycle pin) must flag it.
+        let mut profiles = MachineProfile::bundled();
+        profiles
+            .iter_mut()
+            .find(|p| p.name == "cheap-dispatch")
+            .unwrap()
+            .costs
+            .dispatch = 500;
+        let failures = check_sweep(&baseline, &measure_sweep(&src, &profiles), hard);
+        assert!(
+            failures.iter().any(|f| f.contains("cheap-dispatch")),
+            "{failures:?}"
+        );
+
+        // paper-default nudged off the hard-coded model: the bit-identity
+        // invariant must flag it.
+        let mut profiles = MachineProfile::bundled();
+        profiles
+            .iter_mut()
+            .find(|p| p.name == "paper-default")
+            .unwrap()
+            .costs
+            .guard_switch += 1;
+        let failures = check_sweep(&baseline, &measure_sweep(&src, &profiles), hard);
+        assert!(
+            failures.iter().any(|f| f.contains("bit-identity")),
+            "{failures:?}"
+        );
+    }
+}

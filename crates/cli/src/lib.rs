@@ -83,6 +83,18 @@ pub enum Command {
         /// Common options.
         opts: CommonOpts,
     },
+    /// `mscc sweep FILE`: compile and run one workload across a machine
+    /// profile matrix and emit per-profile comparison tables.
+    Sweep {
+        /// Source path.
+        file: String,
+        /// Profile files and/or directories (`--profiles`, comma
+        /// separated). Empty = `profiles/` when present, else the bundled
+        /// matrix.
+        profiles: Vec<String>,
+        /// Common options.
+        opts: CommonOpts,
+    },
     /// `mscc serve`: run the compile-and-run daemon until SIGINT/SIGTERM.
     Serve {
         /// Bind address (port 0 = ephemeral).
@@ -223,6 +235,7 @@ USAGE:
   mscc build <FILE>    [--emit automaton|mpl|dot|graph|asm] [common flags] [engine flags]
   mscc batch <FILE>... [common flags] [engine flags]
   mscc run   <FILE>    [--pes N] [--pool N] [--compare] [--trace] [common flags]
+  mscc sweep <FILE>    [--profiles FILES/DIRS,...] [common flags] [engine flags]
   mscc serve           [--addr HOST:PORT] [--workers N] [--queue-depth N] [--cache DIR]
                        [--max-meta-states N] [--blocking] [--peers HOST:PORT,...]
   mscc fuzz            [--seed N] [--cases N] [--pes N] [--max-states N] [--corpus DIR]
@@ -250,6 +263,17 @@ ENGINE FLAGS (build and batch):
                            source + options reload instead of recompiling
   --stats                  append meta-state counts, conversion counters,
                            per-phase timings, and cache hit/miss counters
+
+SWEEP FLAGS:
+  --profiles LIST          comma list of machine-profile JSON files and/or
+                           directories of them (default: the profiles/
+                           directory when present, else the bundled
+                           paper-default/wide-simd/slow-globalor/
+                           cheap-dispatch matrix); each profile compiles
+                           in parallel over the engine pool (--jobs,
+                           default all cores) and runs on its own machine;
+                           output is an aligned per-profile comparison
+                           table plus a machine-readable JSON summary line
 
 SERVE FLAGS:
   --addr HOST:PORT         bind address (default 127.0.0.1:7643; port 0 = ephemeral)
@@ -302,16 +326,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let cmd = it.next().ok_or_else(|| CliError(USAGE.into()))?;
     match cmd.as_str() {
         "help" | "-h" | "--help" => Ok(Command::Help),
-        "build" | "run" | "batch" => {
+        "build" | "run" | "batch" | "sweep" => {
             let mut files: Vec<String> = Vec::new();
             let mut emit = Emit::Automaton;
             let mut pes = 8usize;
             let mut pool: Option<usize> = None;
             let mut compare = false;
             let mut trace = false;
+            let mut profiles: Vec<String> = Vec::new();
+            let mut jobs_set = false;
             let mut opts = CommonOpts::default();
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--profiles" if cmd == "sweep" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--profiles needs files/dirs".into()))?;
+                        profiles.extend(v.split(',').filter(|s| !s.is_empty()).map(String::from));
+                    }
                     "--emit" => {
                         let v = it
                             .next()
@@ -365,6 +397,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         opts.jobs = v
                             .parse()
                             .map_err(|_| CliError(format!("bad job count `{v}`")))?;
+                        jobs_set = true;
                     }
                     "--cache" => {
                         let v = it
@@ -416,6 +449,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     opts,
                 },
                 "batch" => Command::Batch { files, opts },
+                "sweep" => {
+                    if !jobs_set {
+                        // Profile compiles are independent; default to the
+                        // whole pool (and thereby the engine path).
+                        opts.jobs = 0;
+                    }
+                    Command::Sweep {
+                        file: files.remove(0),
+                        profiles,
+                        opts,
+                    }
+                }
                 _ => Command::Run {
                     file: files.remove(0),
                     pes,
@@ -767,6 +812,191 @@ fn classic_built(src: &str, opts: &CommonOpts) -> Result<metastate::Built, CliEr
         .map_err(|e| CliError(e.to_string()))
 }
 
+fn mode_name(mode: ConvertMode) -> &'static str {
+    match mode {
+        ConvertMode::Base => "base",
+        ConvertMode::Compressed => "compressed",
+    }
+}
+
+/// Resolve `--profiles` specs (files and/or directories) into the profile
+/// matrix. No specs: the committed `profiles/` directory when present,
+/// else the bundled matrix (same content — the tier-1 tests pin the
+/// committed files bit-equal to [`msc_simd::MachineProfile::bundled`]).
+fn load_profiles(specs: &[String]) -> Result<Vec<msc_simd::MachineProfile>, CliError> {
+    use msc_simd::MachineProfile;
+    let mut out = Vec::new();
+    if specs.is_empty() {
+        let dir = std::path::Path::new("profiles");
+        if dir.is_dir() {
+            out = MachineProfile::load_dir(dir).map_err(|e| CliError(format!("profiles/: {e}")))?;
+        } else {
+            out = MachineProfile::bundled();
+        }
+    } else {
+        for spec in specs {
+            let path = std::path::Path::new(spec);
+            if path.is_dir() {
+                out.extend(
+                    MachineProfile::load_dir(path).map_err(|e| CliError(format!("{spec}: {e}")))?,
+                );
+            } else {
+                out.push(MachineProfile::load(path).map_err(|e| CliError(format!("{spec}: {e}")))?);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(CliError("no machine profiles found".into()));
+    }
+    Ok(out)
+}
+
+/// One measured profile in a sweep.
+struct SweepRow {
+    name: String,
+    pe_count: usize,
+    meta_states: usize,
+    cycles: u64,
+    utilization: f64,
+    interp_cycles: u64,
+    speedup: f64,
+}
+
+/// `mscc sweep`: compile the workload once per profile (each profile's
+/// cost model is part of the [`metastate::Job`], so the engine pool
+/// parallelizes the compiles and the cache keys stay distinct), run each
+/// program on its profile's machine, and price the §1.1 interpreter
+/// baseline under the same profile for the speedup column. Output: an
+/// aligned text table plus one machine-readable JSON line.
+pub fn execute_sweep(
+    file: &str,
+    src: &str,
+    profiles: &[msc_simd::MachineProfile],
+    opts: &CommonOpts,
+) -> Result<String, CliError> {
+    use msc_obs::json::Json;
+    msc_obs::count("sweep.profiles", profiles.len() as u64);
+    let program = msc_lang::compile(src).map_err(|e| CliError(e.to_string()))?;
+    let engine = engine_for(opts);
+    let jobs: Vec<metastate::Job> = profiles
+        .iter()
+        .map(|p| {
+            build_pipeline(src, opts)
+                .costs(p.costs.clone())
+                .into_job(format!("{file}@{}", p.name))
+        })
+        .collect();
+    let compiled = engine.compile_many(&jobs);
+
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for (p, result) in profiles.iter().zip(compiled) {
+        let out = match result {
+            Ok(out) => out,
+            Err(e) => {
+                msc_obs::count("sweep.errors", 1);
+                failures.push(format!("{}: compile failed: {e}", p.name));
+                continue;
+            }
+        };
+        let cfg = p.machine_config();
+        let simd = &out.artifact.simd;
+        let mut machine = metastate::SimdMachine::new(simd, &cfg);
+        let metrics = match machine.run(simd, &cfg) {
+            Ok(m) => m,
+            Err(e) => {
+                msc_obs::count("sweep.errors", 1);
+                failures.push(format!("{}: run failed: {e}", p.name));
+                continue;
+            }
+        };
+        let interp_cycles = match msc_mimd::interpret_on_simd(
+            &program.graph,
+            program.layout.poly_words,
+            program.layout.mono_words,
+            p.pe_count,
+            &p.costs,
+        ) {
+            Ok((_, im)) => im.cycles,
+            Err(e) => {
+                msc_obs::count("sweep.errors", 1);
+                failures.push(format!("{}: interpreter baseline failed: {e}", p.name));
+                continue;
+            }
+        };
+        msc_obs::count("sweep.runs", 1);
+        rows.push(SweepRow {
+            name: p.name.clone(),
+            pe_count: p.pe_count,
+            meta_states: out.artifact.meta_states,
+            cycles: metrics.cycles,
+            utilization: metrics.utilization(),
+            interp_cycles,
+            speedup: interp_cycles as f64 / metrics.cycles as f64,
+        });
+    }
+
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(["profile".len()])
+        .max()
+        .expect("chain is non-empty");
+    let mut text = format!(
+        "sweep: {file} across {} profile(s) ({} mode)\n\n",
+        profiles.len(),
+        mode_name(opts.mode),
+    );
+    text.push_str(&format!(
+        "{:<name_w$}  {:>4}  {:>6}  {:>12}  {:>6}  {:>12}  {:>8}\n",
+        "profile", "PEs", "states", "cycles", "util%", "interp", "speedup"
+    ));
+    for r in &rows {
+        text.push_str(&format!(
+            "{:<name_w$}  {:>4}  {:>6}  {:>12}  {:>6.1}  {:>12}  {:>7.2}x\n",
+            r.name,
+            r.pe_count,
+            r.meta_states,
+            r.cycles,
+            r.utilization * 100.0,
+            r.interp_cycles,
+            r.speedup
+        ));
+    }
+    let json = Json::obj(vec![
+        ("workload", Json::from(file)),
+        ("mode", Json::from(mode_name(opts.mode))),
+        (
+            "profiles",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::from(r.name.as_str())),
+                            ("pe_count", Json::from(r.pe_count)),
+                            ("meta_states", Json::from(r.meta_states)),
+                            ("cycles", Json::from(r.cycles)),
+                            ("utilization", Json::from(r.utilization)),
+                            ("interp_cycles", Json::from(r.interp_cycles)),
+                            ("speedup", Json::from(r.speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    text.push('\n');
+    text.push_str(&json.render());
+    text.push('\n');
+    if !failures.is_empty() {
+        return Err(CliError(format!(
+            "{text}\nsweep failures:\n  {}",
+            failures.join("\n  ")
+        )));
+    }
+    Ok(text)
+}
+
 /// Observability wiring for one CLI invocation: installs the subscribers
 /// the flags ask for (a metrics [`msc_obs::Registry`] for `--metrics`, a
 /// [`msc_obs::JsonlSink`] for `--trace-out`, fanned out when both) for the
@@ -1098,6 +1328,19 @@ pub fn execute_on_source(cmd: &Command, src: &str) -> Result<String, CliError> {
                 *threads,
             )
         }
+        Command::Sweep {
+            file,
+            profiles,
+            opts,
+        } => {
+            let session = ObsSession::start(opts)?;
+            let loaded = load_profiles(profiles)?;
+            let mut text = execute_sweep(file, src, &loaded, opts)?;
+            if let Some(session) = session {
+                text.push_str(&session.finish()?);
+            }
+            Ok(text)
+        }
         Command::Build { opts, .. } | Command::Run { opts, .. } => {
             let session = ObsSession::start(opts)?;
             let mut text = execute_build_or_run(cmd, src)?;
@@ -1231,6 +1474,7 @@ fn execute_build_or_run(cmd: &Command, src: &str) -> Result<String, CliError> {
         }
         Command::Help
         | Command::Batch { .. }
+        | Command::Sweep { .. }
         | Command::Serve { .. }
         | Command::Fuzz { .. }
         | Command::Match { .. } => {
@@ -1323,7 +1567,7 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             };
             execute_match(pattern, &inputs, *threads)
         }
-        Command::Build { file, .. } | Command::Run { file, .. } => {
+        Command::Build { file, .. } | Command::Run { file, .. } | Command::Sweep { file, .. } => {
             execute_on_source(&cmd, &read(file)?)
         }
     }
@@ -1413,6 +1657,34 @@ mod tests {
         assert!(compare);
         assert_eq!(opts.mode, ConvertMode::Compressed);
         assert!(opts.time_split && opts.optimize && opts.minimize && opts.no_csi);
+    }
+
+    #[test]
+    fn parse_sweep_flags() {
+        let cmd = parse_args(&args("sweep foo.mimdc --profiles a.json,b.json")).unwrap();
+        let Command::Sweep {
+            file,
+            profiles,
+            opts,
+        } = cmd
+        else {
+            panic!("expected sweep command");
+        };
+        assert_eq!(file, "foo.mimdc");
+        assert_eq!(profiles, vec!["a.json", "b.json"]);
+        // Sweep defaults to the engine pool (all cores) unless --jobs
+        // was given explicitly.
+        assert_eq!(opts.jobs, 0);
+        let cmd = parse_args(&args("sweep foo.mimdc --jobs 2")).unwrap();
+        let Command::Sweep { profiles, opts, .. } = cmd else {
+            panic!("expected sweep command");
+        };
+        assert!(profiles.is_empty());
+        assert_eq!(opts.jobs, 2);
+        // --profiles is a sweep flag, not a build/run flag.
+        assert!(parse_args(&args("build foo.mimdc --profiles a.json")).is_err());
+        assert!(parse_args(&args("sweep foo.mimdc --profiles")).is_err());
+        assert!(parse_args(&args("sweep")).is_err());
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod render;
 pub mod util;
 
 pub use graph::{MimdGraph, MimdState, StateId, Terminator};
-pub use op::{Addr, BinOp, CostModel, Op, Space, UnOp};
+pub use op::{Addr, BinOp, CostModel, Op, OpClass, Space, UnOp};

@@ -15,12 +15,16 @@
 //!   counts, and PE utilization.
 //! * [`setops`] — runtime-dispatched SIMD set algebra kernels (AVX2 /
 //!   NEON / scalar) the converter's hybrid bitsets run on.
+//! * [`profile`] — [`MachineProfile`]: the whole cost structure as strict
+//!   JSON config, so one binary evaluates many architectures (`mscc sweep`).
 
 pub mod asm;
 pub mod machine;
+pub mod profile;
 pub mod program;
 pub mod setops;
 
 pub use asm::{parse as parse_asm, serialize as serialize_asm, AsmError};
 pub use machine::{MachineConfig, Metrics, RunError, SimdMachine, TraceEvent};
+pub use profile::{MachineProfile, ProfileError};
 pub use program::{BlockId, Dispatch, GuardedInstr, MetaBlock, SimdInstr, SimdProgram};

@@ -132,6 +132,13 @@ pub struct MachineConfig {
     /// Record a [`TraceEvent`] stream (block entries and dispatches) in
     /// [`SimdMachine::trace`].
     pub trace: bool,
+    /// Local-memory ports shared by the whole array. `0` means one port
+    /// per PE (fully parallel — the historical model); `p > 0` serializes
+    /// each memory-class issue over `⌈enabled/p⌉` port rounds.
+    pub memory_ports: usize,
+    /// Extra router cycles charged on every aggregate (`globalor` +
+    /// hashed / barrier) dispatch, on top of the dispatch instruction cost.
+    pub globalor_latency: u32,
 }
 
 impl MachineConfig {
@@ -142,6 +149,8 @@ impl MachineConfig {
             active_at_start: n_pe,
             max_cycles: 100_000_000,
             trace: false,
+            memory_ports: 0,
+            globalor_latency: 0,
         }
     }
 
@@ -152,6 +161,8 @@ impl MachineConfig {
             active_at_start: active.min(n_pe),
             max_cycles: 100_000_000,
             trace: false,
+            memory_ports: 0,
+            globalor_latency: 0,
         }
     }
 
@@ -365,7 +376,16 @@ impl SimdMachine {
             let mut last_guard: Option<&[StateId]> = None;
 
             for gi in &block.body {
-                let cost = gi.instr.cost(costs) as u64;
+                let enabled: Vec<usize> = (0..self.n_pe)
+                    .filter(|&pe| self.pc[pe].map(|s| gi.enables(s)).unwrap_or(false))
+                    .collect();
+                let mut cost = gi.instr.cost(costs) as u64;
+                // A shared memory-port pool serializes the enabled PEs'
+                // accesses over ⌈enabled/ports⌉ rounds (0 ports = one per
+                // PE, the historical fully-parallel model).
+                if config.memory_ports > 0 && gi.instr.is_memory() {
+                    cost *= enabled.len().div_ceil(config.memory_ports).max(1) as u64;
+                }
                 // The control unit broadcasts every instruction whether or
                 // not any PE is enabled — this is exactly the inefficiency
                 // wide (compressed) meta states pay (§2.5).
@@ -377,9 +397,6 @@ impl SimdMachine {
                     self.metrics.guard_cycles += costs.guard_switch as u64;
                     last_guard = Some(gi.guard.as_slice());
                 }
-                let enabled: Vec<usize> = (0..self.n_pe)
-                    .filter(|&pe| self.pc[pe].map(|s| gi.enables(s)).unwrap_or(false))
-                    .collect();
                 self.metrics.enabled_pe_cycles += enabled.len() as u64 * cost;
                 self.metrics.live_pe_cycles += live as u64 * cost;
                 self.exec(&gi.instr, &enabled, &mut next_pc, &mut dirty, cur)?;
@@ -413,8 +430,11 @@ impl SimdMachine {
             // globalor + hashed-branch price (§3.2.3).
             let dcost = match &block.dispatch {
                 Dispatch::End | Dispatch::Direct(_) => costs.stack as u64,
+                // Aggregate dispatches additionally pay the profile's
+                // router latency: globalor collection is a physical
+                // reduction network, not a register read.
                 Dispatch::DirectWithBarrier { .. } | Dispatch::Hashed { .. } => {
-                    costs.dispatch as u64
+                    costs.dispatch as u64 + config.globalor_latency as u64
                 }
             };
             self.metrics.cycles += dcost;
@@ -788,12 +808,10 @@ mod tests {
         );
     }
 
-    #[test]
-    fn two_block_branching_program() {
-        // Block ms_0: each PE pushes (pe_id < 2), JumpF(f=s2, t=s1).
-        // ms_1: poly[0] = 111 then halt; ms_2: poly[0] = 222 then halt.
-        // Conversion-style meta states: here we hand-build the *base* form
-        // where {s1,s2} is one meta block with two guarded bodies.
+    /// Block ms_0: each PE pushes (pe_id < 2), JumpF(f=s2, t=s1), then a
+    /// hashed dispatch into ms_1_2 where {s1,s2} execute divergent guarded
+    /// bodies (the hand-built *base*-conversion form).
+    fn branching_program() -> SimdProgram {
         let (s0, s1, s2) = (StateId(0), StateId(1), StateId(2));
         let b0 = MetaBlock {
             members: vec![s0],
@@ -846,14 +864,19 @@ mod tests {
             ],
             dispatch: Dispatch::End,
         };
-        let p = SimdProgram {
+        SimdProgram {
             blocks: vec![b0, b1],
             start: BlockId(0),
             start_state: s0,
             poly_words: 1,
             mono_words: 0,
             costs: CostModel::default(),
-        };
+        }
+    }
+
+    #[test]
+    fn two_block_branching_program() {
+        let p = branching_program();
         p.validate().unwrap();
         let cfg = MachineConfig::spmd(4);
         let mut m = SimdMachine::new(&p, &cfg);
@@ -1123,6 +1146,47 @@ mod tests {
         for pe in 0..4 {
             assert_eq!(m.poly_at(pe, Addr::poly(0)), 3);
         }
+    }
+
+    #[test]
+    fn memory_ports_serialize_local_memory_access() {
+        let p = trivial_program();
+        let base_cfg = MachineConfig::spmd(8);
+        let base = SimdMachine::new(&p, &base_cfg).run(&p, &base_cfg).unwrap();
+        // 8 enabled PEs through 2 ports: the single St(poly) takes 4 port
+        // rounds instead of 1, i.e. 3 extra mem_local charges.
+        let mut cfg = MachineConfig::spmd(8);
+        cfg.memory_ports = 2;
+        let ported = SimdMachine::new(&p, &cfg).run(&p, &cfg).unwrap();
+        let extra = 3 * CostModel::default().mem_local as u64;
+        assert_eq!(ported.cycles, base.cycles + extra);
+        assert_eq!(ported.body_cycles, base.body_cycles + extra);
+        // One port per PE ≡ the historical fully-parallel model.
+        cfg.memory_ports = 8;
+        let wide = SimdMachine::new(&p, &cfg).run(&p, &cfg).unwrap();
+        assert_eq!(wide.cycles, base.cycles);
+    }
+
+    #[test]
+    fn globalor_latency_prices_aggregate_dispatches_only() {
+        let p = branching_program();
+        let base_cfg = MachineConfig::spmd(4);
+        let base = SimdMachine::new(&p, &base_cfg).run(&p, &base_cfg).unwrap();
+        let mut cfg = MachineConfig::spmd(4);
+        cfg.globalor_latency = 24;
+        let slow = SimdMachine::new(&p, &cfg).run(&p, &cfg).unwrap();
+        // Exactly one hashed dispatch pays the router; the terminal End
+        // dispatch is direct-priced and immune.
+        assert_eq!(slow.cycles, base.cycles + 24);
+        assert_eq!(slow.dispatch_cycles, base.dispatch_cycles + 24);
+
+        let t = trivial_program();
+        let direct = SimdMachine::new(&t, &cfg).run(&t, &cfg).unwrap();
+        let direct_base = SimdMachine::new(&t, &base_cfg).run(&t, &base_cfg).unwrap();
+        assert_eq!(
+            direct.cycles, direct_base.cycles,
+            "End dispatch is direct-priced"
+        );
     }
 }
 

@@ -74,6 +74,13 @@ impl SimdInstr {
             SimdInstr::Spawn { .. } => costs.dispatch,
         }
     }
+
+    /// Does this instruction go through the PEs' local-memory ports?
+    /// (Subject to [`MachineConfig::memory_ports`](crate::MachineConfig::memory_ports)
+    /// contention.)
+    pub fn is_memory(&self) -> bool {
+        matches!(self, SimdInstr::Op(op) if op.class() == msc_ir::OpClass::Memory)
+    }
 }
 
 /// An instruction with its PE enable guard: the set of MIMD states whose

@@ -48,7 +48,7 @@ pub use msc_engine::{
 pub use msc_ir::{CostModel, MimdGraph};
 pub use msc_lang::compile as compile_mimdc;
 pub use msc_mimd::{interpret_on_simd, MimdReference};
-pub use msc_simd::{SimdMachine, SimdProgram};
+pub use msc_simd::{MachineProfile, ProfileError, SimdMachine, SimdProgram};
 
 mod pipeline;
 pub use pipeline::{Built, Pipeline, PipelineError, RunOutput};

@@ -162,6 +162,15 @@ impl Pipeline {
         self
     }
 
+    /// Price every stage with one cost model: conversion's time splitting,
+    /// CSI scheduling, dispatch accounting, and the embedded simulator
+    /// costs (the machine-profile path of `mscc sweep`).
+    pub fn costs(mut self, costs: msc_ir::CostModel) -> Self {
+        self.convert_opts.costs = costs.clone();
+        self.gen_opts.costs = costs;
+        self
+    }
+
     /// Run every stage.
     pub fn build(self) -> Result<Built, PipelineError> {
         let mut compiled = compile(&self.src)?;
